@@ -1,0 +1,1 @@
+examples/availability_study.ml: Array Float Format List Report Sys

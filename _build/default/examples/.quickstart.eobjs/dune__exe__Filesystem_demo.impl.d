@@ -1,0 +1,1 @@
+examples/filesystem_demo.ml: Blockdev Blockrep Bytes Fs List Printf Sim String

@@ -1,0 +1,1 @@
+examples/partition_demo.ml: Blockdev Blockrep Format Printf Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blockdev Blockrep Format Net Printf Sim String

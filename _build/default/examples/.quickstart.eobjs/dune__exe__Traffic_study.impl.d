@@ -1,0 +1,1 @@
+examples/traffic_study.ml: Analysis Blockrep Format List Net Report Util Workload

@@ -1,0 +1,1 @@
+examples/witness_study.ml: Analysis Blockrep List Printf Util Workload

@@ -1,0 +1,39 @@
+(* Availability study: Figures 9 and 10 of the paper, live.
+
+   For each failure-to-repair ratio rho we print the availability of a
+   replicated block under the three schemes, computed three independent
+   ways: the paper's closed forms, an exact Markov-chain solution, and a
+   discrete-event simulation of the actual protocols.  Available copy with
+   n copies beats voting with 2n copies everywhere, and the naive variant
+   is indistinguishable below rho = 0.1 — the paper's headline claims. *)
+
+let () =
+  let simulate = Array.length Sys.argv > 1 && Sys.argv.(1) = "--simulate" in
+  if not simulate then
+    print_endline "(analytic only; pass --simulate to add event-driven measurements)\n";
+  let fig9 =
+    Report.Figures.figure_9_10 ~n_copies:3 ~simulate ~sim_horizon:20_000.0 ()
+  in
+  Format.printf "%a@.@."
+    (fun ppf -> Report.Figures.print_availability ppf ~title:"Figure 9: 3 copies (voting: 6)")
+    fig9;
+  let fig10 =
+    Report.Figures.figure_9_10 ~n_copies:4 ~simulate ~sim_horizon:20_000.0 ()
+  in
+  Format.printf "%a@.@."
+    (fun ppf -> Report.Figures.print_availability ppf ~title:"Figure 10: 4 copies (voting: 8)")
+    fig10;
+  (* The paper's reading of the graphs, verified mechanically. *)
+  let all_dominate =
+    List.for_all
+      (fun (r : Report.Figures.availability_row) -> r.rho = 0.0 || (r.ac_chain > r.voting && r.nac_chain > r.voting))
+      (fig9 @ fig10)
+  in
+  Format.printf "available copy dominates voting at every rho > 0: %b@." all_dominate;
+  let ac_nac_close =
+    List.for_all
+      (fun (r : Report.Figures.availability_row) ->
+        r.rho > 0.1 || Float.abs (r.ac_chain -. r.nac_chain) < 0.002)
+      (fig9 @ fig10)
+  in
+  Format.printf "AC and NAC within 0.002 for rho <= 0.1: %b@." ac_nac_close

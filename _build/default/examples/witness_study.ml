@@ -1,0 +1,45 @@
+(* Witness study: the storage/availability trade-off of the reference [10]
+   extension.
+
+   Witnesses vote and carry version numbers but store no blocks.  This
+   example compares, at equal total site counts, full replication against
+   configurations that replace data copies with witnesses: the quorum
+   arithmetic is unchanged, storage shrinks, and availability gives up a
+   little because reads must still reach a current data copy. *)
+
+let rho = 0.1
+
+let simulate ~data ~witnesses =
+  let n = data + witnesses in
+  let config =
+    Blockrep.Config.make_exn ~scheme:Blockrep.Types.Voting ~n_sites:n ~n_blocks:4
+      ~witnesses:(List.init witnesses (fun i -> data + i))
+      ~latency:(Util.Dist.Constant 0.001) ~seed:2025 ()
+  in
+  let cluster = Blockrep.Cluster.create config in
+  let failures = Workload.Failure_gen.attach cluster ~rng:(Util.Prng.create 3) ~lambda:rho ~mu:1.0 in
+  (* A steady write stream keeps repaired data copies current, so the
+     measured availability isolates the witness effect. *)
+  let writes = Workload.Access_gen.create ~rng:(Util.Prng.create 5) ~n_blocks:4 ~reads_per_write:0.0 () in
+  ignore
+    (Workload.Runner.run_open_loop cluster writes ~site:0 ~rate:25.0 ~horizon:15_000.0
+      : Workload.Runner.results);
+  Workload.Failure_gen.stop failures;
+  Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor cluster)
+
+let () =
+  Printf.printf "Voting with witnesses at rho = %.2f (model = lazy-currency approximation):\n\n" rho;
+  Printf.printf "%-16s %10s %10s %16s\n" "configuration" "model" "simulated" "storage (blocks)";
+  List.iter
+    (fun (data, witnesses) ->
+      let model = Analysis.Witness_model.majority_availability ~data ~witnesses ~rho in
+      let sim = simulate ~data ~witnesses in
+      let _, storage = Analysis.Witness_model.storage_blocks ~data ~witnesses ~n_blocks:100 in
+      Printf.printf "%8dd + %dw %10.5f %10.5f %16d\n" data witnesses model sim storage)
+    [ (3, 0); (2, 1); (1, 2); (5, 0); (4, 1); (3, 2) ];
+  print_newline ();
+  Printf.printf "Reading the table:\n";
+  Printf.printf "- 2 data + 1 witness matches 3 full copies almost exactly while storing a third less;\n";
+  Printf.printf "- pushing further (1 data + 2 witnesses) keeps the quorum math but loses availability\n";
+  Printf.printf "  whenever the lone data copy is down — witnesses cannot serve blocks;\n";
+  Printf.printf "- the same pattern holds at five sites.\n"

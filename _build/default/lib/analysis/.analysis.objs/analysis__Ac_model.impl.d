@@ -1,0 +1,1 @@
+lib/analysis/ac_model.ml: Markov Printf Voting_model

@@ -1,0 +1,1 @@
+lib/analysis/ac_model.mli:

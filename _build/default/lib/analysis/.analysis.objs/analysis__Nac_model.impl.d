@@ -1,0 +1,1 @@
+lib/analysis/nac_model.ml: Markov Printf

@@ -1,0 +1,1 @@
+lib/analysis/traffic_model.ml: Ac_model Nac_model Printf Voting_model

@@ -1,0 +1,1 @@
+lib/analysis/traffic_model.mli:

@@ -1,0 +1,1 @@
+lib/analysis/voting_model.mli:

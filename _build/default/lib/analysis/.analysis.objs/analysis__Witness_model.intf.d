@@ -1,0 +1,1 @@
+lib/analysis/witness_model.mli:

@@ -1,0 +1,53 @@
+let check ~n ~rho name =
+  if n < 1 then invalid_arg (Printf.sprintf "Ac_model.%s: need n >= 1" name);
+  if rho < 0.0 then invalid_arg (Printf.sprintf "Ac_model.%s: rho must be non-negative" name)
+
+let availability_closed ~n ~rho =
+  check ~n ~rho "availability_closed";
+  let p = rho in
+  match n with
+  | 1 -> Some (1.0 /. (1.0 +. p))
+  | 2 ->
+      (* Equation (2). *)
+      Some ((1.0 +. (3.0 *. p) +. (p *. p)) /. ((1.0 +. p) ** 3.0))
+  | 3 ->
+      (* Equation (3). *)
+      let num =
+        2.0 +. (9.0 *. p) +. (17.0 *. (p ** 2.0)) +. (11.0 *. (p ** 3.0)) +. (2.0 *. (p ** 4.0))
+      in
+      let den = ((1.0 +. p) ** 3.0) *. (2.0 +. (3.0 *. p) +. (2.0 *. (p ** 2.0))) in
+      Some (num /. den)
+  | 4 ->
+      (* Equation (4). *)
+      let num =
+        6.0 +. (37.0 *. p)
+        +. (99.0 *. (p ** 2.0))
+        +. (152.0 *. (p ** 3.0))
+        +. (124.0 *. (p ** 4.0))
+        +. (47.0 *. (p ** 5.0))
+        +. (6.0 *. (p ** 6.0))
+      in
+      let den =
+        ((1.0 +. p) ** 4.0)
+        *. (6.0 +. (13.0 *. p) +. (11.0 *. (p ** 2.0)) +. (6.0 *. (p ** 3.0)))
+      in
+      Some (num /. den)
+  | _ -> None
+
+let availability ~n ~rho =
+  match availability_closed ~n ~rho with
+  | Some a -> a
+  | None -> Markov.Chains.ac_availability ~n ~rho
+
+let lower_bound ~n ~rho =
+  check ~n ~rho "lower_bound";
+  let nf = float_of_int n in
+  1.0 -. (nf *. (rho ** nf) /. ((1.0 +. rho) ** nf))
+
+let participation ~n ~rho =
+  check ~n ~rho "participation";
+  Markov.Chains.ac_participation ~n ~rho
+
+let theorem_4_1_sufficient ~n ~rho =
+  check ~n ~rho "theorem_4_1_sufficient";
+  Voting_model.binomial ((2 * n) - 1) n /. float_of_int n > (1.0 +. rho) ** float_of_int (n - 1)

@@ -1,0 +1,24 @@
+(** Closed-form model of the available copy scheme (Section 4.2).
+
+    The paper gives exact rational expressions for 2, 3 and 4 copies
+    (equations (2)–(4)) and a lower bound (5) for general [n]; for other [n]
+    {!availability} falls back on the exact Figure 7 Markov chain. *)
+
+val availability : n:int -> rho:float -> float
+(** A_A(n).  Uses the published closed forms for [n <= 4] (n = 1 is the
+    single-site [1/(1+ρ)]) and the exact chain solution otherwise. *)
+
+val availability_closed : n:int -> rho:float -> float option
+(** The published closed form when one exists ([n <= 4]), [None]
+    otherwise — lets tests compare closed forms against the chain. *)
+
+val lower_bound : n:int -> rho:float -> float
+(** Inequality (5): [A_A(n) > 1 - nρⁿ/(1+ρ)ⁿ]. *)
+
+val participation : n:int -> rho:float -> float
+(** U_A^n: expected number of available sites given the block is available
+    (exact, from the Figure 7 chain). *)
+
+val theorem_4_1_sufficient : n:int -> rho:float -> bool
+(** Inequality (6) of the proof: [C(2n-1, n)/n > (1+ρ)^{n-1}], the
+    sufficient condition under which [A_A(n) > A_V(2n-1)]. *)

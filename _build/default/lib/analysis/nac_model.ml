@@ -1,0 +1,31 @@
+let check ~n name =
+  if n < 1 then invalid_arg (Printf.sprintf "Nac_model.%s: need n >= 1" name)
+
+(* Factorials as floats; arguments stay small (n copies of a block). *)
+let rec fact k = if k <= 1 then 1.0 else float_of_int k *. fact (k - 1)
+
+let b_poly ~n ~rho =
+  check ~n "b_poly";
+  if rho <= 0.0 then invalid_arg "Nac_model.b_poly: rho must be positive";
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    for j = 1 to k do
+      let coeff = fact (n - j) *. fact (j - 1) /. (fact (n - k) *. fact k) in
+      acc := !acc +. (coeff *. (rho ** float_of_int (j - k)))
+    done
+  done;
+  !acc
+
+let availability ~n ~rho =
+  check ~n "availability";
+  if rho < 0.0 then invalid_arg "Nac_model.availability: rho must be non-negative";
+  if rho = 0.0 then 1.0
+  else begin
+    let b = b_poly ~n ~rho in
+    let b_inv = b_poly ~n ~rho:(1.0 /. rho) in
+    b /. (b +. (rho *. b_inv))
+  end
+
+let participation ~n ~rho =
+  check ~n "participation";
+  Markov.Chains.nac_participation ~n ~rho

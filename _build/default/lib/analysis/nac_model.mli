@@ -1,0 +1,18 @@
+(** Closed-form model of the naive available copy scheme (Section 4.3).
+
+    A_NA(n) = B(n;ρ) / (B(n;ρ) + ρ·B(n;1/ρ)) where
+
+    B(n;ρ) = Σ_{k=1}^{n} Σ_{j=1}^{k} ((n-j)!(j-1)!)/((n-k)!k!) ρ^{j-k}.
+
+    Notable identity (checked in the test suite): A_NA(2) = A_V(3) — two
+    naive-available-copy replicas match three voting replicas. *)
+
+val b_poly : n:int -> rho:float -> float
+(** The paper's B(n;ρ) double sum.  [rho] must be positive (the sum contains
+    negative powers of ρ). *)
+
+val availability : n:int -> rho:float -> float
+(** A_NA(n) via the closed form; for [rho = 0] returns the limit 1. *)
+
+val participation : n:int -> rho:float -> float
+(** U_N^n, exact from the Figure 8 chain. *)

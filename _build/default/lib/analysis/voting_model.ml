@@ -1,0 +1,44 @@
+let binomial n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    (* Multiplicative form, exact in float for the modest n used here. *)
+    let k = Int.min k (n - k) in
+    let rec go acc i =
+      if i > k then acc else go (acc *. float_of_int (n - k + i) /. float_of_int i) (i + 1)
+    in
+    go 1.0 1
+  end
+
+let check ~n ~rho name =
+  if n < 1 then invalid_arg (Printf.sprintf "Voting_model.%s: need n >= 1" name);
+  if rho < 0.0 then invalid_arg (Printf.sprintf "Voting_model.%s: rho must be non-negative" name)
+
+let site_availability ~rho = 1.0 /. (1.0 +. rho)
+
+(* P(exactly k of n sites up) with site availability 1/(1+rho):
+   C(n,k) rho^(n-k) / (1+rho)^n. *)
+let p_up ~n ~rho k = binomial n k *. (rho ** float_of_int (n - k)) /. ((1.0 +. rho) ** float_of_int n)
+
+let availability ~n ~rho =
+  check ~n ~rho "availability";
+  let acc = ref 0.0 in
+  for k = 0 to n do
+    if 2 * k > n then acc := !acc +. p_up ~n ~rho k
+    else if 2 * k = n then acc := !acc +. (0.5 *. p_up ~n ~rho k)
+  done;
+  !acc
+
+let availability_upper_bound ~n ~rho =
+  check ~n ~rho "availability_upper_bound";
+  if n mod 2 = 0 then invalid_arg "Voting_model.availability_upper_bound: odd n only";
+  let half = (n + 1) / 2 in
+  1.0 -. (binomial n half *. (rho ** float_of_int half) /. ((1.0 +. rho) ** float_of_int n))
+
+let participation ~n ~rho =
+  check ~n ~rho "participation";
+  let nf = float_of_int n in
+  nf *. ((1.0 +. rho) ** (nf -. 1.0)) /. (((1.0 +. rho) ** nf) -. (rho ** nf))
+
+let participation_approx ~n ~rho =
+  check ~n ~rho "participation_approx";
+  float_of_int n *. (1.0 -. rho)

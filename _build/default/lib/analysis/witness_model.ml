@@ -1,0 +1,44 @@
+let availability ~weights ~witness ~threshold ~rho =
+  let n = Array.length weights in
+  if n = 0 || Array.length witness <> n then
+    invalid_arg "Witness_model.availability: arrays must be non-empty and of equal length";
+  if not (Array.exists not witness) then
+    invalid_arg "Witness_model.availability: need at least one data site";
+  if threshold <= 0 then invalid_arg "Witness_model.availability: threshold must be positive";
+  if rho < 0.0 then invalid_arg "Witness_model.availability: rho must be non-negative";
+  if n > 20 then invalid_arg "Witness_model.availability: enumeration capped at 20 sites";
+  let p_up = 1.0 /. (1.0 +. rho) in
+  let p_down = 1.0 -. p_up in
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let weight_up = ref 0 in
+    let data_up = ref false in
+    let prob = ref 1.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        weight_up := !weight_up + weights.(i);
+        if not witness.(i) then data_up := true;
+        prob := !prob *. p_up
+      end
+      else prob := !prob *. p_down
+    done;
+    if !weight_up >= threshold && !data_up then total := !total +. !prob
+  done;
+  !total
+
+let majority_availability ~data ~witnesses ~rho =
+  if data < 1 then invalid_arg "Witness_model.majority_availability: need a data site";
+  if witnesses < 0 then invalid_arg "Witness_model.majority_availability: negative witnesses";
+  let n = data + witnesses in
+  (* Mirror Blockrep.Quorum.majority: equal weights for odd n; for even n
+     one site (a data site, id 0) gets weight 3 and the rest 2. *)
+  let weights = if n mod 2 = 1 then Array.make n 1 else Array.init n (fun i -> if i = 0 then 3 else 2) in
+  let total = Array.fold_left ( + ) 0 weights in
+  let threshold = (total / 2) + 1 in
+  let witness = Array.init n (fun i -> i >= data) in
+  availability ~weights ~witness ~threshold ~rho
+
+let storage_blocks ~data ~witnesses ~n_blocks =
+  if data < 1 || witnesses < 0 || n_blocks < 0 then
+    invalid_arg "Witness_model.storage_blocks: bad arguments";
+  ((data + witnesses) * n_blocks, data * n_blocks)

@@ -1,0 +1,33 @@
+(** Availability of weighted voting with witnesses.
+
+    A witness votes — version number plus weight — but stores no data
+    (Pâris, "Voting with a Variable Number of Copies", the paper's
+    reference [10] family).  Writes need only a quorum; reads additionally
+    need a reachable data site holding the current version.
+
+    The model below makes the same idealisation as the paper's voting
+    analysis: a repaired data site is brought current on first access
+    (lazy per-block recovery), so any up data site inside a quorum counts
+    as current.  Under that assumption the system is available iff a
+    quorum of sites is up {e and} at least one data site is up, and the
+    availability is a finite sum over up-sets.  The event-driven
+    simulation validates the approximation (see the bench harness). *)
+
+val availability :
+  weights:int array -> witness:bool array -> threshold:int -> rho:float -> float
+(** Exact enumeration over the [2^n] up/down patterns with iid site
+    availability [1/(1+rho)].  Arrays must have equal length; [witness]
+    must leave at least one data site; raises [Invalid_argument]
+    otherwise. *)
+
+val majority_availability : data:int -> witnesses:int -> rho:float -> float
+(** Convenience: [data + witnesses] sites under the same majority
+    configuration as [Blockrep.Quorum.majority] (equal weights when the
+    total count is odd; one inflated weight to break ties when even, given
+    to a data site). *)
+
+val storage_blocks : data:int -> witnesses:int -> n_blocks:int -> int * int
+(** [(full, with_witnesses)] device-block storage cost of a configuration:
+    every data copy stores [n_blocks] blocks, a witness stores none (its
+    version vector is bookkeeping, not block storage).  Quantifies the
+    witness trade-off against [data + witnesses] full copies. *)

@@ -1,0 +1,1 @@
+lib/blockdev/block.ml: Bytes Char Format String

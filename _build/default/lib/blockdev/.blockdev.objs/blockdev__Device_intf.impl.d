@@ -1,0 +1,1 @@
+lib/blockdev/device_intf.ml: Block

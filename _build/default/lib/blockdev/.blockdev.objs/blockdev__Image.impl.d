@@ -1,0 +1,1 @@
+lib/blockdev/image.ml: Block Bytes Device_intf Fun Int32 Mem_device Printf Result String

@@ -1,0 +1,1 @@
+lib/blockdev/image.mli: Device_intf Mem_device

@@ -1,0 +1,1 @@
+lib/blockdev/mem_device.mli: Device_intf

@@ -1,0 +1,1 @@
+lib/blockdev/store.ml: Array Block List Printf Version_vector

@@ -1,0 +1,1 @@
+lib/blockdev/store.mli: Block Version_vector

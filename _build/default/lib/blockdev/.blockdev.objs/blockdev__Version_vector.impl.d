@@ -1,0 +1,1 @@
+lib/blockdev/version_vector.ml: Array Format Int

@@ -1,0 +1,1 @@
+lib/blockdev/version_vector.mli: Format

@@ -1,0 +1,22 @@
+(** The ordinary block-device interface.
+
+    This is the boundary the paper's reliable device preserves: a file
+    system written against this signature cannot tell one disk from a set
+    of replicated server processes.  [Fs.Flat_fs] is a functor over it, and
+    both {!Mem_device} (one local disk) and [Blockrep.Reliable_device] (the
+    replicated device) implement it. *)
+
+module type S = sig
+  type t
+
+  val capacity : t -> int
+  (** Number of addressable blocks. *)
+
+  val read_block : t -> Block.id -> Block.t option
+  (** [None] when the device cannot currently serve the request (replica
+      quorum lost, all servers down...).  A plain disk never says [None]
+      for an in-range block. *)
+
+  val write_block : t -> Block.id -> Block.t -> bool
+  (** [false] when the write could not be performed. *)
+end

@@ -1,0 +1,69 @@
+let magic = "BRIMG1\n\000"
+
+let ( let* ) = Result.bind
+
+let with_out path f =
+  match open_out_bin path with
+  | exception Sys_error msg -> Error msg
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let save (type dev) (module Dev : Device_intf.S with type t = dev) (dev : dev) path =
+  let capacity = Dev.capacity dev in
+  with_out path (fun oc ->
+      output_string oc magic;
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 (Int32.of_int capacity);
+      output_bytes oc header;
+      let rec dump k =
+        if k >= capacity then Ok ()
+        else
+          match Dev.read_block dev k with
+          | Some block ->
+              output_string oc (Block.to_string block);
+              dump (k + 1)
+          | None -> Error (Printf.sprintf "block %d unreadable" k)
+      in
+      dump 0)
+
+let read_header ic =
+  match really_input_string ic (String.length magic) with
+  | exception End_of_file -> Error "truncated image header"
+  | m when m <> magic -> Error "not a device image (bad magic)"
+  | _ -> (
+      match really_input_string ic 4 with
+      | exception End_of_file -> Error "truncated image header"
+      | cap ->
+          let capacity = Int32.to_int (Bytes.get_int32_be (Bytes.of_string cap) 0) in
+          if capacity <= 0 then Error "corrupt image capacity" else Ok capacity)
+
+let capacity_of path = with_in path read_header
+
+let restore (type dev) (module Dev : Device_intf.S with type t = dev) (dev : dev) path =
+  with_in path (fun ic ->
+      let* capacity = read_header ic in
+      if capacity <> Dev.capacity dev then
+        Error
+          (Printf.sprintf "image holds %d blocks but the device has %d" capacity (Dev.capacity dev))
+      else begin
+        let rec fill k =
+          if k >= capacity then Ok ()
+          else
+            match really_input_string ic Block.size with
+            | exception End_of_file -> Error (Printf.sprintf "image truncated at block %d" k)
+            | raw ->
+                if Dev.write_block dev k (Block.of_string raw) then fill (k + 1)
+                else Error (Printf.sprintf "device refused block %d" k)
+        in
+        fill 0
+      end)
+
+let load_mem path =
+  let* capacity = capacity_of path in
+  let dev = Mem_device.create ~capacity in
+  let* () = restore (module Mem_device) dev path in
+  Ok dev

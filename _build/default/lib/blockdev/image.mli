@@ -1,0 +1,30 @@
+(** Device images: dump any block device to a host file and restore it.
+
+    Lets a simulated device outlive a process — format a file system into
+    an image, inspect it later, restore it into a fresh (even replicated)
+    device.  The format is a small header followed by the raw blocks:
+
+    {v
+    bytes 0..7   magic "BRIMG1\n\000"
+    bytes 8..11  capacity in blocks, big-endian u32
+    then capacity * Block.size raw block bytes
+    v} *)
+
+val magic : string
+
+val save :
+  (module Device_intf.S with type t = 'dev) -> 'dev -> string -> (unit, string) result
+(** [save (module Dev) dev path] reads every block and writes the image.
+    Fails (with a message) on IO errors or if any block is unreadable
+    (e.g. a reliable device with no available copy). *)
+
+val restore :
+  (module Device_intf.S with type t = 'dev) -> 'dev -> string -> (unit, string) result
+(** [restore (module Dev) dev path] writes the image's blocks into an
+    existing device of exactly the same capacity. *)
+
+val load_mem : string -> (Mem_device.t, string) result
+(** Convenience: build a fresh in-memory device from an image. *)
+
+val capacity_of : string -> (int, string) result
+(** Read just the header. *)

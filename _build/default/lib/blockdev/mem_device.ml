@@ -1,0 +1,18 @@
+type t = { store : Store.t; mutable alive : bool }
+
+let create ~capacity = { store = Store.create ~capacity; alive = true }
+
+let capacity t = Store.capacity t.store
+
+let read_block t k =
+  if (not t.alive) || k < 0 || k >= capacity t then None else Some (Store.read t.store k)
+
+let write_block t k b =
+  if (not t.alive) || k < 0 || k >= capacity t then false
+  else begin
+    Store.write t.store k b ~version:(Store.version t.store k + 1);
+    true
+  end
+
+let fail t = t.alive <- false
+let revive t = t.alive <- true

@@ -1,0 +1,17 @@
+(** A single in-memory disk: the non-replicated baseline device.
+
+    Implements {!Device_intf.S}; useful for testing the file system in
+    isolation and as the "one ordinary device" a reliable device is
+    compared against. *)
+
+type t
+
+val create : capacity:int -> t
+
+include Device_intf.S with type t := t
+
+val fail : t -> unit
+(** Simulate the single disk dying: all subsequent operations return
+    [None] / [false] — the contrast motivating replication. *)
+
+val revive : t -> unit

@@ -1,0 +1,60 @@
+type t = { blocks : Block.t array; versions : int array }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Store.create: capacity must be positive";
+  { blocks = Array.make capacity Block.zero; versions = Array.make capacity 0 }
+
+let capacity t = Array.length t.blocks
+
+let check t k name =
+  if k < 0 || k >= capacity t then invalid_arg (Printf.sprintf "Store.%s: block %d out of range" name k)
+
+let read t k =
+  check t k "read";
+  t.blocks.(k)
+
+let version t k =
+  check t k "version";
+  t.versions.(k)
+
+let write t k b ~version =
+  check t k "write";
+  if version < t.versions.(k) then
+    invalid_arg
+      (Printf.sprintf "Store.write: version regression on block %d (%d < %d)" k version t.versions.(k));
+  t.blocks.(k) <- b;
+  t.versions.(k) <- version
+
+let versions t =
+  let v = Version_vector.create (capacity t) in
+  Array.iteri (fun k ver -> Version_vector.set v k ver) t.versions;
+  v
+
+let blocks_newer_than t v =
+  if Version_vector.length v <> capacity t then
+    invalid_arg "Store.blocks_newer_than: vector length mismatch";
+  let rec collect k acc =
+    if k < 0 then acc
+    else
+      let acc =
+        if t.versions.(k) > Version_vector.get v k then (k, t.versions.(k), t.blocks.(k)) :: acc
+        else acc
+      in
+      collect (k - 1) acc
+  in
+  collect (capacity t - 1) []
+
+let apply_updates t updates =
+  List.iter
+    (fun (k, ver, b) ->
+      check t k "apply_updates";
+      if ver > t.versions.(k) then begin
+        t.blocks.(k) <- b;
+        t.versions.(k) <- ver
+      end)
+    updates
+
+let equal_contents a b =
+  capacity a = capacity b
+  && a.versions = b.versions
+  && Array.for_all2 Block.equal a.blocks b.blocks

@@ -1,0 +1,42 @@
+(** A site's local block store.
+
+    Holds the physical copies of the replicated blocks together with their
+    version numbers.  The store models a disk: it survives site failures (a
+    failed site that repairs still has its — possibly stale — blocks and
+    versions), which is why recovery only transfers the blocks modified
+    during the outage. *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] is a store of [capacity] zeroed blocks, all at
+    version 0. *)
+
+val capacity : t -> int
+
+val read : t -> Block.id -> Block.t
+(** Contents of a block; raises [Invalid_argument] out of range. *)
+
+val write : t -> Block.id -> Block.t -> version:int -> unit
+(** [write t k b ~version] installs contents [b] for block [k] at version
+    [version].  Versions must never move backwards: raises
+    [Invalid_argument] if [version] is below the stored version.  (Equal is
+    allowed: re-installing the same version is idempotent.) *)
+
+val version : t -> Block.id -> int
+
+val versions : t -> Version_vector.t
+(** A copy of the full version vector. *)
+
+val blocks_newer_than : t -> Version_vector.t -> (Block.id * int * Block.t) list
+(** [blocks_newer_than t v] lists [(id, version, contents)] for every block
+    strictly newer in the store than in [v]: the transfer set of a recovery
+    exchange. *)
+
+val apply_updates : t -> (Block.id * int * Block.t) list -> unit
+(** Install a recovery transfer set; entries older than the store are
+    ignored (the store is already as current). *)
+
+val equal_contents : t -> t -> bool
+(** Same capacity, versions and contents everywhere — the consistency
+    predicate tests assert between available sites. *)

@@ -1,0 +1,1 @@
+lib/core/availability_monitor.ml: Sim Util

@@ -1,0 +1,1 @@
+lib/core/availability_monitor.mli: Sim Util

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Blockdev Bytes Cluster Config Fun Int32 Result Runtime String Types

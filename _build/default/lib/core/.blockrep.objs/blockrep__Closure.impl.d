@@ -1,0 +1,1 @@
+lib/core/closure.ml: Types

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Availability_monitor Blockdev Config Copy_protocol Dynamic_voting Int List Quorum Runtime Sim Types Voting

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Availability_monitor Blockdev Config Net Runtime Sim Types

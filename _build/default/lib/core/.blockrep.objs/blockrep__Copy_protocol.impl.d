@@ -1,0 +1,1 @@
+lib/core/copy_protocol.ml: Array Blockdev Closure Fun List Net Runtime Types Wire

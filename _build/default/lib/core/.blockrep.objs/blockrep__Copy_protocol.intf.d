@@ -1,0 +1,1 @@
+lib/core/copy_protocol.mli: Blockdev Runtime Types

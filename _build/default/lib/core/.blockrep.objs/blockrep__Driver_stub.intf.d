@@ -1,0 +1,1 @@
+lib/core/driver_stub.mli: Blockdev Cluster Types

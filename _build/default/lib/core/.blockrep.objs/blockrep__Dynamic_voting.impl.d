@@ -1,0 +1,1 @@
+lib/core/dynamic_voting.ml: Array Blockdev Config Fun Int List Net Runtime Sim Types Wire

@@ -1,0 +1,1 @@
+lib/core/dynamic_voting.mli: Blockdev Runtime Types

@@ -1,0 +1,1 @@
+lib/core/quorum.ml: Array Format List Option String

@@ -1,0 +1,1 @@
+lib/core/reliable_device.ml: Cluster Driver_stub Types

@@ -1,0 +1,1 @@
+lib/core/reliable_device.mli: Blockdev Cluster Config Driver_stub Types

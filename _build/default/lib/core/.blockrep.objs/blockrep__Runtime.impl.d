@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Blockdev Config Fun Hashtbl List Net Sim Types Util Wire

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Blockdev Config Net Sim Types Util Wire

@@ -1,0 +1,1 @@
+lib/core/types.ml: Blockdev Format Int Set

@@ -1,0 +1,1 @@
+lib/core/voting.ml: Array Blockdev Int List Net Quorum Runtime Types Wire

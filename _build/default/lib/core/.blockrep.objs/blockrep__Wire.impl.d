@@ -1,0 +1,1 @@
+lib/core/wire.ml: Blockdev List Net Printf Types

@@ -1,0 +1,19 @@
+module Int_set = Types.Int_set
+
+let compute ~self ~own ~known =
+  let rec expand frontier acc =
+    if Int_set.is_empty frontier then acc
+    else begin
+      let additions =
+        Int_set.fold
+          (fun u adds ->
+            match known u with
+            | Some w_u -> Int_set.union adds (Int_set.diff w_u acc)
+            | None -> adds)
+          frontier Int_set.empty
+      in
+      expand additions (Int_set.union acc additions)
+    end
+  in
+  let start = Int_set.add self own in
+  expand start start

@@ -1,0 +1,14 @@
+(** Closure of was-available sets (Definition 3.2, after Long & Pâris).
+
+    During recovery from a total failure, a site [s] must wait until every
+    site that might hold data newer than anything [s] can see has come back.
+    That set is the transitive closure of the was-available sets: starting
+    from [W_s], repeatedly add the was-available sets of every member whose
+    set is known.  Members whose sets are unknown (sites never heard from)
+    stay in the closure — they must be waited for regardless, which keeps
+    the computation safe under partial knowledge. *)
+
+val compute : self:int -> own:Types.Int_set.t -> known:(int -> Types.Int_set.t option) -> Types.Int_set.t
+(** [compute ~self ~own ~known] is the closure of [{self} ∪ own] where
+    [known u] returns site [u]'s was-available set if we have heard it.
+    Always contains [self]; always a superset of [own]. *)

@@ -1,0 +1,167 @@
+type protocol = Voting_p of Voting.t | Copy_p of Copy_protocol.t | Dynamic_p of Dynamic_voting.t
+
+type t = { rt : Runtime.t; protocol : protocol; monitor : Availability_monitor.t }
+
+let system_available_rt protocol =
+  match protocol with
+  | Voting_p v -> Voting.quorum_up v
+  | Copy_p c -> Copy_protocol.any_available c
+  | Dynamic_p d -> Dynamic_voting.service_available d
+
+let create (config : Config.t) =
+  let rt = Runtime.create config in
+  let protocol =
+    match config.scheme with
+    | Types.Voting -> Voting_p (Voting.create rt)
+    | Types.Available_copy -> Copy_p (Copy_protocol.create rt Copy_protocol.Standard)
+    | Types.Naive_available_copy -> Copy_p (Copy_protocol.create rt Copy_protocol.Naive)
+    | Types.Dynamic_voting -> Dynamic_p (Dynamic_voting.create rt)
+  in
+  let monitor = Availability_monitor.create (Runtime.engine rt) ~initially:true in
+  let t = { rt; protocol; monitor } in
+  let engine = Runtime.engine rt in
+  Runtime.on_state_change rt (fun _ _ ->
+      Availability_monitor.record monitor (system_available_rt protocol);
+      (* Availability predicates read store versions, which in-flight
+         updates are still propagating; re-sample once the wires are
+         quiet so a transient skew is not latched until the next site
+         event (the dynamic scheme is sensitive to this). *)
+      ignore
+        (Sim.Engine.schedule engine ~delay:config.op_timeout (fun () ->
+             Availability_monitor.record monitor (system_available_rt protocol))
+          : Sim.Engine.handle));
+  t
+
+let config t = Runtime.config t.rt
+let runtime t = t.rt
+let engine t = Runtime.engine t.rt
+let traffic t = Runtime.traffic t.rt
+let network t = Runtime.net t.rt
+let monitor t = t.monitor
+let scheme t = (config t).scheme
+let n_sites t = Runtime.n_sites t.rt
+let n_blocks t = (config t).n_blocks
+
+let check_block t block =
+  if block < 0 || block >= n_blocks t then invalid_arg "Cluster: block index out of range"
+
+let read t ~site ~block callback =
+  check_block t block;
+  match t.protocol with
+  | Voting_p v -> Voting.read v ~site ~block callback
+  | Copy_p c -> Copy_protocol.read c ~site ~block callback
+  | Dynamic_p d -> Dynamic_voting.read d ~site ~block callback
+
+let write t ~site ~block data callback =
+  check_block t block;
+  match t.protocol with
+  | Voting_p v -> Voting.write v ~site ~block data callback
+  | Copy_p c -> Copy_protocol.write c ~site ~block data callback
+  | Dynamic_p d -> Dynamic_voting.write d ~site ~block data callback
+
+(* Drive the engine until the callback lands.  Operations always settle in
+   bounded virtual time (rounds carry timeouts), so the loop terminates even
+   with recurrent failure processes scheduled. *)
+let run_sync t issue =
+  let result = ref None in
+  issue (fun r -> result := Some r);
+  let engine = engine t in
+  let rec drive () =
+    match !result with
+    | Some r -> r
+    | None ->
+        if Sim.Engine.step engine then drive ()
+        else
+          (* Queue drained without an answer: the callback path was lost to
+             a coordinator failure.  Report the local site as gone. *)
+          Error Types.Site_not_available
+  in
+  drive ()
+
+let read_sync t ~site ~block = run_sync t (fun k -> read t ~site ~block k)
+let write_sync t ~site ~block data = run_sync t (fun k -> write t ~site ~block data k)
+
+let fail_site t i =
+  Runtime.fail_site t.rt i;
+  Availability_monitor.record t.monitor (system_available_rt t.protocol)
+
+let repair_site t i =
+  (match t.protocol with
+  | Voting_p v -> Voting.on_repair v i
+  | Copy_p c -> Copy_protocol.on_repair c i
+  | Dynamic_p d -> Dynamic_voting.on_repair d i);
+  Availability_monitor.record t.monitor (system_available_rt t.protocol)
+
+let partition t groups = Runtime.Transport.partition (Runtime.net t.rt) groups
+let heal t = Runtime.Transport.heal (Runtime.net t.rt)
+
+let site_state t i = (Runtime.site t.rt i).state
+let site_versions t i = Blockdev.Store.versions (Runtime.site t.rt i).store
+let site_was_available t i = (Runtime.site t.rt i).w
+
+let system_available t = system_available_rt t.protocol
+
+let run_until t horizon = Sim.Engine.run_until (engine t) horizon
+let settle t = Sim.Engine.run (engine t)
+
+let consistent_available_stores t =
+  match t.protocol with
+  | Dynamic_p d ->
+      (* Whenever the dynamic service predicate holds, some up site holds
+         the globally newest version of every block (quorum checks then
+         find it). *)
+      if not (Dynamic_voting.service_available d) then true
+      else begin
+        let sites = Runtime.sites t.rt in
+        let ok = ref true in
+        for block = 0 to n_blocks t - 1 do
+          let global_max =
+            Array.fold_left
+              (fun acc (s : Runtime.site) -> Int.max acc (Blockdev.Store.version s.store block))
+              0 sites
+          in
+          let held_up =
+            Array.exists
+              (fun (s : Runtime.site) ->
+                s.state = Types.Available && Blockdev.Store.version s.store block = global_max)
+              sites
+          in
+          if not held_up then ok := false
+        done;
+        !ok
+      end
+  | Copy_p _ ->
+      let stores =
+        Array.to_list (Runtime.sites t.rt)
+        |> List.filter (fun (s : Runtime.site) -> s.state = Types.Available)
+        |> List.map (fun (s : Runtime.site) -> s.store)
+      in
+      let rec pairwise = function
+        | a :: (b :: _ as rest) -> Blockdev.Store.equal_contents a b && pairwise rest
+        | [ _ ] | [] -> true
+      in
+      pairwise stores
+  | Voting_p _ ->
+      (* Quorum-intersection safety: whenever enough weight is up to form a
+         read quorum, some up site holds the globally newest version of
+         every block. *)
+      let quorum = (config t).quorum in
+      let sites = Runtime.sites t.rt in
+      let up = Array.to_list sites |> List.filter (fun (s : Runtime.site) -> s.state = Types.Available) in
+      let up_weight = Quorum.weight_of quorum (List.map (fun (s : Runtime.site) -> s.id) up) in
+      if not (Quorum.read_quorum_met quorum up_weight) then true
+      else begin
+        let ok = ref true in
+        for block = 0 to n_blocks t - 1 do
+          let global_max =
+            Array.fold_left
+              (fun acc (s : Runtime.site) -> Int.max acc (Blockdev.Store.version s.store block))
+              0 sites
+          in
+          let held_up =
+            List.exists (fun (s : Runtime.site) -> Blockdev.Store.version s.store block = global_max) up
+          in
+          if not held_up then ok := false
+        done;
+        !ok
+      end

@@ -1,0 +1,79 @@
+(** The replicated block cluster: the public face of the core library.
+
+    A cluster binds a simulation engine, a network, [n] block-holding sites
+    and one of the three consistency protocols, and exposes block reads and
+    writes, failure injection, traffic counters and an availability monitor.
+
+    Operations are asynchronous (the callback fires through the engine);
+    {!read_sync} and {!write_sync} drive the engine until the operation
+    settles, for clients written in a direct style (the file system, the
+    examples). *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+
+(** [runtime t] is the underlying runtime, for tooling that needs raw site
+    access (checkpointing, white-box tests).  Mutating it bypasses the
+    protocol; ordinary clients should never need it. *)
+val runtime : t -> Runtime.t
+val engine : t -> Sim.Engine.t
+val traffic : t -> Net.Traffic.t
+val network : t -> Runtime.Transport.t
+val monitor : t -> Availability_monitor.t
+val scheme : t -> Types.scheme
+val n_sites : t -> int
+val n_blocks : t -> int
+
+(** {1 Block access} *)
+
+val read : t -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
+val write :
+  t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t -> (Types.write_result -> unit) -> unit
+
+val read_sync : t -> site:int -> block:Blockdev.Block.id -> Types.read_result
+(** Issue the read and run the engine until it settles.  Other pending
+    simulation events up to that moment run too (this is a simulation,
+    time passes). *)
+
+val write_sync : t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
+
+(** {1 Failure injection} *)
+
+val fail_site : t -> int -> unit
+val repair_site : t -> int -> unit
+(** Starts the scheme's recovery; the site may stay comatose for a while
+    (run the engine to let recovery complete). *)
+
+val partition : t -> int list list -> unit
+(** Split network connectivity into the given groups (see
+    {!Runtime.Transport.partition}).  Available copy is documented not to
+    survive this; the demo and the adversarial tests use it to show why. *)
+
+val heal : t -> unit
+(** Restore full connectivity. *)
+
+val site_state : t -> int -> Types.site_state
+val site_versions : t -> int -> Blockdev.Version_vector.t
+val site_was_available : t -> int -> Types.Int_set.t
+
+(** {1 System state} *)
+
+val system_available : t -> bool
+(** The scheme's availability predicate: quorum of up sites (voting) or at
+    least one available site (copy schemes). *)
+
+val run_until : t -> float -> unit
+(** Advance virtual time (delivering messages, completing recoveries). *)
+
+val settle : t -> unit
+(** Run the engine dry — only meaningful when no recurrent processes (e.g.
+    failure generators) are attached. *)
+
+val consistent_available_stores : t -> bool
+(** Invariant checked by the test-suite: all available sites hold identical
+    stores (contents and versions).  Vacuously true with fewer than two
+    available sites.  Under voting, checked only across up-to-date sites
+    (stale but reachable copies are legal there), so this flavour asserts
+    instead that every quorum's maximum version is held by some up site. *)

@@ -1,0 +1,66 @@
+type t = {
+  scheme : Types.scheme;
+  n_sites : int;
+  n_blocks : int;
+  net_mode : Net.Network.mode;
+  latency : Util.Dist.t;
+  op_timeout : float;
+  quorum : Quorum.t;
+  witnesses : Types.Int_set.t;
+  track_liveness : bool;
+  seed : int;
+}
+
+let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
+    ?(latency = Util.Dist.Constant 0.5) ?op_timeout ?quorum ?(witnesses = []) ?(track_liveness = false)
+    ?(seed = 42) () =
+  if n_sites < 1 then Error "need at least one site"
+  else if n_blocks < 1 then Error "need at least one block"
+  else begin
+    match Util.Dist.validate latency with
+    | Error e -> Error ("bad latency distribution: " ^ e)
+    | Ok latency ->
+        let op_timeout = Option.value op_timeout ~default:(8.0 *. Util.Dist.mean latency) in
+        if op_timeout <= 0.0 then Error "op_timeout must be positive"
+        else begin
+          let quorum = match quorum with Some q -> q | None -> Quorum.majority ~n:n_sites in
+          let witness_set = Types.int_set_of_list witnesses in
+          if Quorum.n_sites quorum <> n_sites then Error "quorum weight vector length must equal n_sites"
+          else if Types.Int_set.exists (fun w -> w < 0 || w >= n_sites) witness_set then
+            Error "witness ids must name existing sites"
+          else if Types.Int_set.cardinal witness_set >= n_sites then
+            Error "at least one site must hold data"
+          else if (not (Types.Int_set.is_empty witness_set)) && scheme <> Types.Voting then
+            Error "witnesses only make sense under voting"
+          else
+            Ok
+              {
+                scheme;
+                n_sites;
+                n_blocks;
+                net_mode;
+                latency;
+                op_timeout;
+                quorum;
+                witnesses = witness_set;
+                track_liveness;
+                seed;
+              }
+        end
+  end
+
+let make_exn ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
+    ?track_liveness ?seed () =
+  match
+    make ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
+      ?track_liveness ?seed ()
+  with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Config.make: " ^ msg)
+
+let pp ppf t =
+  Format.fprintf ppf "config(%s, n=%d, blocks=%d, %s, latency=%a, timeout=%g, seed=%d)"
+    (Types.scheme_to_string t.scheme)
+    t.n_sites t.n_blocks
+    (Net.Network.mode_to_string t.net_mode)
+    Util.Dist.pp t.latency t.op_timeout t.seed

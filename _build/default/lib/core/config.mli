@@ -1,0 +1,61 @@
+(** Cluster configuration. *)
+
+type t = private {
+  scheme : Types.scheme;
+  n_sites : int;  (** number of sites holding copies (>= 1) *)
+  n_blocks : int;  (** capacity of the reliable device, in blocks *)
+  net_mode : Net.Network.mode;
+  latency : Util.Dist.t;  (** one-hop message latency *)
+  op_timeout : float;
+      (** how long a coordinator waits for outstanding replies before acting
+          on what it has; must exceed two latencies or operations would time
+          out even when everyone is up *)
+  quorum : Quorum.t;  (** voting only; ignored by the copy schemes *)
+  witnesses : Types.Int_set.t;
+      (** voting only: sites that vote (version number + weight) but store
+          no data — Pâris's witness refinement of weighted voting (the
+          paper's reference [10] family).  Witnesses cut storage to a
+          version vector; reads must additionally reach a data site holding
+          the current version.  Must leave at least one data site. *)
+  track_liveness : bool;
+      (** available-copy only.  [false] (the paper's Section 3.2 protocol):
+          was-available sets are refreshed only by writes and repairs.
+          [true]: available sites also observe peer failures, modelling the
+          idealised algorithm whose availability the Figure 7 chain computes
+          — the last site to fail then always knows it can recover alone. *)
+  seed : int;  (** master seed for every random stream of the cluster *)
+}
+
+val make :
+  scheme:Types.scheme ->
+  n_sites:int ->
+  ?n_blocks:int ->
+  ?net_mode:Net.Network.mode ->
+  ?latency:Util.Dist.t ->
+  ?op_timeout:float ->
+  ?quorum:Quorum.t ->
+  ?witnesses:int list ->
+  ?track_liveness:bool ->
+  ?seed:int ->
+  unit ->
+  (t, string) result
+(** Defaults: 64 blocks, multicast, constant latency 0.5 time units,
+    timeout 8 latencies, majority quorum, no witnesses,
+    [track_liveness = false], seed 42. *)
+
+val make_exn :
+  scheme:Types.scheme ->
+  n_sites:int ->
+  ?n_blocks:int ->
+  ?net_mode:Net.Network.mode ->
+  ?latency:Util.Dist.t ->
+  ?op_timeout:float ->
+  ?quorum:Quorum.t ->
+  ?witnesses:int list ->
+  ?track_liveness:bool ->
+  ?seed:int ->
+  unit ->
+  t
+(** Like {!make}; raises [Invalid_argument] instead. *)
+
+val pp : Format.formatter -> t -> unit

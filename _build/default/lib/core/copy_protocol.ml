@@ -1,0 +1,271 @@
+module Int_set = Types.Int_set
+module Store = Blockdev.Store
+module Vv = Blockdev.Version_vector
+
+type variant = Standard | Naive
+
+type t = { rt : Runtime.t; variant : variant }
+
+let variant t = t.variant
+
+let full_set t = Int_set.of_list (List.init (Runtime.n_sites t.rt) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Data access                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let read t ~site ~block callback =
+  let s = Runtime.site t.rt site in
+  if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else callback (Ok (Store.read s.store block, Store.version s.store block))
+
+let write t ~site ~block data callback =
+  let s = Runtime.site t.rt site in
+  if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else begin
+    let version = Store.version s.store block + 1 in
+    Store.write s.store block data ~version;
+    match t.variant with
+    | Naive ->
+        (* Fire and forget: reliable delivery makes the single broadcast
+           sufficient (Section 5.1). *)
+        Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
+          (Wire.Block_update { rid = None; block; version; data; carried_w = full_set t });
+        callback (Ok version)
+    | Standard ->
+        (* The broadcast carries our current W estimate (the receivers of
+           the previous write); the acks then tell us exactly who received
+           this one. *)
+        let expected = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available) in
+        let rid =
+          Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+              match outcome with
+              | Runtime.Aborted -> callback (Error Types.Site_not_available)
+              | Runtime.Complete | Runtime.Timeout ->
+                  let ackers =
+                    List.filter_map
+                      (function
+                        | from, Wire.Write_ack { block = b; _ } when b = block -> Some from
+                        | _ -> None)
+                      replies
+                  in
+                  s.w <- Int_set.add site (Int_set.of_list ackers);
+                  callback (Ok version))
+        in
+        Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
+          (Wire.Block_update { rid = Some rid; block; version; data; carried_w = s.w })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (Figures 5 and 6)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let operational_in_cache (s : Runtime.site) u =
+  match s.cache.(u) with
+  | Some (info : Wire.site_info) -> info.state <> Types.Failed
+  | None -> false
+
+(* Version vectors across copies are totally ordered in failure order, but
+   we defend against incomparable vectors (which would indicate a protocol
+   bug) by falling back to the componentwise sum. *)
+let vv_sum v =
+  let acc = ref 0 in
+  for k = 0 to Vv.length v - 1 do
+    acc := !acc + Vv.get v k
+  done;
+  !acc
+
+let newer a b =
+  if Vv.equal a b then false
+  else if Vv.dominates a b then true
+  else if Vv.dominates b a then false
+  else vv_sum a > vv_sum b
+
+let rec become_available t (s : Runtime.site) =
+  s.repairing <- false;
+  Runtime.set_state t.rt s.id Types.Available;
+  (* Deferred recovery replies: every site we believe comatose — we heard
+     from it while it (and we) were waiting — now learns an available copy
+     exists, firing the "∃u available" arm of its select. *)
+  Array.iter
+    (fun entry ->
+      match entry with
+      | Some (info : Wire.site_info)
+        when info.state = Types.Comatose
+             && Runtime.Transport.is_up (Runtime.net t.rt) info.origin
+             && (Runtime.site t.rt info.origin).state = Types.Comatose ->
+          Runtime.send t.rt ~op:Net.Message.Recovery ~from:s.id ~dst:info.origin
+            (Wire.Recovery_reply { rid = -1; info = Runtime.make_info t.rt s.id })
+      | Some _ | None -> ())
+    s.cache
+
+and repair_from t (s : Runtime.site) source =
+  s.repairing <- true;
+  let rid =
+    Runtime.begin_round t.rt ~coordinator:s.id ~expected:(Int_set.singleton source)
+      ~on_complete:(fun outcome replies ->
+        match outcome with
+        | Runtime.Aborted -> ()
+        | Runtime.Complete | Runtime.Timeout -> (
+            let reply =
+              List.find_map
+                (function
+                  | _, Wire.Vv_reply { versions; updates; w_of_source; _ } ->
+                      Some (versions, updates, w_of_source)
+                  | _ -> None)
+                replies
+            in
+            match reply with
+            | Some (versions, updates, w_of_source) when s.state = Types.Comatose ->
+                Store.apply_updates s.store updates;
+                assert (Vv.dominates (Store.versions s.store) versions);
+                if t.variant = Standard then s.w <- Int_set.add s.id w_of_source;
+                become_available t s
+            | Some _ -> ()
+            | None ->
+                (* The source died (or re-failed) before answering; forget
+                   what we knew about it and probe afresh. *)
+                if s.state = Types.Comatose then begin
+                  s.repairing <- false;
+                  s.cache.(source) <- None;
+                  start_recovery t s
+                end))
+  in
+  Runtime.send t.rt ~op:Net.Message.Recovery ~from:s.id ~dst:source
+    (Wire.Vv_send { rid; versions = Store.versions s.store; w_of_sender = s.w })
+
+(* The select of Figures 5/6: prefer any available site; otherwise wait for
+   the closure of the was-available set (all sites, in the naive variant)
+   to have recovered and take its most current member. *)
+and evaluate t (s : Runtime.site) =
+  if s.state = Types.Comatose && not s.repairing then begin
+    let net = Runtime.net t.rt in
+    let live u = Runtime.Transport.is_up net u in
+    let available_peer =
+      Array.fold_left
+        (fun acc entry ->
+          match (acc, entry) with
+          | Some _, _ -> acc
+          | None, Some (info : Wire.site_info) ->
+              if info.state = Types.Available && live info.origin then Some info.origin else None
+          | None, None -> acc)
+        None s.cache
+    in
+    match available_peer with
+    | Some u -> repair_from t s u
+    | None ->
+        let own = match t.variant with Standard -> s.w | Naive -> full_set t in
+        let known u =
+          match s.cache.(u) with Some (info : Wire.site_info) -> Some info.was_available | None -> None
+        in
+        let closure = Closure.compute ~self:s.id ~own ~known in
+        let recovered u = u = s.id || (operational_in_cache s u && live u) in
+        if Int_set.for_all recovered closure then begin
+          let my_versions = Store.versions s.store in
+          let best =
+            Int_set.fold
+              (fun u ((_, best_vv) as acc) ->
+                if u = s.id then acc
+                else
+                  match s.cache.(u) with
+                  | Some (info : Wire.site_info) ->
+                      if newer info.versions best_vv then (u, info.versions) else acc
+                  | None -> acc)
+              closure (s.id, my_versions)
+          in
+          match best with
+          | u, _ when u = s.id ->
+              (* We hold the most recent data ourselves: no exchange needed
+                 (the [s = t] case of Figure 5). *)
+              become_available t s
+          | u, _ -> repair_from t s u
+        end
+  end
+
+and start_recovery t (s : Runtime.site) =
+  if s.state = Types.Comatose && not s.repairing then begin
+    let expected = Runtime.up_peers t.rt s.id in
+    let rid =
+      Runtime.begin_round t.rt ~coordinator:s.id ~expected ~on_complete:(fun outcome _replies ->
+          (* Replies were folded into the cache on arrival; with the round
+             now settled (or timed out), evaluate the select. *)
+          match outcome with Runtime.Aborted -> () | Runtime.Complete | Runtime.Timeout -> evaluate t s)
+    in
+    Runtime.broadcast t.rt ~op:Net.Message.Recovery ~from:s.id
+      (Wire.Recovery_probe { rid; info = Runtime.make_info t.rt s.id })
+  end
+
+let on_repair t site_id =
+  Runtime.repair_site t.rt site_id (fun s ->
+      Runtime.set_state t.rt s.id Types.Comatose;
+      start_recovery t s)
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle t (s : Runtime.site) ~from msg =
+  match msg with
+  | Wire.Block_update { rid; block; version; data; carried_w } ->
+      if s.state = Types.Available then begin
+        if version > Store.version s.store block then Store.write s.store block data ~version;
+        if t.variant = Standard then begin
+          s.w <- Int_set.add s.id (Int_set.add from carried_w);
+          match rid with
+          | Some rid ->
+              Runtime.send t.rt ~op:Net.Message.Write ~from:s.id ~dst:from
+                (Wire.Write_ack { rid; block })
+          | None -> ()
+        end
+      end
+  | Wire.Write_ack { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
+  | Wire.Recovery_probe { rid; info } ->
+      if s.state <> Types.Failed then begin
+        Runtime.cache_info t.rt s.id info;
+        Runtime.send t.rt ~op:Net.Message.Recovery ~from:s.id ~dst:from
+          (Wire.Recovery_reply { rid; info = Runtime.make_info t.rt s.id });
+        if s.state = Types.Comatose then evaluate t s
+      end
+  | Wire.Recovery_reply { rid; info } ->
+      Runtime.cache_info t.rt s.id info;
+      if rid >= 0 then Runtime.reply t.rt ~rid ~from msg;
+      if s.state = Types.Comatose then evaluate t s
+  | Wire.Vv_send { rid; versions; w_of_sender = _ } ->
+      if s.state <> Types.Failed then begin
+        let updates = Store.blocks_newer_than s.store versions in
+        (* Figure 5's trailing send(t, W_s) collapses to W_t <- W_t ∪ {s}
+           since s will set W_s = W_t ∪ {s}; the piggyback spares the extra
+           transmission. *)
+        if t.variant = Standard then s.w <- Int_set.add from s.w;
+        Runtime.send t.rt ~op:Net.Message.Recovery ~from:s.id ~dst:from
+          (Wire.Vv_reply { rid; versions = Store.versions s.store; updates; w_of_source = s.w })
+      end
+  | Wire.Vv_reply { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
+  | Wire.Vote_request _ | Wire.Vote_reply _ | Wire.Block_request _ | Wire.Block_transfer _
+  | Wire.Group_fix _ ->
+      (* Voting traffic is meaningless under a copy scheme. *)
+      ()
+
+let install_liveness_tracking t =
+  (* Idealised W maintenance: every available site always knows the exact
+     set of available sites.  Models the instantaneous failure detection
+     assumed by the Figure 7 chain; costs no messages. *)
+  Runtime.on_state_change t.rt (fun _ _ ->
+      let avail =
+        Array.fold_left
+          (fun acc (p : Runtime.site) -> if p.state = Types.Available then Int_set.add p.id acc else acc)
+          Int_set.empty (Runtime.sites t.rt)
+      in
+      if not (Int_set.is_empty avail) then
+        Array.iter
+          (fun (p : Runtime.site) -> if p.state = Types.Available then p.w <- avail)
+          (Runtime.sites t.rt))
+
+let create rt variant =
+  let t = { rt; variant } in
+  Runtime.set_dispatch rt (fun s ~from msg -> handle t s ~from msg);
+  if variant = Standard && (Runtime.config rt).track_liveness then install_liveness_tracking t;
+  t
+
+let any_available t =
+  Array.exists (fun (s : Runtime.site) -> s.state = Types.Available) (Runtime.sites t.rt)

@@ -1,0 +1,35 @@
+type t = {
+  cluster : Cluster.t;
+  mutable home : int;
+  mutable requests : int;
+  mutable failovers : int;
+}
+
+let create ?(home = 0) cluster =
+  if home < 0 || home >= Cluster.n_sites cluster then invalid_arg "Driver_stub.create: bad home site";
+  { cluster; home; requests = 0; failovers = 0 }
+
+let home t = t.home
+let requests t = t.requests
+let failovers t = t.failovers
+
+(* Try the home site; if the local server cannot serve, rotate through the
+   remaining sites once.  Other error kinds (quorum loss) are global, so
+   failing over would not help and the error is surfaced as-is. *)
+let forward t attempt =
+  let n = Cluster.n_sites t.cluster in
+  let rec go tried site =
+    t.requests <- t.requests + 1;
+    match attempt site with
+    | Error Types.Site_not_available when tried < n - 1 ->
+        t.failovers <- t.failovers + 1;
+        let next = (site + 1) mod n in
+        t.home <- next;
+        go (tried + 1) next
+    | result -> result
+  in
+  go 0 t.home
+
+let read_block t block = forward t (fun site -> Cluster.read_sync t.cluster ~site ~block)
+
+let write_block t block data = forward t (fun site -> Cluster.write_sync t.cluster ~site ~block data)

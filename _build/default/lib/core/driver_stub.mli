@@ -1,0 +1,30 @@
+(** The device-driver stub (Figures 1 and 2 of the paper).
+
+    In the UNIX deployment the kernel's driver stub receives block requests
+    from the file system and forwards them to a user-state server, which
+    runs the consistency-control algorithms; under MACH the same role is
+    played by IPC to a server task.  Here the stub forwards requests into
+    the cluster at a {e home} server site, and — because the server need
+    not live on any particular site — fails over to another operational
+    site when the home site is down or cannot serve (it is this freedom
+    that lets the reliable device serve diskless workstations). *)
+
+type t
+
+val create : ?home:int -> Cluster.t -> t
+(** [create ?home cluster] forwards requests to site [home] (default 0). *)
+
+val home : t -> int
+(** The site currently receiving forwarded requests. *)
+
+val read_block : t -> Blockdev.Block.id -> Types.read_result
+(** Forward a read; on [Site_not_available] retries once at each other
+    site in id order before giving up.  Synchronous: drives the engine. *)
+
+val write_block : t -> Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
+
+val requests : t -> int
+(** Requests forwarded (including failover retries). *)
+
+val failovers : t -> int
+(** Times the stub had to move its home to another site. *)

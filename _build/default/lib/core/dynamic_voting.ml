@@ -1,0 +1,273 @@
+module Int_set = Types.Int_set
+module Store = Blockdev.Store
+
+type t = {
+  rt : Runtime.t;
+  (* groups.(site).(block): the last update group this site knows for the
+     block.  Kept beside the version numbers; like them, it lives on disk
+     and survives site failures.  Votes carry only the cardinality (all
+     the quorum test needs); the membership itself drives the
+     availability predicate. *)
+  groups : Types.Int_set.t array array;
+}
+
+let group_of t site block = Int_set.cardinal t.groups.(site).(block)
+
+(* A vote: (site, version, recorded group size). *)
+let vote_of_reply block = function
+  | from, Wire.Vote_reply { block = b; version; group_size; _ } when b = block ->
+      Some (from, version, group_size)
+  | _ -> None
+
+let local_vote t site block =
+  let s = Runtime.site t.rt site in
+  (site, Store.version s.Runtime.store block, Int_set.cardinal t.groups.(site).(block))
+
+let coordinator_alive t site = (Runtime.site t.rt site).Runtime.state = Types.Available
+
+(* The dynamic quorum test: among [votes], the holders of the highest
+   version must form a strict majority of the group that installed it.
+   Returns the current holders and the top version on success. *)
+let quorum_check votes =
+  let top_version = List.fold_left (fun acc (_, v, _) -> Int.max acc v) 0 votes in
+  let holders = List.filter (fun (_, v, _) -> v = top_version) votes in
+  (* All current holders recorded the same group write, hence the same
+     cardinality; max-merge defends against a corrupt straggler. *)
+  let last_group = List.fold_left (fun acc (_, _, g) -> Int.max acc g) 0 holders in
+  if 2 * List.length holders > last_group then Some (holders, top_version) else None
+
+let collect_votes t ~site ~block ~purpose ~k =
+  let expected = Runtime.up_peers t.rt site in
+  let rid =
+    Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+        match outcome with
+        | Runtime.Aborted -> k None
+        | Runtime.Complete | Runtime.Timeout ->
+            if not (coordinator_alive t site) then k None
+            else k (Some (local_vote t site block :: List.filter_map (vote_of_reply block) replies)))
+  in
+  Runtime.broadcast t.rt ~op:purpose ~from:site (Wire.Vote_request { rid; block; purpose })
+
+let apply_update t site block data ~version ~group =
+  let s = Runtime.site t.rt site in
+  if version > Store.version s.Runtime.store block then begin
+    Store.write s.Runtime.store block data ~version;
+    t.groups.(site).(block) <- group
+  end
+
+(* Version-based quorum checks can fail transiently while an update is
+   still propagating (only the writer holds the top version for one
+   latency).  Operations therefore retry once after the wires quiet
+   down before reporting No_quorum. *)
+let with_retry t ~site attempt callback =
+  let retried = ref false in
+  let rec go () =
+    attempt (function
+      | Error Types.No_quorum when not !retried ->
+          retried := true;
+          ignore
+            (Sim.Engine.schedule (Runtime.engine t.rt)
+               ~delay:(Runtime.config t.rt).Config.op_timeout (fun () ->
+                 if (Runtime.site t.rt site).Runtime.state = Types.Available then go ()
+                 else callback (Error Types.Site_not_available))
+              : Sim.Engine.handle)
+      | result -> callback result)
+  in
+  go ()
+
+let read_attempt t ~site ~block callback =
+  let s = Runtime.site t.rt site in
+  if s.Runtime.state <> Types.Available then callback (Error Types.Site_not_available)
+  else
+    collect_votes t ~site ~block ~purpose:Net.Message.Read ~k:(function
+      | None -> callback (Error Types.Site_not_available)
+      | Some votes -> (
+          match quorum_check votes with
+          | None -> callback (Error Types.No_quorum)
+          | Some (holders, top_version) ->
+              if Store.version s.Runtime.store block >= top_version then
+                callback (Ok (Store.read s.Runtime.store block, top_version))
+              else begin
+                (* Pull from the lowest-id current holder (deterministic). *)
+                let source =
+                  List.fold_left (fun acc (i, _, _) -> Int.min acc i) max_int
+                    (List.filter (fun (i, _, _) -> i <> site) holders)
+                in
+                let rid =
+                  Runtime.begin_round t.rt ~coordinator:site ~expected:(Int_set.singleton source)
+                    ~on_complete:(fun outcome replies ->
+                      if not (coordinator_alive t site) then callback (Error Types.Site_not_available)
+                      else
+                        match
+                          ( outcome,
+                            List.find_map
+                              (function
+                                | _, Wire.Block_transfer { block = b; version; data; _ } when b = block
+                                  ->
+                                    Some (version, data)
+                                | _ -> None)
+                              replies )
+                        with
+                        | (Runtime.Complete | Runtime.Timeout), Some (version, data) ->
+                            (* Install the data but keep our group record:
+                               a pulled copy does not make us a member of
+                               the holder's group, and a conservative
+                               (over-large) recorded cardinality can only
+                               make later quorum tests stricter, never
+                               unsafe. *)
+                            if version > Store.version s.Runtime.store block then
+                              Store.write s.Runtime.store block data ~version;
+                            callback (Ok (data, version))
+                        | _, None | Runtime.Aborted, _ -> callback (Error Types.Timed_out))
+                in
+                Runtime.send t.rt ~op:Net.Message.Read ~from:site ~dst:source
+                  (Wire.Block_request { rid; block })
+              end))
+
+let read t ~site ~block callback = with_retry t ~site (fun k -> read_attempt t ~site ~block k) callback
+
+let write_attempt t ~site ~block data callback =
+  let s = Runtime.site t.rt site in
+  if s.Runtime.state <> Types.Available then callback (Error Types.Site_not_available)
+  else
+    collect_votes t ~site ~block ~purpose:Net.Message.Write ~k:(function
+      | None -> callback (Error Types.Site_not_available)
+      | Some votes -> (
+          match quorum_check votes with
+          | None -> callback (Error Types.No_quorum)
+          | Some (_, top_version) ->
+              let version = top_version + 1 in
+              (* Tentative new group: every voter (stale members are
+                 thereby adopted back and rewritten). *)
+              let tentative =
+                List.fold_left (fun acc (i, _, _) -> Int_set.add i acc) Int_set.empty votes
+              in
+              Store.write s.Runtime.store block data ~version;
+              t.groups.(site).(block) <- tentative;
+              (* The group's recorded cardinality must match who actually
+                 applied the write, or a missed update could wedge a small
+                 group forever: collect acknowledgements and, when someone
+                 died in flight, publish the group that really formed. *)
+              let expected = Int_set.remove site tentative in
+              let rid =
+                Runtime.begin_round t.rt ~coordinator:site ~expected
+                  ~on_complete:(fun outcome replies ->
+                    match outcome with
+                    | Runtime.Aborted -> callback (Error Types.Site_not_available)
+                    | Runtime.Complete | Runtime.Timeout ->
+                        let ackers =
+                          List.filter_map
+                            (function
+                              | from, Wire.Write_ack { block = b; _ } when b = block -> Some from
+                              | _ -> None)
+                            replies
+                        in
+                        let final = Int_set.add site (Int_set.of_list ackers) in
+                        if not (Int_set.equal final tentative) then begin
+                          t.groups.(site).(block) <- final;
+                          Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
+                            (Wire.Group_fix { block; version; group = final })
+                        end;
+                        callback (Ok version))
+              in
+              Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
+                (Wire.Block_update { rid = Some rid; block; version; data; carried_w = tentative })))
+
+let write t ~site ~block data callback =
+  with_retry t ~site (fun k -> write_attempt t ~site ~block data k) callback
+
+let handle t (s : Runtime.site) ~from msg =
+  match msg with
+  | Wire.Vote_request { rid; block; purpose } ->
+      Runtime.send t.rt ~op:purpose ~from:s.Runtime.id ~dst:from
+        (Wire.Vote_reply
+           {
+             rid;
+             block;
+             version = Store.version s.Runtime.store block;
+             weight = 1;
+             group_size = Int_set.cardinal t.groups.(s.Runtime.id).(block);
+           })
+  | Wire.Block_update { rid; block; version; data; carried_w } ->
+      (* Only named group members may adopt the write: an unlisted site
+         silently counting itself into the group would break the
+         majority-of-last-group arithmetic. *)
+      if Int_set.mem s.Runtime.id carried_w then begin
+        apply_update t s.Runtime.id block data ~version ~group:carried_w;
+        match rid with
+        | Some rid ->
+            Runtime.send t.rt ~op:Net.Message.Write ~from:s.Runtime.id ~dst:from
+              (Wire.Write_ack { rid; block })
+        | None -> ()
+      end
+  | Wire.Group_fix { block; version; group } ->
+      (* Adopt the corrected cardinality only if we hold exactly that
+         write. *)
+      if
+        Int_set.mem s.Runtime.id group
+        && Store.version s.Runtime.store block = version
+      then t.groups.(s.Runtime.id).(block) <- group
+  | Wire.Block_request { rid; block } ->
+      Runtime.send t.rt ~op:Net.Message.Read ~from:s.Runtime.id ~dst:from
+        (Wire.Block_transfer
+           {
+             rid;
+             block;
+             version = Store.version s.Runtime.store block;
+             data = Store.read s.Runtime.store block;
+           })
+  | Wire.Vote_reply { rid; _ } | Wire.Block_transfer { rid; _ } | Wire.Write_ack { rid; _ } ->
+      Runtime.reply t.rt ~rid ~from msg
+  | Wire.Recovery_probe _ | Wire.Recovery_reply _ | Wire.Vv_send _ | Wire.Vv_reply _ -> ()
+
+let create rt =
+  let config = Runtime.config rt in
+  let everyone = Int_set.of_list (List.init config.Config.n_sites Fun.id) in
+  let t =
+    {
+      rt;
+      groups = Array.init config.Config.n_sites (fun _ -> Array.make config.Config.n_blocks everyone);
+    }
+  in
+  Runtime.set_dispatch rt (fun s ~from msg -> handle t s ~from msg);
+  t
+
+let on_repair t site =
+  Runtime.repair_site t.rt site (fun (s : Runtime.site) ->
+      Runtime.set_state t.rt s.Runtime.id Types.Available)
+
+(* Post-quiescence availability: once in-flight updates land, every up
+   member of a block's last group holds its top version, so the block is
+   serviceable iff a strict majority of that group is up.  Among the top
+   holders' records we take the smallest group (the coordinator's
+   post-fix one) — the most conservative. *)
+let service_available t =
+  let rt = t.rt in
+  let config = Runtime.config rt in
+  let sites = Runtime.sites rt in
+  let ok = ref true in
+  for block = 0 to config.Config.n_blocks - 1 do
+    let top_version = ref 0 in
+    Array.iter
+      (fun (s : Runtime.site) -> top_version := Int.max !top_version (Store.version s.Runtime.store block))
+      sites;
+    let group = ref None in
+    Array.iter
+      (fun (s : Runtime.site) ->
+        if Store.version s.Runtime.store block = !top_version then begin
+          let g = t.groups.(s.Runtime.id).(block) in
+          match !group with
+          | Some best when Int_set.cardinal best <= Int_set.cardinal g -> ()
+          | Some _ | None -> group := Some g
+        end)
+      sites;
+    match !group with
+    | None -> ok := false
+    | Some g ->
+        let members_up =
+          Int_set.cardinal
+            (Int_set.filter (fun i -> sites.(i).Runtime.state = Types.Available) g)
+        in
+        if not (2 * members_up > Int_set.cardinal g) then ok := false
+  done;
+  !ok

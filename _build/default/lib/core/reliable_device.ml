@@ -1,0 +1,33 @@
+type t = { cluster : Cluster.t; stub : Driver_stub.t; mutable last_error : Types.failure_reason option }
+
+let create ?home cluster = { cluster; stub = Driver_stub.create ?home cluster; last_error = None }
+
+let of_config config = create (Cluster.create config)
+
+let cluster t = t.cluster
+let stub t = t.stub
+let capacity t = Cluster.n_blocks t.cluster
+
+let read_block t k =
+  if k < 0 || k >= capacity t then None
+  else
+    match Driver_stub.read_block t.stub k with
+    | Ok (data, _version) ->
+        t.last_error <- None;
+        Some data
+    | Error reason ->
+        t.last_error <- Some reason;
+        None
+
+let write_block t k data =
+  if k < 0 || k >= capacity t then false
+  else
+    match Driver_stub.write_block t.stub k data with
+    | Ok _version ->
+        t.last_error <- None;
+        true
+    | Error reason ->
+        t.last_error <- Some reason;
+        false
+
+let last_error t = t.last_error

@@ -1,0 +1,25 @@
+(** The reliable device: a replicated block device behind the ordinary
+    device interface.
+
+    This is the paper's headline artifact — "a device [that] appears to the
+    file system as an ordinary block-structured device, but is implemented
+    as a set of server processes on several sites".  It satisfies
+    [Blockdev.Device_intf.S], so any client of that signature (notably
+    [Fs.Flat_fs]) runs on it unchanged. *)
+
+type t
+
+val create : ?home:int -> Cluster.t -> t
+(** Wrap a cluster (any scheme) as a device, forwarding through a
+    {!Driver_stub} homed at [home]. *)
+
+val of_config : Config.t -> t
+(** Convenience: build the cluster too. *)
+
+val cluster : t -> Cluster.t
+val stub : t -> Driver_stub.t
+
+include Blockdev.Device_intf.S with type t := t
+
+val last_error : t -> Types.failure_reason option
+(** Reason for the most recent [None]/[false] answer, for diagnostics. *)

@@ -1,0 +1,184 @@
+module Transport = Net.Network.Make (Wire)
+module Int_set = Types.Int_set
+
+type site = {
+  id : int;
+  store : Blockdev.Store.t;
+  mutable state : Types.site_state;
+  mutable w : Types.Int_set.t;
+  cache : Wire.site_info option array;
+  mutable repairing : bool;
+}
+
+type outcome = Complete | Timeout | Aborted
+
+type round = {
+  coordinator : int;
+  expected : Types.Int_set.t;
+  mutable replies : (int * Wire.t) list;
+  mutable answered : Types.Int_set.t;
+  mutable timeout_handle : Sim.Engine.handle option;
+  on_complete : outcome -> (int * Wire.t) list -> unit;
+}
+
+type t = {
+  config : Config.t;
+  engine : Sim.Engine.t;
+  net : Transport.t;
+  sites : site array;
+  rng : Util.Prng.t;
+  mutable next_rid : int;
+  rounds : (int, round) Hashtbl.t;
+  mutable listeners : (int -> Types.site_state -> unit) list;
+  mutable dispatch : site -> from:int -> Wire.t -> unit;
+}
+
+let create (config : Config.t) =
+  let engine = Sim.Engine.create () in
+  let rng = Util.Prng.create config.seed in
+  let net =
+    Transport.create engine ~mode:config.net_mode ~latency:config.latency
+      ~rng:(Util.Prng.split rng) ~n_sites:config.n_sites
+  in
+  let make_site id =
+    {
+      id;
+      store = Blockdev.Store.create ~capacity:config.n_blocks;
+      state = Types.Available;
+      (* Everyone holds version 0 of every block, so initially every site
+         "received the most recent write". *)
+      w = Int_set.of_list (List.init config.n_sites Fun.id);
+      cache = Array.make config.n_sites None;
+      repairing = false;
+    }
+  in
+  let t =
+    {
+      config;
+      engine;
+      net;
+      sites = Array.init config.n_sites make_site;
+      rng;
+      next_rid = 0;
+      rounds = Hashtbl.create 64;
+      listeners = [];
+      dispatch = (fun _ ~from:_ _ -> ());
+    }
+  in
+  Array.iter
+    (fun (s : site) ->
+      Transport.register net ~id:s.id (fun ~from payload -> t.dispatch s ~from payload))
+    t.sites;
+  t
+
+let config t = t.config
+let engine t = t.engine
+let net t = t.net
+let traffic t = Transport.traffic t.net
+let n_sites t = t.config.n_sites
+
+let site t i =
+  if i < 0 || i >= n_sites t then invalid_arg "Runtime.site: bad site id";
+  t.sites.(i)
+
+let sites t = t.sites
+let rng t = t.rng
+
+let set_dispatch t f = t.dispatch <- f
+
+let on_state_change t f = t.listeners <- f :: t.listeners
+
+let set_state t i st =
+  let s = site t i in
+  if s.state <> st then begin
+    s.state <- st;
+    List.iter (fun f -> f i st) t.listeners
+  end
+
+let make_info t i =
+  let s = site t i in
+  {
+    Wire.origin = i;
+    state = s.state;
+    versions = Blockdev.Store.versions s.store;
+    was_available = s.w;
+  }
+
+let cache_info t i (info : Wire.site_info) =
+  let s = site t i in
+  if info.origin <> i then s.cache.(info.origin) <- Some info
+
+let finish_round t rid outcome =
+  match Hashtbl.find_opt t.rounds rid with
+  | None -> ()
+  | Some round ->
+      Hashtbl.remove t.rounds rid;
+      (match round.timeout_handle with
+      | Some h -> Sim.Engine.cancel t.engine h
+      | None -> ());
+      round.on_complete outcome (List.rev round.replies)
+
+let begin_round t ~coordinator ~expected ~on_complete =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  let round =
+    { coordinator; expected; replies = []; answered = Int_set.empty; timeout_handle = None; on_complete }
+  in
+  Hashtbl.replace t.rounds rid round;
+  if Int_set.is_empty expected then
+    (* Complete on the next engine tick so callers can finish setting up. *)
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:0.0 (fun () -> finish_round t rid Complete)
+        : Sim.Engine.handle)
+  else
+    round.timeout_handle <-
+      Some (Sim.Engine.schedule t.engine ~delay:t.config.op_timeout (fun () -> finish_round t rid Timeout));
+  rid
+
+let reply t ~rid ~from payload =
+  match Hashtbl.find_opt t.rounds rid with
+  | None -> ()
+  | Some round ->
+      if not (Int_set.mem from round.answered) then begin
+        round.answered <- Int_set.add from round.answered;
+        round.replies <- (from, payload) :: round.replies;
+        if Int_set.subset round.expected round.answered then finish_round t rid Complete
+      end
+
+let round_active t rid = Hashtbl.mem t.rounds rid
+
+let abort_rounds_of t coordinator =
+  let to_abort =
+    Hashtbl.fold (fun rid r acc -> if r.coordinator = coordinator then rid :: acc else acc) t.rounds []
+  in
+  List.iter (fun rid -> finish_round t rid Aborted) to_abort
+
+let fail_site t i =
+  let s = site t i in
+  if s.state <> Types.Failed then begin
+    Transport.set_up t.net i false;
+    Array.fill s.cache 0 (Array.length s.cache) None;
+    s.repairing <- false;
+    abort_rounds_of t i;
+    set_state t i Types.Failed
+  end
+
+let repair_site t i on_repair =
+  let s = site t i in
+  if s.state = Types.Failed then begin
+    Transport.set_up t.net i true;
+    on_repair s
+  end
+
+let send t ~op ~from ~dst payload = Transport.send t.net ~op ~from ~dst payload
+let broadcast t ~op ~from payload = Transport.broadcast t.net ~op ~from payload
+
+let up_peers t i =
+  List.fold_left
+    (fun acc j ->
+      if j <> i && Transport.reachable t.net i j then Int_set.add j acc else acc)
+    Int_set.empty
+    (Transport.up_sites t.net)
+
+let peers_matching t i pred =
+  Int_set.filter (fun j -> pred t.sites.(j)) (up_peers t i)

@@ -1,0 +1,197 @@
+module Int_set = Types.Int_set
+
+type t = { rt : Runtime.t; quorum : Quorum.t; witnesses : Int_set.t }
+
+let is_witness t i = Int_set.mem i t.witnesses
+
+(* A vote as tallied by a coordinator: (site, version, weight). *)
+let vote_of_reply block = function
+  | from, Wire.Vote_reply { block = b; version; weight; _ } when b = block ->
+      Some (from, version, weight)
+  | _ -> None
+
+let local_vote t site_id block =
+  let s = Runtime.site t.rt site_id in
+  (site_id, Blockdev.Store.version s.store block, Quorum.weight t.quorum site_id)
+
+(* Highest version wins; prefer the local site on ties (free), then the
+   lowest id (determinism). *)
+let best_vote self votes =
+  let better (s1, v1, _) (s2, v2, _) =
+    if v1 <> v2 then v1 > v2
+    else if s1 = self || s2 = self then s1 = self
+    else s1 < s2
+  in
+  match votes with
+  | [] -> invalid_arg "Voting.best_vote: no votes"
+  | first :: rest -> List.fold_left (fun acc v -> if better v acc then v else acc) first rest
+
+let coordinator_alive t site_id = (Runtime.site t.rt site_id).state = Types.Available
+
+let collect_votes t ~site_id ~block ~purpose ~k =
+  let expected = Runtime.up_peers t.rt site_id in
+  let rid =
+    Runtime.begin_round t.rt ~coordinator:site_id ~expected ~on_complete:(fun outcome replies ->
+        match outcome with
+        | Runtime.Aborted -> k None
+        | Runtime.Complete | Runtime.Timeout ->
+            if not (coordinator_alive t site_id) then k None
+            else begin
+              let votes = local_vote t site_id block :: List.filter_map (vote_of_reply block) replies in
+              k (Some votes)
+            end)
+  in
+  Runtime.broadcast t.rt ~op:purpose ~from:site_id (Wire.Vote_request { rid; block; purpose })
+
+(* Pull the current copy from [source] and serve it, installing it locally
+   when the local site stores data (lazy per-block recovery). *)
+let pull_and_serve t ~site ~block ~source callback =
+  let s = Runtime.site t.rt site in
+  let rid =
+    Runtime.begin_round t.rt ~coordinator:site ~expected:(Int_set.singleton source)
+      ~on_complete:(fun outcome replies ->
+        if not (coordinator_alive t site) then callback (Error Types.Site_not_available)
+        else
+          match
+            ( outcome,
+              List.find_map
+                (function
+                  | _, Wire.Block_transfer { block = b; version; data; _ } when b = block ->
+                      Some (version, data)
+                  | _ -> None)
+                replies )
+          with
+          | (Runtime.Complete | Runtime.Timeout), Some (version, data) ->
+              if version > Blockdev.Store.version s.store block then
+                Blockdev.Store.write s.store block
+                  (if is_witness t site then Blockdev.Block.zero else data)
+                  ~version;
+              callback (Ok (data, version))
+          | _, None | Runtime.Aborted, _ -> callback (Error Types.Timed_out))
+  in
+  Runtime.send t.rt ~op:Net.Message.Read ~from:site ~dst:source (Wire.Block_request { rid; block })
+
+let read t ~site ~block callback =
+  let s = Runtime.site t.rt site in
+  if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else
+    collect_votes t ~site_id:site ~block ~purpose:Net.Message.Read ~k:(function
+      | None -> callback (Error Types.Site_not_available)
+      | Some votes ->
+          let weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 votes in
+          if not (Quorum.read_quorum_met t.quorum weight) then callback (Error Types.No_quorum)
+          else begin
+            let _, max_version, _ = best_vote site votes in
+            let data_votes = List.filter (fun (i, _, _) -> not (is_witness t i)) votes in
+            match data_votes with
+            | [] -> callback (Error Types.Current_copy_unreachable)
+            | _ -> (
+                let best_data_site, best_data_version, _ = best_vote site data_votes in
+                if best_data_version < max_version then
+                  (* A witness proves a newer version exists, but no data
+                     site in the quorum holds it. *)
+                  callback (Error Types.Current_copy_unreachable)
+                else begin
+                  let local_version = Blockdev.Store.version s.store block in
+                  if (not (is_witness t site)) && local_version >= best_data_version then
+                    callback (Ok (Blockdev.Store.read s.store block, local_version))
+                  else pull_and_serve t ~site ~block ~source:best_data_site callback
+                end)
+          end)
+
+let write t ~site ~block data callback =
+  let s = Runtime.site t.rt site in
+  if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else
+    collect_votes t ~site_id:site ~block ~purpose:Net.Message.Write ~k:(function
+      | None -> callback (Error Types.Site_not_available)
+      | Some votes ->
+          let weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 votes in
+          if not (Quorum.write_quorum_met t.quorum weight) then callback (Error Types.No_quorum)
+          else begin
+            let _, max_version, _ = best_vote site votes in
+            let version = max_version + 1 in
+            Blockdev.Store.write s.store block
+              (if is_witness t site then Blockdev.Block.zero else data)
+              ~version;
+            Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
+              (Wire.Block_update { rid = None; block; version; data; carried_w = Int_set.empty });
+            callback (Ok version)
+          end)
+
+let handle t (s : Runtime.site) ~from msg =
+  match msg with
+  | Wire.Vote_request { rid; block; purpose } ->
+      Runtime.send t.rt ~op:purpose ~from:s.id ~dst:from
+        (Wire.Vote_reply
+           {
+             rid;
+             block;
+             version = Blockdev.Store.version s.store block;
+             weight = Quorum.weight t.quorum s.id;
+             group_size = Quorum.n_sites t.quorum;
+           })
+  | Wire.Block_update { block; version; data; _ } ->
+      if version > Blockdev.Store.version s.store block then
+        (* Witnesses retain only the version number: the data they are
+           handed is dropped, which is their whole storage advantage. *)
+        Blockdev.Store.write s.store block
+          (if is_witness t s.id then Blockdev.Block.zero else data)
+          ~version
+  | Wire.Block_request { rid; block } ->
+      (* Only data sites are ever asked, so serving unconditionally is
+         safe; a witness replying zeroes would indicate a coordinator bug,
+         which the assert below would surface in tests. *)
+      assert (not (is_witness t s.id));
+      Runtime.send t.rt ~op:Net.Message.Read ~from:s.id ~dst:from
+        (Wire.Block_transfer
+           { rid; block; version = Blockdev.Store.version s.store block; data = Blockdev.Store.read s.store block })
+  | Wire.Vote_reply { rid; _ } | Wire.Block_transfer { rid; _ } ->
+      Runtime.reply t.rt ~rid ~from msg
+  | Wire.Write_ack _ | Wire.Recovery_probe _ | Wire.Recovery_reply _ | Wire.Vv_send _
+  | Wire.Vv_reply _ | Wire.Group_fix _ ->
+      (* Messages of the other schemes have no meaning under voting; a
+         misdirected message is a bug in the sender, not the receiver. *)
+      ()
+
+let create rt =
+  let config = Runtime.config rt in
+  let t = { rt; quorum = config.quorum; witnesses = config.witnesses } in
+  Runtime.set_dispatch rt (fun s ~from msg -> handle t s ~from msg);
+  t
+
+let on_repair t site_id =
+  Runtime.repair_site t.rt site_id (fun (s : Runtime.site) ->
+      Runtime.set_state t.rt s.id Types.Available)
+
+let quorum_up t =
+  let sites = Runtime.sites t.rt in
+  let up =
+    Array.fold_left
+      (fun acc (s : Runtime.site) -> if s.state = Types.Available then s.id :: acc else acc)
+      [] sites
+  in
+  let weight = Quorum.weight_of t.quorum up in
+  let quorum = Quorum.read_quorum_met t.quorum weight && Quorum.write_quorum_met t.quorum weight in
+  if (not quorum) || Int_set.is_empty t.witnesses then quorum
+  else begin
+    (* With witnesses, reads additionally need a reachable data site
+       holding the current version of every block. *)
+    let n_blocks = (Runtime.config t.rt).n_blocks in
+    let ok = ref true in
+    for block = 0 to n_blocks - 1 do
+      let global_max =
+        Array.fold_left
+          (fun acc (s : Runtime.site) -> Int.max acc (Blockdev.Store.version s.store block))
+          0 sites
+      in
+      let current_data_up =
+        List.exists
+          (fun i ->
+            (not (is_witness t i)) && Blockdev.Store.version sites.(i).store block = global_max)
+          up
+      in
+      if not current_data_up then ok := false
+    done;
+    !ok
+  end

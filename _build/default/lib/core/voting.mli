@@ -1,0 +1,41 @@
+(** Majority consensus voting at the block level (Section 3.1).
+
+    Reads and writes each collect votes — version number plus weight — from
+    all reachable sites and proceed only when the configured quorum is met.
+    Because any quorum contains a most-current copy, a repaired site rejoins
+    service {e immediately} with no recovery traffic: out-of-date blocks are
+    detected by their version numbers and refreshed lazily, when the file
+    system actually asks for them.  This lazy, per-block recovery is the
+    paper's block-level refinement of classic weighted voting.
+
+    Deviation noted for traffic accounting: refreshing a stale local copy
+    costs us a block-request plus a block-transfer (2 messages) where the
+    paper charges 1; the difference only arises on reads at stale sites,
+    which never occurs in the failure-free runs behind Figures 11–12. *)
+
+type t
+
+val create : Runtime.t -> t
+(** Builds the protocol over a runtime and installs its message handler. *)
+
+val read :
+  t -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
+(** Figure 3.  The callback fires (via the engine) with the block contents,
+    or [No_quorum] / [Site_not_available] / [Timed_out]. *)
+
+val write :
+  t ->
+  site:int ->
+  block:Blockdev.Block.id ->
+  Blockdev.Block.t ->
+  (Types.write_result -> unit) ->
+  unit
+(** Figure 4: collect votes, take max version + 1, push the block to every
+    reachable site. *)
+
+val on_repair : t -> int -> unit
+(** Voting recovery: none.  The site simply becomes available again. *)
+
+val quorum_up : t -> bool
+(** Whether the sites currently up can form both quorums — the availability
+    predicate A_V measures. *)

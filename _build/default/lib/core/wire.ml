@@ -1,0 +1,113 @@
+type site_info = {
+  origin : int;
+  state : Types.site_state;
+  versions : Blockdev.Version_vector.t;
+  was_available : Types.Int_set.t;
+}
+
+type t =
+  | Vote_request of { rid : int; block : Blockdev.Block.id; purpose : Net.Message.operation }
+  | Vote_reply of {
+      rid : int;
+      block : Blockdev.Block.id;
+      version : int;
+      weight : int;
+      group_size : int;
+    }
+  | Block_update of {
+      rid : int option;
+      block : Blockdev.Block.id;
+      version : int;
+      data : Blockdev.Block.t;
+      carried_w : Types.Int_set.t;
+    }
+  | Write_ack of { rid : int; block : Blockdev.Block.id }
+  | Block_request of { rid : int; block : Blockdev.Block.id }
+  | Block_transfer of {
+      rid : int;
+      block : Blockdev.Block.id;
+      version : int;
+      data : Blockdev.Block.t;
+    }
+  | Recovery_probe of { rid : int; info : site_info }
+  | Recovery_reply of { rid : int; info : site_info }
+  | Vv_send of { rid : int; versions : Blockdev.Version_vector.t; w_of_sender : Types.Int_set.t }
+  | Vv_reply of {
+      rid : int;
+      versions : Blockdev.Version_vector.t;
+      updates : (Blockdev.Block.id * int * Blockdev.Block.t) list;
+      w_of_source : Types.Int_set.t;
+    }
+  | Group_fix of { block : Blockdev.Block.id; version : int; group : Types.Int_set.t }
+
+let category = function
+  | Vote_request _ -> Net.Message.Vote_request
+  | Vote_reply _ -> Net.Message.Vote_reply
+  | Block_update _ -> Net.Message.Block_update
+  | Write_ack _ -> Net.Message.Write_ack
+  | Block_request _ -> Net.Message.Block_request
+  | Block_transfer _ -> Net.Message.Block_transfer
+  | Recovery_probe _ -> Net.Message.Recovery_probe
+  | Recovery_reply _ -> Net.Message.Recovery_reply
+  | Vv_send _ -> Net.Message.Version_vector_send
+  | Vv_reply _ -> Net.Message.Version_vector_reply
+  | Group_fix _ -> Net.Message.Was_available_update
+
+(* Byte-size model: 32-byte header on everything, 4 bytes per integer
+   field, full block payloads, 4 bytes per set member / vector entry. *)
+let header = 32
+let int_field = 4
+let set_size s = int_field * Types.Int_set.cardinal s
+let vv_size v = int_field * Blockdev.Version_vector.length v
+
+let info_size (info : site_info) =
+  int_field + int_field + vv_size info.versions + set_size info.was_available
+
+let size = function
+  | Vote_request _ -> header + (3 * int_field)
+  | Vote_reply _ -> header + (5 * int_field)
+  | Block_update { carried_w; _ } -> header + (3 * int_field) + Blockdev.Block.size + set_size carried_w
+  | Write_ack _ -> header + (2 * int_field)
+  | Block_request _ -> header + (2 * int_field)
+  | Block_transfer _ -> header + (3 * int_field) + Blockdev.Block.size
+  | Recovery_probe { info; _ } | Recovery_reply { info; _ } -> header + int_field + info_size info
+  | Vv_send { versions; w_of_sender; _ } -> header + int_field + vv_size versions + set_size w_of_sender
+  | Vv_reply { versions; updates; w_of_source; _ } ->
+      header + int_field + vv_size versions + set_size w_of_source
+      + List.fold_left
+          (fun acc (_, _, _) -> acc + (2 * int_field) + Blockdev.Block.size)
+          0 updates
+  | Group_fix { group; _ } -> header + (2 * int_field) + set_size group
+
+let rid = function
+  | Vote_request { rid; _ }
+  | Vote_reply { rid; _ }
+  | Write_ack { rid; _ }
+  | Block_request { rid; _ }
+  | Block_transfer { rid; _ }
+  | Recovery_probe { rid; _ }
+  | Recovery_reply { rid; _ }
+  | Vv_send { rid; _ }
+  | Vv_reply { rid; _ } ->
+      Some rid
+  | Block_update { rid; _ } -> rid
+  | Group_fix _ -> None
+
+let describe = function
+  | Vote_request { rid; block; purpose } ->
+      Printf.sprintf "vote-request(rid=%d, block=%d, %s)" rid block
+        (Net.Message.operation_to_string purpose)
+  | Vote_reply { rid; block; version; weight; group_size } ->
+      Printf.sprintf "vote-reply(rid=%d, block=%d, v=%d, w=%d, g=%d)" rid block version weight
+        group_size
+  | Block_update { block; version; _ } -> Printf.sprintf "block-update(block=%d, v=%d)" block version
+  | Write_ack { rid; block } -> Printf.sprintf "write-ack(rid=%d, block=%d)" rid block
+  | Block_request { rid; block } -> Printf.sprintf "block-request(rid=%d, block=%d)" rid block
+  | Block_transfer { rid; block; version; _ } ->
+      Printf.sprintf "block-transfer(rid=%d, block=%d, v=%d)" rid block version
+  | Recovery_probe { rid; info } -> Printf.sprintf "recovery-probe(rid=%d, from=%d)" rid info.origin
+  | Recovery_reply { rid; info } -> Printf.sprintf "recovery-reply(rid=%d, from=%d)" rid info.origin
+  | Vv_send { rid; _ } -> Printf.sprintf "vv-send(rid=%d)" rid
+  | Vv_reply { rid; updates; _ } -> Printf.sprintf "vv-reply(rid=%d, %d updates)" rid (List.length updates)
+  | Group_fix { block; version; group } ->
+      Printf.sprintf "group-fix(block=%d, v=%d, |g|=%d)" block version (Types.Int_set.cardinal group)

@@ -1,0 +1,81 @@
+(** On-the-wire protocol messages for all three schemes.
+
+    Each constructor corresponds to one "high-level transmission" of the
+    Section 5 analysis; {!category} is the accounting bucket.  [rid] values
+    correlate replies with the coordinator round that awaits them. *)
+
+type site_info = {
+  origin : int;  (** whose information this is *)
+  state : Types.site_state;
+  versions : Blockdev.Version_vector.t;
+  was_available : Types.Int_set.t;
+}
+(** A site's self-description, carried in recovery probes and replies so
+    comatose sites can evaluate the select of Figures 5 and 6. *)
+
+type t =
+  | Vote_request of { rid : int; block : Blockdev.Block.id; purpose : Net.Message.operation }
+      (** voting: collect version + weight for one block; [purpose] tells
+          repliers which operation class to account their votes to *)
+  | Vote_reply of {
+      rid : int;
+      block : Blockdev.Block.id;
+      version : int;
+      weight : int;
+      group_size : int;
+          (** dynamic voting: cardinality of the last update group the
+              voter knows for this block; static voting sends the total
+              site count and ignores it on receipt *)
+    }
+  | Block_update of {
+      rid : int option;
+          (** [Some] when the sender expects acknowledgements (available
+              copy writes); [None] for voting updates and naive writes *)
+      block : Blockdev.Block.id;
+      version : int;
+      data : Blockdev.Block.t;
+      carried_w : Types.Int_set.t;
+          (** the writer's current was-available estimate (Section 3.2's
+              delayed propagation); empty and ignored outside AC *)
+    }
+  | Write_ack of { rid : int; block : Blockdev.Block.id }
+  | Block_request of { rid : int; block : Blockdev.Block.id }
+      (** voting read: pull a newer copy from the best respondent *)
+  | Block_transfer of {
+      rid : int;
+      block : Blockdev.Block.id;
+      version : int;
+      data : Blockdev.Block.t;
+    }
+  | Recovery_probe of { rid : int; info : site_info }
+      (** "who is out there, and in what state?" — carries the prober's own
+          info so operational receivers can update their caches too *)
+  | Recovery_reply of { rid : int; info : site_info }
+  | Vv_send of { rid : int; versions : Blockdev.Version_vector.t; w_of_sender : Types.Int_set.t }
+      (** recovering site ships its version vector (W piggybacked, cf. the
+          [send(t, W_s)] of Figure 5) *)
+  | Vv_reply of {
+      rid : int;
+      versions : Blockdev.Version_vector.t;
+      updates : (Blockdev.Block.id * int * Blockdev.Block.t) list;
+      w_of_source : Types.Int_set.t;
+    }
+  | Group_fix of { block : Blockdev.Block.id; version : int; group : Types.Int_set.t }
+      (** dynamic voting: after an update round in which some tentative
+          group member failed to acknowledge, the coordinator publishes
+          the group that actually applied the write, so recorded
+          cardinalities match reality *)
+
+val category : t -> Net.Message.category
+
+val size : t -> int
+(** Estimated wire size in bytes: a fixed header plus the natural encoding
+    of the payload (4 bytes per integer or set member, the full
+    {!Blockdev.Block.size} per block carried, 4 bytes per version-vector
+    component).  Drives the byte-level traffic comparison of Section 5. *)
+
+val rid : t -> int option
+(** The correlation id, when the message participates in a round. *)
+
+val describe : t -> string
+(** One-line rendering for logs. *)

@@ -1,0 +1,1 @@
+lib/fs/flat_fs.ml: Blockdev Bytes Fs_core List Printf Result String

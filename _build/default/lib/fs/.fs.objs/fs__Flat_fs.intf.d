@@ -1,0 +1,1 @@
+lib/fs/flat_fs.mli: Blockdev Fs_core

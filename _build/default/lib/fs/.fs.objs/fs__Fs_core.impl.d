@@ -1,0 +1,1 @@
+lib/fs/fs_core.ml: Array Blockdev Bytes Hashtbl Int Int32 List Printf Result String

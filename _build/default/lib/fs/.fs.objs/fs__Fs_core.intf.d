@@ -1,0 +1,1 @@
+lib/fs/fs_core.mli: Blockdev

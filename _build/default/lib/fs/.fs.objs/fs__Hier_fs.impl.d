@@ -1,0 +1,1 @@
+lib/fs/hier_fs.ml: Blockdev Bytes Fs_core Hashtbl List Printf Result String

@@ -1,0 +1,1 @@
+lib/fs/hier_fs.mli: Blockdev Fs_core

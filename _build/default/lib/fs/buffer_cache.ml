@@ -1,0 +1,81 @@
+module Make (Dev : Blockdev.Device_intf.S) = struct
+  type entry = { data : Blockdev.Block.t; mutable last_used : int }
+
+  type t = {
+    dev : Dev.t;
+    capacity : int;
+    entries : (Blockdev.Block.id, entry) Hashtbl.t;
+    mutable clock : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~capacity dev =
+    if capacity <= 0 then invalid_arg "Buffer_cache.create: capacity must be positive";
+    { dev; capacity; entries = Hashtbl.create capacity; clock = 0; hits = 0; misses = 0 }
+
+  let device t = t.dev
+  let capacity t = Dev.capacity t.dev
+
+  let touch t entry =
+    t.clock <- t.clock + 1;
+    entry.last_used <- t.clock
+
+  let evict_if_full t =
+    if Hashtbl.length t.entries >= t.capacity then begin
+      (* LRU by linear scan: cache capacities are small and this keeps the
+         structure trivially correct. *)
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, oldest) when oldest <= e.last_used -> acc
+            | _ -> Some (k, e.last_used))
+          t.entries None
+      in
+      match victim with Some (k, _) -> Hashtbl.remove t.entries k | None -> ()
+    end
+
+  let install t k data =
+    match Hashtbl.find_opt t.entries k with
+    | Some entry ->
+        touch t entry;
+        Hashtbl.replace t.entries k { entry with data }
+    | None ->
+        evict_if_full t;
+        t.clock <- t.clock + 1;
+        Hashtbl.replace t.entries k { data; last_used = t.clock }
+
+  let read_block t k =
+    match Hashtbl.find_opt t.entries k with
+    | Some entry ->
+        t.hits <- t.hits + 1;
+        touch t entry;
+        Some entry.data
+    | None -> (
+        t.misses <- t.misses + 1;
+        match Dev.read_block t.dev k with
+        | Some data ->
+            install t k data;
+            Some data
+        | None -> None)
+
+  let write_block t k data =
+    (* Write-through: the device is the source of truth; only cache what
+       the device accepted. *)
+    if Dev.write_block t.dev k data then begin
+      install t k data;
+      true
+    end
+    else false
+
+  let hits t = t.hits
+  let misses t = t.misses
+
+  let hit_rate t =
+    let total = t.hits + t.misses in
+    if total = 0 then nan else float_of_int t.hits /. float_of_int total
+
+  let cached_blocks t = Hashtbl.length t.entries
+  let flush t = Hashtbl.reset t.entries
+end

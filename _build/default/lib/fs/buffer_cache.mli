@@ -1,0 +1,35 @@
+(** A write-through LRU buffer cache over any block device.
+
+    Figure 1 of the paper has the file system consult its buffer cache
+    before the device driver; only misses reach the (possibly replicated)
+    device.  This functor reproduces that layer: it implements the same
+    {!Blockdev.Device_intf.S} it consumes, so it can be slotted between
+    [Fs.Flat_fs] and a [Blockrep.Reliable_device] — cutting the voting
+    scheme's per-read quorum traffic by exactly the hit rate.
+
+    Policy: write-through (every write goes to the device immediately, the
+    cache is never dirty), LRU eviction. *)
+
+module Make (Dev : Blockdev.Device_intf.S) : sig
+  type t
+
+  val create : capacity:int -> Dev.t -> t
+  (** [create ~capacity dev] caches up to [capacity] blocks of [dev];
+      [capacity] must be positive. *)
+
+  val device : t -> Dev.t
+
+  include Blockdev.Device_intf.S with type t := t
+
+  val hits : t -> int
+  val misses : t -> int
+
+  val hit_rate : t -> float
+  (** Fraction of reads served from the cache; [nan] before any read. *)
+
+  val cached_blocks : t -> int
+
+  val flush : t -> unit
+  (** Forget everything (e.g. after direct writes to the underlying
+      device by another client). *)
+end

@@ -1,0 +1,170 @@
+type error = Fs_core.error =
+  | Device_unavailable
+  | No_space
+  | Not_found
+  | Already_exists
+  | Name_too_long
+  | File_too_large
+  | Not_formatted
+  | Not_a_directory
+  | Is_a_directory
+  | Directory_not_empty
+  | Invalid_path
+  | Corrupt of string
+
+let error_to_string = Fs_core.error_to_string
+
+type stats = { size : int; blocks_used : int; inode : int }
+
+let root_inode = 0
+let flavour = 'F'
+let file_kind = 'f'
+let dirent_size = Fs_core.dirent_size
+
+let ( let* ) = Result.bind
+
+module Make (Dev : Blockdev.Device_intf.S) = struct
+  module Core = Fs_core.Make (Dev)
+
+  type t = Core.t
+
+  let device = Core.device
+
+  let format ?(n_inodes = 64) dev = Core.format ~flavour ~n_inodes ~root_kind:'d' dev
+  let mount dev = Core.mount ~flavour dev
+
+  (* ---------------------------------------------------------------- *)
+  (* Directory (inode 0, flat)                                         *)
+  (* ---------------------------------------------------------------- *)
+
+  let with_directory t f =
+    let* dir_ino = Core.load_inode t root_inode in
+    let* contents = Core.read_inode_range t dir_ino ~offset:0 ~length:dir_ino.Core.size in
+    f dir_ino contents
+
+  let dir_entries t =
+    with_directory t (fun _ contents ->
+        let n = Bytes.length contents / dirent_size in
+        let rec collect i acc =
+          if i >= n then Ok (List.rev acc)
+          else
+            match Core.decode_dirent contents (i * dirent_size) with
+            | Some entry -> collect (i + 1) ((i, entry) :: acc)
+            | None -> collect (i + 1) acc
+        in
+        collect 0 [])
+
+  let dir_lookup t name =
+    let* entries = dir_entries t in
+    Ok (List.find_opt (fun (_, (entry_name, _)) -> String.equal entry_name name) entries)
+
+  let dir_add t name inode =
+    with_directory t (fun dir_ino contents ->
+        let n = Bytes.length contents / dirent_size in
+        let rec first_free i =
+          if i >= n then n
+          else if Core.decode_dirent contents (i * dirent_size) = None then i
+          else first_free (i + 1)
+        in
+        let slot = first_free 0 in
+        let* _ino =
+          Core.write_inode_range t root_inode dir_ino ~offset:(slot * dirent_size)
+            (Core.encode_dirent name inode)
+        in
+        Ok ())
+
+  let dir_remove t slot =
+    with_directory t (fun dir_ino _ ->
+        let* _ino =
+          Core.write_inode_range t root_inode dir_ino ~offset:(slot * dirent_size)
+            (Bytes.make dirent_size '\000')
+        in
+        Ok ())
+
+  (* ---------------------------------------------------------------- *)
+  (* Public operations                                                 *)
+  (* ---------------------------------------------------------------- *)
+
+  let create t name =
+    let* () = Core.check_name name in
+    let* existing = dir_lookup t name in
+    match existing with
+    | Some _ -> Error Already_exists
+    | None ->
+        let* idx = Core.find_free_inode t in
+        let* () = Core.store_inode t idx { Core.empty_inode with used = true; kind = file_kind } in
+        dir_add t name idx
+
+  let lookup_inode t name =
+    let* () = Core.check_name name in
+    let* entry = dir_lookup t name in
+    match entry with
+    | None -> Error Not_found
+    | Some (slot, (_, idx)) ->
+        let* ino = Core.load_inode t idx in
+        if not ino.Core.used then Error (Corrupt "directory entry to free inode") else Ok (slot, idx, ino)
+
+  let write t name ?(offset = 0) data =
+    let* _, idx, ino = lookup_inode t name in
+    let* _ino = Core.write_inode_range t idx ino ~offset data in
+    Ok ()
+
+  let append t name data =
+    let* _, idx, ino = lookup_inode t name in
+    let* _ino = Core.write_inode_range t idx ino ~offset:ino.Core.size data in
+    Ok ()
+
+  let read t name =
+    let* _, _, ino = lookup_inode t name in
+    Core.read_inode_range t ino ~offset:0 ~length:ino.Core.size
+
+  let read_range t name ~offset ~length =
+    let* _, _, ino = lookup_inode t name in
+    Core.read_inode_range t ino ~offset ~length
+
+  let truncate t name =
+    let* _, idx, ino = lookup_inode t name in
+    let* () = Core.free_inode_blocks t ino in
+    Core.store_inode t idx { Core.empty_inode with used = true; kind = file_kind }
+
+  let delete t name =
+    let* slot, idx, ino = lookup_inode t name in
+    let* () = Core.free_inode_blocks t ino in
+    let* () = Core.store_inode t idx Core.empty_inode in
+    dir_remove t slot
+
+  let exists t name = match lookup_inode t name with Ok _ -> true | Error _ -> false
+
+  let list t =
+    let* entries = dir_entries t in
+    Ok (List.map (fun (_, (name, _)) -> name) entries)
+
+  let stat t name =
+    let* _, idx, ino = lookup_inode t name in
+    let* blocks = Core.blocks_used t ino in
+    Ok { size = ino.Core.size; blocks_used = blocks; inode = idx }
+
+  let free_blocks = Core.free_blocks
+
+  let fsck t =
+    let rec live_inodes idx acc =
+      if idx >= Core.n_inodes t then Ok (List.rev acc)
+      else
+        let* ino = Core.load_inode t idx in
+        live_inodes (idx + 1) (if ino.Core.used then (idx, ino) :: acc else acc)
+    in
+    let* live = live_inodes 0 [] in
+    let* () = Core.fsck_blocks t ~live in
+    (* Directory entries must reference live file inodes. *)
+    let* entries = dir_entries t in
+    List.fold_left
+      (fun acc (_, (name, idx)) ->
+        let* () = acc in
+        if idx <= 0 || idx >= Core.n_inodes t then
+          Error (Corrupt (Printf.sprintf "entry %s: bad inode %d" name idx))
+        else
+          match List.assoc_opt idx live with
+          | Some _ -> Ok ()
+          | None -> Error (Corrupt (Printf.sprintf "entry %s: free inode" name)))
+      (Ok ()) entries
+end

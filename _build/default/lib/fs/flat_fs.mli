@@ -1,0 +1,80 @@
+(** A small UNIX-style file system over the ordinary block-device interface.
+
+    The point of this module in the reproduction is the paper's transparency
+    argument (Section 2): because the reliable device presents the same
+    interface as one disk, "the file system requires no modification and
+    normal file system semantics are preserved".  [Flat_fs] is accordingly a
+    functor over {!Blockdev.Device_intf.S}: the {e same} code mounts a
+    {!Blockdev.Mem_device} or a [Blockrep.Reliable_device].
+
+    On-disk layout (512-byte blocks, all integers big-endian):
+    - block 0: superblock (magic, geometry);
+    - allocation bitmap, one byte per data block;
+    - inode table, 64-byte inodes (8 per block): flags, size, 11 direct
+      block pointers, 1 singly indirect pointer — files up to
+      [(11 + 128) * 512] bytes;
+    - a flat root directory held in inode 0, with 32-byte entries
+      (27-byte names).
+
+    Unallocated file ranges read back as zeroes (sparse files). *)
+
+type error = Fs_core.error =
+  | Device_unavailable  (** the device returned None/false mid-operation *)
+  | No_space  (** no free data block or inode *)
+  | Not_found
+  | Already_exists
+  | Name_too_long  (** names are limited to 27 bytes *)
+  | File_too_large
+  | Not_formatted  (** mount: bad magic or wrong flavour *)
+  | Not_a_directory  (** unused here; shared with {!Hier_fs} *)
+  | Is_a_directory  (** unused here; shared with {!Hier_fs} *)
+  | Directory_not_empty  (** unused here; shared with {!Hier_fs} *)
+  | Invalid_path  (** unused here; shared with {!Hier_fs} *)
+  | Corrupt of string  (** fsck or mount found an inconsistency *)
+
+val error_to_string : error -> string
+
+type stats = { size : int; blocks_used : int; inode : int }
+
+module Make (Dev : Blockdev.Device_intf.S) : sig
+  type t
+
+  val format : ?n_inodes:int -> Dev.t -> (t, error) result
+  (** Write a fresh file system (default 64 inodes) and return it mounted.
+      Needs a device of at least 8 blocks. *)
+
+  val mount : Dev.t -> (t, error) result
+  (** Read and validate the superblock of an already formatted device. *)
+
+  val device : t -> Dev.t
+
+  val create : t -> string -> (unit, error) result
+  (** Create an empty file. *)
+
+  val write : t -> string -> ?offset:int -> bytes -> (unit, error) result
+  (** Write bytes at [offset] (default 0), extending the file as needed. *)
+
+  val append : t -> string -> bytes -> (unit, error) result
+
+  val read : t -> string -> (bytes, error) result
+  (** The whole file. *)
+
+  val read_range : t -> string -> offset:int -> length:int -> (bytes, error) result
+  (** [length] bytes from [offset]; reading past the end is an error. *)
+
+  val truncate : t -> string -> (unit, error) result
+  (** Free the file's blocks and reset its size to zero. *)
+
+  val delete : t -> string -> (unit, error) result
+  val exists : t -> string -> bool
+  val list : t -> (string list, error) result
+  val stat : t -> string -> (stats, error) result
+
+  val free_blocks : t -> (int, error) result
+  (** Unallocated data blocks remaining. *)
+
+  val fsck : t -> (unit, error) result
+  (** Structural check: superblock sane, every allocated block referenced
+      exactly once, directory entries point at live inodes, sizes within
+      pointer reach. *)
+end

@@ -1,0 +1,91 @@
+(** Shared on-disk machinery of the file systems.
+
+    Both {!Flat_fs} (single flat directory) and {!Hier_fs} (hierarchical
+    paths) use the same layout — superblock, byte-per-block allocation
+    bitmap, 64-byte inodes with 11 direct pointers and one singly indirect
+    pointer — and differ only in their namespace logic.  This functor
+    provides the common layer: geometry, inode IO, block allocation,
+    file-extent reads/writes and the block-accounting part of fsck.
+
+    The superblock carries a one-byte {e flavour} so a device formatted by
+    one file system is not silently mounted by the other. *)
+
+type error =
+  | Device_unavailable
+  | No_space
+  | Not_found
+  | Already_exists
+  | Name_too_long
+  | File_too_large
+  | Not_formatted
+  | Not_a_directory  (** hierarchical: path component is a regular file *)
+  | Is_a_directory  (** hierarchical: file operation on a directory *)
+  | Directory_not_empty  (** hierarchical: delete of a non-empty directory *)
+  | Invalid_path  (** hierarchical: empty path, or rename into own subtree *)
+  | Corrupt of string
+
+val error_to_string : error -> string
+
+val max_name : int
+(** Longest directory-entry name (27 bytes). *)
+
+val dirent_size : int
+val max_file_bytes : int
+(** Largest representable file: [(11 + 128) * 512] bytes. *)
+
+module Make (Dev : Blockdev.Device_intf.S) : sig
+  type t
+
+  val device : t -> Dev.t
+  val n_inodes : t -> int
+
+  (** {1 Formatting and mounting} *)
+
+  val format : flavour:char -> n_inodes:int -> root_kind:char -> Dev.t -> (t, error) result
+  (** Lay out a fresh file system; inode 0 is created with [root_kind]. *)
+
+  val mount : flavour:char -> Dev.t -> (t, error) result
+
+  (** {1 Inodes} *)
+
+  type inode = { used : bool; kind : char; size : int; direct : int array; indirect : int }
+
+  val empty_inode : inode
+  val load_inode : t -> int -> (inode, error) result
+  val store_inode : t -> int -> inode -> (unit, error) result
+  val find_free_inode : t -> (int, error) result
+  (** Lowest unused inode index above 0 (0 is always the root). *)
+
+  (** {1 File extents} *)
+
+  val read_inode_range : t -> inode -> offset:int -> length:int -> (bytes, error) result
+  (** Bounds-checked against [inode.size]; holes read as zeroes. *)
+
+  val write_inode_range : t -> int -> inode -> offset:int -> bytes -> (inode, error) result
+  (** Writes and persists the updated inode (size grows as needed);
+      returns it. *)
+
+  val free_inode_blocks : t -> inode -> (unit, error) result
+  (** Release every data block (and the indirect block) of an inode. *)
+
+  val blocks_used : t -> inode -> (int, error) result
+
+  (** {1 Directory entries}
+
+      A directory's contents are just a file of fixed 32-byte entries:
+      name (27 bytes, NUL-padded), inode number, a liveness byte. *)
+
+  val decode_dirent : bytes -> int -> (string * int) option
+  val encode_dirent : string -> int -> bytes
+  val check_name : string -> (unit, error) result
+
+  (** {1 Allocation} *)
+
+  val free_blocks : t -> (int, error) result
+
+  (** {1 Fsck support} *)
+
+  val fsck_blocks : t -> live:(int * inode) list -> (unit, error) result
+  (** Verify that the blocks referenced from [live] inodes are in range,
+      referenced once, and agree exactly with the allocation bitmap. *)
+end

@@ -1,0 +1,77 @@
+(** A hierarchical file system over the ordinary block-device interface.
+
+    Same on-disk machinery as {!Flat_fs} ({!Fs_core}: 512-byte blocks,
+    64-byte inodes, singly indirect pointers), plus directories: an inode
+    is either a regular file or a directory whose contents are 32-byte
+    entries naming children.  Inode 0 is the root directory.
+
+    Paths are slash-separated, absolute or not ("/a/b" ≡ "a/b"); each
+    component is limited to 27 bytes.  There are no hard links, so the
+    namespace is a tree and every inode has exactly one parent.
+
+    Like {!Flat_fs}, this is a functor over {!Blockdev.Device_intf.S} and
+    runs unchanged on one disk or on a replicated reliable device — the
+    point of the paper's Section 2. *)
+
+type entry_kind = File | Directory
+
+type entry = { name : string; kind : entry_kind }
+
+type stats = { size : int; blocks_used : int; inode : int; kind : entry_kind }
+
+module Make (Dev : Blockdev.Device_intf.S) : sig
+  type t
+
+  val format : ?n_inodes:int -> Dev.t -> (t, Fs_core.error) result
+  (** Fresh hierarchical file system (default 128 inodes), root mounted. *)
+
+  val mount : Dev.t -> (t, Fs_core.error) result
+  val device : t -> Dev.t
+
+  (** {1 Directories} *)
+
+  val mkdir : t -> string -> (unit, Fs_core.error) result
+  (** Create one directory; the parent must exist
+      ([mkdir "/a/b"] needs [/a]). *)
+
+  val mkdir_p : t -> string -> (unit, Fs_core.error) result
+  (** Create a directory and any missing ancestors. *)
+
+  val list : t -> string -> (entry list, Fs_core.error) result
+  (** Entries of a directory, in directory order. *)
+
+  val rmdir : t -> string -> (unit, Fs_core.error) result
+  (** Remove an {e empty} directory ([Directory_not_empty] otherwise;
+      the root cannot be removed). *)
+
+  (** {1 Files} *)
+
+  val create : t -> string -> (unit, Fs_core.error) result
+  val write : t -> string -> ?offset:int -> bytes -> (unit, Fs_core.error) result
+  val append : t -> string -> bytes -> (unit, Fs_core.error) result
+  val read : t -> string -> (bytes, Fs_core.error) result
+  val read_range : t -> string -> offset:int -> length:int -> (bytes, Fs_core.error) result
+  val truncate : t -> string -> (unit, Fs_core.error) result
+  val unlink : t -> string -> (unit, Fs_core.error) result
+  (** Remove a file ([Is_a_directory] on a directory — use {!rmdir}). *)
+
+  (** {1 Common} *)
+
+  val exists : t -> string -> bool
+  val kind_of : t -> string -> (entry_kind, Fs_core.error) result
+  val stat : t -> string -> (stats, Fs_core.error) result
+
+  val rename : t -> string -> string -> (unit, Fs_core.error) result
+  (** [rename t src dst] moves a file or directory to a new path, whose
+      parent must exist and whose final component must be free
+      ([Already_exists] otherwise).  Moving a directory into its own
+      subtree, or moving the root, is [Invalid_path]. *)
+
+  val walk : t -> string -> (string list, Fs_core.error) result
+  (** Every path under (and including) the given directory, depth-first —
+      the recursive listing. *)
+
+  val fsck : t -> (unit, Fs_core.error) result
+  (** Tree walk + block accounting: every used inode reachable exactly
+      once from the root, all pointers valid, bitmap exact. *)
+end

@@ -1,0 +1,1 @@
+lib/markov/chains.ml: Array Ctmc Printf

@@ -1,0 +1,1 @@
+lib/markov/chains.mli: Ctmc

@@ -1,0 +1,1 @@
+lib/markov/matrix.ml: Array Float Format

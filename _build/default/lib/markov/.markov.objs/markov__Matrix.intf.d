@@ -1,0 +1,1 @@
+lib/markov/matrix.mli: Format

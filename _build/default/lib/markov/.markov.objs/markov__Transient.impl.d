@@ -1,0 +1,1 @@
+lib/markov/transient.ml: Array Ctmc Float Fun Hashtbl Int List Matrix Printf

@@ -1,0 +1,106 @@
+let check_params ~n ~rho name =
+  if n < 1 then invalid_arg (Printf.sprintf "Chains.%s: need n >= 1" name);
+  if rho < 0.0 then invalid_arg (Printf.sprintf "Chains.%s: rho must be non-negative" name)
+
+(* With mu normalised to 1, lambda equals rho.  A rho of exactly 0 would
+   disconnect the chain (no failures ever); nudge it so the solver still
+   returns the limiting distribution (availability -> 1). *)
+let effective_rho rho = if rho <= 0.0 then 1e-12 else rho
+
+let voting_chain ~n ~rho =
+  check_params ~n ~rho "voting_chain";
+  let lambda = effective_rho rho and mu = 1.0 in
+  let chain = Ctmc.create (n + 1) in
+  for k = 0 to n do
+    if k > 0 then Ctmc.add_rate chain ~src:k ~dst:(k - 1) (float_of_int k *. lambda);
+    if k < n then Ctmc.add_rate chain ~src:k ~dst:(k + 1) (float_of_int (n - k) *. mu)
+  done;
+  chain
+
+(* Shared state encoding for the two available-copy chains. *)
+let s_index i = i - 1 (* S_i, 1 <= i <= n *)
+let s'_index ~n j = n + j (* S'_j, 0 <= j <= n-1 *)
+
+let ac_chain ~n ~rho =
+  check_params ~n ~rho "ac_chain";
+  let lambda = effective_rho rho and mu = 1.0 in
+  let chain = Ctmc.create (2 * n) in
+  (* Available states S_1 .. S_n. *)
+  for i = 1 to n do
+    let src = s_index i in
+    let fail_dst = if i = 1 then s'_index ~n 0 else s_index (i - 1) in
+    Ctmc.add_rate chain ~src ~dst:fail_dst (float_of_int i *. lambda);
+    if i < n then Ctmc.add_rate chain ~src ~dst:(s_index (i + 1)) (float_of_int (n - i) *. mu)
+  done;
+  (* Comatose states S'_0 .. S'_{n-1}: the last-failed copy's recovery (rate
+     mu) resurrects the block into S_{j+1}; other recoveries only grow the
+     comatose set. *)
+  for j = 0 to n - 1 do
+    let src = s'_index ~n j in
+    if j > 0 then Ctmc.add_rate chain ~src ~dst:(s'_index ~n (j - 1)) (float_of_int j *. lambda);
+    Ctmc.add_rate chain ~src ~dst:(s_index (j + 1)) mu;
+    if j < n - 1 then Ctmc.add_rate chain ~src ~dst:(s'_index ~n (j + 1)) (float_of_int (n - j - 1) *. mu)
+  done;
+  chain
+
+let nac_chain ~n ~rho =
+  check_params ~n ~rho "nac_chain";
+  let lambda = effective_rho rho and mu = 1.0 in
+  let chain = Ctmc.create (2 * n) in
+  for i = 1 to n do
+    let src = s_index i in
+    let fail_dst = if i = 1 then s'_index ~n 0 else s_index (i - 1) in
+    Ctmc.add_rate chain ~src ~dst:fail_dst (float_of_int i *. lambda);
+    if i < n then Ctmc.add_rate chain ~src ~dst:(s_index (i + 1)) (float_of_int (n - i) *. mu)
+  done;
+  (* Naive recovery: no memory of who failed last, so every recovery merely
+     grows the comatose set until all n copies are back; only S'_{n-1} leads
+     to an available state. *)
+  for j = 0 to n - 1 do
+    let src = s'_index ~n j in
+    if j > 0 then Ctmc.add_rate chain ~src ~dst:(s'_index ~n (j - 1)) (float_of_int j *. lambda);
+    if j < n - 1 then Ctmc.add_rate chain ~src ~dst:(s'_index ~n (j + 1)) (float_of_int (n - j) *. mu)
+    else Ctmc.add_rate chain ~src ~dst:(s_index n) mu
+  done;
+  chain
+
+let voting_state_probabilities ~n ~rho = Ctmc.steady_state (voting_chain ~n ~rho)
+let ac_state_probabilities ~n ~rho = Ctmc.steady_state (ac_chain ~n ~rho)
+let nac_state_probabilities ~n ~rho = Ctmc.steady_state (nac_chain ~n ~rho)
+
+let voting_availability ~n ~rho =
+  let pi = voting_state_probabilities ~n ~rho in
+  (* Majority quorum.  Odd n: k > n/2 sites strictly.  Even n: the paper
+     perturbs one weight; the half-up states then hold a quorum exactly when
+     the distinguished site is up, which by exchangeability is half of the
+     stationary mass of the k = n/2 state. *)
+  let acc = ref 0.0 in
+  for k = 0 to n do
+    if 2 * k > n then acc := !acc +. pi.(k)
+    else if 2 * k = n then acc := !acc +. (0.5 *. pi.(k))
+  done;
+  !acc
+
+let copy_availability probabilities ~n ~rho =
+  let pi = probabilities ~n ~rho in
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. pi.(s_index i)
+  done;
+  !acc
+
+let ac_availability = copy_availability ac_state_probabilities
+let nac_availability = copy_availability nac_state_probabilities
+
+let voting_participation ~n ~rho =
+  let chain = voting_chain ~n ~rho in
+  Ctmc.conditional_expectation chain ~pred:(fun k -> k >= 1) ~value:float_of_int
+
+let copy_participation build ~n ~rho =
+  let chain = build ~n ~rho in
+  Ctmc.conditional_expectation chain
+    ~pred:(fun s -> s < n)
+    ~value:(fun s -> float_of_int (s + 1))
+
+let ac_participation = copy_participation ac_chain
+let nac_participation = copy_participation nac_chain

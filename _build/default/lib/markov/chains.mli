@@ -1,0 +1,61 @@
+(** The paper's availability chains, built exactly as drawn.
+
+    All chains take the failure-to-repair ratio ρ = λ/μ and normalise μ = 1:
+    only the ratio matters for stationary quantities.
+
+    {b State encodings} (exposed so tests can check individual balance
+    equations):
+
+    - {e Voting} ([voting_chain]): [n+1] states; state [k] means [k] sites
+      are up.  Failures at rate [kλ], repairs at [ (n-k)μ ].
+    - {e Available copy} ([ac_chain], Figure 7) and {e naive available copy}
+      ([nac_chain], Figure 8): [2n] states.  State [i-1] for [i = 1..n]
+      encodes S_i ("[i] copies available"); state [n+j] for [j = 0..n-1]
+      encodes S'_j ("all copies failed at some point; [j] comatose copies
+      have recovered; the block is unavailable").  In the AC chain the
+      last-failed copy's recovery (rate μ) leads from S'_j back to S_{j+1};
+      in the NAC chain only S'_{n-1} → S_n exists — the naive algorithm
+      waits for {e all} copies. *)
+
+val voting_chain : n:int -> rho:float -> Ctmc.t
+val ac_chain : n:int -> rho:float -> Ctmc.t
+val nac_chain : n:int -> rho:float -> Ctmc.t
+
+(** {1 Availability} *)
+
+val voting_availability : n:int -> rho:float -> float
+(** Stationary probability that a majority quorum is up.  For even [n] the
+    paper breaks ties by slightly inflating one site's weight; by symmetry
+    the half-up state then counts with probability 1/2, reproducing
+    equation (1.b). *)
+
+val ac_availability : n:int -> rho:float -> float
+(** Stationary probability of the states S_1..S_n of the Figure 7 chain. *)
+
+val nac_availability : n:int -> rho:float -> float
+(** Same for the Figure 8 chain. *)
+
+(** {1 Participation (Section 5)}
+
+    The traffic analysis needs U, the average number of sites taking part in
+    an operation given that the local site can operate: operational sites
+    for voting, available sites for the copy schemes. *)
+
+val voting_participation : n:int -> rho:float -> float
+(** E[number up | at least one up]; closed form
+    [n(1+ρ)^{n-1} / ((1+ρ)^n - ρ^n)]. *)
+
+val ac_participation : n:int -> rho:float -> float
+(** E[i | block in some S_i] for the AC chain. *)
+
+val nac_participation : n:int -> rho:float -> float
+
+(** {1 Raw distributions (for tests and reports)} *)
+
+val voting_state_probabilities : n:int -> rho:float -> float array
+(** [p.(k)] = stationary probability that exactly [k] sites are up. *)
+
+val ac_state_probabilities : n:int -> rho:float -> float array
+(** Length [2n], indexed per the encoding above. *)
+
+val nac_state_probabilities : n:int -> rho:float -> float array

@@ -1,0 +1,59 @@
+type t = { n : int; rates : Matrix.t }
+
+let create n =
+  if n <= 0 then invalid_arg "Ctmc.create: need at least one state";
+  { n; rates = Matrix.create ~rows:n ~cols:n }
+
+let n_states t = t.n
+
+let add_rate t ~src ~dst r =
+  if src = dst then invalid_arg "Ctmc.add_rate: self-loop";
+  if r <= 0.0 then invalid_arg "Ctmc.add_rate: rate must be positive";
+  Matrix.add t.rates src dst r
+
+let rate t ~src ~dst = Matrix.get t.rates src dst
+
+let generator t =
+  let q = Matrix.copy t.rates in
+  for i = 0 to t.n - 1 do
+    let out = ref 0.0 in
+    for j = 0 to t.n - 1 do
+      if j <> i then out := !out +. Matrix.get q i j
+    done;
+    Matrix.set q i i (-. !out)
+  done;
+  q
+
+let steady_state t =
+  (* Solve pi Q = 0 with sum(pi) = 1: transpose Q, overwrite the last
+     equation with the normalisation constraint. *)
+  let qt = Matrix.transpose (generator t) in
+  let n = t.n in
+  for j = 0 to n - 1 do
+    Matrix.set qt (n - 1) j 1.0
+  done;
+  let b = Array.make n 0.0 in
+  b.(n - 1) <- 1.0;
+  let pi = Matrix.solve qt b in
+  (* Floating-point dust can leave tiny negatives; clamp and renormalise. *)
+  let pi = Array.map (fun p -> if p < 0.0 && p > -1e-9 then 0.0 else p) pi in
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  Array.map (fun p -> p /. total) pi
+
+let stationary_expectation t f =
+  let pi = steady_state t in
+  let acc = ref 0.0 in
+  Array.iteri (fun s p -> acc := !acc +. (p *. f s)) pi;
+  !acc
+
+let conditional_expectation t ~pred ~value =
+  let pi = steady_state t in
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun s p ->
+      if pred s then begin
+        num := !num +. (p *. value s);
+        den := !den +. p
+      end)
+    pi;
+  if !den = 0.0 then nan else !num /. !den

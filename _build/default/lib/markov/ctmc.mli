@@ -1,0 +1,39 @@
+(** Continuous-time Markov chains and their stationary distributions.
+
+    Availability in Section 4 of the paper is the stationary probability of
+    the "operating" states of a CTMC whose transitions are site failures
+    (rate λ) and repairs (rate μ).  This module builds the generator matrix
+    from individual transition rates and solves the balance equations
+    [πQ = 0, Σπ = 1] exactly (up to floating point). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a chain over states [0 .. n-1] with no transitions yet. *)
+
+val n_states : t -> int
+
+val add_rate : t -> src:int -> dst:int -> float -> unit
+(** Add a transition at the given rate.  [src <> dst], rate must be
+    positive; raises [Invalid_argument] otherwise.  Repeated calls on the
+    same pair accumulate. *)
+
+val rate : t -> src:int -> dst:int -> float
+(** Total rate currently installed on a pair. *)
+
+val generator : t -> Matrix.t
+(** The generator Q: off-diagonal entries are the rates, diagonals make rows
+    sum to zero. *)
+
+val steady_state : t -> float array
+(** The stationary distribution.  The chain must be irreducible; raises
+    [Failure] (singular system) when it is not. *)
+
+val stationary_expectation : t -> (int -> float) -> float
+(** [stationary_expectation t f] is [Σ_s π(s) · f s]. *)
+
+val conditional_expectation : t -> pred:(int -> bool) -> value:(int -> float) -> float
+(** [conditional_expectation t ~pred ~value] is
+    [E(value | pred)] under the stationary distribution: the participation
+    averages U of Section 5 are instances.  [nan] if [pred] has stationary
+    probability 0. *)

@@ -1,0 +1,118 @@
+let check_distribution chain initial name =
+  if Array.length initial <> Ctmc.n_states chain then
+    invalid_arg (Printf.sprintf "Transient.%s: initial distribution has wrong length" name);
+  let total = Array.fold_left ( +. ) 0.0 initial in
+  if Array.exists (fun p -> p < -1e-12) initial || Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg (Printf.sprintf "Transient.%s: initial is not a distribution" name)
+
+(* One uniformization step over an interval with q*dt small enough that
+   the Poisson series is numerically benign. *)
+let uniformization_chunk ~q ~p_matrix v dt =
+  let n = Array.length v in
+  let qt = q *. dt in
+  let result = Array.make n 0.0 in
+  let term = ref (Array.copy v) in
+  (* Poisson(k; qt) weights computed iteratively. *)
+  let weight = ref (exp (-.qt)) in
+  let k = ref 0 in
+  let accumulated = ref 0.0 in
+  while !accumulated < 1.0 -. 1e-13 && !k < 10_000 do
+    for i = 0 to n - 1 do
+      result.(i) <- result.(i) +. (!weight *. !term.(i))
+    done;
+    accumulated := !accumulated +. !weight;
+    incr k;
+    weight := !weight *. qt /. float_of_int !k;
+    term := Matrix.mul_vec p_matrix !term
+  done;
+  result
+
+let probability_at chain ~initial ~t =
+  check_distribution chain initial "probability_at";
+  if t < 0.0 then invalid_arg "Transient.probability_at: negative time";
+  if t = 0.0 then Array.copy initial
+  else begin
+    let n = Ctmc.n_states chain in
+    let q_gen = Ctmc.generator chain in
+    let rate =
+      let m = ref 1e-12 in
+      for i = 0 to n - 1 do
+        m := Float.max !m (Float.abs (Matrix.get q_gen i i))
+      done;
+      !m *. 1.05
+    in
+    (* P = (I + Q/rate)^T so that mul_vec advances a row distribution. *)
+    let p_matrix = Matrix.create ~rows:n ~cols:n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let v = (Matrix.get q_gen j i /. rate) +. if i = j then 1.0 else 0.0 in
+        Matrix.set p_matrix i j v
+      done
+    done;
+    (* Keep q*dt <= 30 per chunk so exp(-q dt) stays representable. *)
+    let chunks = Int.max 1 (int_of_float (ceil (rate *. t /. 30.0))) in
+    let dt = t /. float_of_int chunks in
+    let v = ref (Array.copy initial) in
+    for _ = 1 to chunks do
+      v := uniformization_chunk ~q:rate ~p_matrix !v dt
+    done;
+    !v
+  end
+
+let availability_at chain ~initial ~operational ~t =
+  let p = probability_at chain ~initial ~t in
+  let acc = ref 0.0 in
+  Array.iteri (fun s prob -> if operational s then acc := !acc +. prob) p;
+  !acc
+
+(* The chain with every non-operational state made absorbing. *)
+let absorbed_chain chain ~operational =
+  let n = Ctmc.n_states chain in
+  let killed = Ctmc.create n in
+  for src = 0 to n - 1 do
+    if operational src then
+      for dst = 0 to n - 1 do
+        if dst <> src then begin
+          let r = Ctmc.rate chain ~src ~dst in
+          if r > 0.0 then Ctmc.add_rate killed ~src ~dst r
+        end
+      done
+  done;
+  killed
+
+let reliability_at chain ~initial ~operational ~t =
+  check_distribution chain initial "reliability_at";
+  let killed = absorbed_chain chain ~operational in
+  let p = probability_at killed ~initial ~t in
+  let acc = ref 0.0 in
+  Array.iteri (fun s prob -> if operational s then acc := !acc +. prob) p;
+  !acc
+
+let mean_time_to_failure chain ~initial ~operational =
+  check_distribution chain initial "mean_time_to_failure";
+  let n = Ctmc.n_states chain in
+  let ops = List.filter operational (List.init n Fun.id) in
+  if ops = [] then invalid_arg "Transient.mean_time_to_failure: no operational states";
+  Array.iteri
+    (fun s p ->
+      if (not (operational s)) && p > 0.0 then
+        invalid_arg "Transient.mean_time_to_failure: initial mass on non-operational states")
+    initial;
+  let index = Hashtbl.create (List.length ops) in
+  List.iteri (fun i s -> Hashtbl.replace index s i) ops;
+  let k = List.length ops in
+  let q_gen = Ctmc.generator chain in
+  (* Restrict the generator to operational states (diagonals keep the full
+     exit rates, including transitions into absorbing states). *)
+  let q_op = Matrix.create ~rows:k ~cols:k in
+  List.iteri
+    (fun i s -> List.iteri (fun j s' -> Matrix.set q_op i j (Matrix.get q_gen s s')) ops)
+    ops;
+  let minus_one = Array.make k (-1.0) in
+  let m = Matrix.solve q_op minus_one in
+  (* MTTF = sum over initial operational states of initial(s) * m(s). *)
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun s p -> if p > 0.0 then acc := !acc +. (p *. m.(Hashtbl.find index s)))
+    initial;
+  !acc

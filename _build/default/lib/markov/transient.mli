@@ -1,0 +1,33 @@
+(** Transient and first-passage analysis of CTMCs.
+
+    The paper defines availability as A = lim p(t) of the probability of
+    being operational at time t; {!probability_at} computes the full p(t)
+    curve (by uniformization), showing the convergence.  The companion
+    metric the replication literature reports alongside availability is
+    {e reliability}: the probability that service has been continuous up
+    to t, and its integral the MTTF — computed here by making the
+    non-operating states absorbing. *)
+
+val probability_at :
+  Ctmc.t -> initial:float array -> t:float -> float array
+(** [probability_at chain ~initial ~t] is the state distribution after
+    [t] time units starting from [initial], by uniformization with
+    adaptive truncation (error < 1e-12).  [initial] must be a
+    distribution over the chain's states; [t] non-negative. *)
+
+val availability_at :
+  Ctmc.t -> initial:float array -> operational:(int -> bool) -> t:float -> float
+(** Probability mass on operational states at time [t]. *)
+
+val reliability_at :
+  Ctmc.t -> initial:float array -> operational:(int -> bool) -> t:float -> float
+(** Probability that the chain has {e never} left the operational states
+    during [\[0, t\]]: transient analysis of the chain with every
+    non-operational state made absorbing. *)
+
+val mean_time_to_failure :
+  Ctmc.t -> initial:float array -> operational:(int -> bool) -> float
+(** Expected time until the first entry into a non-operational state
+    (MTTF), from the fundamental-matrix linear system
+    [Q_op · m = -1].  The initial distribution must be supported on
+    operational states; raises [Invalid_argument] otherwise. *)

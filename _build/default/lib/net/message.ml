@@ -1,0 +1,50 @@
+type category =
+  | Vote_request
+  | Vote_reply
+  | Block_update
+  | Write_ack
+  | Block_request
+  | Block_transfer
+  | Recovery_probe
+  | Recovery_reply
+  | Version_vector_send
+  | Version_vector_reply
+  | Was_available_update
+
+let all =
+  [
+    Vote_request;
+    Vote_reply;
+    Block_update;
+    Write_ack;
+    Block_request;
+    Block_transfer;
+    Recovery_probe;
+    Recovery_reply;
+    Version_vector_send;
+    Version_vector_reply;
+    Was_available_update;
+  ]
+
+let to_string = function
+  | Vote_request -> "vote-request"
+  | Vote_reply -> "vote-reply"
+  | Block_update -> "block-update"
+  | Write_ack -> "write-ack"
+  | Block_request -> "block-request"
+  | Block_transfer -> "block-transfer"
+  | Recovery_probe -> "recovery-probe"
+  | Recovery_reply -> "recovery-reply"
+  | Version_vector_send -> "version-vector-send"
+  | Version_vector_reply -> "version-vector-reply"
+  | Was_available_update -> "was-available-update"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+type operation = Read | Write | Recovery
+
+let operation_to_string = function Read -> "read" | Write -> "write" | Recovery -> "recovery"
+
+let all_operations = [ Read; Write; Recovery ]
+
+let pp_operation ppf o = Format.pp_print_string ppf (operation_to_string o)

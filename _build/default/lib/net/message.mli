@@ -1,0 +1,34 @@
+(** Taxonomy of the "high-level transmissions" of Section 5.
+
+    The paper's traffic analysis counts high-level requests — vote
+    collections, block transfers, version-vector exchanges — rather than wire
+    packets, arguing that low-level message counts are proportional.  We give
+    each such transmission a category so that traffic accounting can report
+    exactly the quantities the paper compares. *)
+
+type category =
+  | Vote_request  (** voting: collect votes / ascertain a quorum *)
+  | Vote_reply  (** a site's vote: version number + weight *)
+  | Block_update  (** the new block + version sent to quorum/available sites *)
+  | Write_ack  (** AC only: reply to a write, refreshing the was-available set *)
+  | Block_request  (** voting read: ask the most current site for the block *)
+  | Block_transfer  (** the requested block's contents *)
+  | Recovery_probe  (** recovering site's "who is operational?" enquiry *)
+  | Recovery_reply  (** response to a recovery probe *)
+  | Version_vector_send  (** recovering site sends its version vector v *)
+  | Version_vector_reply  (** v' plus the blocks modified during the outage *)
+  | Was_available_update  (** AC: recovered site sends its new W_s *)
+
+val all : category list
+(** Every category, for iteration in reports. *)
+
+val to_string : category -> string
+val pp : Format.formatter -> category -> unit
+
+(** The operation on whose behalf a transmission was sent, for the per-class
+    breakdowns of Figures 11 and 12. *)
+type operation = Read | Write | Recovery
+
+val operation_to_string : operation -> string
+val all_operations : operation list
+val pp_operation : Format.formatter -> operation -> unit

@@ -1,0 +1,121 @@
+module type PAYLOAD = sig
+  type t
+
+  val category : t -> Message.category
+  val size : t -> int
+end
+
+type mode = Multicast | Unicast
+
+let mode_to_string = function Multicast -> "multicast" | Unicast -> "unicast"
+
+module Make (P : PAYLOAD) = struct
+  type t = {
+    engine : Sim.Engine.t;
+    mode : mode;
+    latency : Util.Dist.t;
+    rng : Util.Prng.t;
+    traffic : Traffic.t;
+    n_sites : int;
+    up : bool array;
+    handlers : (from:int -> P.t -> unit) option array;
+    (* group.(i) = group.(j) && group.(i) >= 0 means i and j can talk;
+       -1 means isolated.  No partition: all zero. *)
+    group : int array;
+    mutable delivered : int;
+  }
+
+  let create engine ~mode ~latency ~rng ~n_sites =
+    if n_sites <= 0 then invalid_arg "Network.create: need at least one site";
+    {
+      engine;
+      mode;
+      latency;
+      rng;
+      traffic = Traffic.create ();
+      n_sites;
+      up = Array.make n_sites true;
+      handlers = Array.make n_sites None;
+      group = Array.make n_sites 0;
+      delivered = 0;
+    }
+
+  let engine t = t.engine
+  let mode t = t.mode
+  let n_sites t = t.n_sites
+  let traffic t = t.traffic
+
+  let check_site t id name =
+    if id < 0 || id >= t.n_sites then invalid_arg (Printf.sprintf "Network.%s: bad site %d" name id)
+
+  let register t ~id handler =
+    check_site t id "register";
+    t.handlers.(id) <- Some handler
+
+  let set_up t id up =
+    check_site t id "set_up";
+    t.up.(id) <- up
+
+  let is_up t id =
+    check_site t id "is_up";
+    t.up.(id)
+
+  let up_sites t =
+    let rec collect i acc = if i < 0 then acc else collect (i - 1) (if t.up.(i) then i :: acc else acc) in
+    collect (t.n_sites - 1) []
+
+  let reachable t a b =
+    check_site t a "reachable";
+    check_site t b "reachable";
+    t.group.(a) >= 0 && t.group.(a) = t.group.(b)
+
+  let partition t groups =
+    Array.fill t.group 0 t.n_sites (-1);
+    List.iteri
+      (fun gi members ->
+        List.iter
+          (fun s ->
+            check_site t s "partition";
+            t.group.(s) <- gi)
+          members)
+      groups
+
+  let heal t = Array.fill t.group 0 t.n_sites 0
+
+  (* Physical delivery: the receiver must be up both when the message is
+     sent (a dead NIC receives nothing) and when it arrives (fail-stop: a
+     message racing a failure is lost), and the route must exist at
+     delivery. *)
+  let deliver t ~from ~dst payload =
+    if t.up.(dst) then begin
+      let delay = Util.Dist.sample t.latency t.rng in
+      ignore
+        (Sim.Engine.schedule t.engine ~delay (fun () ->
+             if t.up.(dst) && reachable t from dst then
+               match t.handlers.(dst) with
+               | Some handler ->
+                   t.delivered <- t.delivered + 1;
+                   handler ~from payload
+               | None -> ())
+          : Sim.Engine.handle)
+    end
+
+  let send t ~op ~from ~dst payload =
+    check_site t from "send";
+    check_site t dst "send";
+    if from = dst then invalid_arg "Network.send: local access needs no transmission";
+    if not t.up.(from) then invalid_arg "Network.send: sender is down";
+    Traffic.record t.traffic ~bytes:(P.size payload) op (P.category payload) 1;
+    if reachable t from dst then deliver t ~from ~dst payload
+
+  let broadcast t ~op ~from payload =
+    check_site t from "broadcast";
+    if not t.up.(from) then invalid_arg "Network.broadcast: sender is down";
+    let cost = match t.mode with Multicast -> 1 | Unicast -> t.n_sites - 1 in
+    Traffic.record t.traffic ~bytes:(cost * P.size payload) op (P.category payload) cost;
+    for dst = 0 to t.n_sites - 1 do
+      if dst <> from && reachable t from dst then deliver t ~from ~dst payload
+    done
+
+  let messages_delivered t = t.delivered
+end

@@ -1,0 +1,89 @@
+(** A simulated site-to-site network with fail-stop semantics.
+
+    The network is a functor over the protocol's message type so that the
+    replication layer keeps a typed interface while this module stays
+    protocol-agnostic.  It models the two environments of Section 5:
+
+    - {b Multicast}: one transmission reaches every destination, so a
+      broadcast costs a single high-level transmission;
+    - {b Unicast} ("unique addressing"): a broadcast costs one transmission
+      per remote site, up or not — the sender cannot know.
+
+    Delivery is reliable and FIFO-per-latency-draw, matching the paper's
+    "reliable message delivery" assumption; messages to failed sites vanish
+    (fail-stop receivers), and optional partitions let adversarial tests
+    exercise the one scenario where available copy is unsafe. *)
+
+module type PAYLOAD = sig
+  type t
+
+  val category : t -> Message.category
+  (** Category under which a payload's transmission is accounted. *)
+
+  val size : t -> int
+  (** Payload size in bytes, for the byte-level accounting of
+      {!Traffic}.  An estimate is fine; only relative magnitudes matter to
+      the Section 5 size remark. *)
+end
+
+type mode = Multicast | Unicast
+
+val mode_to_string : mode -> string
+
+module Make (P : PAYLOAD) : sig
+  type t
+
+  val create :
+    Sim.Engine.t ->
+    mode:mode ->
+    latency:Util.Dist.t ->
+    rng:Util.Prng.t ->
+    n_sites:int ->
+    t
+  (** A network over sites [0 .. n_sites-1], all initially up, fully
+      connected, with its own fresh {!Traffic.t}. *)
+
+  val engine : t -> Sim.Engine.t
+  val mode : t -> mode
+  val n_sites : t -> int
+  val traffic : t -> Traffic.t
+
+  val register : t -> id:int -> (from:int -> P.t -> unit) -> unit
+  (** [register t ~id handler] installs the receive handler of site [id];
+      replaces any previous handler. *)
+
+  val set_up : t -> int -> bool -> unit
+  (** Mark a site up or down.  A down site receives nothing: messages
+      addressed to it while down never materialise, and messages already in
+      flight when it goes down are dropped at delivery time. *)
+
+  val is_up : t -> int -> bool
+
+  val up_sites : t -> int list
+  (** Sites currently up, ascending. *)
+
+  val send : t -> op:Message.operation -> from:int -> dst:int -> P.t -> unit
+  (** One point-to-point transmission (always accounted).  Raises
+      [Invalid_argument] if the sender is down — protocols must not speak
+      for dead sites — or if [from = dst]; local work is free. *)
+
+  val broadcast : t -> op:Message.operation -> from:int -> P.t -> unit
+  (** Transmission to every other site: accounted as 1 (multicast) or
+      [n_sites - 1] (unicast). *)
+
+  val partition : t -> int list list -> unit
+  (** [partition t groups] splits connectivity: two sites communicate iff
+      some group contains both.  Sites absent from every group are isolated.
+      Replaces any previous partition. *)
+
+  val heal : t -> unit
+  (** Remove any partition; full connectivity again. *)
+
+  val reachable : t -> int -> int -> bool
+  (** Whether a message sent now from the first site can reach the second
+      (ignores up/down state; pure connectivity). *)
+
+  val messages_delivered : t -> int
+  (** Messages actually handed to a receiver (for tests: delivered <= sent
+      destinations). *)
+end

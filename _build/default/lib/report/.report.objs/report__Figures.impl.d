@@ -1,0 +1,1 @@
+lib/report/figures.ml: Analysis Blockrep Float Format List Markov Net Printf Workload

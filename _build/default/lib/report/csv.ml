@@ -1,0 +1,65 @@
+let float_cell v = Printf.sprintf "%.9g" v
+
+let opt_cell = function None -> "" | Some v -> float_cell v
+
+let availability_rows rows =
+  let header = "rho,voting,ac_closed,ac_chain,nac_closed,nac_chain,ac_sim,nac_sim,voting_sim" in
+  header
+  :: List.map
+       (fun (r : Figures.availability_row) ->
+         String.concat ","
+           [
+             float_cell r.rho;
+             float_cell r.voting;
+             float_cell r.ac_closed;
+             float_cell r.ac_chain;
+             float_cell r.nac_closed;
+             float_cell r.nac_chain;
+             opt_cell r.ac_sim;
+             opt_cell r.nac_sim;
+             opt_cell r.voting_sim;
+           ])
+       rows
+
+let traffic_rows rows =
+  let header = "n_sites,voting_x1,voting_x2,voting_x4,ac,nac,ac_sim,nac_sim,voting_x2_sim" in
+  header
+  :: List.map
+       (fun (r : Figures.traffic_row) ->
+         String.concat ","
+           [
+             string_of_int r.n_sites;
+             float_cell r.voting_x1;
+             float_cell r.voting_x2;
+             float_cell r.voting_x4;
+             float_cell r.ac;
+             float_cell r.nac;
+             opt_cell r.ac_sim;
+             opt_cell r.nac_sim;
+             opt_cell r.voting_x2_sim;
+           ])
+       rows
+
+let escape s = if String.contains s ',' then "\"" ^ s ^ "\"" else s
+
+let identity_rows rows =
+  "label,lhs,rhs,holds"
+  :: List.map
+       (fun (r : Figures.identity_row) ->
+         String.concat ","
+           [ escape r.label; float_cell r.lhs; float_cell r.rhs; string_of_bool r.holds ])
+       rows
+
+let write_file path lines =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            lines;
+          Ok ())

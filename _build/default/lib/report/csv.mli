@@ -1,0 +1,17 @@
+(** CSV export of the figure series, for external plotting.
+
+    Each writer emits one header row and one data row per point; floats
+    are printed with enough digits to replot the curves exactly.
+    Simulation columns are included when present and left empty
+    otherwise. *)
+
+val availability_rows : Figures.availability_row list -> string list
+(** CSV lines (header first) for a Figure 9/10-style series. *)
+
+val traffic_rows : Figures.traffic_row list -> string list
+(** CSV lines for a Figure 11/12-style series. *)
+
+val identity_rows : Figures.identity_row list -> string list
+
+val write_file : string -> string list -> (unit, string) result
+(** Write lines (with trailing newlines) to a file. *)

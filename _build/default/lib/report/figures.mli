@@ -1,0 +1,54 @@
+(** Regeneration of every evaluation artifact in the paper.
+
+    Each [figure_*] function computes the series behind the corresponding
+    figure — analytic model, exact Markov solution and (optionally)
+    event-driven simulation — and [print_*] renders them as aligned text
+    tables.  The bench harness and the CLI both call these, so the numbers
+    in EXPERIMENTS.md are regenerable with one command. *)
+
+type availability_row = {
+  rho : float;
+  voting : float;  (** A_V(2n), = A_V(2n-1) *)
+  ac_closed : float;  (** A_A(n), paper's closed form *)
+  ac_chain : float;  (** A_A(n), Figure 7 chain *)
+  nac_closed : float;  (** A_NA(n), closed form *)
+  nac_chain : float;  (** A_NA(n), Figure 8 chain *)
+  ac_sim : float option;
+  nac_sim : float option;
+  voting_sim : float option;
+}
+
+val figure_9_10 :
+  n_copies:int -> ?rhos:float list -> ?simulate:bool -> ?sim_horizon:float -> unit -> availability_row list
+(** Figure 9 is [n_copies = 3] (voting uses 6 copies), Figure 10 is
+    [n_copies = 4] (voting uses 8).  Default ρ grid: 0.00 to 0.20 in steps
+    of 0.02.  [simulate] (default false) adds event-driven measurements. *)
+
+type traffic_row = {
+  n_sites : int;
+  voting_x1 : float;
+  voting_x2 : float;
+  voting_x4 : float;  (** voting cost for 1 write + x reads, x = 1, 2, 4 *)
+  ac : float;  (** read traffic is zero, so x does not matter *)
+  nac : float;
+  ac_sim : float option;  (** measured at x = 2 *)
+  nac_sim : float option;
+  voting_x2_sim : float option;
+}
+
+val figure_11 : ?rho:float -> ?sites:int list -> ?simulate:bool -> unit -> traffic_row list
+(** Multicast environment, ρ = 0.05, n from 2 to 10 by default. *)
+
+val figure_12 : ?rho:float -> ?sites:int list -> ?simulate:bool -> unit -> traffic_row list
+(** Unique-address environment. *)
+
+type identity_row = { label : string; lhs : float; rhs : float; holds : bool }
+
+val identity_checks : ?rhos:float list -> unit -> identity_row list
+(** The analytic claims of Section 4: A_V(2k) = A_V(2k-1); A_NA(2) = A_V(3);
+    closed forms (2)-(4) vs the chain; the bound (5); Theorem 4.1 at each
+    grid point; U_V^n closed form vs the chain. *)
+
+val print_availability : Format.formatter -> title:string -> availability_row list -> unit
+val print_traffic : Format.formatter -> title:string -> traffic_row list -> unit
+val print_identities : Format.formatter -> identity_row list -> unit

@@ -1,0 +1,56 @@
+(** A little language for replication scenarios.
+
+    Distributed-systems bugs live in specific interleavings of failures,
+    repairs and operations; this module lets those interleavings be written
+    down as plain text, executed deterministically against a cluster, and
+    asserted on — the test suite ships a corpus of them.
+
+    Format: one directive or event per line; [#] starts a comment.
+
+    {v
+    # header directives (before any event)
+    scheme nac              # voting | ac | nac | dynamic
+    sites 3
+    blocks 8                # optional, default 8
+    seed 42                 # optional
+    latency 0.5             # optional constant one-hop latency
+    witnesses 2             # optional, voting only
+    track-liveness true     # optional, AC only
+    horizon 200             # optional; default last event time + 100
+
+    # timed events
+    @10   fail 1
+    @11   write 0 3 hello         # site, block, payload token
+    @12   expect-read 0 3 hello   # must succeed with this payload
+    @13   expect-write-fail 1 0   # site is down: must be refused
+    @20   repair 1
+    @25   partition 0 1 | 2
+    @30   heal
+    @90   expect-state 1 available
+    @95   expect-available true
+    @99   expect-consistent       # available stores agree
+    @100  expect-inconsistent     # ...or assert a documented failure mode
+    v} *)
+
+type t
+(** A parsed scenario. *)
+
+type outcome = {
+  passed : bool;
+  failures : string list;  (** one line per violated expectation *)
+  events_run : int;
+  cluster : Blockrep.Cluster.t;  (** final state, for further inspection *)
+}
+
+val parse : string -> (t, string) result
+(** Parse scenario text; [Error] pinpoints the offending line. *)
+
+val parse_file : string -> (t, string) result
+
+val run : t -> outcome
+(** Build the cluster, schedule every event, run the engine to the horizon
+    and collect expectation failures. *)
+
+val check : string -> (unit, string list) result
+(** [parse] + [run] in one step: [Ok ()] when every expectation held,
+    [Error failures] (or a singleton parse error) otherwise. *)

@@ -1,0 +1,73 @@
+type event = { time : float; seq : int; action : unit -> unit; mutable cancelled : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+  queue : event Heap.t;
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { clock = 0.0; next_seq = 0; fired = 0; queue = Heap.create ~cmp:compare_events }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel _t h = h.cancelled <- true
+
+let pending t = List.length (List.filter (fun e -> not e.cancelled) (Heap.to_list t.queue))
+
+let fire t ev =
+  t.clock <- ev.time;
+  t.fired <- t.fired + 1;
+  ev.action ()
+
+(* Pop the earliest live event at or before [horizon]; cancelled events are
+   discarded without advancing the clock. *)
+let rec pop_live t ~horizon =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some ev when ev.time > horizon -> None
+  | Some _ -> (
+      match Heap.pop t.queue with
+      | Some ev when not ev.cancelled -> Some ev
+      | Some _ -> pop_live t ~horizon
+      | None -> None)
+
+let step t =
+  match pop_live t ~horizon:infinity with
+  | None -> false
+  | Some ev ->
+      fire t ev;
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  if horizon < t.clock then invalid_arg "Engine.run_until: horizon is in the past";
+  let rec loop () =
+    match pop_live t ~horizon with
+    | Some ev ->
+        fire t ev;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  t.clock <- horizon
+
+let events_fired t = t.fired

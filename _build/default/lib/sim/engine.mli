@@ -1,0 +1,53 @@
+(** Deterministic discrete-event simulation engine.
+
+    An engine owns a virtual clock and a pending-event queue.  Events are
+    closures scheduled at absolute virtual times; simultaneous events fire in
+    scheduling order (FIFO among equal times), so a run is a pure function of
+    the seed of whatever randomness fed it.
+
+    The whole replication stack — network delivery, site failures and repairs,
+    protocol timeouts — runs on one engine. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so that it can be cancelled (e.g. a protocol
+    timeout that the awaited reply makes moot). *)
+
+val create : unit -> t
+(** A fresh engine with the clock at [0.0] and no pending events. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].  [delay] must
+    be non-negative; raises [Invalid_argument] otherwise.  Returns a handle
+    for {!cancel}. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
+
+val cancel : t -> handle -> unit
+(** [cancel t h] prevents the event from firing.  Cancelling an event that
+    already fired (or was already cancelled) is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val step : t -> bool
+(** [step t] fires the earliest pending event, advancing the clock to its
+    time.  Returns [false] when no event is pending (clock unchanged). *)
+
+val run : t -> unit
+(** Fires events until none remain.  Raises [Stalled] below never; an
+    infinitely self-rescheduling event makes this loop forever — use
+    {!run_until} for open-ended processes. *)
+
+val run_until : t -> float -> unit
+(** [run_until t horizon] fires every event with time [<= horizon], then
+    advances the clock to exactly [horizon].  Events scheduled beyond the
+    horizon remain pending. *)
+
+val events_fired : t -> int
+(** Total events executed since creation (for tests and reporting). *)

@@ -1,0 +1,27 @@
+(** A polymorphic binary min-heap with user-supplied ordering.
+
+    Used as the pending-event set of {!Engine}.  Ties must be broken by the
+    ordering function itself (the engine orders by [(time, sequence)]), so
+    extraction order is fully deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap order, not sorted); intended for
+    tests and introspection. *)

@@ -1,0 +1,66 @@
+type phase = Up | Down
+
+type t = {
+  engine : Engine.t;
+  rng : Util.Prng.t;
+  up_time : Util.Dist.t;
+  down_time : Util.Dist.t;
+  on_fail : unit -> unit;
+  on_repair : unit -> unit;
+  mutable phase : phase;
+  mutable transitions : int;
+  mutable stopped : bool;
+  mutable pending : Engine.handle option;
+}
+
+let rec arm t =
+  if not t.stopped then begin
+    let delay =
+      match t.phase with
+      | Up -> Util.Dist.sample t.up_time t.rng
+      | Down -> Util.Dist.sample t.down_time t.rng
+    in
+    let handle = Engine.schedule t.engine ~delay (fun () -> transition t) in
+    t.pending <- Some handle
+  end
+
+and transition t =
+  t.pending <- None;
+  t.transitions <- t.transitions + 1;
+  (match t.phase with
+  | Up ->
+      t.phase <- Down;
+      t.on_fail ()
+  | Down ->
+      t.phase <- Up;
+      t.on_repair ());
+  arm t
+
+let alternating engine ~rng ~up_time ~down_time ?(initial = Up) ~on_fail ~on_repair () =
+  let t =
+    {
+      engine;
+      rng;
+      up_time;
+      down_time;
+      on_fail;
+      on_repair;
+      phase = initial;
+      transitions = 0;
+      stopped = false;
+      pending = None;
+    }
+  in
+  arm t;
+  t
+
+let stop t =
+  t.stopped <- true;
+  match t.pending with
+  | Some h ->
+      Engine.cancel t.engine h;
+      t.pending <- None
+  | None -> ()
+
+let phase t = t.phase
+let transitions t = t.transitions

@@ -1,0 +1,37 @@
+(** Alternating-renewal processes on the simulation engine.
+
+    A site in the paper's model alternates between operating periods (ending
+    in a failure, rate λ) and repair periods (ending in a recovery, rate μ).
+    {!alternating} drives exactly this: it schedules the next transition,
+    invokes the user callbacks, and repeats until stopped. *)
+
+type t
+
+type phase = Up | Down
+
+val alternating :
+  Engine.t ->
+  rng:Util.Prng.t ->
+  up_time:Util.Dist.t ->
+  down_time:Util.Dist.t ->
+  ?initial:phase ->
+  on_fail:(unit -> unit) ->
+  on_repair:(unit -> unit) ->
+  unit ->
+  t
+(** [alternating engine ~rng ~up_time ~down_time ~on_fail ~on_repair ()]
+    starts a process in phase [initial] (default [Up]).  After an [up_time]
+    variate it calls [on_fail] and enters [Down]; after a [down_time] variate
+    it calls [on_repair] and re-enters [Up]; and so on until {!stop}.
+
+    The callbacks run at the transition's virtual time, so they may query
+    [Engine.now] and schedule further work. *)
+
+val stop : t -> unit
+(** Cancels the process's pending transition; no further callbacks fire. *)
+
+val phase : t -> phase
+(** Phase the process is currently in. *)
+
+val transitions : t -> int
+(** Number of transitions performed so far (failures + repairs). *)

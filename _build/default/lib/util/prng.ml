@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* The SplitMix64 output function: two xor-shift-multiply rounds over the
+   incremented state. *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = { state = bits64 g }
+
+let float g =
+  (* 53 uniform bits scaled into [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let rec float_pos g =
+  let u = float g in
+  if u > 0.0 then u else float_pos g
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the high bits to avoid modulo bias. *)
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) >= 0 then v else draw ()
+  in
+  draw ()
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth l (int g (List.length l))

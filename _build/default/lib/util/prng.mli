@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the project flows through this module so that every
+    simulation is reproducible from a single integer seed.  The generator is
+    SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a small, fast, splittable
+    generator with a 64-bit state and good statistical quality, more than
+    adequate for driving Poisson failure processes and workload generation. *)
+
+type t
+(** A mutable generator.  Generators are cheap; use {!split} to derive
+    independent streams (one per site, one per workload, ...) so that adding
+    draws to one stream never perturbs another. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is a generator with the same state as [g]; the two evolve
+    independently afterwards. *)
+
+val split : t -> t
+(** [split g] draws once from [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)
+
+val bits64 : t -> int64
+(** [bits64 g] is the next raw 64-bit output. *)
+
+val float : t -> float
+(** [float g] is uniform on [\[0, 1)], using the top 53 bits of {!bits64}. *)
+
+val float_pos : t -> float
+(** [float_pos g] is uniform on [(0, 1)]; never returns [0.], so it is safe
+    as the argument of [log] when sampling exponentials. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform on [\[0, bound)].  [bound] must be positive;
+    raises [Invalid_argument] otherwise. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place, uniformly (Fisher–Yates). *)
+
+val pick : t -> 'a list -> 'a
+(** [pick g l] is a uniformly chosen element of [l].  Raises
+    [Invalid_argument] on the empty list. *)

@@ -1,0 +1,1 @@
+lib/workload/access_gen.ml: Array Blockdev List Printf Util

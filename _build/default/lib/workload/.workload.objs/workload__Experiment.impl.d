@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Access_gen Blockrep Failure_gen Net Runner Util

@@ -1,0 +1,1 @@
+lib/workload/failure_gen.ml: Array Blockrep List Sim Util

@@ -1,0 +1,1 @@
+lib/workload/failure_gen.mli: Blockrep Util

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Access_gen Blockrep List Sim Trace Util

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Access_gen Blockrep Trace Util

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Access_gen Blockdev Fun List Printf String

@@ -1,0 +1,86 @@
+type op = Read of Blockdev.Block.id | Write of Blockdev.Block.id * Blockdev.Block.t
+
+let op_block = function Read b -> b | Write (b, _) -> b
+let is_read = function Read _ -> true | Write _ -> false
+
+type locality = Uniform | Zipf of float | Sequential
+
+type t = {
+  rng : Util.Prng.t;
+  n_blocks : int;
+  read_fraction : float;
+  locality : locality;
+  payload_seed : string;
+  zipf_cdf : float array option;
+  mutable cursor : int;
+  mutable generated : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let zipf_cdf n exponent =
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let acc = ref 0.0 in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+let create ~rng ~n_blocks ~reads_per_write ?(locality = Uniform) ?(payload_seed = "blockrep") () =
+  if n_blocks <= 0 then invalid_arg "Access_gen.create: need blocks";
+  if reads_per_write < 0.0 then invalid_arg "Access_gen.create: negative read ratio";
+  let read_fraction = reads_per_write /. (1.0 +. reads_per_write) in
+  let zipf_cdf =
+    match locality with
+    | Zipf e when e <= 0.0 -> invalid_arg "Access_gen.create: zipf exponent must be positive"
+    | Zipf e -> Some (zipf_cdf n_blocks e)
+    | Uniform | Sequential -> None
+  in
+  {
+    rng;
+    n_blocks;
+    read_fraction;
+    locality;
+    payload_seed;
+    zipf_cdf;
+    cursor = 0;
+    generated = 0;
+    reads = 0;
+    writes = 0;
+  }
+
+let pick_block t =
+  match t.locality with
+  | Uniform -> Util.Prng.int t.rng t.n_blocks
+  | Sequential ->
+      let b = t.cursor in
+      t.cursor <- (t.cursor + 1) mod t.n_blocks;
+      b
+  | Zipf _ -> (
+      match t.zipf_cdf with
+      | Some cdf ->
+          let u = Util.Prng.float t.rng in
+          let rec find i = if i >= Array.length cdf - 1 || cdf.(i) >= u then i else find (i + 1) in
+          find 0
+      | None -> assert false)
+
+let next t =
+  t.generated <- t.generated + 1;
+  let block = pick_block t in
+  if Util.Prng.float t.rng < t.read_fraction then begin
+    t.reads <- t.reads + 1;
+    Read block
+  end
+  else begin
+    t.writes <- t.writes + 1;
+    let payload = Printf.sprintf "%s-%d-%d" t.payload_seed t.generated block in
+    Write (block, Blockdev.Block.of_string payload)
+  end
+
+let generated t = t.generated
+let reads_emitted t = t.reads
+let writes_emitted t = t.writes
+
+let take t n = List.init n (fun _ -> next t)

@@ -1,0 +1,40 @@
+(** Block-access workload generation.
+
+    The traffic analysis weighs reads against writes; the paper takes the
+    BSD 4.2 measurement of roughly 2.5 reads per write [Ousterhout 85] as
+    typical.  This generator produces read/write streams at a configurable
+    mix over a configurable block population. *)
+
+type op = Read of Blockdev.Block.id | Write of Blockdev.Block.id * Blockdev.Block.t
+
+val op_block : op -> Blockdev.Block.id
+val is_read : op -> bool
+
+(** How target blocks are drawn. *)
+type locality =
+  | Uniform  (** every block equally likely *)
+  | Zipf of float  (** skewed popularity with the given exponent (> 0) *)
+  | Sequential  (** cycle through blocks in order, wrapping *)
+
+type t
+
+val create :
+  rng:Util.Prng.t ->
+  n_blocks:int ->
+  reads_per_write:float ->
+  ?locality:locality ->
+  ?payload_seed:string ->
+  unit ->
+  t
+(** [reads_per_write] is the r:1 ratio (2.5 for the paper's "typical"
+    system); must be non-negative.  Write payloads are generated
+    deterministically from [payload_seed] and a counter, so runs are
+    reproducible and every write is distinguishable. *)
+
+val next : t -> op
+val generated : t -> int
+val reads_emitted : t -> int
+val writes_emitted : t -> int
+
+val take : t -> int -> op list
+(** The next [n] operations. *)

@@ -1,0 +1,78 @@
+type availability_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  rho : float;
+  horizon : float;
+  availability : float;
+  failures : int;
+  repairs : int;
+}
+
+let measure_availability ~scheme ~n_sites ~rho ?(horizon = 50_000.0) ?(seed = 7) ?(track_liveness = true)
+    () =
+  if rho < 0.0 then invalid_arg "Experiment.measure_availability: negative rho";
+  let config =
+    Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:4
+      ~latency:(Util.Dist.Constant 0.001)
+        (* Latency and timeouts far below the mean repair time (1.0), so
+           recovery handshakes are effectively instantaneous next to the
+           failure process — the regime the chains assume. *)
+      ~track_liveness ~seed ()
+  in
+  let cluster = Blockrep.Cluster.create config in
+  let rho_eff = if rho <= 0.0 then 1e-9 else rho in
+  let gen = Failure_gen.attach cluster ~rng:(Util.Prng.create (seed + 1)) ~lambda:rho_eff ~mu:1.0 in
+  Blockrep.Cluster.run_until cluster horizon;
+  Failure_gen.stop gen;
+  {
+    scheme;
+    n_sites;
+    rho;
+    horizon;
+    availability = Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor cluster);
+    failures = Failure_gen.failures_injected gen;
+    repairs = Failure_gen.repairs_injected gen;
+  }
+
+type traffic_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  env : Net.Network.mode;
+  reads_per_write : float;
+  writes : int;
+  reads : int;
+  read_cost_measured : float;
+  write_cost_measured : float;
+  messages_per_write_group : float;
+  bytes_per_write_group : float;
+  recovery_messages : int;
+}
+
+let measure_traffic ~scheme ~n_sites ~env ~reads_per_write ?(ops = 2000) ?(seed = 11) () =
+  let config = Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:32 ~net_mode:env ~seed () in
+  let cluster = Blockrep.Cluster.create config in
+  let gen =
+    Access_gen.create ~rng:(Util.Prng.create (seed + 1)) ~n_blocks:32 ~reads_per_write ()
+  in
+  let results = Runner.run_closed_loop cluster gen ~site:0 ~ops in
+  let traffic = Blockrep.Cluster.traffic cluster in
+  let writes = results.Runner.write_ok in
+  let reads = results.Runner.read_ok in
+  let per count value = if count = 0 then 0.0 else float_of_int value /. float_of_int count in
+  let read_cost_measured = per reads (Net.Traffic.by_operation traffic Net.Message.Read) in
+  let write_cost_measured = per writes (Net.Traffic.by_operation traffic Net.Message.Write) in
+  let read_bytes = per reads (Net.Traffic.bytes_by_operation traffic Net.Message.Read) in
+  let write_bytes = per writes (Net.Traffic.bytes_by_operation traffic Net.Message.Write) in
+  {
+    scheme;
+    n_sites;
+    env;
+    reads_per_write;
+    writes;
+    reads;
+    read_cost_measured;
+    write_cost_measured;
+    messages_per_write_group = write_cost_measured +. (reads_per_write *. read_cost_measured);
+    bytes_per_write_group = write_bytes +. (reads_per_write *. read_bytes);
+    recovery_messages = Net.Traffic.by_operation traffic Net.Message.Recovery;
+  }

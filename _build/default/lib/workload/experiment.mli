@@ -1,0 +1,61 @@
+(** Packaged experiments: one call per measured point of Figures 9–12.
+
+    These are the simulation counterparts of the analytic curves in
+    [Analysis]; benches and the CLI call them to put measured points next
+    to the model's. *)
+
+type availability_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  rho : float;
+  horizon : float;
+  availability : float;  (** time-weighted, from the cluster monitor *)
+  failures : int;
+  repairs : int;
+}
+
+val measure_availability :
+  scheme:Blockrep.Types.scheme ->
+  n_sites:int ->
+  rho:float ->
+  ?horizon:float ->
+  ?seed:int ->
+  ?track_liveness:bool ->
+  unit ->
+  availability_sample
+(** Run a cluster under Poisson failures (λ = ρ, μ = 1) for [horizon]
+    virtual time units (default 50_000) and report the observed
+    availability.  [track_liveness] defaults to [true] so the
+    available-copy run matches the idealised chain of Figure 7 (see
+    DESIGN.md); it is irrelevant to the other schemes. *)
+
+type traffic_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  env : Net.Network.mode;
+  reads_per_write : float;
+  writes : int;
+  reads : int;
+  read_cost_measured : float;  (** transmissions per successful read *)
+  write_cost_measured : float;  (** transmissions per successful write *)
+  messages_per_write_group : float;
+      (** [write_cost + reads_per_write * read_cost], measured — the
+          dependent axis of Figures 11 and 12, directly comparable to
+          [Analysis.Traffic_model.workload_cost] at the same ratio *)
+  bytes_per_write_group : float;
+      (** same, in payload bytes — the Section 5 remark that a size-based
+          comparison is "similar, though slightly less pronounced" *)
+  recovery_messages : int;
+}
+
+val measure_traffic :
+  scheme:Blockrep.Types.scheme ->
+  n_sites:int ->
+  env:Net.Network.mode ->
+  reads_per_write:float ->
+  ?ops:int ->
+  ?seed:int ->
+  unit ->
+  traffic_sample
+(** Failure-free closed-loop run of [ops] operations (default 2000) at the
+    given read:write mix, counting high-level transmissions. *)

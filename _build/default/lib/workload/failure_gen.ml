@@ -1,0 +1,45 @@
+type t = {
+  mutable processes : Sim.Process.t array;
+  mutable failures : int;
+  mutable repairs : int;
+}
+
+let attach_dist cluster ~rng ~up_time ~down_time =
+  let engine = Blockrep.Cluster.engine cluster in
+  let t = { processes = [||]; failures = 0; repairs = 0 } in
+  let make_process i =
+    let site_rng = Util.Prng.split rng in
+    Sim.Process.alternating engine ~rng:site_rng ~up_time ~down_time
+      ~on_fail:(fun () ->
+        t.failures <- t.failures + 1;
+        Blockrep.Cluster.fail_site cluster i)
+      ~on_repair:(fun () ->
+        t.repairs <- t.repairs + 1;
+        Blockrep.Cluster.repair_site cluster i)
+      ()
+  in
+  t.processes <- Array.init (Blockrep.Cluster.n_sites cluster) make_process;
+  t
+
+let attach cluster ~rng ~lambda ~mu =
+  if lambda <= 0.0 || mu <= 0.0 then invalid_arg "Failure_gen.attach: rates must be positive";
+  attach_dist cluster ~rng ~up_time:(Util.Dist.Exponential lambda)
+    ~down_time:(Util.Dist.Exponential mu)
+
+let stop t = Array.iter Sim.Process.stop t.processes
+let failures_injected t = t.failures
+let repairs_injected t = t.repairs
+
+type event = Fail of int | Repair of int
+
+let run_script cluster events =
+  let engine = Blockrep.Cluster.engine cluster in
+  List.iter
+    (fun (time, event) ->
+      ignore
+        (Sim.Engine.schedule_at engine ~time (fun () ->
+             match event with
+             | Fail i -> Blockrep.Cluster.fail_site cluster i
+             | Repair i -> Blockrep.Cluster.repair_site cluster i)
+          : Sim.Engine.handle))
+    events

@@ -1,0 +1,32 @@
+(** Failure and repair injection.
+
+    Section 4 assumes every site fails at rate λ and repairs at rate μ,
+    independently (a ratio ρ = λ/μ).  {!attach} drives exactly that against
+    a cluster; {!attach_dist} generalises the holding-time distributions
+    (the Section 4.4 discussion uses Erlang repairs, whose coefficient of
+    variation is below one); {!run_script} replays a fixed schedule for
+    deterministic tests. *)
+
+type t
+
+val attach : Blockrep.Cluster.t -> rng:Util.Prng.t -> lambda:float -> mu:float -> t
+(** One alternating exponential up/down process per site, started in the up
+    phase. *)
+
+val attach_dist :
+  Blockrep.Cluster.t -> rng:Util.Prng.t -> up_time:Util.Dist.t -> down_time:Util.Dist.t -> t
+(** Same with arbitrary holding-time distributions. *)
+
+val stop : t -> unit
+(** Detach: no further failures or repairs fire. *)
+
+val failures_injected : t -> int
+val repairs_injected : t -> int
+
+(** {1 Scripted schedules} *)
+
+type event = Fail of int | Repair of int
+
+val run_script : Blockrep.Cluster.t -> (float * event) list -> unit
+(** Schedule the listed events at the given absolute virtual times (must
+    not be in the past).  The caller then runs the engine. *)

@@ -1,0 +1,80 @@
+type entry = R of int | W of int * string
+
+let entry_to_line = function
+  | R block -> Printf.sprintf "R %d" block
+  | W (block, payload) -> Printf.sprintf "W %d %s" block payload
+
+let entry_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "R"; block ] -> (
+      match int_of_string_opt block with
+      | Some b when b >= 0 -> Ok (R b)
+      | Some _ | None -> Error ("bad block in: " ^ line))
+  | "W" :: block :: payload :: rest -> (
+      match int_of_string_opt block with
+      | Some b when b >= 0 -> Ok (W (b, String.concat " " (payload :: rest)))
+      | Some _ | None -> Error ("bad block in: " ^ line))
+  | _ -> Error ("unparseable trace line: " ^ line)
+
+let to_lines entries = List.map entry_to_line entries
+
+let of_lines lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc rest
+        else (
+          match entry_of_line trimmed with Ok e -> go (e :: acc) rest | Error _ as err -> err)
+  in
+  go [] lines
+
+let save path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun e -> output_string oc (entry_to_line e ^ "\n")) entries)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let rec read_all acc =
+        match input_line ic with
+        | line -> read_all (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_lines (read_all []))
+
+(* Keep payload tokens printable and free of whitespace. *)
+let token_of_block data =
+  let s = Blockdev.Block.to_string data in
+  let cut = match String.index_opt s '\000' with Some i -> String.sub s 0 i | None -> s in
+  let cleaned = String.map (fun c -> if c = ' ' || c = '\n' || c = '\t' then '_' else c) cut in
+  if cleaned = "" then "_" else cleaned
+
+let of_ops ops =
+  List.map
+    (function
+      | Access_gen.Read b -> R b
+      | Access_gen.Write (b, data) -> W (b, token_of_block data))
+    ops
+
+let to_ops entries =
+  List.map
+    (function
+      | R b -> Access_gen.Read b
+      | W (b, payload) -> Access_gen.Write (b, Blockdev.Block.of_string payload))
+    entries
+
+let synthesize_bsd_like ~rng ~n_blocks ~length =
+  let gen =
+    Access_gen.create ~rng ~n_blocks ~reads_per_write:2.5 ~locality:(Access_gen.Zipf 0.8)
+      ~payload_seed:"bsd" ()
+  in
+  of_ops (Access_gen.take gen length)
+
+let read_write_ratio entries =
+  let reads = List.length (List.filter (function R _ -> true | W _ -> false) entries) in
+  let writes = List.length entries - reads in
+  if writes = 0 then infinity else float_of_int reads /. float_of_int writes

@@ -1,0 +1,39 @@
+(** Textual access traces: record, save, load, replay.
+
+    A substitute for the BSD measurement traces the paper cites: we cannot
+    ship the 1985 tapes, so {!synthesize_bsd_like} generates a trace with
+    the published aggregate shape (≈2.5 reads per write, skewed block
+    popularity) and the tooling treats generated and hand-written traces
+    identically.
+
+    Format: one operation per line — [R <block>] or [W <block> <payload>]
+    where payload is a printable token written into the block (zero-padded
+    to the block size).  Lines starting with [#] are comments. *)
+
+type entry = R of int | W of int * string
+
+val entry_to_line : entry -> string
+val entry_of_line : string -> (entry, string) result
+(** [Error] describes the malformed line. *)
+
+val to_lines : entry list -> string list
+val of_lines : string list -> (entry list, string) result
+(** Stops at the first malformed line; comments and blank lines skipped. *)
+
+val save : string -> entry list -> unit
+(** Write to a file (one line per entry, trailing newline). *)
+
+val load : string -> (entry list, string) result
+
+val of_ops : Access_gen.op list -> entry list
+(** Forget the block payload bytes down to their printable token. *)
+
+val to_ops : entry list -> Access_gen.op list
+
+val synthesize_bsd_like :
+  rng:Util.Prng.t -> n_blocks:int -> length:int -> entry list
+(** A trace with the Ousterhout-style profile: 2.5:1 read:write mix over a
+    Zipf(0.8)-skewed block population. *)
+
+val read_write_ratio : entry list -> float
+(** Reads per write in a trace; [infinity] when there are no writes. *)

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Array Blockdev Bytes Fun Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Blockdev Blockrep Bytes Fs Gen List Net QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Blockdev Blockrep Filename Sim String Sys

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Blockdev Blockrep Float Gen List Net Option Printf QCheck QCheck_alcotest Sim String Util Workload

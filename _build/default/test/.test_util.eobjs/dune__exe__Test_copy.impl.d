@@ -1,0 +1,1 @@
+test/test_copy.ml: Alcotest Blockdev Blockrep List Net Printf Sim String

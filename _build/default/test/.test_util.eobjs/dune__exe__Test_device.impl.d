@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Blockdev Blockrep Printf Sim String

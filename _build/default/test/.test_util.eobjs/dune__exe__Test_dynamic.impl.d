@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Blockdev Blockrep List Printf Sim String Util

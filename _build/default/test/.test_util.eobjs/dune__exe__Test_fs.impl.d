@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Blockdev Blockrep Bytes Char Fs Gen List Printf QCheck QCheck_alcotest Sim String

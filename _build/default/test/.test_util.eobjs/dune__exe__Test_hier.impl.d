@@ -1,0 +1,1 @@
+test/test_hier.ml: Alcotest Blockdev Blockrep Bytes Fs Gen Int32 List Option Printf QCheck QCheck_alcotest Sim String

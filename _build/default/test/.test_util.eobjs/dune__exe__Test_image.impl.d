@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Blockdev Blockrep Bytes Filename Fs Fun Gen List QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Analysis Array Float List Markov Printf QCheck QCheck_alcotest Util

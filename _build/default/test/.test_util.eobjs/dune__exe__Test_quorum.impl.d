@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Analysis Blockrep Float Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Buffer Filename Float Format Lazy List Report String Sys

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Blockdev Blockrep Buffer Filename List Printf QCheck QCheck_alcotest Scenario String Sys

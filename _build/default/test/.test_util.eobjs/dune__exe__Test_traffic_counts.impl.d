@@ -1,0 +1,1 @@
+test/test_traffic_counts.ml: Alcotest Analysis Blockdev Blockrep List Net Printf Sim

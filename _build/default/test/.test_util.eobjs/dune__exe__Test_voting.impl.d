@@ -1,0 +1,1 @@
+test/test_voting.ml: Alcotest Array Blockdev Blockrep Net Printf Sim String Util

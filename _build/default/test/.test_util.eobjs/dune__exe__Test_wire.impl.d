@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Blockdev Blockrep Format List Net String Util

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Analysis Blockdev Blockrep Float List Net Printf QCheck QCheck_alcotest Sim String Util Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Analysis Array Blockdev Blockrep Filename Float List Net String Sys Util Workload

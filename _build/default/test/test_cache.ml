@@ -1,0 +1,174 @@
+(* Tests for Fs.Buffer_cache: the Figure 1 buffer-cache layer. *)
+
+module Cache = Fs.Buffer_cache.Make (Blockdev.Mem_device)
+module Cache_on_reliable = Fs.Buffer_cache.Make (Blockrep.Reliable_device)
+module Fs_on_cache = Fs.Flat_fs.Make (Fs.Buffer_cache.Make (Blockrep.Reliable_device))
+module Block = Blockdev.Block
+
+let make ?(dev_capacity = 32) ?(cache_capacity = 4) () =
+  let dev = Blockdev.Mem_device.create ~capacity:dev_capacity in
+  (dev, Cache.create ~capacity:cache_capacity dev)
+
+let test_passthrough_read () =
+  let dev, cache = make () in
+  ignore (Blockdev.Mem_device.write_block dev 0 (Block.of_string "under"));
+  (match Cache.read_block cache 0 with
+  | Some b -> Alcotest.(check string) "reads through" "under" (String.sub (Block.to_string b) 0 5)
+  | None -> Alcotest.fail "read failed");
+  Alcotest.(check int) "one miss" 1 (Cache.misses cache);
+  Alcotest.(check int) "no hits yet" 0 (Cache.hits cache)
+
+let test_hit_on_second_read () =
+  let dev, cache = make () in
+  ignore (Blockdev.Mem_device.write_block dev 1 (Block.of_string "cached"));
+  ignore (Cache.read_block cache 1);
+  ignore (Cache.read_block cache 1);
+  ignore (Cache.read_block cache 1);
+  Alcotest.(check int) "one miss" 1 (Cache.misses cache);
+  Alcotest.(check int) "two hits" 2 (Cache.hits cache);
+  Alcotest.(check (float 1e-9)) "hit rate" (2.0 /. 3.0) (Cache.hit_rate cache)
+
+let test_write_through () =
+  let dev, cache = make () in
+  Alcotest.(check bool) "write ok" true (Cache.write_block cache 2 (Block.of_string "both"));
+  (* The device saw it immediately... *)
+  (match Blockdev.Mem_device.read_block dev 2 with
+  | Some b -> Alcotest.(check string) "on device" "both" (String.sub (Block.to_string b) 0 4)
+  | None -> Alcotest.fail "device read failed");
+  (* ...and the cache serves it without a device read. *)
+  ignore (Cache.read_block cache 2);
+  Alcotest.(check int) "served from cache" 1 (Cache.hits cache)
+
+let test_lru_eviction () =
+  let dev, cache = make ~cache_capacity:2 () in
+  for k = 0 to 2 do
+    ignore (Blockdev.Mem_device.write_block dev k (Block.of_string (string_of_int k)))
+  done;
+  ignore (Cache.read_block cache 0);
+  ignore (Cache.read_block cache 1);
+  (* Touch 0 so 1 is the LRU victim. *)
+  ignore (Cache.read_block cache 0);
+  ignore (Cache.read_block cache 2);
+  Alcotest.(check int) "capacity respected" 2 (Cache.cached_blocks cache);
+  let hits_before = Cache.hits cache in
+  ignore (Cache.read_block cache 0);
+  Alcotest.(check int) "0 survived" (hits_before + 1) (Cache.hits cache);
+  ignore (Cache.read_block cache 1);
+  Alcotest.(check bool) "1 was evicted (miss)" true (Cache.hits cache = hits_before + 1)
+
+let test_failed_write_not_cached () =
+  let dev, cache = make () in
+  Blockdev.Mem_device.fail dev;
+  Alcotest.(check bool) "write refused" false (Cache.write_block cache 0 (Block.of_string "no"));
+  Blockdev.Mem_device.revive dev;
+  (* A subsequent read must go to the device, not serve the failed write. *)
+  (match Cache.read_block cache 0 with
+  | Some b -> Alcotest.(check bool) "zeroes from device" true (Block.equal b Block.zero)
+  | None -> Alcotest.fail "read failed");
+  Alcotest.(check int) "was a miss" 1 (Cache.misses cache)
+
+let test_failed_read_not_cached () =
+  let dev, cache = make () in
+  Blockdev.Mem_device.fail dev;
+  Alcotest.(check bool) "read fails through" true (Cache.read_block cache 0 = None);
+  Blockdev.Mem_device.revive dev;
+  ignore (Blockdev.Mem_device.write_block dev 0 (Block.of_string "later"));
+  match Cache.read_block cache 0 with
+  | Some b -> Alcotest.(check string) "fresh from device" "later" (String.sub (Block.to_string b) 0 5)
+  | None -> Alcotest.fail "read failed after revive"
+
+let test_flush () =
+  let dev, cache = make () in
+  ignore (Blockdev.Mem_device.write_block dev 0 (Block.of_string "v1"));
+  ignore (Cache.read_block cache 0);
+  (* Out-of-band device write invisible to the cache... *)
+  ignore (Blockdev.Mem_device.write_block dev 0 (Block.of_string "v2"));
+  (match Cache.read_block cache 0 with
+  | Some b -> Alcotest.(check string) "stale before flush" "v1" (String.sub (Block.to_string b) 0 2)
+  | None -> Alcotest.fail "read failed");
+  Cache.flush cache;
+  match Cache.read_block cache 0 with
+  | Some b -> Alcotest.(check string) "fresh after flush" "v2" (String.sub (Block.to_string b) 0 2)
+  | None -> Alcotest.fail "read failed"
+
+let test_cache_cuts_voting_read_traffic () =
+  (* The Figure 1 payoff: in front of a voting reliable device, cached
+     reads skip the vote collection entirely. *)
+  let device =
+    Blockrep.Reliable_device.of_config
+      (Blockrep.Config.make_exn ~scheme:Blockrep.Types.Voting ~n_sites:3 ~n_blocks:16 ~seed:1010 ())
+  in
+  let cluster = Blockrep.Reliable_device.cluster device in
+  let cache = Cache_on_reliable.create ~capacity:8 device in
+  assert (Cache_on_reliable.write_block cache 0 (Block.of_string "hot"));
+  let before = Net.Traffic.by_operation (Blockrep.Cluster.traffic cluster) Net.Message.Read in
+  for _ = 1 to 10 do
+    ignore (Cache_on_reliable.read_block cache 0)
+  done;
+  let after = Net.Traffic.by_operation (Blockrep.Cluster.traffic cluster) Net.Message.Read in
+  Alcotest.(check int) "ten hot reads cost zero vote rounds" before after;
+  Alcotest.(check int) "all hits" 10 (Cache_on_reliable.hits cache)
+
+let test_fs_runs_on_cached_reliable_device () =
+  (* Full stack: Flat_fs -> Buffer_cache -> Reliable_device. *)
+  let device =
+    Blockrep.Reliable_device.of_config
+      (Blockrep.Config.make_exn ~scheme:Blockrep.Types.Naive_available_copy ~n_sites:3 ~n_blocks:128
+         ~seed:1111 ())
+  in
+  let cache = Cache_on_reliable.create ~capacity:16 device in
+  let fs =
+    match Fs_on_cache.format cache with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "format: %s" (Fs.Flat_fs.error_to_string e)
+  in
+  let ok = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "fs error: %s" (Fs.Flat_fs.error_to_string e)
+  in
+  ok (Fs_on_cache.create fs "stacked");
+  ok (Fs_on_cache.write fs "stacked" (Bytes.of_string "through every layer"));
+  Alcotest.(check string) "full-stack roundtrip" "through every layer"
+    (Bytes.to_string (ok (Fs_on_cache.read fs "stacked")));
+  ok (Fs_on_cache.fsck fs);
+  Alcotest.(check bool) "cache actually used" true (Cache_on_reliable.hits cache > 0)
+
+let prop_cache_transparent =
+  QCheck.Test.make ~name:"cached device is observationally equal to the raw device" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 40) (triple bool (int_range 0 7) printable_string))
+    (fun ops ->
+      let raw = Blockdev.Mem_device.create ~capacity:8 in
+      let backing = Blockdev.Mem_device.create ~capacity:8 in
+      let cached = Cache.create ~capacity:3 backing in
+      List.for_all
+        (fun (is_write, k, payload) ->
+          if is_write then
+            Blockdev.Mem_device.write_block raw k (Block.of_string payload)
+            = Cache.write_block cached k (Block.of_string payload)
+          else
+            match (Blockdev.Mem_device.read_block raw k, Cache.read_block cached k) with
+            | Some a, Some b -> Block.equal a b
+            | None, None -> true
+            | Some _, None | None, Some _ -> false)
+        ops)
+
+let () =
+  Alcotest.run "buffer-cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "passthrough read" `Quick test_passthrough_read;
+          Alcotest.test_case "hit on re-read" `Quick test_hit_on_second_read;
+          Alcotest.test_case "write-through" `Quick test_write_through;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "failed write not cached" `Quick test_failed_write_not_cached;
+          Alcotest.test_case "failed read not cached" `Quick test_failed_read_not_cached;
+          Alcotest.test_case "flush" `Quick test_flush;
+          QCheck_alcotest.to_alcotest prop_cache_transparent;
+        ] );
+      ( "stacking",
+        [
+          Alcotest.test_case "cache cuts voting reads" `Quick test_cache_cuts_voting_read_traffic;
+          Alcotest.test_case "fs on cached reliable device" `Quick test_fs_runs_on_cached_reliable_device;
+        ] );
+    ]

@@ -1,0 +1,280 @@
+(* Integration tests across the whole cluster: invariants under random
+   failure schedules, availability accounting, and cross-scheme checks. *)
+
+module Cluster = Blockrep.Cluster
+module Types = Blockrep.Types
+module Block = Blockdev.Block
+
+let make scheme ?(n = 3) ?(blocks = 8) ?(seed = 303) ?(track_liveness = false) () =
+  Cluster.create (Blockrep.Config.make_exn ~scheme ~n_sites:n ~n_blocks:blocks ~track_liveness ~seed ())
+
+let settle c = Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 50.0)
+
+(* ------------------------------------------------------------------ *)
+(* The linearizability-style oracle: a random single-client workload    *)
+(* with failure injection; successful reads must return the latest      *)
+(* successfully written value.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_run scheme seed steps =
+  let n = 4 and blocks = 4 in
+  let c = make scheme ~n ~blocks ~seed () in
+  let rng = Util.Prng.create (seed * 7) in
+  let latest = Array.make blocks None in
+  let up = Array.make n true in
+  let violations = ref [] in
+  for step = 1 to steps do
+    let roll = Util.Prng.int rng 20 in
+    if roll < 3 then begin
+      let s = Util.Prng.int rng n in
+      if up.(s) then Cluster.fail_site c s else Cluster.repair_site c s;
+      up.(s) <- not up.(s)
+    end
+    else if roll = 3 then settle c
+    else begin
+      let block = Util.Prng.int rng blocks in
+      let site = Util.Prng.int rng n in
+      if roll < 11 then begin
+        let tag = Printf.sprintf "t%d" step in
+        match Cluster.write_sync c ~site ~block (Block.of_string tag) with
+        | Ok _ ->
+            latest.(block) <- Some tag;
+            (* Propagation is asynchronous for fire-and-forget schemes;
+               reads at other sites are checked after settling below, and
+               same-site reads are always current. *)
+            settle c
+        | Error _ -> ()
+      end
+      else
+        match (Cluster.read_sync c ~site ~block, latest.(block)) with
+        | Ok (b, _), Some want ->
+            let got = String.sub (Block.to_string b) 0 (String.length want) in
+            if got <> want then violations := (step, got, want) :: !violations
+        | Ok _, None | Error _, _ -> ()
+    end
+  done;
+  !violations
+
+let test_oracle scheme () =
+  List.iter
+    (fun seed ->
+      match oracle_run scheme seed 150 with
+      | [] -> ()
+      | (step, got, want) :: _ ->
+          Alcotest.failf "seed %d: stale read at step %d (got %s, want %s)" seed step got want)
+    [ 1; 2; 3; 4; 5 ]
+
+let prop_consistency_after_settling scheme =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s: available stores agree after any failure schedule"
+         (Types.scheme_to_string scheme))
+    ~count:40
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 25) (pair (int_range 0 3) bool)))
+    (fun (seed, schedule) ->
+      let c = make scheme ~n:4 ~seed:(seed + 1) () in
+      let step = ref 0 in
+      List.iter
+        (fun (site, fail) ->
+          incr step;
+          if fail then Cluster.fail_site c site else Cluster.repair_site c site;
+          (* Interleave a write from the first available site, if any. *)
+          let writer =
+            List.find_opt (fun i -> Cluster.site_state c i = Types.Available) [ 0; 1; 2; 3 ]
+          in
+          Option.iter
+            (fun site ->
+              ignore
+                (Cluster.write_sync c ~site ~block:(!step mod 8)
+                   (Block.of_string (Printf.sprintf "step%d" !step))))
+            writer;
+          settle c)
+        schedule;
+      (* Bring everyone back so recovery has a chance to finish. *)
+      for i = 0 to 3 do
+        Cluster.repair_site c i
+      done;
+      settle c;
+      settle c;
+      Cluster.consistent_available_stores c)
+
+(* ------------------------------------------------------------------ *)
+(* Availability accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_monitor_counts_copy_scheme () =
+  let c = make Types.Naive_available_copy () in
+  Alcotest.(check bool) "initially available" true (Cluster.system_available c);
+  Cluster.fail_site c 0;
+  Cluster.fail_site c 1;
+  Alcotest.(check bool) "one copy left: available" true (Cluster.system_available c);
+  Cluster.fail_site c 2;
+  Alcotest.(check bool) "none left: unavailable" false (Cluster.system_available c);
+  let m = Cluster.monitor c in
+  Alcotest.(check int) "one outage" 1 (Blockrep.Availability_monitor.outages m)
+
+let test_monitor_counts_voting () =
+  let c = make Types.Voting ~n:5 () in
+  Cluster.fail_site c 0;
+  Cluster.fail_site c 1;
+  Alcotest.(check bool) "3 of 5 up: quorum" true (Cluster.system_available c);
+  Cluster.fail_site c 2;
+  Alcotest.(check bool) "2 of 5 up: no quorum" false (Cluster.system_available c);
+  Cluster.repair_site c 2;
+  Alcotest.(check bool) "back to quorum" true (Cluster.system_available c);
+  Alcotest.(check int) "transitions" 2
+    (Blockrep.Availability_monitor.transitions (Cluster.monitor c))
+
+let test_monitor_time_weighting () =
+  let c = make Types.Voting ~n:3 () in
+  Cluster.run_until c 60.0;
+  Cluster.fail_site c 0;
+  Cluster.fail_site c 1;
+  Cluster.run_until c 100.0;
+  Cluster.repair_site c 0;
+  Cluster.run_until c 200.0;
+  (* Unavailable from t=60 to t=100: availability 160/200 = 0.8. *)
+  Alcotest.(check (float 1e-6)) "time-weighted availability" 0.8
+    (Blockrep.Availability_monitor.availability (Cluster.monitor c));
+  Alcotest.(check (float 1e-6)) "MTTR is the 40-unit outage" 40.0
+    (Blockrep.Availability_monitor.mean_time_to_repair (Cluster.monitor c))
+
+let test_monitor_open_outage_not_counted () =
+  let c = make Types.Voting ~n:3 () in
+  Cluster.fail_site c 0;
+  Cluster.fail_site c 1;
+  Cluster.run_until c 50.0;
+  (* The outage has not ended: no completed duration yet. *)
+  Alcotest.(check bool) "MTTR undefined during an open outage" true
+    (Float.is_nan (Blockrep.Availability_monitor.mean_time_to_repair (Cluster.monitor c)));
+  Alcotest.(check int) "but the outage is counted" 1
+    (Blockrep.Availability_monitor.outages (Cluster.monitor c))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-scheme comparisons under one failure trace                    *)
+(* ------------------------------------------------------------------ *)
+
+let measured_availability scheme =
+  (* Latency well below the mean repair time, as the chains assume. *)
+  let c =
+    Cluster.create
+      (Blockrep.Config.make_exn ~scheme ~n_sites:3 ~n_blocks:8 ~latency:(Util.Dist.Constant 0.001)
+         ~track_liveness:true ~seed:99 ())
+  in
+  let gen = Workload.Failure_gen.attach c ~rng:(Util.Prng.create 1234) ~lambda:0.3 ~mu:1.0 in
+  Cluster.run_until c 5_000.0;
+  Workload.Failure_gen.stop gen;
+  Blockrep.Availability_monitor.availability (Cluster.monitor c)
+
+let test_scheme_ordering_under_failures () =
+  (* Same seed, same failure process: AC >= NAC >= voting-with-3. *)
+  let v = measured_availability Types.Voting in
+  let ac = measured_availability Types.Available_copy in
+  let nac = measured_availability Types.Naive_available_copy in
+  if not (ac >= nac && nac > v) then Alcotest.failf "ordering: ac=%.4f nac=%.4f voting=%.4f" ac nac v
+
+(* ------------------------------------------------------------------ *)
+(* Misc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Long-horizon stress: heavy failure churn plus a concurrent open-loop
+   workload, with the consistency invariant audited at regular pauses. *)
+let stress scheme () =
+  let c =
+    Cluster.create
+      (Blockrep.Config.make_exn ~scheme ~n_sites:5 ~n_blocks:16 ~latency:(Util.Dist.Constant 0.05)
+         ~seed:1717 ())
+  in
+  let frng = Util.Prng.create 19 in
+  let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 23) ~n_blocks:16 ~reads_per_write:2.0 () in
+  let issued = ref 0 in
+  for round = 1 to 40 do
+    let failures = Workload.Failure_gen.attach c ~rng:(Util.Prng.split frng) ~lambda:0.5 ~mu:1.0 in
+    let r = Workload.Runner.run_open_loop c gen ~site:(round mod 5) ~rate:3.0 ~horizon:50.0 in
+    issued := !issued + r.Workload.Runner.issued;
+    (* Pause the churn and let recoveries finish before auditing. *)
+    Workload.Failure_gen.stop failures;
+    for i = 0 to 4 do
+      Cluster.repair_site c i
+    done;
+    settle c;
+    settle c;
+    if not (Cluster.consistent_available_stores c) then
+      Alcotest.failf "inconsistency after round %d (%d ops so far)" round !issued
+  done;
+  Alcotest.(check bool) "did real work" true (!issued > 2000)
+
+let test_block_range_checked () =
+  let c = make Types.Voting () in
+  Alcotest.check_raises "read out of range" (Invalid_argument "Cluster: block index out of range")
+    (fun () -> ignore (Cluster.read_sync c ~site:0 ~block:99));
+  Alcotest.check_raises "write out of range" (Invalid_argument "Cluster: block index out of range")
+    (fun () -> ignore (Cluster.write_sync c ~site:0 ~block:(-1) Block.zero))
+
+let test_fail_idempotent () =
+  let c = make Types.Available_copy () in
+  Cluster.fail_site c 1;
+  Cluster.fail_site c 1;
+  Alcotest.(check bool) "still failed" true (Cluster.site_state c 1 = Types.Failed);
+  Cluster.repair_site c 1;
+  settle c;
+  Cluster.repair_site c 1;
+  settle c;
+  Alcotest.(check bool) "repaired once" true (Cluster.site_state c 1 = Types.Available)
+
+let test_deterministic_runs () =
+  let run () =
+    let c = make Types.Available_copy ~seed:77 () in
+    let gen = Workload.Failure_gen.attach c ~rng:(Util.Prng.create 88) ~lambda:0.2 ~mu:1.0 in
+    let acc =
+      Workload.Runner.run_open_loop c
+        (Workload.Access_gen.create ~rng:(Util.Prng.create 5) ~n_blocks:8 ~reads_per_write:2.0 ())
+        ~site:0 ~rate:2.0 ~horizon:500.0
+    in
+    Workload.Failure_gen.stop gen;
+    ( acc.Workload.Runner.read_ok,
+      acc.Workload.Runner.write_ok,
+      Net.Traffic.total (Cluster.traffic c),
+      Blockrep.Availability_monitor.availability (Cluster.monitor c) )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical replays" true (a = b)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "voting reads are current" `Slow (test_oracle Types.Voting);
+          Alcotest.test_case "AC reads are current" `Slow (test_oracle Types.Available_copy);
+          Alcotest.test_case "NAC reads are current" `Slow (test_oracle Types.Naive_available_copy);
+        ] );
+      ( "invariants",
+        [
+          QCheck_alcotest.to_alcotest (prop_consistency_after_settling Types.Available_copy);
+          QCheck_alcotest.to_alcotest (prop_consistency_after_settling Types.Naive_available_copy);
+          QCheck_alcotest.to_alcotest (prop_consistency_after_settling Types.Voting);
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "copy-scheme predicate" `Quick test_monitor_counts_copy_scheme;
+          Alcotest.test_case "voting predicate" `Quick test_monitor_counts_voting;
+          Alcotest.test_case "time weighting" `Quick test_monitor_time_weighting;
+          Alcotest.test_case "open outage" `Quick test_monitor_open_outage_not_counted;
+        ] );
+      ( "comparisons",
+        [ Alcotest.test_case "scheme ordering under failures" `Slow test_scheme_ordering_under_failures ]
+      );
+      ( "stress",
+        [
+          Alcotest.test_case "voting long-run churn" `Slow (stress Types.Voting);
+          Alcotest.test_case "AC long-run churn" `Slow (stress Types.Available_copy);
+          Alcotest.test_case "NAC long-run churn" `Slow (stress Types.Naive_available_copy);
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "block range checked" `Quick test_block_range_checked;
+          Alcotest.test_case "fail/repair idempotent" `Quick test_fail_idempotent;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_runs;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(* Behavioural tests of the available copy schemes (Sections 3.2-3.3,
+   Figures 5-6). *)
+
+module Cluster = Blockrep.Cluster
+module Types = Blockrep.Types
+module Block = Blockdev.Block
+module Int_set = Blockrep.Types.Int_set
+
+let make ?(scheme = Types.Available_copy) ?(n = 3) ?(blocks = 8) ?(track_liveness = false) () =
+  Cluster.create
+    (Blockrep.Config.make_exn ~scheme ~n_sites:n ~n_blocks:blocks ~track_liveness ~seed:202 ())
+
+let payload s = Block.of_string s
+
+let write_ok c ~site ~block data =
+  match Cluster.write_sync c ~site ~block (payload data) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "write failed: %s" (Types.failure_reason_to_string e)
+
+let read_ok c ~site ~block =
+  match Cluster.read_sync c ~site ~block with
+  | Ok (b, v) -> (Block.to_string b, v)
+  | Error e -> Alcotest.failf "read failed: %s" (Types.failure_reason_to_string e)
+
+let settle c = Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 50.0)
+
+let state c i = Cluster.site_state c i
+
+(* ------------------------------------------------------------------ *)
+(* Reads and writes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_local_read_is_free () =
+  let c = make () in
+  ignore (write_ok c ~site:0 ~block:0 "data");
+  settle c;
+  let before = Net.Traffic.total (Cluster.traffic c) in
+  ignore (read_ok c ~site:1 ~block:0);
+  ignore (read_ok c ~site:2 ~block:0);
+  Alcotest.(check int) "reads cost nothing" before (Net.Traffic.total (Cluster.traffic c))
+
+let test_write_reaches_available_sites () =
+  let c = make () in
+  ignore (write_ok c ~site:0 ~block:1 "all");
+  settle c;
+  for site = 0 to 2 do
+    let data, v = read_ok c ~site ~block:1 in
+    Alcotest.(check int) (Printf.sprintf "site %d version" site) 1 v;
+    Alcotest.(check string) (Printf.sprintf "site %d data" site) "all" (String.sub data 0 3)
+  done;
+  Alcotest.(check bool) "stores identical" true (Cluster.consistent_available_stores c)
+
+let test_single_survivor_still_writes () =
+  let c = make () in
+  Cluster.fail_site c 0;
+  Cluster.fail_site c 1;
+  Alcotest.(check bool) "still available" true (Cluster.system_available c);
+  ignore (write_ok c ~site:2 ~block:0 "lonely");
+  let data, _ = read_ok c ~site:2 ~block:0 in
+  Alcotest.(check string) "serves alone" "lonely" (String.sub data 0 6)
+
+let test_comatose_site_refuses () =
+  let c = make () in
+  (* Make 2 comatose but keep it from recovering: all other sites down. *)
+  Cluster.fail_site c 0;
+  Cluster.fail_site c 1;
+  Cluster.fail_site c 2;
+  Cluster.repair_site c 2;
+  settle c;
+  Alcotest.(check bool) "still comatose (others in W not back)" true (state c 2 = Types.Comatose);
+  (match Cluster.read_sync c ~site:2 ~block:0 with
+  | Error Types.Site_not_available -> ()
+  | _ -> Alcotest.fail "comatose site served a read");
+  match Cluster.write_sync c ~site:2 ~block:0 (payload "no") with
+  | Error Types.Site_not_available -> ()
+  | _ -> Alcotest.fail "comatose site accepted a write"
+
+let test_was_available_tracks_writes () =
+  let c = make () in
+  Cluster.fail_site c 2;
+  ignore (write_ok c ~site:0 ~block:0 "w1");
+  settle c;
+  (* Writer's W shrinks to the sites that acked. *)
+  Alcotest.(check bool) "W_0 = {0,1}" true
+    (Int_set.equal (Cluster.site_was_available c 0) (Types.int_set_of_list [ 0; 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_recovery_from_available_site () =
+  let c = make () in
+  Cluster.fail_site c 2;
+  ignore (write_ok c ~site:0 ~block:3 "while-down");
+  ignore (write_ok c ~site:0 ~block:4 "also-down");
+  Cluster.repair_site c 2;
+  settle c;
+  Alcotest.(check bool) "recovered to available" true (state c 2 = Types.Available);
+  Alcotest.(check bool) "stores converged" true (Cluster.consistent_available_stores c);
+  let data, _ = read_ok c ~site:2 ~block:3 in
+  Alcotest.(check string) "caught up" "while-down" (String.sub data 0 10)
+
+let test_recovery_transfers_only_modified_blocks () =
+  let c = make ~blocks:16 () in
+  (* Write 5 blocks, fail a site, touch only 2 of them. *)
+  for b = 0 to 4 do
+    ignore (write_ok c ~site:0 ~block:b "base")
+  done;
+  settle c;
+  Cluster.fail_site c 2;
+  ignore (write_ok c ~site:0 ~block:1 "new");
+  ignore (write_ok c ~site:0 ~block:3 "new");
+  Cluster.repair_site c 2;
+  settle c;
+  Alcotest.(check bool) "consistent" true (Cluster.consistent_available_stores c);
+  (* Versions confirm the other blocks were not re-sent: recovery applies
+     only strictly newer blocks, so equality of stores plus the version
+     vector check suffices. *)
+  let v2 = Cluster.site_versions c 2 in
+  Alcotest.(check int) "untouched block at v1" 1 (Blockdev.Version_vector.get v2 0);
+  Alcotest.(check int) "touched block at v2" 2 (Blockdev.Version_vector.get v2 1)
+
+let test_total_failure_nac_waits_for_all () =
+  let c = make ~scheme:Types.Naive_available_copy () in
+  ignore (write_ok c ~site:0 ~block:0 "before");
+  settle c;
+  Cluster.fail_site c 0;
+  Cluster.fail_site c 1;
+  Cluster.fail_site c 2;
+  (* Even the last site to fail must wait for everyone under NAC. *)
+  Cluster.repair_site c 2;
+  settle c;
+  Alcotest.(check bool) "2 comatose" true (state c 2 = Types.Comatose);
+  Cluster.repair_site c 0;
+  settle c;
+  Alcotest.(check bool) "still comatose with one missing" true
+    (state c 0 = Types.Comatose && state c 2 = Types.Comatose);
+  Alcotest.(check bool) "system unavailable" false (Cluster.system_available c);
+  Cluster.repair_site c 1;
+  settle c;
+  List.iter (fun i -> Alcotest.(check bool) "all available" true (state c i = Types.Available)) [ 0; 1; 2 ];
+  Alcotest.(check bool) "consistent after total failure" true (Cluster.consistent_available_stores c);
+  let data, _ = read_ok c ~site:1 ~block:0 in
+  Alcotest.(check string) "data survived" "before" (String.sub data 0 6)
+
+let test_total_failure_ac_with_interleaved_writes () =
+  (* Writes between failures shrink W, so the survivor set is identified:
+     the last site to fail recovers alone. *)
+  let c = make () in
+  ignore (write_ok c ~site:0 ~block:0 "v1");
+  settle c;
+  Cluster.fail_site c 0;
+  ignore (write_ok c ~site:1 ~block:0 "v2");
+  settle c;
+  Cluster.fail_site c 1;
+  ignore (write_ok c ~site:2 ~block:0 "v3");
+  settle c;
+  Cluster.fail_site c 2;
+  (* Site 2 failed last and its W = {2}: it comes back alone. *)
+  Cluster.repair_site c 2;
+  settle c;
+  Alcotest.(check bool) "last-failed recovers alone" true (state c 2 = Types.Available);
+  Alcotest.(check bool) "system available again" true (Cluster.system_available c);
+  (* The earlier sites recover from it. *)
+  Cluster.repair_site c 0;
+  settle c;
+  Alcotest.(check bool) "site 0 catches up" true (state c 0 = Types.Available);
+  let data, v = read_ok c ~site:0 ~block:0 in
+  Alcotest.(check int) "latest version" 3 v;
+  Alcotest.(check string) "latest data" "v3" (String.sub data 0 2)
+
+let test_total_failure_ac_track_liveness () =
+  (* With the idealised detector, no writes are needed for the last-failed
+     site to know it can return alone. *)
+  let c = make ~track_liveness:true () in
+  Cluster.fail_site c 0;
+  settle c;
+  Cluster.fail_site c 1;
+  settle c;
+  Cluster.fail_site c 2;
+  Cluster.repair_site c 2;
+  settle c;
+  Alcotest.(check bool) "last-failed alone is available" true (state c 2 = Types.Available)
+
+let test_total_failure_ac_nonlast_waits () =
+  (* The site that failed first must wait: sites that failed after it may
+     hold newer data. *)
+  let c = make ~track_liveness:true () in
+  Cluster.fail_site c 0;
+  settle c;
+  ignore (write_ok c ~site:1 ~block:0 "newer");
+  settle c;
+  Cluster.fail_site c 1;
+  settle c;
+  Cluster.fail_site c 2;
+  Cluster.repair_site c 0;
+  settle c;
+  Alcotest.(check bool) "first-failed stays comatose" true (state c 0 = Types.Comatose);
+  (* Once the survivor set is back, everyone recovers and sees the write. *)
+  Cluster.repair_site c 2;
+  settle c;
+  Cluster.repair_site c 1;
+  settle c;
+  let data, _ = read_ok c ~site:0 ~block:0 in
+  Alcotest.(check string) "no lost write" "newer" (String.sub data 0 5)
+
+let test_deferred_availability_notification () =
+  (* A comatose site that probed before any site was available must learn
+     when one becomes available later. *)
+  let c = make ~track_liveness:true () in
+  Cluster.fail_site c 0;
+  settle c;
+  Cluster.fail_site c 1;
+  settle c;
+  Cluster.fail_site c 2;
+  (* 0 recovers first: must wait (not last to fail). *)
+  Cluster.repair_site c 0;
+  settle c;
+  Alcotest.(check bool) "0 waits" true (state c 0 = Types.Comatose);
+  (* 2 (last-failed) recovers: becomes available, then must pull 0 in. *)
+  Cluster.repair_site c 2;
+  settle c;
+  Alcotest.(check bool) "2 available" true (state c 2 = Types.Available);
+  Alcotest.(check bool) "0 pulled in via deferred notification" true (state c 0 = Types.Available)
+
+let test_writes_continue_during_recovery () =
+  let c = make ~n:4 () in
+  ignore (write_ok c ~site:0 ~block:0 "gen1");
+  settle c;
+  Cluster.fail_site c 3;
+  ignore (write_ok c ~site:0 ~block:0 "gen2");
+  Cluster.repair_site c 3;
+  (* Concurrent with recovery, more writes land. *)
+  ignore (write_ok c ~site:0 ~block:0 "gen3");
+  settle c;
+  Alcotest.(check bool) "site 3 available" true (state c 3 = Types.Available);
+  let data, v = read_ok c ~site:3 ~block:0 in
+  Alcotest.(check int) "sees final version" 3 v;
+  Alcotest.(check string) "sees final data" "gen3" (String.sub data 0 4);
+  Alcotest.(check bool) "consistent" true (Cluster.consistent_available_stores c)
+
+let test_naive_write_single_transmission () =
+  let c = make ~scheme:Types.Naive_available_copy () in
+  let before = Net.Traffic.total (Cluster.traffic c) in
+  ignore (write_ok c ~site:0 ~block:0 "cheap");
+  settle c;
+  Alcotest.(check int) "exactly one transmission" (before + 1) (Net.Traffic.total (Cluster.traffic c))
+
+let test_ac_write_acked () =
+  let c = make () in
+  let t = Cluster.traffic c in
+  ignore (write_ok c ~site:0 ~block:0 "acked");
+  settle c;
+  Alcotest.(check int) "one update broadcast" 1 (Net.Traffic.by_category t Net.Message.Block_update);
+  Alcotest.(check int) "two acks" 2 (Net.Traffic.by_category t Net.Message.Write_ack)
+
+let test_flapping_site () =
+  (* Rapid fail/repair cycles must neither wedge the site nor break
+     consistency. *)
+  let c = make ~n:3 () in
+  for round = 1 to 20 do
+    ignore (write_ok c ~site:0 ~block:(round mod 8) (Printf.sprintf "r%d" round));
+    Cluster.fail_site c 2;
+    ignore (write_ok c ~site:0 ~block:(round mod 8) (Printf.sprintf "r%d'" round));
+    Cluster.repair_site c 2;
+    settle c;
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: site 2 back" round)
+      true
+      (state c 2 = Types.Available);
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: consistent" round)
+      true
+      (Cluster.consistent_available_stores c)
+  done
+
+let () =
+  Alcotest.run "copy-schemes"
+    [
+      ( "data-access",
+        [
+          Alcotest.test_case "reads are free" `Quick test_local_read_is_free;
+          Alcotest.test_case "write reaches available sites" `Quick test_write_reaches_available_sites;
+          Alcotest.test_case "single survivor serves" `Quick test_single_survivor_still_writes;
+          Alcotest.test_case "comatose refuses" `Quick test_comatose_site_refuses;
+          Alcotest.test_case "W tracks writes" `Quick test_was_available_tracks_writes;
+          Alcotest.test_case "naive write is one message" `Quick test_naive_write_single_transmission;
+          Alcotest.test_case "ac write collects acks" `Quick test_ac_write_acked;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "from available site" `Quick test_recovery_from_available_site;
+          Alcotest.test_case "transfers only modified blocks" `Quick
+            test_recovery_transfers_only_modified_blocks;
+          Alcotest.test_case "NAC waits for all" `Quick test_total_failure_nac_waits_for_all;
+          Alcotest.test_case "AC last-failed returns alone (writes)" `Quick
+            test_total_failure_ac_with_interleaved_writes;
+          Alcotest.test_case "AC last-failed returns alone (liveness)" `Quick
+            test_total_failure_ac_track_liveness;
+          Alcotest.test_case "AC non-last waits" `Quick test_total_failure_ac_nonlast_waits;
+          Alcotest.test_case "deferred notification" `Quick test_deferred_availability_notification;
+          Alcotest.test_case "writes during recovery" `Quick test_writes_continue_during_recovery;
+          Alcotest.test_case "flapping site" `Quick test_flapping_site;
+        ] );
+    ]

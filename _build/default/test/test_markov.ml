@@ -1,0 +1,424 @@
+(* Tests for Markov: Matrix, Ctmc, Chains. *)
+
+let check_close ?(tol = 1e-9) msg expected actual = Alcotest.(check (float tol)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Matrix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix_get_set () =
+  let m = Markov.Matrix.create ~rows:2 ~cols:3 in
+  Markov.Matrix.set m 1 2 4.5;
+  Markov.Matrix.add m 1 2 0.5;
+  Alcotest.(check (float 1e-12)) "set+add" 5.0 (Markov.Matrix.get m 1 2);
+  Alcotest.(check (float 1e-12)) "default zero" 0.0 (Markov.Matrix.get m 0 0)
+
+let test_matrix_transpose () =
+  let m = Markov.Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let t = Markov.Matrix.transpose m in
+  Alcotest.(check int) "rows" 2 (Markov.Matrix.rows t);
+  Alcotest.(check int) "cols" 3 (Markov.Matrix.cols t);
+  Alcotest.(check (float 1e-12)) "transposed entry" 5.0 (Markov.Matrix.get t 0 2)
+
+let test_matrix_mul_vec () =
+  let m = Markov.Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Markov.Matrix.mul_vec m [| 1.0; 1.0 |] in
+  Alcotest.(check (array (float 1e-12))) "product" [| 3.0; 7.0 |] y
+
+let test_matrix_solve_identity () =
+  let m = Markov.Matrix.of_rows [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let x = Markov.Matrix.solve m [| 3.0; -2.0 |] in
+  Alcotest.(check (array (float 1e-9))) "identity solve" [| 3.0; -2.0 |] x
+
+let test_matrix_solve_general () =
+  (* Requires pivoting: the leading entry is zero. *)
+  let m = Markov.Matrix.of_rows [| [| 0.0; 2.0; 1.0 |]; [| 1.0; 1.0; 1.0 |]; [| 2.0; 0.0; -1.0 |] |] in
+  let x = Markov.Matrix.solve m [| 5.0; 6.0; -1.0 |] in
+  let residual = Markov.Matrix.mul_vec m x in
+  Alcotest.(check (array (float 1e-9))) "Ax = b" [| 5.0; 6.0; -1.0 |] residual
+
+let test_matrix_solve_singular () =
+  let m = Markov.Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular matrix") (fun () ->
+      ignore (Markov.Matrix.solve m [| 1.0; 2.0 |]))
+
+let test_matrix_solve_does_not_mutate () =
+  let m = Markov.Matrix.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  ignore (Markov.Matrix.solve m [| 1.0; 1.0 |]);
+  Alcotest.(check (float 1e-12)) "input intact" 2.0 (Markov.Matrix.get m 0 0)
+
+let prop_solve_residual =
+  QCheck.Test.make ~name:"random well-conditioned systems solve to small residual" ~count:100
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g = Util.Prng.create seed in
+      let n = 1 + Util.Prng.int g 6 in
+      let m = Markov.Matrix.create ~rows:n ~cols:n in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Markov.Matrix.set m i j (Util.Prng.float g -. 0.5)
+        done;
+        (* diagonal dominance keeps it comfortably nonsingular *)
+        Markov.Matrix.add m i i (float_of_int n)
+      done;
+      let b = Array.init n (fun _ -> Util.Prng.float g) in
+      let x = Markov.Matrix.solve m b in
+      let r = Markov.Matrix.mul_vec m x in
+      Array.for_all2 (fun ri bi -> Float.abs (ri -. bi) < 1e-8) r b)
+
+(* ------------------------------------------------------------------ *)
+(* Ctmc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let two_state rho =
+  (* Up/down machine: availability 1/(1+rho). *)
+  let c = Markov.Ctmc.create 2 in
+  Markov.Ctmc.add_rate c ~src:0 ~dst:1 rho;
+  Markov.Ctmc.add_rate c ~src:1 ~dst:0 1.0;
+  c
+
+let test_ctmc_two_state () =
+  let pi = Markov.Ctmc.steady_state (two_state 0.25) in
+  check_close "up probability" (1.0 /. 1.25) pi.(0);
+  check_close "down probability" (0.25 /. 1.25) pi.(1)
+
+let test_ctmc_sums_to_one () =
+  let pi = Markov.Ctmc.steady_state (two_state 3.0) in
+  check_close "normalised" 1.0 (Array.fold_left ( +. ) 0.0 pi)
+
+let test_ctmc_generator_rows_sum_zero () =
+  let q = Markov.Ctmc.generator (two_state 0.5) in
+  for i = 0 to 1 do
+    let sum = ref 0.0 in
+    for j = 0 to 1 do
+      sum := !sum +. Markov.Matrix.get q i j
+    done;
+    check_close "row sums to zero" 0.0 !sum
+  done
+
+let test_ctmc_balance () =
+  (* pi Q = 0 at the solution. *)
+  let c = Markov.Chains.ac_chain ~n:3 ~rho:0.3 in
+  let pi = Markov.Ctmc.steady_state c in
+  let q = Markov.Ctmc.generator c in
+  let qt = Markov.Matrix.transpose q in
+  let residual = Markov.Matrix.mul_vec qt pi in
+  Array.iter (fun r -> if Float.abs r > 1e-9 then Alcotest.failf "balance violated: %g" r) residual
+
+let test_ctmc_expectations () =
+  let c = two_state 1.0 in
+  check_close "stationary expectation"
+    0.5
+    (Markov.Ctmc.stationary_expectation c (fun s -> if s = 0 then 1.0 else 0.0));
+  check_close "conditional expectation" 7.0
+    (Markov.Ctmc.conditional_expectation c ~pred:(fun s -> s = 0) ~value:(fun _ -> 7.0))
+
+let test_ctmc_rejects_bad_rates () =
+  let c = Markov.Ctmc.create 2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Ctmc.add_rate: self-loop") (fun () ->
+      Markov.Ctmc.add_rate c ~src:0 ~dst:0 1.0);
+  Alcotest.check_raises "non-positive rate" (Invalid_argument "Ctmc.add_rate: rate must be positive")
+    (fun () -> Markov.Ctmc.add_rate c ~src:0 ~dst:1 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Chains: cross-checks against the paper's closed forms               *)
+(* ------------------------------------------------------------------ *)
+
+let rhos = [ 0.01; 0.05; 0.1; 0.2; 0.5; 1.0 ]
+
+let test_voting_chain_binomial () =
+  (* Sites are independent: P(k up) is binomial with p = 1/(1+rho). *)
+  List.iter
+    (fun rho ->
+      let n = 5 in
+      let pi = Markov.Chains.voting_state_probabilities ~n ~rho in
+      for k = 0 to n do
+        let expected = Analysis.Voting_model.binomial n k *. (rho ** float_of_int (n - k)) /. ((1.0 +. rho) ** float_of_int n) in
+        check_close ~tol:1e-9 (Printf.sprintf "P(%d up) rho=%g" k rho) expected pi.(k)
+      done)
+    rhos
+
+let test_ac_chain_matches_eq2_3_4 () =
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun n ->
+          match Analysis.Ac_model.availability_closed ~n ~rho with
+          | Some closed ->
+              check_close ~tol:1e-9
+                (Printf.sprintf "A_A(%d) rho=%g" n rho)
+                closed
+                (Markov.Chains.ac_availability ~n ~rho)
+          | None -> Alcotest.fail "closed form missing")
+        [ 2; 3; 4 ])
+    rhos
+
+let test_nac_chain_matches_closed_form () =
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun n ->
+          check_close ~tol:1e-9
+            (Printf.sprintf "A_NA(%d) rho=%g" n rho)
+            (Analysis.Nac_model.availability ~n ~rho)
+            (Markov.Chains.nac_availability ~n ~rho))
+        [ 2; 3; 4; 5; 6 ])
+    rhos
+
+let test_nac2_equals_voting3 () =
+  List.iter
+    (fun rho ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "A_NA(2)=A_V(3) rho=%g" rho)
+        (Markov.Chains.voting_availability ~n:3 ~rho)
+        (Markov.Chains.nac_availability ~n:2 ~rho))
+    rhos
+
+let test_voting_even_equals_odd () =
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun k ->
+          check_close ~tol:1e-9
+            (Printf.sprintf "A_V(%d)=A_V(%d) rho=%g" (2 * k) ((2 * k) - 1) rho)
+            (Markov.Chains.voting_availability ~n:((2 * k) - 1) ~rho)
+            (Markov.Chains.voting_availability ~n:(2 * k) ~rho))
+        [ 1; 2; 3; 4 ])
+    rhos
+
+let test_ac_dominates_nac () =
+  (* Standard AC recovers earlier after total failures, so its availability
+     is never below naive AC's. *)
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun n ->
+          let ac = Markov.Chains.ac_availability ~n ~rho in
+          let nac = Markov.Chains.nac_availability ~n ~rho in
+          if ac +. 1e-12 < nac then Alcotest.failf "AC (%g) < NAC (%g) at n=%d rho=%g" ac nac n rho)
+        [ 2; 3; 4; 5 ])
+    rhos
+
+let test_participation_formula () =
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun n ->
+          check_close ~tol:1e-9
+            (Printf.sprintf "U_V(%d) rho=%g" n rho)
+            (Analysis.Voting_model.participation ~n ~rho)
+            (Markov.Chains.voting_participation ~n ~rho))
+        [ 2; 3; 5; 8 ])
+    rhos
+
+let test_participation_approx () =
+  (* All three participations agree to O(rho^2). *)
+  let rho = 0.01 in
+  let n = 5 in
+  let expected = float_of_int n *. (1.0 -. rho) in
+  List.iter
+    (fun (label, u) -> check_close ~tol:(5.0 *. rho *. rho *. float_of_int n) label expected u)
+    [
+      ("voting", Markov.Chains.voting_participation ~n ~rho);
+      ("ac", Markov.Chains.ac_participation ~n ~rho);
+      ("nac", Markov.Chains.nac_participation ~n ~rho);
+    ]
+
+let test_availability_monotone_in_rho () =
+  let decreasing f =
+    let rec go prev = function
+      | [] -> true
+      | rho :: rest ->
+          let a = f rho in
+          a <= prev +. 1e-12 && go a rest
+    in
+    go 1.0 rhos
+  in
+  Alcotest.(check bool) "voting decreasing" true
+    (decreasing (fun rho -> Markov.Chains.voting_availability ~n:5 ~rho));
+  Alcotest.(check bool) "ac decreasing" true
+    (decreasing (fun rho -> Markov.Chains.ac_availability ~n:3 ~rho));
+  Alcotest.(check bool) "nac decreasing" true
+    (decreasing (fun rho -> Markov.Chains.nac_availability ~n:3 ~rho))
+
+let test_n1_degenerates () =
+  (* One copy: every scheme is just the site availability. *)
+  let rho = 0.2 in
+  let expected = 1.0 /. (1.0 +. rho) in
+  check_close "voting n=1" expected (Markov.Chains.voting_availability ~n:1 ~rho);
+  check_close "ac n=1" expected (Markov.Chains.ac_availability ~n:1 ~rho);
+  check_close "nac n=1" expected (Markov.Chains.nac_availability ~n:1 ~rho)
+
+(* ------------------------------------------------------------------ *)
+(* Transient analysis and MTTF                                         *)
+(* ------------------------------------------------------------------ *)
+
+let up_then_down rho =
+  (* start surely up *)
+  let chain = two_state rho in
+  let initial = [| 1.0; 0.0 |] in
+  (chain, initial)
+
+let test_transient_t0_is_initial () =
+  let chain, initial = up_then_down 0.5 in
+  let p = Markov.Transient.probability_at chain ~initial ~t:0.0 in
+  Alcotest.(check (array (float 1e-12))) "t=0" initial p
+
+let test_transient_two_state_analytic () =
+  (* p_up(t) = 1/(1+rho) + rho/(1+rho) e^{-(1+rho)t}, starting up. *)
+  let rho = 0.4 in
+  let chain, initial = up_then_down rho in
+  List.iter
+    (fun t ->
+      let expected = (1.0 /. (1.0 +. rho)) +. (rho /. (1.0 +. rho) *. exp (-.(1.0 +. rho) *. t)) in
+      let p = Markov.Transient.probability_at chain ~initial ~t in
+      check_close ~tol:1e-9 (Printf.sprintf "p_up(%g)" t) expected p.(0))
+    [ 0.1; 0.5; 1.0; 3.0; 10.0; 100.0 ]
+
+let test_transient_converges_to_steady_state () =
+  (* A = lim p(t): the paper's availability definition, checked directly
+     on the AC chain. *)
+  let chain = Markov.Chains.ac_chain ~n:3 ~rho:0.2 in
+  let n = Markov.Ctmc.n_states chain in
+  let initial = Array.init n (fun s -> if s = 2 then 1.0 else 0.0) (* S_3: all up *) in
+  let operational s = s < 3 in
+  let at_t = Markov.Transient.availability_at chain ~initial ~operational ~t:200.0 in
+  let steady = Markov.Chains.ac_availability ~n:3 ~rho:0.2 in
+  check_close ~tol:1e-9 "A = lim p(t)" steady at_t
+
+let test_transient_mass_conserved () =
+  let chain = Markov.Chains.nac_chain ~n:4 ~rho:0.3 in
+  let n = Markov.Ctmc.n_states chain in
+  let initial = Array.init n (fun s -> if s = 3 then 1.0 else 0.0) in
+  List.iter
+    (fun t ->
+      let p = Markov.Transient.probability_at chain ~initial ~t in
+      check_close ~tol:1e-9 "mass 1" 1.0 (Array.fold_left ( +. ) 0.0 p);
+      Array.iter (fun x -> if x < -1e-12 then Alcotest.fail "negative probability") p)
+    [ 0.3; 2.0; 50.0 ]
+
+let test_reliability_properties () =
+  let chain = Markov.Chains.ac_chain ~n:2 ~rho:0.3 in
+  let initial = [| 0.0; 1.0; 0.0; 0.0 |] (* S_2 *) in
+  let operational s = s < 2 in
+  check_close ~tol:1e-9 "R(0) = 1" 1.0
+    (Markov.Transient.reliability_at chain ~initial ~operational ~t:0.0);
+  let r1 = Markov.Transient.reliability_at chain ~initial ~operational ~t:1.0 in
+  let r5 = Markov.Transient.reliability_at chain ~initial ~operational ~t:5.0 in
+  Alcotest.(check bool) "R decreasing" true (r5 < r1 && r1 < 1.0);
+  let a5 = Markov.Transient.availability_at chain ~initial ~operational ~t:5.0 in
+  Alcotest.(check bool) "R(t) <= A(t)" true (r5 <= a5 +. 1e-12)
+
+let test_mttf_two_state () =
+  (* From up, time to failure is exponential with rate lambda: MTTF = 1/rho. *)
+  let rho = 0.25 in
+  let chain, initial = up_then_down rho in
+  check_close ~tol:1e-9 "MTTF = 1/lambda" (1.0 /. rho)
+    (Markov.Transient.mean_time_to_failure chain ~initial ~operational:(fun s -> s = 0))
+
+let test_mttf_equals_reliability_integral () =
+  (* MTTF = integral of R(t): cross-check the linear solve against
+     numerical quadrature of the uniformization. *)
+  let chain = Markov.Chains.ac_chain ~n:2 ~rho:0.5 in
+  let initial = [| 0.0; 1.0; 0.0; 0.0 |] in
+  let operational s = s < 2 in
+  let mttf = Markov.Transient.mean_time_to_failure chain ~initial ~operational in
+  let dt = 0.02 in
+  let horizon = 60.0 in
+  let acc = ref 0.0 in
+  let steps = int_of_float (horizon /. dt) in
+  for i = 0 to steps - 1 do
+    let t = (float_of_int i +. 0.5) *. dt in
+    acc := !acc +. (dt *. Markov.Transient.reliability_at chain ~initial ~operational ~t)
+  done;
+  check_close ~tol:0.01 "MTTF = integral R" mttf !acc
+
+let test_mttf_ac_exceeds_voting () =
+  (* Same 3 sites: voting dies when the second site falls, AC only at
+     total failure — its mission time is much longer. *)
+  let rho = 0.1 in
+  let v_chain = Markov.Chains.voting_chain ~n:3 ~rho in
+  let v_initial = [| 0.0; 0.0; 0.0; 1.0 |] (* 3 up *) in
+  let v_mttf =
+    Markov.Transient.mean_time_to_failure v_chain ~initial:v_initial ~operational:(fun k -> 2 * k > 3)
+  in
+  let a_chain = Markov.Chains.ac_chain ~n:3 ~rho in
+  let a_initial = Array.init 6 (fun s -> if s = 2 then 1.0 else 0.0) in
+  let a_mttf =
+    Markov.Transient.mean_time_to_failure a_chain ~initial:a_initial ~operational:(fun s -> s < 3)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "AC MTTF %.1f > voting MTTF %.1f" a_mttf v_mttf)
+    true (a_mttf > 2.0 *. v_mttf)
+
+let test_mttf_rejects_bad_initial () =
+  let chain = Markov.Chains.voting_chain ~n:3 ~rho:0.1 in
+  Alcotest.check_raises "mass on failed states"
+    (Invalid_argument "Transient.mean_time_to_failure: initial mass on non-operational states")
+    (fun () ->
+      ignore
+        (Markov.Transient.mean_time_to_failure chain ~initial:[| 1.0; 0.0; 0.0; 0.0 |]
+           ~operational:(fun k -> 2 * k > 3)))
+
+let prop_chain_probabilities_valid =
+  QCheck.Test.make ~name:"chain distributions are simplex points" ~count:100
+    QCheck.(pair (int_range 1 6) (float_range 0.001 2.0))
+    (fun (n, rho) ->
+      let check pi =
+        Array.for_all (fun p -> p >= -1e-12 && p <= 1.0 +. 1e-9) pi
+        && Float.abs (Array.fold_left ( +. ) 0.0 pi -. 1.0) < 1e-9
+      in
+      check (Markov.Chains.ac_state_probabilities ~n ~rho)
+      && check (Markov.Chains.nac_state_probabilities ~n ~rho)
+      && check (Markov.Chains.voting_state_probabilities ~n ~rho))
+
+let () =
+  Alcotest.run "markov"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "get/set/add" `Quick test_matrix_get_set;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "mul_vec" `Quick test_matrix_mul_vec;
+          Alcotest.test_case "solve identity" `Quick test_matrix_solve_identity;
+          Alcotest.test_case "solve with pivoting" `Quick test_matrix_solve_general;
+          Alcotest.test_case "singular detected" `Quick test_matrix_solve_singular;
+          Alcotest.test_case "solve preserves input" `Quick test_matrix_solve_does_not_mutate;
+          QCheck_alcotest.to_alcotest prop_solve_residual;
+        ] );
+      ( "ctmc",
+        [
+          Alcotest.test_case "two-state machine" `Quick test_ctmc_two_state;
+          Alcotest.test_case "normalisation" `Quick test_ctmc_sums_to_one;
+          Alcotest.test_case "generator rows" `Quick test_ctmc_generator_rows_sum_zero;
+          Alcotest.test_case "global balance" `Quick test_ctmc_balance;
+          Alcotest.test_case "expectations" `Quick test_ctmc_expectations;
+          Alcotest.test_case "bad rates rejected" `Quick test_ctmc_rejects_bad_rates;
+        ] );
+      ( "chains",
+        [
+          Alcotest.test_case "voting chain is binomial" `Quick test_voting_chain_binomial;
+          Alcotest.test_case "AC chain matches eqs (2)-(4)" `Quick test_ac_chain_matches_eq2_3_4;
+          Alcotest.test_case "NAC chain matches B(n;rho) form" `Quick test_nac_chain_matches_closed_form;
+          Alcotest.test_case "A_NA(2) = A_V(3)" `Quick test_nac2_equals_voting3;
+          Alcotest.test_case "A_V(2k) = A_V(2k-1)" `Quick test_voting_even_equals_odd;
+          Alcotest.test_case "AC >= NAC" `Quick test_ac_dominates_nac;
+          Alcotest.test_case "U_V closed form" `Quick test_participation_formula;
+          Alcotest.test_case "participation ~ n(1-rho)" `Quick test_participation_approx;
+          Alcotest.test_case "availability decreases in rho" `Quick test_availability_monotone_in_rho;
+          Alcotest.test_case "n=1 degenerates" `Quick test_n1_degenerates;
+          QCheck_alcotest.to_alcotest prop_chain_probabilities_valid;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "t=0 is the initial distribution" `Quick test_transient_t0_is_initial;
+          Alcotest.test_case "two-state analytic p(t)" `Quick test_transient_two_state_analytic;
+          Alcotest.test_case "A = lim p(t)" `Quick test_transient_converges_to_steady_state;
+          Alcotest.test_case "mass conserved" `Quick test_transient_mass_conserved;
+          Alcotest.test_case "reliability properties" `Quick test_reliability_properties;
+          Alcotest.test_case "MTTF two-state" `Quick test_mttf_two_state;
+          Alcotest.test_case "MTTF = integral of R" `Slow test_mttf_equals_reliability_integral;
+          Alcotest.test_case "AC MTTF beats voting" `Quick test_mttf_ac_exceeds_voting;
+          Alcotest.test_case "MTTF input validation" `Quick test_mttf_rejects_bad_initial;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Tests for Blockrep.Quorum and Blockrep.Closure. *)
+
+module Quorum = Blockrep.Quorum
+module Closure = Blockrep.Closure
+module Int_set = Blockrep.Types.Int_set
+
+let set = Blockrep.Types.int_set_of_list
+
+(* ------------------------------------------------------------------ *)
+(* Quorum                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_majority_odd () =
+  let q = Quorum.majority ~n:5 in
+  Alcotest.(check int) "total" 5 (Quorum.total_weight q);
+  Alcotest.(check int) "read threshold" 3 (Quorum.read_threshold q);
+  Alcotest.(check int) "write threshold" 3 (Quorum.write_threshold q);
+  Alcotest.(check bool) "3 sites suffice" true (Quorum.read_quorum_met q (Quorum.weight_of q [ 0; 1; 2 ]));
+  Alcotest.(check bool) "2 sites do not" false (Quorum.read_quorum_met q (Quorum.weight_of q [ 0; 1 ]))
+
+let test_majority_even_tiebreak () =
+  (* n=4: weights 3,2,2,2, total 9, thresholds 5.  Site 0 plus any other
+     site wins; two non-0 sites lose — the Section 4.1 adjustment. *)
+  let q = Quorum.majority ~n:4 in
+  Alcotest.(check int) "total" 9 (Quorum.total_weight q);
+  Alcotest.(check bool) "0+1 wins" true (Quorum.write_quorum_met q (Quorum.weight_of q [ 0; 1 ]));
+  Alcotest.(check bool) "1+2 loses" false (Quorum.write_quorum_met q (Quorum.weight_of q [ 1; 2 ]));
+  Alcotest.(check bool) "1+2+3 wins" true (Quorum.write_quorum_met q (Quorum.weight_of q [ 1; 2; 3 ]))
+
+let test_create_validations () =
+  let bad w ?r ?wt () =
+    match Quorum.create ~weights:w ?read_threshold:r ?write_threshold:wt () with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty weights" true (bad [||] ());
+  Alcotest.(check bool) "zero weight" true (bad [| 1; 0 |] ());
+  Alcotest.(check bool) "r+w <= total rejected" true (bad [| 1; 1; 1; 1 |] ~r:2 ~wt:2 ());
+  Alcotest.(check bool) "2w <= total rejected" true (bad [| 1; 1; 1; 1 |] ~r:4 ~wt:2 ());
+  Alcotest.(check bool) "valid accepted" false (bad [| 1; 1; 1 |] ~r:2 ~wt:2 ())
+
+let test_gifford_style_asymmetric () =
+  (* Read-one/write-all style: r=1, w=total with r+w > total. *)
+  match Quorum.create ~weights:[| 1; 1; 1 |] ~read_threshold:1 ~write_threshold:3 () with
+  | Error e -> Alcotest.failf "rejected: %s" e
+  | Ok q ->
+      Alcotest.(check bool) "read-one" true (Quorum.read_quorum_met q 1);
+      Alcotest.(check bool) "write-all" false (Quorum.write_quorum_met q 2)
+
+let test_weight_lookup () =
+  let q = Quorum.majority ~n:4 in
+  Alcotest.(check int) "site 0 heavier" 3 (Quorum.weight q 0);
+  Alcotest.(check int) "site 1" 2 (Quorum.weight q 1);
+  Alcotest.check_raises "bad site" (Invalid_argument "Quorum.weight: bad site") (fun () ->
+      ignore (Quorum.weight q 9))
+
+let test_intersection_property () =
+  (* Any two write quorums intersect; any read quorum intersects any write
+     quorum — exhaustively for n <= 5 with default majority config. *)
+  List.iter
+    (fun n ->
+      let q = Quorum.majority ~n in
+      let subsets =
+        List.init (1 lsl n) (fun mask -> List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id))
+      in
+      let writes = List.filter (fun s -> Quorum.write_quorum_met q (Quorum.weight_of q s)) subsets in
+      let reads = List.filter (fun s -> Quorum.read_quorum_met q (Quorum.weight_of q s)) subsets in
+      let intersects a b = List.exists (fun x -> List.mem x b) a in
+      List.iter
+        (fun w1 ->
+          List.iter
+            (fun w2 -> if not (intersects w1 w2) then Alcotest.failf "w-w quorums disjoint at n=%d" n)
+            writes;
+          List.iter
+            (fun r -> if not (intersects w1 r) then Alcotest.failf "r-w quorums disjoint at n=%d" n)
+            reads)
+        writes)
+    [ 2; 3; 4; 5 ]
+
+let prop_availability_matches_formula =
+  (* Probability that a random up-set meets the write quorum (equal site
+     availability p) equals the model's A_V. *)
+  QCheck.Test.make ~name:"exhaustive quorum availability = A_V" ~count:30
+    QCheck.(pair (int_range 1 6) (float_range 0.01 1.0))
+    (fun (n, rho) ->
+      let q = Quorum.majority ~n in
+      let p_up = 1.0 /. (1.0 +. rho) in
+      let total = ref 0.0 in
+      for mask = 0 to (1 lsl n) - 1 do
+        let up = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id) in
+        let prob =
+          List.fold_left
+            (fun acc i -> acc *. if List.mem i up then p_up else 1.0 -. p_up)
+            1.0 (List.init n Fun.id)
+        in
+        if Quorum.write_quorum_met q (Quorum.weight_of q up) then total := !total +. prob
+      done;
+      Float.abs (!total -. Analysis.Voting_model.availability ~n ~rho) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Closure                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let known_of_list l u = List.assoc_opt u l
+
+let test_closure_self_only () =
+  let c = Closure.compute ~self:0 ~own:Int_set.empty ~known:(fun _ -> None) in
+  Alcotest.(check bool) "just self" true (Int_set.equal c (set [ 0 ]))
+
+let test_closure_direct () =
+  let c = Closure.compute ~self:0 ~own:(set [ 1; 2 ]) ~known:(fun _ -> None) in
+  Alcotest.(check bool) "W members stay" true (Int_set.equal c (set [ 0; 1; 2 ]))
+
+let test_closure_transitive () =
+  let known = known_of_list [ (1, set [ 3 ]); (3, set [ 4 ]) ] in
+  let c = Closure.compute ~self:0 ~own:(set [ 1 ]) ~known in
+  Alcotest.(check bool) "transitively closed" true (Int_set.equal c (set [ 0; 1; 3; 4 ]))
+
+let test_closure_unknown_members_remain () =
+  (* Unknown W sets must not shrink the closure: those sites still must be
+     awaited. *)
+  let c = Closure.compute ~self:2 ~own:(set [ 5 ]) ~known:(fun _ -> None) in
+  Alcotest.(check bool) "unknown member kept" true (Int_set.mem 5 c)
+
+let test_closure_cycle_terminates () =
+  let known = known_of_list [ (0, set [ 1 ]); (1, set [ 0 ]) ] in
+  let c = Closure.compute ~self:0 ~own:(set [ 1 ]) ~known in
+  Alcotest.(check bool) "cycle closed" true (Int_set.equal c (set [ 0; 1 ]))
+
+let test_closure_idempotent () =
+  let known = known_of_list [ (1, set [ 2 ]); (2, set [ 1; 3 ]) ] in
+  let c1 = Closure.compute ~self:0 ~own:(set [ 1 ]) ~known in
+  let c2 = Closure.compute ~self:0 ~own:c1 ~known in
+  Alcotest.(check bool) "closure of closure is itself" true (Int_set.equal c1 c2)
+
+let prop_closure_monotone =
+  QCheck.Test.make ~name:"closure contains {self} ∪ own and is monotone in own" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 0 5) (int_range 0 7)) (list_of_size (Gen.int_range 0 5) (int_range 0 7)))
+    (fun (own1, extra) ->
+      let known u = if u mod 2 = 0 then Some (set [ (u + 1) mod 8 ]) else None in
+      let o1 = set own1 in
+      let o2 = Int_set.union o1 (set extra) in
+      let c1 = Closure.compute ~self:0 ~own:o1 ~known in
+      let c2 = Closure.compute ~self:0 ~own:o2 ~known in
+      Int_set.mem 0 c1 && Int_set.subset o1 c1 && Int_set.subset c1 c2)
+
+let () =
+  Alcotest.run "quorum-closure"
+    [
+      ( "quorum",
+        [
+          Alcotest.test_case "odd majority" `Quick test_majority_odd;
+          Alcotest.test_case "even tie-break" `Quick test_majority_even_tiebreak;
+          Alcotest.test_case "validations" `Quick test_create_validations;
+          Alcotest.test_case "asymmetric quorums" `Quick test_gifford_style_asymmetric;
+          Alcotest.test_case "weights" `Quick test_weight_lookup;
+          Alcotest.test_case "intersection property" `Quick test_intersection_property;
+          QCheck_alcotest.to_alcotest prop_availability_matches_formula;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "self only" `Quick test_closure_self_only;
+          Alcotest.test_case "direct members" `Quick test_closure_direct;
+          Alcotest.test_case "transitive" `Quick test_closure_transitive;
+          Alcotest.test_case "unknown members remain" `Quick test_closure_unknown_members_remain;
+          Alcotest.test_case "cycles terminate" `Quick test_closure_cycle_terminates;
+          Alcotest.test_case "idempotent" `Quick test_closure_idempotent;
+          QCheck_alcotest.to_alcotest prop_closure_monotone;
+        ] );
+    ]

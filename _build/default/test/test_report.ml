@@ -1,0 +1,170 @@
+(* Tests for Report.Figures: the figure generators behind the bench harness
+   and the CLI must encode the paper's qualitative claims. *)
+
+let rows9 = lazy (Report.Figures.figure_9_10 ~n_copies:3 ())
+let rows10 = lazy (Report.Figures.figure_9_10 ~n_copies:4 ())
+
+let test_fig9_grid () =
+  let rows = Lazy.force rows9 in
+  Alcotest.(check int) "11 rho points" 11 (List.length rows);
+  Alcotest.(check (float 1e-9)) "starts at 0" 0.0 (List.hd rows).Report.Figures.rho;
+  Alcotest.(check (float 1e-9)) "ends at 0.20" 0.20
+    (List.nth rows 10).Report.Figures.rho
+
+let test_fig9_perfect_sites () =
+  let first = List.hd (Lazy.force rows9) in
+  Alcotest.(check (float 1e-9)) "voting perfect" 1.0 first.Report.Figures.voting;
+  Alcotest.(check (float 1e-9)) "ac perfect" 1.0 first.Report.Figures.ac_closed;
+  Alcotest.(check (float 1e-9)) "nac perfect" 1.0 first.Report.Figures.nac_closed
+
+let test_fig9_dominance () =
+  (* The headline: both copy schemes beat voting-with-2n everywhere. *)
+  List.iter
+    (fun (r : Report.Figures.availability_row) ->
+      if r.rho > 0.0 then begin
+        if r.ac_chain <= r.voting then Alcotest.failf "AC below voting at rho=%.2f" r.rho;
+        if r.nac_chain <= r.voting then Alcotest.failf "NAC below voting at rho=%.2f" r.rho
+      end)
+    (Lazy.force rows9 @ Lazy.force rows10)
+
+let test_fig9_ac_nac_indistinguishable_low_rho () =
+  (* "...fail to show any significant difference ... for rho < 0.10." *)
+  List.iter
+    (fun (r : Report.Figures.availability_row) ->
+      if r.rho <= 0.10 && Float.abs (r.ac_chain -. r.nac_chain) > 0.002 then
+        Alcotest.failf "AC/NAC gap %.4f at rho=%.2f" (Float.abs (r.ac_chain -. r.nac_chain)) r.rho)
+    (Lazy.force rows9)
+
+let test_fig9_closed_matches_chain () =
+  List.iter
+    (fun (r : Report.Figures.availability_row) ->
+      Alcotest.(check (float 1e-9)) "ac closed=chain" r.ac_chain r.ac_closed;
+      Alcotest.(check (float 1e-9)) "nac closed=chain" r.nac_chain r.nac_closed)
+    (Lazy.force rows9 @ Lazy.force rows10)
+
+let test_fig10_tighter_than_fig9 () =
+  (* Four copies beat three, for every scheme, at every rho > 0. *)
+  List.iter2
+    (fun (r9 : Report.Figures.availability_row) (r10 : Report.Figures.availability_row) ->
+      if r9.rho > 0.0 then begin
+        Alcotest.(check bool) "ac4 > ac3" true (r10.ac_chain > r9.ac_chain);
+        Alcotest.(check bool) "nac4 > nac3" true (r10.nac_chain > r9.nac_chain);
+        Alcotest.(check bool) "v8 > v6" true (r10.voting > r9.voting)
+      end)
+    (Lazy.force rows9) (Lazy.force rows10)
+
+let test_fig11_shapes () =
+  let rows = Report.Figures.figure_11 () in
+  List.iter
+    (fun (r : Report.Figures.traffic_row) ->
+      (* NAC flat at 1; ordering NAC < AC < voting at every n and x. *)
+      Alcotest.(check (float 1e-9)) "nac flat" 1.0 r.nac;
+      Alcotest.(check bool) "ordering" true (r.nac < r.ac && r.ac < r.voting_x1);
+      Alcotest.(check bool) "voting grows in x" true
+        (r.voting_x1 < r.voting_x2 && r.voting_x2 < r.voting_x4))
+    rows;
+  (* Voting cost grows with n; AC grows with n. *)
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "voting grows in n" true (last.voting_x2 > first.voting_x2);
+  Alcotest.(check bool) "ac grows in n" true (last.ac > first.ac)
+
+let test_fig12_amplifies () =
+  (* Unique addressing costs more than multicast for every scheme (same n,
+     same x), except the degenerate n=2 broadcast. *)
+  let mc = Report.Figures.figure_11 () and ua = Report.Figures.figure_12 () in
+  List.iter2
+    (fun (m : Report.Figures.traffic_row) (u : Report.Figures.traffic_row) ->
+      if m.n_sites > 2 then begin
+        Alcotest.(check bool) "voting amplified" true (u.voting_x2 > m.voting_x2);
+        Alcotest.(check bool) "ac amplified" true (u.ac > m.ac);
+        Alcotest.(check bool) "nac amplified" true (u.nac > m.nac)
+      end)
+    mc ua
+
+let test_identities_all_hold () =
+  let rows = Report.Figures.identity_checks () in
+  Alcotest.(check bool) "at least 100 checks" true (List.length rows >= 100);
+  List.iter
+    (fun (r : Report.Figures.identity_row) ->
+      if not r.holds then Alcotest.failf "violated: %s (%.8f vs %.8f)" r.label r.lhs r.rhs)
+    rows
+
+let test_simulated_rows_close_to_model () =
+  (* One simulated point per scheme, modest horizon: sims within 2% of the
+     chains. *)
+  let rows =
+    Report.Figures.figure_9_10 ~n_copies:3 ~rhos:[ 0.1 ] ~simulate:true ~sim_horizon:10_000.0 ()
+  in
+  match rows with
+  | [ r ] ->
+      let close tag model sim =
+        match sim with
+        | Some s ->
+            if Float.abs (s -. model) > 0.02 then Alcotest.failf "%s: sim %.4f vs model %.4f" tag s model
+        | None -> Alcotest.failf "%s: no simulation column" tag
+      in
+      close "ac" r.ac_chain r.ac_sim;
+      close "nac" r.nac_chain r.nac_sim;
+      close "voting" r.voting r.voting_sim
+  | _ -> Alcotest.fail "expected exactly one row"
+
+let test_csv_export () =
+  let rows = Lazy.force rows9 in
+  let lines = Report.Csv.availability_rows rows in
+  Alcotest.(check int) "header + one line per row" (List.length rows + 1) (List.length lines);
+  let header = List.hd lines in
+  Alcotest.(check bool) "header names the columns" true
+    (String.length header >= 3 && String.sub header 0 3 = "rho");
+  (* Every data line has the same number of commas as the header. *)
+  let commas s = String.fold_left (fun acc c -> if c = ',' then acc + 1 else acc) 0 s in
+  List.iter (fun l -> Alcotest.(check int) "field count" (commas header) (commas l)) (List.tl lines);
+  (* Values replot exactly: parse the first data cell back. *)
+  (match String.split_on_char ',' (List.nth lines 1) with
+  | rho_cell :: _ -> Alcotest.(check (float 1e-12)) "parses back" 0.0 (float_of_string rho_cell)
+  | [] -> Alcotest.fail "empty CSV line");
+  let traffic_lines = Report.Csv.traffic_rows (Report.Figures.figure_11 ()) in
+  Alcotest.(check bool) "traffic csv too" true (List.length traffic_lines > 1)
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "blockrep" ".csv" in
+  let lines = Report.Csv.identity_rows (Report.Figures.identity_checks ~rhos:[ 0.1 ] ()) in
+  (match Report.Csv.write_file path lines with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "write: %s" msg);
+  let ic = open_in path in
+  let rec count acc = match input_line ic with _ -> count (acc + 1) | exception End_of_file -> acc in
+  let n = count 0 in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "all lines written" (List.length lines) n
+
+let test_print_functions_render () =
+  (* Smoke-test the formatters. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Report.Figures.print_availability ppf ~title:"t" (Lazy.force rows9);
+  Report.Figures.print_traffic ppf ~title:"t" (Report.Figures.figure_11 ());
+  Report.Figures.print_identities ppf (Report.Figures.identity_checks ~rhos:[ 0.1 ] ());
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "rendered something" true (Buffer.length buf > 500)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "figure 9 grid" `Quick test_fig9_grid;
+          Alcotest.test_case "perfect sites" `Quick test_fig9_perfect_sites;
+          Alcotest.test_case "copy schemes dominate voting" `Quick test_fig9_dominance;
+          Alcotest.test_case "AC ~ NAC below rho=0.1" `Quick test_fig9_ac_nac_indistinguishable_low_rho;
+          Alcotest.test_case "closed forms match chains" `Quick test_fig9_closed_matches_chain;
+          Alcotest.test_case "figure 10 tighter" `Quick test_fig10_tighter_than_fig9;
+          Alcotest.test_case "figure 11 shapes" `Quick test_fig11_shapes;
+          Alcotest.test_case "figure 12 amplifies" `Quick test_fig12_amplifies;
+          Alcotest.test_case "identities hold" `Quick test_identities_all_hold;
+          Alcotest.test_case "simulation near model" `Slow test_simulated_rows_close_to_model;
+          Alcotest.test_case "printers render" `Quick test_print_functions_render;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+          Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,282 @@
+(* Tests for Sim: Heap, Engine, Process. *)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let int_heap () = Sim.Heap.create ~cmp:Int.compare
+
+let test_heap_order () =
+  let h = int_heap () in
+  List.iter (Sim.Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc = match Sim.Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc in
+  Alcotest.(check (list int)) "sorted extraction" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "is_empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Sim.Heap.peek h)
+
+let test_heap_peek () =
+  let h = int_heap () in
+  Sim.Heap.push h 3;
+  Sim.Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Sim.Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 2 (Sim.Heap.size h)
+
+let test_heap_clear () =
+  let h = int_heap () in
+  List.iter (Sim.Heap.push h) [ 1; 2; 3 ];
+  Sim.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Sim.Heap.size h)
+
+let test_heap_grows () =
+  let h = int_heap () in
+  for i = 1000 downto 1 do
+    Sim.Heap.push h i
+  done;
+  Alcotest.(check int) "size" 1000 (Sim.Heap.size h);
+  Alcotest.(check (option int)) "min" (Some 1) (Sim.Heap.peek h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc = match Sim.Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_fires_in_time_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.Engine.schedule e ~delay:3.0 (note "c"));
+  ignore (Sim.Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Sim.Engine.schedule e ~delay:2.0 (note "b"));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_fifo_at_equal_times () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo among simultaneous events" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:2.5 (fun () -> seen := Sim.Engine.now e :: !seen));
+  ignore (Sim.Engine.schedule e ~delay:1.5 (fun () -> seen := Sim.Engine.now e :: !seen));
+  Sim.Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "clock at event times" [ 1.5; 2.5 ] (List.rev !seen);
+  Alcotest.(check (float 1e-9)) "final clock" 2.5 (Sim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel e h;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_engine_cancel_does_not_leak_past_horizon () =
+  (* A cancelled event before the horizon must not cause an event beyond
+     the horizon to fire when skipped. *)
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  ignore (Sim.Engine.schedule e ~delay:10.0 (fun () -> fired := true));
+  Sim.Engine.cancel e h;
+  Sim.Engine.run_until e 5.0;
+  Alcotest.(check bool) "beyond-horizon event pending" false !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 5.0 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "fires later" true !fired
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count))
+  done;
+  Sim.Engine.run_until e 5.0;
+  Alcotest.(check int) "only first five" 5 !count;
+  Sim.Engine.run_until e 20.0;
+  Alcotest.(check int) "the rest" 10 !count;
+  Alcotest.(check (float 1e-9)) "clock at horizon even with no events" 20.0 (Sim.Engine.now e)
+
+let test_engine_rejects_past () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:2.0 (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Sim.Engine.schedule e ~delay:(-1.0) (fun () -> ())));
+  Alcotest.check_raises "absolute time in the past"
+    (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+      ignore (Sim.Engine.schedule_at e ~time:1.0 (fun () -> ())))
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> log := "inner" :: !log))));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested event fired" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 2.0 (Sim.Engine.now e)
+
+let test_engine_pending_and_fired () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:1.0 (fun () -> ()));
+  let h = Sim.Engine.schedule e ~delay:2.0 (fun () -> ()) in
+  Alcotest.(check int) "two pending" 2 (Sim.Engine.pending e);
+  Sim.Engine.cancel e h;
+  Alcotest.(check int) "one pending after cancel" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "none pending" 0 (Sim.Engine.pending e);
+  Alcotest.(check int) "one fired" 1 (Sim.Engine.events_fired e)
+
+let prop_engine_time_monotone =
+  QCheck.Test.make ~name:"events observe non-decreasing time" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0.0 100.0))
+    (fun delays ->
+      let e = Sim.Engine.create () in
+      let last = ref neg_infinity in
+      let ok = ref true in
+      List.iter
+        (fun d ->
+          ignore
+            (Sim.Engine.schedule e ~delay:d (fun () ->
+                 if Sim.Engine.now e < !last then ok := false;
+                 last := Sim.Engine.now e)))
+        delays;
+      Sim.Engine.run e;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Process                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_process_alternates () =
+  let e = Sim.Engine.create () in
+  let rng = Util.Prng.create 3 in
+  let log = ref [] in
+  let p =
+    Sim.Process.alternating e ~rng ~up_time:(Util.Dist.Constant 2.0)
+      ~down_time:(Util.Dist.Constant 1.0)
+      ~on_fail:(fun () -> log := `F :: !log)
+      ~on_repair:(fun () -> log := `R :: !log)
+      ()
+  in
+  Sim.Engine.run_until e 10.0;
+  Sim.Process.stop p;
+  (* up 2, down 1 cycle: fail at 2,5,8; repair at 3,6,9 *)
+  Alcotest.(check int) "transitions" 6 (Sim.Process.transitions p);
+  let expected = [ `F; `R; `F; `R; `F; `R ] in
+  Alcotest.(check bool) "alternating pattern" true (List.rev !log = expected)
+
+let test_process_stop () =
+  let e = Sim.Engine.create () in
+  let rng = Util.Prng.create 5 in
+  let count = ref 0 in
+  let p =
+    Sim.Process.alternating e ~rng ~up_time:(Util.Dist.Constant 1.0)
+      ~down_time:(Util.Dist.Constant 1.0)
+      ~on_fail:(fun () -> incr count)
+      ~on_repair:(fun () -> ())
+      ()
+  in
+  Sim.Engine.run_until e 3.5;
+  Sim.Process.stop p;
+  let at_stop = !count in
+  Sim.Engine.run_until e 100.0;
+  Alcotest.(check int) "no transitions after stop" at_stop !count
+
+let test_process_initial_phase () =
+  let e = Sim.Engine.create () in
+  let rng = Util.Prng.create 7 in
+  let first = ref None in
+  let p =
+    Sim.Process.alternating e ~rng ~up_time:(Util.Dist.Constant 5.0)
+      ~down_time:(Util.Dist.Constant 1.0) ~initial:Sim.Process.Down
+      ~on_fail:(fun () -> if !first = None then first := Some `F)
+      ~on_repair:(fun () -> if !first = None then first := Some `R)
+      ()
+  in
+  Alcotest.(check bool) "starts down" true (Sim.Process.phase p = Sim.Process.Down);
+  Sim.Engine.run_until e 2.0;
+  Sim.Process.stop p;
+  Alcotest.(check bool) "first transition is a repair" true (!first = Some `R)
+
+let test_process_duty_cycle () =
+  (* Long-run up fraction of an exp(lambda)/exp(mu) process is 1/(1+rho). *)
+  let e = Sim.Engine.create () in
+  let rng = Util.Prng.create 11 in
+  let rho = 0.25 in
+  let up_time = ref 0.0 in
+  let last = ref 0.0 in
+  let up = ref true in
+  let p =
+    Sim.Process.alternating e ~rng ~up_time:(Util.Dist.Exponential rho)
+      ~down_time:(Util.Dist.Exponential 1.0)
+      ~on_fail:(fun () ->
+        up_time := !up_time +. (Sim.Engine.now e -. !last);
+        last := Sim.Engine.now e;
+        up := false)
+      ~on_repair:(fun () ->
+        last := Sim.Engine.now e;
+        up := true)
+      ()
+  in
+  let horizon = 50_000.0 in
+  Sim.Engine.run_until e horizon;
+  Sim.Process.stop p;
+  if !up then up_time := !up_time +. (horizon -. !last);
+  Alcotest.(check (float 0.01))
+    "duty cycle near 1/(1+rho)"
+    (1.0 /. (1.0 +. rho))
+    (!up_time /. horizon)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "sorted extraction" `Quick test_heap_order;
+          Alcotest.test_case "empty heap" `Quick test_heap_empty;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "growth" `Quick test_heap_grows;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_fires_in_time_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_at_equal_times;
+          Alcotest.test_case "clock" `Quick test_engine_clock_advances;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel vs horizon" `Quick test_engine_cancel_does_not_leak_past_horizon;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "pending/fired counters" `Quick test_engine_pending_and_fired;
+          QCheck_alcotest.to_alcotest prop_engine_time_monotone;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "alternates" `Quick test_process_alternates;
+          Alcotest.test_case "stop" `Quick test_process_stop;
+          Alcotest.test_case "initial phase" `Quick test_process_initial_phase;
+          Alcotest.test_case "duty cycle" `Slow test_process_duty_cycle;
+        ] );
+    ]

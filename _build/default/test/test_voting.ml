@@ -1,0 +1,206 @@
+(* Behavioural tests of the voting protocol (Section 3.1, Figures 3-4). *)
+
+module Cluster = Blockrep.Cluster
+module Types = Blockrep.Types
+module Block = Blockdev.Block
+
+let make ?(n = 3) ?(blocks = 8) ?quorum ?(net_mode = Net.Network.Multicast) () =
+  Cluster.create
+    (Blockrep.Config.make_exn ~scheme:Types.Voting ~n_sites:n ~n_blocks:blocks ?quorum ~net_mode
+       ~seed:101 ())
+
+let payload s = Block.of_string s
+
+let write_ok c ~site ~block data =
+  match Cluster.write_sync c ~site ~block (payload data) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "write failed: %s" (Types.failure_reason_to_string e)
+
+let read_ok c ~site ~block =
+  match Cluster.read_sync c ~site ~block with
+  | Ok (b, v) -> (Block.to_string b, v)
+  | Error e -> Alcotest.failf "read failed: %s" (Types.failure_reason_to_string e)
+
+let test_read_write_roundtrip () =
+  let c = make () in
+  let v = write_ok c ~site:0 ~block:3 "hello" in
+  Alcotest.(check int) "first version" 1 v;
+  let data, rv = read_ok c ~site:1 ~block:3 in
+  Alcotest.(check int) "read version" 1 rv;
+  Alcotest.(check string) "data" "hello" (String.sub data 0 5)
+
+let test_versions_increment () =
+  let c = make () in
+  Alcotest.(check int) "v1" 1 (write_ok c ~site:0 ~block:0 "a");
+  Alcotest.(check int) "v2" 2 (write_ok c ~site:1 ~block:0 "b");
+  Alcotest.(check int) "v3" 3 (write_ok c ~site:2 ~block:0 "c");
+  Alcotest.(check int) "other blocks independent" 1 (write_ok c ~site:0 ~block:1 "x")
+
+let test_write_updates_all_reachable () =
+  let c = make () in
+  ignore (write_ok c ~site:0 ~block:2 "spread");
+  Cluster.run_until c 50.0;
+  for site = 0 to 2 do
+    let v = Blockdev.Version_vector.get (Cluster.site_versions c site) 2 in
+    Alcotest.(check int) (Printf.sprintf "site %d version" site) 1 v
+  done
+
+let test_no_quorum_refuses () =
+  let c = make ~n:3 () in
+  Cluster.fail_site c 1;
+  Cluster.fail_site c 2;
+  (match Cluster.write_sync c ~site:0 ~block:0 (payload "x") with
+  | Error Types.No_quorum -> ()
+  | Ok _ -> Alcotest.fail "write accepted without quorum"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Types.failure_reason_to_string e));
+  match Cluster.read_sync c ~site:0 ~block:0 with
+  | Error Types.No_quorum -> ()
+  | Ok _ -> Alcotest.fail "read accepted without quorum"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Types.failure_reason_to_string e)
+
+let test_minority_partition_refused () =
+  let c = make ~n:5 () in
+  Cluster.partition c [ [ 0; 1 ]; [ 2; 3; 4 ] ];
+  (match Cluster.write_sync c ~site:0 ~block:0 (payload "minority") with
+  | Error Types.No_quorum -> ()
+  | _ -> Alcotest.fail "minority side accepted a write");
+  match Cluster.write_sync c ~site:2 ~block:0 (payload "majority") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "majority refused: %s" (Types.failure_reason_to_string e)
+
+let test_failed_local_site_refuses () =
+  let c = make () in
+  Cluster.fail_site c 0;
+  match Cluster.read_sync c ~site:0 ~block:0 with
+  | Error Types.Site_not_available -> ()
+  | _ -> Alcotest.fail "failed site served a read"
+
+let test_repair_is_immediate () =
+  let c = make () in
+  Cluster.fail_site c 2;
+  Cluster.repair_site c 2;
+  Alcotest.(check bool) "no comatose state under voting" true
+    (Cluster.site_state c 2 = Types.Available);
+  (* And no recovery traffic was generated. *)
+  Alcotest.(check int) "no recovery messages" 0
+    (Net.Traffic.by_operation (Cluster.traffic c) Net.Message.Recovery)
+
+let test_lazy_block_recovery_on_read () =
+  let c = make () in
+  Cluster.fail_site c 2;
+  ignore (write_ok c ~site:0 ~block:5 "updated");
+  Cluster.repair_site c 2;
+  Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 20.0);
+  (* Site 2 is stale on block 5 but up; a read at site 2 pulls the block. *)
+  Alcotest.(check int) "stale before read" 0
+    (Blockdev.Version_vector.get (Cluster.site_versions c 2) 5);
+  let data, v = read_ok c ~site:2 ~block:5 in
+  Alcotest.(check int) "current version served" 1 v;
+  Alcotest.(check string) "current data served" "updated" (String.sub data 0 7);
+  Alcotest.(check int) "local copy repaired" 1
+    (Blockdev.Version_vector.get (Cluster.site_versions c 2) 5);
+  Alcotest.(check int) "one block transfer" 1
+    (Net.Traffic.by_category (Cluster.traffic c) Net.Message.Block_transfer);
+  (* A second read is purely local-current: no more transfers. *)
+  ignore (read_ok c ~site:2 ~block:5);
+  Alcotest.(check int) "no further transfers" 1
+    (Net.Traffic.by_category (Cluster.traffic c) Net.Message.Block_transfer)
+
+let test_stale_write_needs_no_transfer () =
+  (* A write at a stale site never fetches the old contents: it only needs
+     the version numbers from the votes. *)
+  let c = make () in
+  Cluster.fail_site c 2;
+  ignore (write_ok c ~site:0 ~block:1 "first");
+  Cluster.repair_site c 2;
+  Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 20.0);
+  let v = write_ok c ~site:2 ~block:1 "second" in
+  Alcotest.(check int) "version above the unseen one" 2 v;
+  Alcotest.(check int) "no block transfers at all" 0
+    (Net.Traffic.by_category (Cluster.traffic c) Net.Message.Block_transfer);
+  let data, _ = read_ok c ~site:0 ~block:1 in
+  Alcotest.(check string) "all sites converged on the new write" "second" (String.sub data 0 6)
+
+let test_even_n_tiebreak_behaviour () =
+  let c = make ~n:4 () in
+  (* Down to sites {0,1}: weight 5 of 9 — quorum holds. *)
+  Cluster.fail_site c 2;
+  Cluster.fail_site c 3;
+  ignore (write_ok c ~site:1 ~block:0 "heavy side");
+  (* Down to sites {1,2}: weight 4 of 9 — no quorum. *)
+  let c2 = make ~n:4 () in
+  Cluster.fail_site c2 0;
+  Cluster.fail_site c2 3;
+  match Cluster.write_sync c2 ~site:1 ~block:0 (payload "light side") with
+  | Error Types.No_quorum -> ()
+  | _ -> Alcotest.fail "light side formed a quorum"
+
+let test_safety_across_failures () =
+  (* The invariant behind voting: any read quorum returns the latest
+     successfully written value, whatever the failure pattern. *)
+  let c = make ~n:5 ~blocks:4 () in
+  let latest = Array.make 4 "" in
+  let rng = Util.Prng.create 7 in
+  let sites_up = Array.make 5 true in
+  for step = 1 to 200 do
+    let roll = Util.Prng.int rng 10 in
+    if roll < 2 then begin
+      (* flip a site *)
+      let s = Util.Prng.int rng 5 in
+      if sites_up.(s) then Cluster.fail_site c s else Cluster.repair_site c s;
+      sites_up.(s) <- not sites_up.(s)
+    end
+    else begin
+      let block = Util.Prng.int rng 4 in
+      let site = Util.Prng.int rng 5 in
+      if sites_up.(site) then
+        if roll < 6 then begin
+          let tag = Printf.sprintf "s%d" step in
+          match Cluster.write_sync c ~site ~block (payload tag) with
+          | Ok _ -> latest.(block) <- tag
+          | Error _ -> ()
+        end
+        else
+          match Cluster.read_sync c ~site ~block with
+          | Ok (b, _) ->
+              if latest.(block) <> "" then
+                let got = String.sub (Block.to_string b) 0 (String.length latest.(block)) in
+                if got <> latest.(block) then
+                  Alcotest.failf "stale read at step %d: got %s want %s" step got latest.(block)
+          | Error _ -> ()
+    end;
+    if not (Cluster.consistent_available_stores c) then
+      Alcotest.failf "quorum-safety invariant broken at step %d" step
+  done
+
+let test_unicast_mode_works () =
+  let c = make ~net_mode:Net.Network.Unicast () in
+  ignore (write_ok c ~site:0 ~block:0 "uni");
+  let data, _ = read_ok c ~site:2 ~block:0 in
+  Alcotest.(check string) "unicast roundtrip" "uni" (String.sub data 0 3)
+
+let () =
+  Alcotest.run "voting"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_read_write_roundtrip;
+          Alcotest.test_case "version increments" `Quick test_versions_increment;
+          Alcotest.test_case "write updates reachable sites" `Quick test_write_updates_all_reachable;
+          Alcotest.test_case "unicast mode" `Quick test_unicast_mode_works;
+        ] );
+      ( "quorums",
+        [
+          Alcotest.test_case "no quorum refused" `Quick test_no_quorum_refuses;
+          Alcotest.test_case "minority partition refused" `Quick test_minority_partition_refused;
+          Alcotest.test_case "failed local site" `Quick test_failed_local_site_refuses;
+          Alcotest.test_case "even-n tie-break" `Quick test_even_n_tiebreak_behaviour;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "repair is immediate" `Quick test_repair_is_immediate;
+          Alcotest.test_case "lazy per-block recovery" `Quick test_lazy_block_recovery_on_read;
+          Alcotest.test_case "stale write avoids transfer" `Quick test_stale_write_needs_no_transfer;
+        ] );
+      ("safety", [ Alcotest.test_case "random failures" `Slow test_safety_across_failures ]);
+    ]

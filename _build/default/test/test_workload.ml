@@ -1,0 +1,261 @@
+(* Tests for Workload: Access_gen, Failure_gen, Trace, Runner, Experiment. *)
+
+module Cluster = Blockrep.Cluster
+module Types = Blockrep.Types
+
+let make_cluster ?(scheme = Types.Naive_available_copy) ?(n = 3) () =
+  Cluster.create (Blockrep.Config.make_exn ~scheme ~n_sites:n ~n_blocks:16 ~seed:606 ())
+
+(* ------------------------------------------------------------------ *)
+(* Access_gen                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_ratio () =
+  let gen =
+    Workload.Access_gen.create ~rng:(Util.Prng.create 1) ~n_blocks:16 ~reads_per_write:2.5 ()
+  in
+  let ops = Workload.Access_gen.take gen 20_000 in
+  let reads = List.length (List.filter Workload.Access_gen.is_read ops) in
+  let writes = List.length ops - reads in
+  let ratio = float_of_int reads /. float_of_int writes in
+  Alcotest.(check (float 0.15)) "realised ratio near 2.5" 2.5 ratio;
+  Alcotest.(check int) "counters" reads (Workload.Access_gen.reads_emitted gen);
+  Alcotest.(check int) "counters" writes (Workload.Access_gen.writes_emitted gen)
+
+let test_gen_write_only () =
+  let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 2) ~n_blocks:4 ~reads_per_write:0.0 () in
+  Alcotest.(check bool) "all writes" true
+    (List.for_all (fun op -> not (Workload.Access_gen.is_read op)) (Workload.Access_gen.take gen 100))
+
+let test_gen_blocks_in_range () =
+  let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 3) ~n_blocks:8 ~reads_per_write:1.0 () in
+  List.iter
+    (fun op ->
+      let b = Workload.Access_gen.op_block op in
+      if b < 0 || b >= 8 then Alcotest.failf "block out of range: %d" b)
+    (Workload.Access_gen.take gen 1000)
+
+let test_gen_sequential () =
+  let gen =
+    Workload.Access_gen.create ~rng:(Util.Prng.create 4) ~n_blocks:4 ~reads_per_write:1.0
+      ~locality:Workload.Access_gen.Sequential ()
+  in
+  let blocks = List.map Workload.Access_gen.op_block (Workload.Access_gen.take gen 8) in
+  Alcotest.(check (list int)) "wraps around" [ 0; 1; 2; 3; 0; 1; 2; 3 ] blocks
+
+let test_gen_zipf_skew () =
+  let gen =
+    Workload.Access_gen.create ~rng:(Util.Prng.create 5) ~n_blocks:64 ~reads_per_write:1.0
+      ~locality:(Workload.Access_gen.Zipf 1.0) ()
+  in
+  let counts = Array.make 64 0 in
+  List.iter
+    (fun op -> counts.(Workload.Access_gen.op_block op) <- counts.(Workload.Access_gen.op_block op) + 1)
+    (Workload.Access_gen.take gen 10_000);
+  Alcotest.(check bool) "block 0 much hotter than block 63" true (counts.(0) > 5 * (counts.(63) + 1))
+
+let test_gen_payloads_distinct () =
+  let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 6) ~n_blocks:4 ~reads_per_write:0.0 () in
+  match Workload.Access_gen.take gen 2 with
+  | [ Workload.Access_gen.Write (_, a); Workload.Access_gen.Write (_, b) ] ->
+      Alcotest.(check bool) "distinct payloads" false (Blockdev.Block.equal a b)
+  | _ -> Alcotest.fail "expected two writes"
+
+(* ------------------------------------------------------------------ *)
+(* Failure_gen                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_failure_gen_injects () =
+  let c = make_cluster () in
+  let gen = Workload.Failure_gen.attach c ~rng:(Util.Prng.create 7) ~lambda:1.0 ~mu:1.0 in
+  Cluster.run_until c 200.0;
+  Workload.Failure_gen.stop gen;
+  Alcotest.(check bool) "failures happened" true (Workload.Failure_gen.failures_injected gen > 50);
+  Alcotest.(check bool) "repairs happened" true (Workload.Failure_gen.repairs_injected gen > 50)
+
+let test_failure_gen_stop () =
+  let c = make_cluster () in
+  let gen = Workload.Failure_gen.attach c ~rng:(Util.Prng.create 8) ~lambda:1.0 ~mu:1.0 in
+  Cluster.run_until c 50.0;
+  Workload.Failure_gen.stop gen;
+  let at_stop = Workload.Failure_gen.failures_injected gen in
+  Cluster.run_until c 200.0;
+  Alcotest.(check int) "no more after stop" at_stop (Workload.Failure_gen.failures_injected gen)
+
+let test_failure_script () =
+  let c = make_cluster () in
+  Workload.Failure_gen.run_script c
+    [ (10.0, Workload.Failure_gen.Fail 1); (20.0, Workload.Failure_gen.Repair 1) ];
+  Cluster.run_until c 15.0;
+  Alcotest.(check bool) "failed at 10" true (Cluster.site_state c 1 = Types.Failed);
+  Cluster.run_until c 60.0;
+  Alcotest.(check bool) "repaired at 20" true (Cluster.site_state c 1 = Types.Available)
+
+let test_failure_rates_rejected () =
+  let c = make_cluster () in
+  Alcotest.check_raises "bad rates" (Invalid_argument "Failure_gen.attach: rates must be positive")
+    (fun () -> ignore (Workload.Failure_gen.attach c ~rng:(Util.Prng.create 9) ~lambda:0.0 ~mu:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_roundtrip_lines () =
+  let entries = [ Workload.Trace.R 3; Workload.Trace.W (5, "payload"); Workload.Trace.R 0 ] in
+  let lines = Workload.Trace.to_lines entries in
+  match Workload.Trace.of_lines lines with
+  | Ok back -> Alcotest.(check bool) "roundtrip" true (back = entries)
+  | Error e -> Alcotest.fail e
+
+let test_trace_parse_errors () =
+  let bad l = match Workload.Trace.entry_of_line l with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "garbage" true (bad "X 12");
+  Alcotest.(check bool) "negative block" true (bad "R -4");
+  Alcotest.(check bool) "non-numeric" true (bad "R abc");
+  Alcotest.(check bool) "good read ok" false (bad "R 7")
+
+let test_trace_comments_skipped () =
+  match Workload.Trace.of_lines [ "# header"; ""; "R 1"; "  # another"; "W 2 xyz" ] with
+  | Ok entries -> Alcotest.(check int) "two entries" 2 (List.length entries)
+  | Error e -> Alcotest.fail e
+
+let test_trace_file_roundtrip () =
+  let path = Filename.temp_file "blockrep" ".trace" in
+  let entries = Workload.Trace.synthesize_bsd_like ~rng:(Util.Prng.create 10) ~n_blocks:32 ~length:100 in
+  Workload.Trace.save path entries;
+  (match Workload.Trace.load path with
+  | Ok back -> Alcotest.(check bool) "file roundtrip" true (back = entries)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_trace_bsd_profile () =
+  let entries = Workload.Trace.synthesize_bsd_like ~rng:(Util.Prng.create 11) ~n_blocks:32 ~length:10_000 in
+  Alcotest.(check (float 0.3)) "2.5:1 profile" 2.5 (Workload.Trace.read_write_ratio entries)
+
+let test_trace_ops_conversion () =
+  let entries = [ Workload.Trace.W (2, "tok"); Workload.Trace.R 1 ] in
+  let ops = Workload.Trace.to_ops entries in
+  let back = Workload.Trace.of_ops ops in
+  Alcotest.(check bool) "entry->op->entry" true (back = entries)
+
+(* ------------------------------------------------------------------ *)
+(* Runner / Experiment                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_closed_loop_counts () =
+  let c = make_cluster () in
+  let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 12) ~n_blocks:16 ~reads_per_write:1.0 () in
+  let r = Workload.Runner.run_closed_loop c gen ~site:0 ~ops:200 in
+  Alcotest.(check int) "all issued" 200 r.Workload.Runner.issued;
+  Alcotest.(check int) "all succeed failure-free" 200 (r.Workload.Runner.read_ok + r.Workload.Runner.write_ok);
+  Alcotest.(check (float 1e-9)) "success fraction" 1.0 (Workload.Runner.success_fraction r)
+
+let test_closed_loop_with_down_site () =
+  let c = make_cluster () in
+  Cluster.fail_site c 0;
+  let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 13) ~n_blocks:16 ~reads_per_write:1.0 () in
+  let r = Workload.Runner.run_closed_loop c gen ~site:0 ~ops:50 in
+  Alcotest.(check int) "all fail at a dead site" 50
+    (r.Workload.Runner.read_failed + r.Workload.Runner.write_failed)
+
+let test_open_loop_runs () =
+  let c = make_cluster () in
+  let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 14) ~n_blocks:16 ~reads_per_write:2.0 () in
+  let r = Workload.Runner.run_open_loop c gen ~site:0 ~rate:5.0 ~horizon:100.0 in
+  Alcotest.(check bool) "roughly rate*horizon ops" true (r.Workload.Runner.issued > 300 && r.Workload.Runner.issued < 700);
+  Alcotest.(check (float 1e-9)) "span is the horizon" 100.0 r.Workload.Runner.span
+
+let test_replay () =
+  let c = make_cluster () in
+  let entries = [ Workload.Trace.W (1, "alpha"); Workload.Trace.R 1; Workload.Trace.R 1 ] in
+  let r = Workload.Runner.replay c entries ~site:0 in
+  Alcotest.(check int) "writes" 1 r.Workload.Runner.write_ok;
+  Alcotest.(check int) "reads" 2 r.Workload.Runner.read_ok;
+  match Cluster.read_sync c ~site:0 ~block:1 with
+  | Ok (b, _) ->
+      Alcotest.(check string) "replayed data" "alpha" (String.sub (Blockdev.Block.to_string b) 0 5)
+  | Error _ -> Alcotest.fail "read after replay failed"
+
+let test_latency_by_scheme () =
+  (* Constant latency 0.5 per hop: voting ops and AC writes take one round
+     trip (1.0); copy-scheme reads and NAC writes complete locally (0). *)
+  let measure scheme =
+    let c =
+      Cluster.create
+        (Blockrep.Config.make_exn ~scheme ~n_sites:3 ~n_blocks:8
+           ~latency:(Util.Dist.Constant 0.5) ~seed:909 ())
+    in
+    let gen = Workload.Access_gen.create ~rng:(Util.Prng.create 15) ~n_blocks:8 ~reads_per_write:1.0 () in
+    let r = Workload.Runner.run_closed_loop c gen ~site:0 ~ops:100 in
+    (Workload.Runner.mean_read_latency r, Workload.Runner.mean_write_latency r)
+  in
+  let vr, vw = measure Types.Voting in
+  Alcotest.(check (float 1e-6)) "voting read one round trip" 1.0 vr;
+  Alcotest.(check (float 1e-6)) "voting write one round trip" 1.0 vw;
+  let ar, aw = measure Types.Available_copy in
+  Alcotest.(check (float 1e-6)) "ac read local" 0.0 ar;
+  Alcotest.(check (float 1e-6)) "ac write one round trip" 1.0 aw;
+  let nr, nw = measure Types.Naive_available_copy in
+  Alcotest.(check (float 1e-6)) "nac read local" 0.0 nr;
+  Alcotest.(check (float 1e-6)) "nac write fire-and-forget" 0.0 nw
+
+let test_experiment_availability_sane () =
+  let s =
+    Workload.Experiment.measure_availability ~scheme:Types.Naive_available_copy ~n_sites:3 ~rho:0.1
+      ~horizon:5_000.0 ()
+  in
+  let model = Analysis.Nac_model.availability ~n:3 ~rho:0.1 in
+  Alcotest.(check bool) "within 2% of the model" true
+    (Float.abs (s.Workload.Experiment.availability -. model) < 0.02);
+  Alcotest.(check bool) "failures injected" true (s.Workload.Experiment.failures > 0)
+
+let test_experiment_traffic_exact_nac () =
+  let s =
+    Workload.Experiment.measure_traffic ~scheme:Types.Naive_available_copy ~n_sites:5
+      ~env:Net.Network.Multicast ~reads_per_write:2.0 ~ops:500 ()
+  in
+  Alcotest.(check (float 1e-9)) "nac multicast = exactly 1 per write" 1.0
+    s.Workload.Experiment.messages_per_write_group
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "access-gen",
+        [
+          Alcotest.test_case "ratio" `Slow test_gen_ratio;
+          Alcotest.test_case "write-only" `Quick test_gen_write_only;
+          Alcotest.test_case "blocks in range" `Quick test_gen_blocks_in_range;
+          Alcotest.test_case "sequential locality" `Quick test_gen_sequential;
+          Alcotest.test_case "zipf skew" `Quick test_gen_zipf_skew;
+          Alcotest.test_case "distinct payloads" `Quick test_gen_payloads_distinct;
+        ] );
+      ( "failure-gen",
+        [
+          Alcotest.test_case "injects failures" `Quick test_failure_gen_injects;
+          Alcotest.test_case "stop" `Quick test_failure_gen_stop;
+          Alcotest.test_case "scripted schedule" `Quick test_failure_script;
+          Alcotest.test_case "rates validated" `Quick test_failure_rates_rejected;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "line roundtrip" `Quick test_trace_roundtrip_lines;
+          Alcotest.test_case "parse errors" `Quick test_trace_parse_errors;
+          Alcotest.test_case "comments skipped" `Quick test_trace_comments_skipped;
+          Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip;
+          Alcotest.test_case "bsd profile" `Slow test_trace_bsd_profile;
+          Alcotest.test_case "ops conversion" `Quick test_trace_ops_conversion;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "closed loop" `Quick test_closed_loop_counts;
+          Alcotest.test_case "closed loop with failure" `Quick test_closed_loop_with_down_site;
+          Alcotest.test_case "open loop" `Quick test_open_loop_runs;
+          Alcotest.test_case "trace replay" `Quick test_replay;
+          Alcotest.test_case "latency by scheme" `Quick test_latency_by_scheme;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "availability sane" `Slow test_experiment_availability_sane;
+          Alcotest.test_case "traffic exact for NAC" `Quick test_experiment_traffic_exact_nac;
+        ] );
+    ]
