@@ -81,6 +81,18 @@ let run_sync t issue =
 let read_sync t ~site ~block = run_sync t (fun k -> read t ~site ~block k)
 let write_sync t ~site ~block data = run_sync t (fun k -> write t ~site ~block data k)
 
+(* Retry-aware synchronous operations: quorum and copy operations survive
+   transient message loss instead of failing on the first lossy round. *)
+let read_sync_retry t ~policy ~stats ~site ~block =
+  Retry.run policy ~engine:(engine t) ~stats (fun ~attempt:_ -> read_sync t ~site ~block)
+
+let write_sync_retry t ~policy ~stats ~site ~block data =
+  Retry.run policy ~engine:(engine t) ~stats (fun ~attempt:_ -> write_sync t ~site ~block data)
+
+let faults t = Runtime.Transport.faults (Runtime.net t.rt)
+
+let install_faults t f = Runtime.Transport.install_faults (Runtime.net t.rt) f
+
 let fail_site t i =
   Runtime.fail_site t.rt i;
   Availability_monitor.record t.monitor (system_available_rt t.protocol)

@@ -39,6 +39,26 @@ val read_sync : t -> site:int -> block:Blockdev.Block.id -> Types.read_result
 
 val write_sync : t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
 
+val read_sync_retry :
+  t ->
+  policy:Retry.policy ->
+  stats:Retry.stats ->
+  site:int ->
+  block:Blockdev.Block.id ->
+  Types.read_result
+(** {!read_sync} wrapped in bounded retries with backoff (see {!Retry}):
+    under injected message loss a quorum round that loses a vote is retried
+    after a backoff instead of surfacing its first transient error. *)
+
+val write_sync_retry :
+  t ->
+  policy:Retry.policy ->
+  stats:Retry.stats ->
+  site:int ->
+  block:Blockdev.Block.id ->
+  Blockdev.Block.t ->
+  Types.write_result
+
 (** {1 Failure injection} *)
 
 val fail_site : t -> int -> unit
@@ -53,6 +73,14 @@ val partition : t -> int list list -> unit
 
 val heal : t -> unit
 (** Restore full connectivity. *)
+
+val faults : t -> Net.Faults.t option
+(** The network's fault injector, if the config's profile was not pristine
+    (or one was installed later) — for counter reporting. *)
+
+val install_faults : t -> Net.Faults.t -> unit
+(** Install a fault injector on the running cluster's network (per-link
+    overrides included); affects deliveries from now on. *)
 
 val site_state : t -> int -> Types.site_state
 val site_versions : t -> int -> Blockdev.Version_vector.t

@@ -9,11 +9,12 @@ type t = {
   witnesses : Types.Int_set.t;
   track_liveness : bool;
   seed : int;
+  fault_profile : Net.Faults.profile;
 }
 
 let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
     ?(latency = Util.Dist.Constant 0.5) ?op_timeout ?quorum ?(witnesses = []) ?(track_liveness = false)
-    ?(seed = 42) () =
+    ?(seed = 42) ?(fault_profile = Net.Faults.pristine) () =
   if n_sites < 1 then Error "need at least one site"
   else if n_blocks < 1 then Error "need at least one block"
   else begin
@@ -32,28 +33,33 @@ let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
             Error "at least one site must hold data"
           else if (not (Types.Int_set.is_empty witness_set)) && scheme <> Types.Voting then
             Error "witnesses only make sense under voting"
-          else
-            Ok
-              {
-                scheme;
-                n_sites;
-                n_blocks;
-                net_mode;
-                latency;
-                op_timeout;
-                quorum;
-                witnesses = witness_set;
-                track_liveness;
-                seed;
-              }
+          else begin
+            match Net.Faults.validate_profile fault_profile with
+            | Error e -> Error ("bad fault profile: " ^ e)
+            | Ok fault_profile ->
+                Ok
+                  {
+                    scheme;
+                    n_sites;
+                    n_blocks;
+                    net_mode;
+                    latency;
+                    op_timeout;
+                    quorum;
+                    witnesses = witness_set;
+                    track_liveness;
+                    seed;
+                    fault_profile;
+                  }
+          end
         end
   end
 
 let make_exn ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
-    ?track_liveness ?seed () =
+    ?track_liveness ?seed ?fault_profile () =
   match
     make ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
-      ?track_liveness ?seed ()
+      ?track_liveness ?seed ?fault_profile ()
   with
   | Ok t -> t
   | Error msg -> invalid_arg ("Config.make: " ^ msg)

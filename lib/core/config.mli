@@ -24,6 +24,11 @@ type t = private {
           idealised algorithm whose availability the Figure 7 chain computes
           — the last site to fail then always knows it can recover alone. *)
   seed : int;  (** master seed for every random stream of the cluster *)
+  fault_profile : Net.Faults.profile;
+      (** default per-link fault injection ({!Net.Faults.pristine} unless
+          overridden): with the pristine profile no injector is installed
+          at all, so the cluster is bit-identical to one built before the
+          fault layer existed *)
 }
 
 val make :
@@ -37,11 +42,12 @@ val make :
   ?witnesses:int list ->
   ?track_liveness:bool ->
   ?seed:int ->
+  ?fault_profile:Net.Faults.profile ->
   unit ->
   (t, string) result
 (** Defaults: 64 blocks, multicast, constant latency 0.5 time units,
     timeout 8 latencies, majority quorum, no witnesses,
-    [track_liveness = false], seed 42. *)
+    [track_liveness = false], seed 42, pristine fault profile. *)
 
 val make_exn :
   scheme:Types.scheme ->
@@ -54,6 +60,7 @@ val make_exn :
   ?witnesses:int list ->
   ?track_liveness:bool ->
   ?seed:int ->
+  ?fault_profile:Net.Faults.profile ->
   unit ->
   t
 (** Like {!make}; raises [Invalid_argument] instead. *)

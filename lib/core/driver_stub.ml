@@ -1,34 +1,64 @@
 type t = {
   cluster : Cluster.t;
-  mutable home : int;
+  home : int;
+  policy : Retry.policy;
+  stats : Retry.stats;
   mutable requests : int;
+  mutable site_attempts : int;
   mutable failovers : int;
 }
 
-let create ?(home = 0) cluster =
+let create ?(home = 0) ?policy cluster =
   if home < 0 || home >= Cluster.n_sites cluster then invalid_arg "Driver_stub.create: bad home site";
-  { cluster; home; requests = 0; failovers = 0 }
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> Retry.default_policy ~unit:(Cluster.config cluster).Config.op_timeout ()
+  in
+  (match Retry.validate policy with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Driver_stub.create: bad retry policy: " ^ e));
+  {
+    cluster;
+    home;
+    policy;
+    stats = Retry.create_stats ();
+    requests = 0;
+    site_attempts = 0;
+    failovers = 0;
+  }
 
 let home t = t.home
 let requests t = t.requests
+let site_attempts t = t.site_attempts
 let failovers t = t.failovers
+let retry_stats t = t.stats
+let policy t = t.policy
 
-(* Try the home site; if the local server cannot serve, rotate through the
-   remaining sites once.  Other error kinds (quorum loss) are global, so
-   failing over would not help and the error is surfaced as-is. *)
-let forward t attempt =
+(* One rotation: try the home site first, then the remaining sites once in
+   id order when the local server cannot serve.  The home never migrates —
+   a transient outage must not permanently strand requests elsewhere; the
+   next request probes the home again and service resumes the moment it
+   recovers.  Other error kinds (quorum loss) are global, so failing over
+   would not help and the error is surfaced to the retry layer. *)
+let rotation t attempt =
   let n = Cluster.n_sites t.cluster in
   let rec go tried site =
-    t.requests <- t.requests + 1;
+    t.site_attempts <- t.site_attempts + 1;
     match attempt site with
     | Error Types.Site_not_available when tried < n - 1 ->
         t.failovers <- t.failovers + 1;
-        let next = (site + 1) mod n in
-        t.home <- next;
-        go (tried + 1) next
+        go (tried + 1) ((site + 1) mod n)
     | result -> result
   in
   go 0 t.home
+
+(* A full failed rotation may still be transient (messages lost to the
+   wire, a repair in flight), so the bounded-backoff layer wraps it. *)
+let forward t attempt =
+  t.requests <- t.requests + 1;
+  Retry.run t.policy ~engine:(Cluster.engine t.cluster) ~stats:t.stats (fun ~attempt:_ ->
+      rotation t attempt)
 
 let read_block t block = forward t (fun site -> Cluster.read_sync t.cluster ~site ~block)
 

@@ -7,24 +7,47 @@
     the cluster at a {e home} server site, and — because the server need
     not live on any particular site — fails over to another operational
     site when the home site is down or cannot serve (it is this freedom
-    that lets the reliable device serve diskless workstations). *)
+    that lets the reliable device serve diskless workstations).
+
+    The home is {e sticky but not migratory}: every request starts at the
+    configured home, so a transient home outage costs one failed probe per
+    request while it lasts and service moves back automatically the moment
+    the home recovers.  When a whole rotation fails (e.g. messages lost to
+    an injected fault), the stub retries with bounded exponential backoff
+    under its {!Retry.policy} instead of failing the request outright. *)
 
 type t
 
-val create : ?home:int -> Cluster.t -> t
-(** [create ?home cluster] forwards requests to site [home] (default 0). *)
+val create : ?home:int -> ?policy:Retry.policy -> Cluster.t -> t
+(** [create ?home ?policy cluster] forwards requests to site [home]
+    (default 0).  [policy] defaults to {!Retry.default_policy} scaled by
+    the cluster's [op_timeout]; pass {!Retry.no_retry} for the paper's
+    original fail-fast behaviour. *)
 
 val home : t -> int
-(** The site currently receiving forwarded requests. *)
+(** The configured home site; requests always probe it first. *)
 
 val read_block : t -> Blockdev.Block.id -> Types.read_result
 (** Forward a read; on [Site_not_available] retries once at each other
-    site in id order before giving up.  Synchronous: drives the engine. *)
+    site in id order, and repeats the whole rotation under the retry
+    policy when it fails outright.  Synchronous: drives the engine. *)
 
 val write_block : t -> Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
 
 val requests : t -> int
-(** Requests forwarded (including failover retries). *)
+(** Logical block requests forwarded (one per [read_block] /
+    [write_block] call — failover probes and retries are counted
+    separately so per-request traffic ratios stay honest). *)
+
+val site_attempts : t -> int
+(** Individual per-site service attempts, including failover probes and
+    retried rotations; [site_attempts >= requests]. *)
 
 val failovers : t -> int
-(** Times the stub had to move its home to another site. *)
+(** Times the stub had to move a request on to another site. *)
+
+val retry_stats : t -> Retry.stats
+(** Degradation counters of the bounded-retry layer (retries, timeouts,
+    abandoned operations, recent errors). *)
+
+val policy : t -> Retry.policy

@@ -1,8 +1,9 @@
 type t = { cluster : Cluster.t; stub : Driver_stub.t; mutable last_error : Types.failure_reason option }
 
-let create ?home cluster = { cluster; stub = Driver_stub.create ?home cluster; last_error = None }
+let create ?home ?policy cluster =
+  { cluster; stub = Driver_stub.create ?home ?policy cluster; last_error = None }
 
-let of_config config = create (Cluster.create config)
+let of_config ?policy config = create ?policy (Cluster.create config)
 
 let cluster t = t.cluster
 let stub t = t.stub
@@ -31,3 +32,38 @@ let write_block t k data =
         false
 
 let last_error t = t.last_error
+
+type degradation = {
+  requests : int;
+  site_attempts : int;
+  failovers : int;
+  retries : int;
+  recovered : int;
+  timeouts : int;
+  gave_up : int;
+  faults_injected : int;
+  last_errors : (float * string) list;
+}
+
+let degradation t =
+  let s = Driver_stub.retry_stats t.stub in
+  {
+    requests = Driver_stub.requests t.stub;
+    site_attempts = Driver_stub.site_attempts t.stub;
+    failovers = Driver_stub.failovers t.stub;
+    retries = Retry.retries s;
+    recovered = Retry.recovered s;
+    timeouts = Retry.timeouts s;
+    gave_up = Retry.gave_up s;
+    faults_injected = (match Cluster.faults t.cluster with None -> 0 | Some f -> Net.Faults.total_injected f);
+    last_errors = Retry.last_errors s;
+  }
+
+let pp_degradation ppf d =
+  Format.fprintf ppf
+    "@[<v>degradation: %d requests, %d site attempts, %d failovers@,\
+     %d retries (%d recovered), %d deadline timeouts, %d gave up, %d faults injected"
+    d.requests d.site_attempts d.failovers d.retries d.recovered d.timeouts d.gave_up
+    d.faults_injected;
+  List.iter (fun (at, msg) -> Format.fprintf ppf "@,  t=%-10.3f %s" at msg) (List.rev d.last_errors);
+  Format.fprintf ppf "@]"

@@ -9,11 +9,12 @@
 
 type t
 
-val create : ?home:int -> Cluster.t -> t
+val create : ?home:int -> ?policy:Retry.policy -> Cluster.t -> t
 (** Wrap a cluster (any scheme) as a device, forwarding through a
-    {!Driver_stub} homed at [home]. *)
+    {!Driver_stub} homed at [home] with the given retry [policy] (see
+    {!Driver_stub.create} for the defaults). *)
 
-val of_config : Config.t -> t
+val of_config : ?policy:Retry.policy -> Config.t -> t
 (** Convenience: build the cluster too. *)
 
 val cluster : t -> Cluster.t
@@ -23,3 +24,27 @@ include Blockdev.Device_intf.S with type t := t
 
 val last_error : t -> Types.failure_reason option
 (** Reason for the most recent [None]/[false] answer, for diagnostics. *)
+
+(** {1 Degradation statistics}
+
+    A structured snapshot of how hard the device is working to stay
+    reliable: request and failover counts from the stub, retry/timeout
+    counters from the {!Retry} layer, fault-injection totals from the
+    network, and the most recent errors.  All zeros on a healthy,
+    fault-free cluster. *)
+
+type degradation = {
+  requests : int;  (** logical block requests forwarded *)
+  site_attempts : int;  (** per-site service attempts (incl. probes) *)
+  failovers : int;  (** requests moved on from the home site *)
+  retries : int;  (** rotations re-attempted after backoff *)
+  recovered : int;  (** requests that failed first and then succeeded *)
+  timeouts : int;  (** requests abandoned at the retry deadline *)
+  gave_up : int;  (** requests abandoned after exhausting attempts *)
+  faults_injected : int;  (** total network fault injections, 0 if none *)
+  last_errors : (float * string) list;  (** newest first *)
+}
+
+val degradation : t -> degradation
+
+val pp_degradation : Format.formatter -> degradation -> unit

@@ -1,0 +1,116 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  deadline : float;
+}
+
+let no_retry =
+  { max_attempts = 1; base_delay = 0.0; multiplier = 1.0; max_delay = 0.0; deadline = infinity }
+
+let default_policy ?(unit = 4.0) () =
+  if unit <= 0.0 then invalid_arg "Retry.default_policy: unit must be positive";
+  {
+    max_attempts = 6;
+    base_delay = unit;
+    multiplier = 2.0;
+    max_delay = 16.0 *. unit;
+    deadline = 64.0 *. unit;
+  }
+
+let validate p =
+  if p.max_attempts < 1 then Error "max_attempts must be at least 1"
+  else if p.base_delay < 0.0 then Error "base_delay must be non-negative"
+  else if p.multiplier < 1.0 then Error "multiplier must be at least 1"
+  else if p.max_delay < 0.0 then Error "max_delay must be non-negative"
+  else if p.deadline <= 0.0 then Error "deadline must be positive"
+  else Ok p
+
+let backoff p ~attempt =
+  (* Delay before attempt [attempt + 1]; attempt is 1-based. *)
+  Float.min p.max_delay (p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)))
+
+type stats = {
+  mutable operations : int;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable recovered : int;
+  mutable timeouts : int;
+  mutable gave_up : int;
+  mutable last_errors : (float * string) list;
+  error_window : int;
+}
+
+let create_stats ?(error_window = 8) () =
+  if error_window < 0 then invalid_arg "Retry.create_stats: negative error window";
+  {
+    operations = 0;
+    attempts = 0;
+    retries = 0;
+    recovered = 0;
+    timeouts = 0;
+    gave_up = 0;
+    last_errors = [];
+    error_window;
+  }
+
+let operations s = s.operations
+let attempts s = s.attempts
+let retries s = s.retries
+let recovered s = s.recovered
+let timeouts s = s.timeouts
+let gave_up s = s.gave_up
+let last_errors s = s.last_errors
+
+let record_error s ~at reason =
+  if s.error_window > 0 then begin
+    let keep = List.filteri (fun i _ -> i < s.error_window - 1) s.last_errors in
+    s.last_errors <- (at, Types.failure_reason_to_string reason) :: keep
+  end
+
+(* Everything the cluster can report is potentially transient once the wire
+   is lossy: a dropped vote costs the quorum, a dropped transfer times the
+   pull out, a dying coordinator looks locally unavailable.  The policy's
+   attempt/deadline bounds keep genuinely persistent outages from spinning. *)
+let transient (_ : Types.failure_reason) = true
+
+let run policy ~engine ~stats ?(retryable = transient) f =
+  (match validate policy with Ok _ -> () | Error e -> invalid_arg ("Retry.run: " ^ e));
+  let start = Sim.Engine.now engine in
+  stats.operations <- stats.operations + 1;
+  let rec go attempt =
+    stats.attempts <- stats.attempts + 1;
+    match f ~attempt with
+    | Ok _ as ok ->
+        if attempt > 1 then stats.recovered <- stats.recovered + 1;
+        ok
+    | Error reason as err ->
+        record_error stats ~at:(Sim.Engine.now engine) reason;
+        if not (retryable reason) then err
+        else if attempt >= policy.max_attempts then begin
+          stats.gave_up <- stats.gave_up + 1;
+          err
+        end
+        else begin
+          let delay = backoff policy ~attempt in
+          let now = Sim.Engine.now engine in
+          if now +. delay -. start > policy.deadline then begin
+            stats.timeouts <- stats.timeouts + 1;
+            err
+          end
+          else begin
+            stats.retries <- stats.retries + 1;
+            Sim.Engine.run_until engine (now +. delay);
+            go (attempt + 1)
+          end
+        end
+  in
+  go 1
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>retry stats: %d ops, %d attempts (%d retries), %d recovered, %d deadline timeouts, %d gave up"
+    s.operations s.attempts s.retries s.recovered s.timeouts s.gave_up;
+  List.iter (fun (at, msg) -> Format.fprintf ppf "@,  t=%-10.3f %s" at msg) (List.rev s.last_errors);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,89 @@
+(** Bounded retries with exponential backoff, in virtual time.
+
+    The paper's request path fails an operation on the first error because
+    its environment never loses a message; once {!Net.Faults} can drop or
+    delay deliveries, a single lost vote or transfer must not surface as a
+    device error.  This module wraps a synchronous attempt in a bounded
+    retry loop: between attempts it {e advances the simulation engine} by
+    the backoff delay, so retries consume virtual time exactly like any
+    other protocol activity, and every run remains deterministic in the
+    seed.
+
+    Degradation is observable: a shared {!stats} record counts attempts,
+    retries, recoveries, deadline timeouts and abandoned operations, and
+    keeps a bounded window of the most recent errors — surfaced through
+    [Reliable_device.degradation] and [Report.Degradation]. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first (>= 1) *)
+  base_delay : float;  (** backoff before the second attempt *)
+  multiplier : float;  (** backoff growth factor per retry (>= 1) *)
+  max_delay : float;  (** cap on any single backoff *)
+  deadline : float;
+      (** total virtual-time budget measured from the first attempt; a
+          retry that would start beyond it is not issued *)
+}
+
+val no_retry : policy
+(** One attempt, no backoff: the paper's original fail-fast behaviour. *)
+
+val default_policy : ?unit:float -> unit -> policy
+(** Six attempts, backoff [unit, 2 unit, 4 unit, ...] capped at [16 unit],
+    deadline [64 unit].  [unit] defaults to 4.0 (= the default
+    [Config.op_timeout]); pass the cluster's own timeout to scale. *)
+
+val validate : policy -> (policy, string) result
+
+val backoff : policy -> attempt:int -> float
+(** Backoff scheduled after failed attempt number [attempt] (1-based). *)
+
+(** {1 Degradation statistics} *)
+
+type stats
+
+val create_stats : ?error_window:int -> unit -> stats
+(** A fresh, all-zero record keeping up to [error_window] (default 8)
+    recent errors. *)
+
+val operations : stats -> int
+(** Operations submitted to {!run}. *)
+
+val attempts : stats -> int
+(** Attempts issued, including each operation's first. *)
+
+val retries : stats -> int
+(** Attempts beyond an operation's first. *)
+
+val recovered : stats -> int
+(** Operations that failed at least once and then succeeded. *)
+
+val timeouts : stats -> int
+(** Operations abandoned because the deadline budget ran out. *)
+
+val gave_up : stats -> int
+(** Operations abandoned after exhausting [max_attempts]. *)
+
+val last_errors : stats -> (float * string) list
+(** Most recent first: (virtual time, failure reason) of failed attempts. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Running} *)
+
+val transient : Types.failure_reason -> bool
+(** The default retryable predicate: every failure reason is treated as
+    potentially transient (under a lossy network each one can be), with the
+    policy's bounds containing persistent outages. *)
+
+val run :
+  policy ->
+  engine:Sim.Engine.t ->
+  stats:stats ->
+  ?retryable:(Types.failure_reason -> bool) ->
+  (attempt:int -> ('a, Types.failure_reason) result) ->
+  ('a, Types.failure_reason) result
+(** [run policy ~engine ~stats f] calls [f ~attempt:1], and on a retryable
+    error backs off (driving [engine] forward by the delay) and tries
+    again, up to the policy's attempt and deadline bounds.  Returns the
+    first success or the last error.  Raises [Invalid_argument] on an
+    invalid policy. *)

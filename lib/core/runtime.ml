@@ -36,8 +36,16 @@ type t = {
 let create (config : Config.t) =
   let engine = Sim.Engine.create () in
   let rng = Util.Prng.create config.seed in
+  (* A pristine profile installs no injector at all, so the network takes
+     the exact legacy delivery path (the default-off no-op guarantee); a
+     live profile gets its own seeded stream, leaving the latency and
+     workload streams of this seed untouched. *)
+  let faults =
+    if Net.Faults.is_pristine config.fault_profile then None
+    else Some (Net.Faults.of_seed ~seed:(config.seed lxor 0x6661756c74) config.fault_profile)
+  in
   let net =
-    Transport.create engine ~mode:config.net_mode ~latency:config.latency
+    Transport.create ?faults engine ~mode:config.net_mode ~latency:config.latency
       ~rng:(Util.Prng.split rng) ~n_sites:config.n_sites
   in
   let make_site id =

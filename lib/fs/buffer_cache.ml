@@ -15,7 +15,8 @@ module Make (Dev : Blockdev.Device_intf.S) = struct
     { dev; capacity; entries = Hashtbl.create capacity; clock = 0; hits = 0; misses = 0 }
 
   let device t = t.dev
-  let capacity t = Dev.capacity t.dev
+  let capacity t = t.capacity
+  let device_capacity t = Dev.capacity t.dev
 
   let touch t entry =
     t.clock <- t.clock + 1;

@@ -20,6 +20,14 @@ module Make (Dev : Blockdev.Device_intf.S) : sig
   val device : t -> Dev.t
 
   include Blockdev.Device_intf.S with type t := t
+  (** [capacity] is the cache's {e configured} capacity (the [~capacity]
+      given to {!create}), not the underlying device's block count — an
+      early version delegated to [Dev.capacity] by accident (the functor
+      argument shadowed the field).  For the device's addressable size use
+      {!device_capacity}. *)
+
+  val device_capacity : t -> int
+  (** [Dev.capacity] of the underlying device. *)
 
   val hits : t -> int
   val misses : t -> int

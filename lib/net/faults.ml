@@ -1,0 +1,135 @@
+type profile = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  jitter : Util.Dist.t;
+  extra_delay : float;
+}
+
+let pristine =
+  { drop = 0.0; duplicate = 0.0; reorder = 0.0; jitter = Util.Dist.Constant 0.0; extra_delay = 0.0 }
+
+let is_pristine p =
+  p.drop = 0.0 && p.duplicate = 0.0 && p.reorder = 0.0 && p.extra_delay = 0.0
+
+let validate_profile p =
+  let prob what x =
+    if x < 0.0 || x > 1.0 || Float.is_nan x then
+      Error (Printf.sprintf "%s must be a probability in [0, 1]" what)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "drop" p.drop in
+  let* () = prob "duplicate" p.duplicate in
+  let* () = prob "reorder" p.reorder in
+  let* _ = Result.map_error (fun e -> "bad jitter distribution: " ^ e) (Util.Dist.validate p.jitter) in
+  if p.extra_delay < 0.0 || Float.is_nan p.extra_delay then Error "extra_delay must be non-negative"
+  else Ok p
+
+let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(jitter = Util.Dist.Constant 0.0)
+    ?(extra_delay = 0.0) () =
+  validate_profile { drop; duplicate; reorder; jitter; extra_delay }
+
+let make_exn ?drop ?duplicate ?reorder ?jitter ?extra_delay () =
+  match make ?drop ?duplicate ?reorder ?jitter ?extra_delay () with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Faults.make: " ^ msg)
+
+type counters = {
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable reorders : int;
+  mutable delayed : int;
+}
+
+type t = {
+  rng : Util.Prng.t;
+  default : profile;
+  links : (int * int, profile) Hashtbl.t;
+  counters : counters;
+}
+
+let create ~rng profile =
+  match validate_profile profile with
+  | Error msg -> invalid_arg ("Faults.create: " ^ msg)
+  | Ok default ->
+      {
+        rng;
+        default;
+        links = Hashtbl.create 8;
+        counters = { drops = 0; duplicates = 0; reorders = 0; delayed = 0 };
+      }
+
+let of_seed ~seed profile = create ~rng:(Util.Prng.create seed) profile
+
+let set_link t ~from ~dst profile =
+  match validate_profile profile with
+  | Error msg -> invalid_arg ("Faults.set_link: " ^ msg)
+  | Ok p -> Hashtbl.replace t.links (from, dst) p
+
+let link_profile t ~from ~dst =
+  match Hashtbl.find_opt t.links (from, dst) with Some p -> p | None -> t.default
+
+let default_profile t = t.default
+
+(* A fault plan never perturbs the traffic counters: transmissions are
+   accounted at send time, exactly as Section 5 counts them; faults only
+   decide what the wire then does to the already-charged message. *)
+let plan t ~from ~dst =
+  let p = link_profile t ~from ~dst in
+  if is_pristine p then [ 0.0 ]
+  else begin
+    let c = t.counters in
+    (* Draw the three uniforms unconditionally so the fault stream of a link
+       does not depend on which knobs are zero — only on the seed. *)
+    let u_drop = Util.Prng.float t.rng in
+    let u_dup = Util.Prng.float t.rng in
+    let u_reorder = Util.Prng.float t.rng in
+    if u_drop < p.drop then begin
+      c.drops <- c.drops + 1;
+      []
+    end
+    else begin
+      let base =
+        if p.extra_delay > 0.0 then begin
+          c.delayed <- c.delayed + 1;
+          p.extra_delay
+        end
+        else 0.0
+      in
+      let jitter_for u =
+        if u < p.reorder then begin
+          c.reorders <- c.reorders + 1;
+          Util.Dist.sample p.jitter t.rng
+        end
+        else 0.0
+      in
+      let first = base +. jitter_for u_reorder in
+      if u_dup < p.duplicate then begin
+        c.duplicates <- c.duplicates + 1;
+        [ first; base +. jitter_for (Util.Prng.float t.rng) ]
+      end
+      else [ first ]
+    end
+  end
+
+let drops t = t.counters.drops
+let duplicates t = t.counters.duplicates
+let reorders t = t.counters.reorders
+let delayed t = t.counters.delayed
+let total_injected t = drops t + duplicates t + reorders t + delayed t
+
+let reset_counters t =
+  let c = t.counters in
+  c.drops <- 0;
+  c.duplicates <- 0;
+  c.reorders <- 0;
+  c.delayed <- 0
+
+let pp_profile ppf p =
+  Format.fprintf ppf "faults(drop=%g, dup=%g, reorder=%g, jitter=%a, delay=%g)" p.drop p.duplicate
+    p.reorder Util.Dist.pp p.jitter p.extra_delay
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,injected: %d drops, %d duplicates, %d reorders, %d delayed@]"
+    pp_profile t.default (drops t) (duplicates t) (reorders t) (delayed t)

@@ -1,0 +1,98 @@
+(** Seeded message-level fault injection for {!Network}.
+
+    The paper's evaluation assumes reliable, partition-free message delivery;
+    this module lets adversarial experiments relax that assumption without
+    touching any protocol code.  Each link (ordered site pair) carries a
+    {!profile} of independent per-message fault probabilities:
+
+    - {b drop}: the message vanishes after being charged to the traffic
+      counters (transmissions are accounted at send time, as in Section 5 —
+      a lossy wire does not refund the sender);
+    - {b duplicate}: a second copy is delivered, with its own latency draw;
+    - {b reorder}: the delivery is deferred by an extra draw from the
+      [jitter] distribution, letting later sends overtake it;
+    - {b extra_delay}: a deterministic added latency on every delivery.
+
+    The default profile is {!pristine} (all knobs zero), and a network with
+    no faults installed — or a pristine profile — behaves {e exactly} as the
+    fault-free network: same code path, same RNG draws, same counters.  The
+    injector owns a dedicated RNG, so enabling faults never perturbs the
+    latency or workload streams of the same seed. *)
+
+type profile = {
+  drop : float;  (** probability a delivery is lost, in [0, 1] *)
+  duplicate : float;  (** probability a delivery is doubled *)
+  reorder : float;  (** probability a delivery gets extra jitter *)
+  jitter : Util.Dist.t;  (** extra delay drawn when a reorder fires *)
+  extra_delay : float;  (** deterministic extra latency, every delivery *)
+}
+
+val pristine : profile
+(** All-zero knobs: provably no fault is ever injected. *)
+
+val is_pristine : profile -> bool
+
+val validate_profile : profile -> (profile, string) result
+(** Checks probabilities are in [0, 1], the jitter distribution is valid and
+    the extra delay non-negative. *)
+
+val make :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?jitter:Util.Dist.t ->
+  ?extra_delay:float ->
+  unit ->
+  (profile, string) result
+(** Build a validated profile; every knob defaults to its pristine value. *)
+
+val make_exn :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?jitter:Util.Dist.t ->
+  ?extra_delay:float ->
+  unit ->
+  profile
+
+type t
+(** A fault injector: a default profile, per-link overrides, a dedicated
+    RNG and per-category injection counters. *)
+
+val create : rng:Util.Prng.t -> profile -> t
+(** [create ~rng profile] validates [profile] and installs it as the
+    default for every link.  Raises [Invalid_argument] on a bad profile. *)
+
+val of_seed : seed:int -> profile -> t
+(** Convenience: [create] with a fresh SplitMix64 stream. *)
+
+val set_link : t -> from:int -> dst:int -> profile -> unit
+(** Override the profile of one directed link. *)
+
+val link_profile : t -> from:int -> dst:int -> profile
+(** The profile governing [from -> dst] (the default unless overridden). *)
+
+val default_profile : t -> profile
+
+val plan : t -> from:int -> dst:int -> float list
+(** Decide the fate of one delivery on a link: a list of extra delays, one
+    per copy to deliver.  [[]] means the message is dropped; [[0.0]] is an
+    undisturbed delivery; two elements mean a duplicate.  Updates the
+    injection counters.  On a pristine link this returns [[0.0]] without
+    drawing from the RNG. *)
+
+(** {1 Injection counters} *)
+
+val drops : t -> int
+val duplicates : t -> int
+val reorders : t -> int
+
+val delayed : t -> int
+(** Deliveries that received the deterministic [extra_delay]. *)
+
+val total_injected : t -> int
+
+val reset_counters : t -> unit
+
+val pp_profile : Format.formatter -> profile -> unit
+val pp : Format.formatter -> t -> unit

@@ -23,9 +23,10 @@ module Make (P : PAYLOAD) = struct
        -1 means isolated.  No partition: all zero. *)
     group : int array;
     mutable delivered : int;
+    mutable faults : Faults.t option;
   }
 
-  let create engine ~mode ~latency ~rng ~n_sites =
+  let create ?faults engine ~mode ~latency ~rng ~n_sites =
     if n_sites <= 0 then invalid_arg "Network.create: need at least one site";
     {
       engine;
@@ -38,12 +39,15 @@ module Make (P : PAYLOAD) = struct
       handlers = Array.make n_sites None;
       group = Array.make n_sites 0;
       delivered = 0;
+      faults;
     }
 
   let engine t = t.engine
   let mode t = t.mode
   let n_sites t = t.n_sites
   let traffic t = t.traffic
+  let faults t = t.faults
+  let install_faults t f = t.faults <- Some f
 
   let check_site t id name =
     if id < 0 || id >= t.n_sites then invalid_arg (Printf.sprintf "Network.%s: bad site %d" name id)
@@ -85,19 +89,27 @@ module Make (P : PAYLOAD) = struct
   (* Physical delivery: the receiver must be up both when the message is
      sent (a dead NIC receives nothing) and when it arrives (fail-stop: a
      message racing a failure is lost), and the route must exist at
-     delivery. *)
+     delivery.  The fault injector may drop the delivery, double it, or
+     stretch its latency; with no injector installed the legacy single-copy
+     path runs unchanged (the default-off no-op guarantee). *)
+  let schedule_delivery t ~from ~dst payload ~extra =
+    let delay = Util.Dist.sample t.latency t.rng +. extra in
+    ignore
+      (Sim.Engine.schedule t.engine ~delay (fun () ->
+           if t.up.(dst) && reachable t from dst then
+             match t.handlers.(dst) with
+             | Some handler ->
+                 t.delivered <- t.delivered + 1;
+                 handler ~from payload
+             | None -> ())
+        : Sim.Engine.handle)
+
   let deliver t ~from ~dst payload =
     if t.up.(dst) then begin
-      let delay = Util.Dist.sample t.latency t.rng in
-      ignore
-        (Sim.Engine.schedule t.engine ~delay (fun () ->
-             if t.up.(dst) && reachable t from dst then
-               match t.handlers.(dst) with
-               | Some handler ->
-                   t.delivered <- t.delivered + 1;
-                   handler ~from payload
-               | None -> ())
-          : Sim.Engine.handle)
+      match t.faults with
+      | None -> schedule_delivery t ~from ~dst payload ~extra:0.0
+      | Some f ->
+          List.iter (fun extra -> schedule_delivery t ~from ~dst payload ~extra) (Faults.plan f ~from ~dst)
     end
 
   let send t ~op ~from ~dst payload =

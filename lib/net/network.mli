@@ -9,10 +9,12 @@
     - {b Unicast} ("unique addressing"): a broadcast costs one transmission
       per remote site, up or not — the sender cannot know.
 
-    Delivery is reliable and FIFO-per-latency-draw, matching the paper's
-    "reliable message delivery" assumption; messages to failed sites vanish
-    (fail-stop receivers), and optional partitions let adversarial tests
-    exercise the one scenario where available copy is unsafe. *)
+    Delivery is reliable and FIFO-per-latency-draw by default, matching the
+    paper's "reliable message delivery" assumption; messages to failed sites
+    vanish (fail-stop receivers), and optional partitions let adversarial
+    tests exercise the one scenario where available copy is unsafe.  An
+    optional {!Faults} injector relaxes the reliability assumption per link
+    (drop / duplicate / reorder / extra delay) for robustness studies. *)
 
 module type PAYLOAD = sig
   type t
@@ -34,6 +36,7 @@ module Make (P : PAYLOAD) : sig
   type t
 
   val create :
+    ?faults:Faults.t ->
     Sim.Engine.t ->
     mode:mode ->
     latency:Util.Dist.t ->
@@ -41,12 +44,21 @@ module Make (P : PAYLOAD) : sig
     n_sites:int ->
     t
   (** A network over sites [0 .. n_sites-1], all initially up, fully
-      connected, with its own fresh {!Traffic.t}. *)
+      connected, with its own fresh {!Traffic.t}.  With no [faults] (the
+      default) delivery is reliable, exactly as the paper assumes. *)
 
   val engine : t -> Sim.Engine.t
   val mode : t -> mode
   val n_sites : t -> int
   val traffic : t -> Traffic.t
+
+  val faults : t -> Faults.t option
+  (** The installed fault injector, if any (for counter reporting). *)
+
+  val install_faults : t -> Faults.t -> unit
+  (** Install (or replace) the fault injector; affects deliveries scheduled
+      from now on.  Transmission accounting is never affected — Section 5
+      charges the send, not the arrival. *)
 
   val register : t -> id:int -> (from:int -> P.t -> unit) -> unit
   (** [register t ~id handler] installs the receive handler of site [id];

@@ -1,0 +1,81 @@
+type summary = {
+  label : string;
+  requests : int;
+  site_attempts : int;
+  failovers : int;
+  retries : int;
+  recovered : int;
+  timeouts : int;
+  gave_up : int;
+  drops : int;
+  duplicates : int;
+  reorders : int;
+  delayed : int;
+  last_errors : (float * string) list;
+}
+
+let collect ?(label = "device") device =
+  let d = Blockrep.Reliable_device.degradation device in
+  let drops, duplicates, reorders, delayed =
+    match Blockrep.Cluster.faults (Blockrep.Reliable_device.cluster device) with
+    | None -> (0, 0, 0, 0)
+    | Some f -> (Net.Faults.drops f, Net.Faults.duplicates f, Net.Faults.reorders f, Net.Faults.delayed f)
+  in
+  {
+    label;
+    requests = d.Blockrep.Reliable_device.requests;
+    site_attempts = d.site_attempts;
+    failovers = d.failovers;
+    retries = d.retries;
+    recovered = d.recovered;
+    timeouts = d.timeouts;
+    gave_up = d.gave_up;
+    drops;
+    duplicates;
+    reorders;
+    delayed;
+    last_errors = d.last_errors;
+  }
+
+let header =
+  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %6s %6s %5s %5s %5s %5s" "label" "requests"
+    "attempts" "failover" "retries" "recover" "timeout" "gaveup" "drops" "dups" "reord" "delay" ""
+
+let print_row ppf s =
+  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %6d %6d %5d %5d %5d" s.label s.requests
+    s.site_attempts s.failovers s.retries s.recovered s.timeouts s.gave_up s.drops s.duplicates
+    s.reorders s.delayed
+
+let print ppf ?(errors = false) rows =
+  Format.fprintf ppf "@[<v>%s@," header;
+  List.iter
+    (fun s ->
+      print_row ppf s;
+      Format.fprintf ppf "@,";
+      if errors then
+        List.iter
+          (fun (at, msg) -> Format.fprintf ppf "    t=%-10.3f %s@," at msg)
+          (List.rev s.last_errors))
+    rows;
+  Format.fprintf ppf "@]"
+
+let csv_rows rows =
+  "label,requests,site_attempts,failovers,retries,recovered,timeouts,gave_up,drops,duplicates,reorders,delayed"
+  :: List.map
+       (fun s ->
+         String.concat ","
+           [
+             s.label;
+             string_of_int s.requests;
+             string_of_int s.site_attempts;
+             string_of_int s.failovers;
+             string_of_int s.retries;
+             string_of_int s.recovered;
+             string_of_int s.timeouts;
+             string_of_int s.gave_up;
+             string_of_int s.drops;
+             string_of_int s.duplicates;
+             string_of_int s.reorders;
+             string_of_int s.delayed;
+           ])
+       rows

@@ -1,0 +1,35 @@
+(** Reporting of the reliable device's degradation statistics.
+
+    The fault-injection studies need the same answer in three shapes: a
+    structured record (for assertions), an aligned text table (for the CLI
+    and examples) and CSV (for external plotting).  One {!summary} row per
+    device, combining the stub's request/failover counters, the retry
+    layer's degradation counts and the network injector's per-category
+    fault totals. *)
+
+type summary = {
+  label : string;
+  requests : int;
+  site_attempts : int;
+  failovers : int;
+  retries : int;
+  recovered : int;
+  timeouts : int;
+  gave_up : int;
+  drops : int;
+  duplicates : int;
+  reorders : int;
+  delayed : int;
+  last_errors : (float * string) list;
+}
+
+val collect : ?label:string -> Blockrep.Reliable_device.t -> summary
+(** Snapshot a device's degradation state; fault counters are zero when no
+    injector is installed. *)
+
+val print : Format.formatter -> ?errors:bool -> summary list -> unit
+(** Aligned table, one row per summary; [errors] (default false) appends
+    each row's recent-error window. *)
+
+val csv_rows : summary list -> string list
+(** Header line plus one CSV line per summary, for {!Csv.write_file}. *)

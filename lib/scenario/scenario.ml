@@ -24,6 +24,7 @@ type header = {
   mutable witnesses : int list;
   mutable track_liveness : bool;
   mutable horizon : float option;
+  mutable faults : Net.Faults.profile;
 }
 
 type t = { header : header; events : event list }
@@ -55,6 +56,7 @@ let fresh_header () =
     witnesses = [];
     track_liveness = false;
     horizon = None;
+    faults = Net.Faults.pristine;
   }
 
 let scheme_of_string = function
@@ -185,6 +187,26 @@ let parse_header_line header ~line words =
       let* x = parse_float ~line "horizon" x in
       header.horizon <- Some x;
       Ok ()
+  | [ "fault-drop"; x ] ->
+      let* x = parse_float ~line "fault-drop" x in
+      header.faults <- { header.faults with Net.Faults.drop = x };
+      Ok ()
+  | [ "fault-duplicate"; x ] ->
+      let* x = parse_float ~line "fault-duplicate" x in
+      header.faults <- { header.faults with Net.Faults.duplicate = x };
+      Ok ()
+  | [ "fault-reorder"; x ] ->
+      let* x = parse_float ~line "fault-reorder" x in
+      header.faults <- { header.faults with Net.Faults.reorder = x };
+      Ok ()
+  | [ "fault-jitter"; x ] ->
+      let* x = parse_float ~line "fault-jitter" x in
+      header.faults <- { header.faults with Net.Faults.jitter = Util.Dist.Uniform (0.0, x) };
+      Ok ()
+  | [ "fault-delay"; x ] ->
+      let* x = parse_float ~line "fault-delay" x in
+      header.faults <- { header.faults with Net.Faults.extra_delay = x };
+      Ok ()
   | key :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" line key)
   | [] -> Ok ()
 
@@ -210,7 +232,10 @@ let parse text =
   match (header.scheme, header.sites) with
   | None, _ -> Error "missing 'scheme' directive"
   | _, None -> Error "missing 'sites' directive"
-  | Some _, Some _ -> Ok { header; events }
+  | Some _, Some _ -> (
+      match Net.Faults.validate_profile header.faults with
+      | Error e -> Error ("bad fault directives: " ^ e)
+      | Ok _ -> Ok { header; events })
 
 let parse_file path =
   match open_in path with
@@ -236,7 +261,8 @@ let run t =
   let config =
     Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:h.blocks
       ?latency:(Option.map (fun x -> Util.Dist.Constant x) h.latency)
-      ~witnesses:h.witnesses ~track_liveness:h.track_liveness ~seed:h.seed ()
+      ~witnesses:h.witnesses ~track_liveness:h.track_liveness ~seed:h.seed
+      ~fault_profile:h.faults ()
   in
   let cluster = Blockrep.Cluster.create config in
   let engine = Blockrep.Cluster.engine cluster in

@@ -17,6 +17,11 @@
     witnesses 2             # optional, voting only
     track-liveness true     # optional, AC only
     horizon 200             # optional; default last event time + 100
+    fault-drop 0.05         # optional message-fault knobs (default 0):
+    fault-duplicate 0.01    #   per-delivery probabilities...
+    fault-reorder 0.1
+    fault-jitter 2.0        #   ...extra delay ~ Uniform(0, jitter) on reorder
+    fault-delay 0.25        #   deterministic extra latency per delivery
 
     # timed events
     @10   fail 1

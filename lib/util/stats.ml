@@ -66,32 +66,55 @@ module Timed = struct
 end
 
 module Histogram = struct
-  type t = { lo : float; hi : float; width : float; counts : int array; mutable total : int }
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable total : int;
+    mutable underflow : int;
+    mutable overflow : int;
+  }
 
   let create ~lo ~hi ~bins =
     if bins <= 0 then invalid_arg "Stats.Histogram.create: bins must be positive";
     if hi <= lo then invalid_arg "Stats.Histogram.create: hi must exceed lo";
-    { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+    {
+      lo;
+      hi;
+      width = (hi -. lo) /. float_of_int bins;
+      counts = Array.make bins 0;
+      total = 0;
+      underflow = 0;
+      overflow = 0;
+    }
 
+  (* Out-of-range samples used to be clamped into the edge bins, which
+     dragged the edge quantiles toward the range limits; they are now
+     tracked separately so the in-range quantiles stay faithful. *)
   let add h x =
-    let bins = Array.length h.counts in
-    let idx =
-      if x < h.lo then 0
-      else if x >= h.hi then bins - 1
-      else int_of_float ((x -. h.lo) /. h.width)
-    in
-    let idx = if idx >= bins then bins - 1 else idx in
-    h.counts.(idx) <- h.counts.(idx) + 1;
-    h.total <- h.total + 1
+    h.total <- h.total + 1;
+    if x < h.lo then h.underflow <- h.underflow + 1
+    else if x >= h.hi then h.overflow <- h.overflow + 1
+    else begin
+      let bins = Array.length h.counts in
+      let idx = int_of_float ((x -. h.lo) /. h.width) in
+      let idx = if idx >= bins then bins - 1 else idx in
+      h.counts.(idx) <- h.counts.(idx) + 1
+    end
 
   let counts h = Array.copy h.counts
   let total h = h.total
+  let underflow h = h.underflow
+  let overflow h = h.overflow
+  let in_range h = h.total - h.underflow - h.overflow
 
   let quantile h q =
-    if h.total = 0 then nan
+    let n = in_range h in
+    if n = 0 then nan
     else begin
       let q = Float.max 0.0 (Float.min 1.0 q) in
-      let target = q *. float_of_int h.total in
+      let target = q *. float_of_int n in
       let rec walk i seen =
         if i >= Array.length h.counts then h.hi
         else

@@ -59,15 +59,30 @@ end
 
 module Histogram : sig
   type t
-  (** Fixed-width binned histogram over [\[lo, hi)]; out-of-range samples are
-      counted in saturated edge bins. *)
+  (** Fixed-width binned histogram over [\[lo, hi)].  Out-of-range samples
+      are tracked in separate {!underflow}/{!overflow} counters rather than
+      clamped into the edge bins (an earlier version clamped, which dragged
+      the edge quantiles toward [lo]/[hi]). *)
 
   val create : lo:float -> hi:float -> bins:int -> t
   val add : t -> float -> unit
   val counts : t -> int array
+
   val total : t -> int
+  (** Every sample ever added, including out-of-range ones. *)
+
+  val underflow : t -> int
+  (** Samples below [lo]. *)
+
+  val overflow : t -> int
+  (** Samples at or above [hi]. *)
+
+  val in_range : t -> int
+  (** [total - underflow - overflow]: the samples the bins actually hold. *)
 
   val quantile : t -> float -> float
-  (** [quantile h q] approximates the [q]-quantile ([0 <= q <= 1]) by linear
-      interpolation within the containing bin.  [nan] when empty. *)
+  (** [quantile h q] approximates the [q]-quantile ([0 <= q <= 1]) of the
+      {e in-range} samples by linear interpolation within the containing
+      bin; under/overflow samples are excluded.  [nan] when no in-range
+      samples exist. *)
 end

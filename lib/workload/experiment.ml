@@ -48,8 +48,11 @@ type traffic_sample = {
   recovery_messages : int;
 }
 
-let measure_traffic ~scheme ~n_sites ~env ~reads_per_write ?(ops = 2000) ?(seed = 11) () =
-  let config = Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:32 ~net_mode:env ~seed () in
+let measure_traffic ~scheme ~n_sites ~env ~reads_per_write ?(ops = 2000) ?(seed = 11)
+    ?(fault_profile = Net.Faults.pristine) () =
+  let config =
+    Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:32 ~net_mode:env ~seed ~fault_profile ()
+  in
   let cluster = Blockrep.Cluster.create config in
   let gen =
     Access_gen.create ~rng:(Util.Prng.create (seed + 1)) ~n_blocks:32 ~reads_per_write ()
@@ -75,4 +78,50 @@ let measure_traffic ~scheme ~n_sites ~env ~reads_per_write ?(ops = 2000) ?(seed 
     messages_per_write_group = write_cost_measured +. (reads_per_write *. read_cost_measured);
     bytes_per_write_group = write_bytes +. (reads_per_write *. read_bytes);
     recovery_messages = Net.Traffic.by_operation traffic Net.Message.Recovery;
+  }
+
+type degradation_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  fault_profile : Net.Faults.profile;
+  ops : int;
+  completed : int;
+  failed : int;
+  retries : int;
+  recovered : int;
+  timeouts : int;
+  gave_up : int;
+  faults_injected : int;
+}
+
+let measure_degradation ~scheme ~n_sites ~fault_profile ?(reads_per_write = 2.0) ?(ops = 200)
+    ?(seed = 23) () =
+  let config =
+    Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:16 ~fault_profile ~seed ()
+  in
+  let device = Blockrep.Reliable_device.of_config config in
+  let gen = Access_gen.create ~rng:(Util.Prng.create (seed + 1)) ~n_blocks:16 ~reads_per_write () in
+  let completed = ref 0 in
+  let failed = ref 0 in
+  for _ = 1 to ops do
+    let ok =
+      match Access_gen.next gen with
+      | Access_gen.Read block -> Blockrep.Reliable_device.read_block device block <> None
+      | Access_gen.Write (block, data) -> Blockrep.Reliable_device.write_block device block data
+    in
+    incr (if ok then completed else failed)
+  done;
+  let d = Blockrep.Reliable_device.degradation device in
+  {
+    scheme;
+    n_sites;
+    fault_profile;
+    ops;
+    completed = !completed;
+    failed = !failed;
+    retries = d.Blockrep.Reliable_device.retries;
+    recovered = d.Blockrep.Reliable_device.recovered;
+    timeouts = d.Blockrep.Reliable_device.timeouts;
+    gave_up = d.Blockrep.Reliable_device.gave_up;
+    faults_injected = d.Blockrep.Reliable_device.faults_injected;
   }

@@ -55,7 +55,40 @@ val measure_traffic :
   reads_per_write:float ->
   ?ops:int ->
   ?seed:int ->
+  ?fault_profile:Net.Faults.profile ->
   unit ->
   traffic_sample
 (** Failure-free closed-loop run of [ops] operations (default 2000) at the
-    given read:write mix, counting high-level transmissions. *)
+    given read:write mix, counting high-level transmissions.
+    [fault_profile] (default pristine, i.e. the paper's reliable network)
+    injects per-link message faults; Section 5 accounting still charges
+    every transmission at send time, so drops raise the measured cost per
+    {e successful} operation. *)
+
+type degradation_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  fault_profile : Net.Faults.profile;
+  ops : int;
+  completed : int;  (** operations that succeeded through the device *)
+  failed : int;  (** operations the device finally refused *)
+  retries : int;
+  recovered : int;
+  timeouts : int;
+  gave_up : int;
+  faults_injected : int;
+}
+
+val measure_degradation :
+  scheme:Blockrep.Types.scheme ->
+  n_sites:int ->
+  fault_profile:Net.Faults.profile ->
+  ?reads_per_write:float ->
+  ?ops:int ->
+  ?seed:int ->
+  unit ->
+  degradation_sample
+(** Drive [ops] operations (default 200) through a {!Blockrep.Reliable_device}
+    over a lossy network and report how the bounded-retry layer coped — the
+    simulation counterpart of the robustness question Sections 4–5 leave
+    open by assuming reliable delivery. *)

@@ -9,6 +9,16 @@ let make ?(dev_capacity = 32) ?(cache_capacity = 4) () =
   let dev = Blockdev.Mem_device.create ~capacity:dev_capacity in
   (dev, Cache.create ~capacity:cache_capacity dev)
 
+let test_capacity_is_cache_budget () =
+  (* Regression: [capacity] used to delegate to the underlying device
+     (the functor argument shadowed the record field), reporting 32 for a
+     4-block cache. *)
+  let dev, cache = make ~dev_capacity:32 ~cache_capacity:4 () in
+  Alcotest.(check int) "capacity is the cache budget" 4 (Cache.capacity cache);
+  Alcotest.(check int) "device_capacity is the device's" 32 (Cache.device_capacity cache);
+  Alcotest.(check int) "device agrees" (Blockdev.Mem_device.capacity dev)
+    (Cache.device_capacity cache)
+
 let test_passthrough_read () =
   let dev, cache = make () in
   ignore (Blockdev.Mem_device.write_block dev 0 (Block.of_string "under"));
@@ -157,6 +167,7 @@ let () =
     [
       ( "cache",
         [
+          Alcotest.test_case "capacity is cache budget" `Quick test_capacity_is_cache_budget;
           Alcotest.test_case "passthrough read" `Quick test_passthrough_read;
           Alcotest.test_case "hit on re-read" `Quick test_hit_on_second_read;
           Alcotest.test_case "write-through" `Quick test_write_through;

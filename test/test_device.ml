@@ -49,7 +49,7 @@ let test_stub_failover () =
   (match Device.read_block d 0 with
   | Some b -> Alcotest.(check string) "served after failover" "seed" (String.sub (Block.to_string b) 0 4)
   | None -> Alcotest.fail "failover read failed");
-  Alcotest.(check bool) "home moved" true (Stub.home (Device.stub d) <> 0);
+  Alcotest.(check int) "home does not migrate" 0 (Stub.home (Device.stub d));
   Alcotest.(check bool) "failovers counted" true (Stub.failovers (Device.stub d) >= 1)
 
 let test_stub_failover_writes () =
@@ -59,7 +59,44 @@ let test_stub_failover_writes () =
   Cluster.fail_site c 1;
   Alcotest.(check bool) "write lands on the survivor" true
     (Device.write_block d 5 (Block.of_string "survivor"));
-  Alcotest.(check int) "home is the survivor" 2 (Stub.home (Device.stub d))
+  Alcotest.(check int) "home stays put through failover" 0 (Stub.home (Device.stub d))
+
+let test_stub_home_service_resumes () =
+  (* The bug: a transient [Site_not_available] at the home site migrated
+     [home] permanently, so the preferred site never got traffic back after
+     repair.  Home is now sticky: once site 0 recovers, requests are served
+     there again with no further failovers. *)
+  let d = make_device () in
+  let c = Device.cluster d in
+  assert (Device.write_block d 0 (Block.of_string "before"));
+  Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 10.0);
+  Cluster.fail_site c 0;
+  (match Device.read_block d 0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "read during outage failed");
+  let failovers_during_outage = Stub.failovers (Device.stub d) in
+  Alcotest.(check bool) "outage caused failovers" true (failovers_during_outage >= 1);
+  Cluster.repair_site c 0;
+  Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 10.0);
+  assert (Device.write_block d 1 (Block.of_string "after"));
+  (match Device.read_block d 1 with
+  | Some b -> Alcotest.(check string) "served post-repair" "after" (String.sub (Block.to_string b) 0 5)
+  | None -> Alcotest.fail "post-repair read failed");
+  Alcotest.(check int) "home unchanged" 0 (Stub.home (Device.stub d));
+  Alcotest.(check int) "no failovers once home is back" failovers_during_outage
+    (Stub.failovers (Device.stub d))
+
+let test_stub_retries_counted_separately () =
+  (* Retries used to be folded into [requests]; now each device operation
+     counts once, and extra probing shows up in [site_attempts]. *)
+  let d = make_device () in
+  let c = Device.cluster d in
+  Cluster.fail_site c 0;
+  ignore (Device.write_block d 2 (Block.of_string "x"));
+  ignore (Device.read_block d 2);
+  Alcotest.(check int) "one request per operation" 2 (Stub.requests (Device.stub d));
+  Alcotest.(check bool) "site attempts exceed requests under failover" true
+    (Stub.site_attempts (Device.stub d) > Stub.requests (Device.stub d))
 
 let test_total_failure_surfaces_error () =
   let d = make_device () in
@@ -124,6 +161,9 @@ let () =
         [
           Alcotest.test_case "read failover" `Quick test_stub_failover;
           Alcotest.test_case "write failover" `Quick test_stub_failover_writes;
+          Alcotest.test_case "home service resumes" `Quick test_stub_home_service_resumes;
+          Alcotest.test_case "retries counted separately" `Quick
+            test_stub_retries_counted_separately;
           Alcotest.test_case "request counting" `Quick test_stub_request_counting;
         ] );
     ]

@@ -1,0 +1,328 @@
+(* Tests for the fault-injection layer (Net.Faults), the bounded-retry
+   layer (Blockrep.Retry) and their end-to-end composition: a reliable
+   device that keeps serving — and reports its degradation — on a lossy
+   network. *)
+
+module Faults = Net.Faults
+module Retry = Blockrep.Retry
+module Cluster = Blockrep.Cluster
+module Runtime = Blockrep.Runtime
+module Config = Blockrep.Config
+module Types = Blockrep.Types
+module Device = Blockrep.Reliable_device
+module Block = Blockdev.Block
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_validation () =
+  Alcotest.(check bool) "pristine is pristine" true (Faults.is_pristine Faults.pristine);
+  (match Faults.make ~drop:0.1 ~duplicate:0.05 () with
+  | Ok p -> Alcotest.(check bool) "valid profile not pristine" false (Faults.is_pristine p)
+  | Error e -> Alcotest.failf "valid profile rejected: %s" e);
+  (match Faults.make ~drop:1.5 () with
+  | Ok _ -> Alcotest.fail "drop > 1 accepted"
+  | Error _ -> ());
+  (match Faults.make ~duplicate:(-0.1) () with
+  | Ok _ -> Alcotest.fail "negative probability accepted"
+  | Error _ -> ());
+  (match Faults.make ~extra_delay:(-1.0) () with
+  | Ok _ -> Alcotest.fail "negative delay accepted"
+  | Error _ -> ());
+  match Faults.make ~reorder:0.5 ~jitter:(Util.Dist.Constant (-2.0)) () with
+  | Ok _ -> Alcotest.fail "negative jitter accepted"
+  | Error _ -> ()
+
+let test_plan_pristine_is_clean () =
+  let f = Faults.of_seed ~seed:1 Faults.pristine in
+  for _ = 1 to 100 do
+    Alcotest.(check (list (float 0.0))) "one undisturbed copy" [ 0.0 ]
+      (Faults.plan f ~from:0 ~dst:1)
+  done;
+  Alcotest.(check int) "nothing injected" 0 (Faults.total_injected f)
+
+let test_plan_drop_all () =
+  let f = Faults.of_seed ~seed:2 (Faults.make_exn ~drop:1.0 ()) in
+  for _ = 1 to 10 do
+    Alcotest.(check (list (float 0.0))) "dropped" [] (Faults.plan f ~from:0 ~dst:1)
+  done;
+  Alcotest.(check int) "drops counted" 10 (Faults.drops f)
+
+let test_plan_duplicate_all () =
+  let f = Faults.of_seed ~seed:3 (Faults.make_exn ~duplicate:1.0 ()) in
+  List.iter
+    (fun d -> Alcotest.(check (float 0.0)) "no extra delay" 0.0 d)
+    (Faults.plan f ~from:0 ~dst:1);
+  Alcotest.(check int) "two copies" 2 (List.length (Faults.plan f ~from:0 ~dst:1));
+  Alcotest.(check int) "duplicates counted" 2 (Faults.duplicates f)
+
+let test_plan_extra_delay () =
+  let f = Faults.of_seed ~seed:4 (Faults.make_exn ~extra_delay:0.5 ()) in
+  Alcotest.(check (list (float 1e-9))) "deterministic extra delay" [ 0.5 ]
+    (Faults.plan f ~from:0 ~dst:1);
+  Alcotest.(check int) "delayed counted" 1 (Faults.delayed f)
+
+let test_plan_reorder_jitter () =
+  let f =
+    Faults.of_seed ~seed:5 (Faults.make_exn ~reorder:1.0 ~jitter:(Util.Dist.Constant 2.0) ())
+  in
+  Alcotest.(check (list (float 1e-9))) "jitter added" [ 2.0 ] (Faults.plan f ~from:0 ~dst:1);
+  Alcotest.(check int) "reorders counted" 1 (Faults.reorders f)
+
+let test_per_link_override () =
+  let f = Faults.of_seed ~seed:6 Faults.pristine in
+  let lossy = Faults.make_exn ~drop:1.0 () in
+  Faults.set_link f ~from:0 ~dst:1 lossy;
+  Alcotest.(check bool) "override applies" true
+    (Faults.link_profile f ~from:0 ~dst:1 = lossy);
+  Alcotest.(check bool) "other links keep the default" true
+    (Faults.is_pristine (Faults.link_profile f ~from:1 ~dst:0));
+  Alcotest.(check (list (float 0.0))) "overridden link drops" [] (Faults.plan f ~from:0 ~dst:1);
+  Alcotest.(check (list (float 0.0))) "default link clean" [ 0.0 ] (Faults.plan f ~from:1 ~dst:0);
+  Faults.reset_counters f;
+  Alcotest.(check int) "counters reset" 0 (Faults.total_injected f)
+
+(* ------------------------------------------------------------------ *)
+(* Network-level behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make_cluster ?(scheme = Types.Naive_available_copy) ?(n = 3) ?fault_profile () =
+  Cluster.create (Config.make_exn ~scheme ~n_sites:n ~n_blocks:8 ~seed:909 ?fault_profile ())
+
+let settle c = Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 50.0)
+
+let test_network_drop_all_starves_receivers () =
+  let c = make_cluster () in
+  settle c;
+  let f = Faults.of_seed ~seed:7 (Faults.make_exn ~drop:1.0 ()) in
+  Cluster.install_faults c f;
+  let net = Cluster.network c in
+  let sent0 = Net.Traffic.total (Cluster.traffic c) in
+  let delivered0 = Runtime.Transport.messages_delivered net in
+  ignore (Cluster.write_sync c ~site:0 ~block:0 (Block.of_string "lost"));
+  settle c;
+  Alcotest.(check bool) "sends still charged" true (Net.Traffic.total (Cluster.traffic c) > sent0);
+  Alcotest.(check int) "nothing delivered" delivered0 (Runtime.Transport.messages_delivered net);
+  Alcotest.(check bool) "drops recorded" true (Faults.drops f > 0)
+
+let test_network_duplicates_deliver_twice () =
+  let c = make_cluster () in
+  settle c;
+  let f = Faults.of_seed ~seed:8 (Faults.make_exn ~duplicate:1.0 ()) in
+  Cluster.install_faults c f;
+  let net = Cluster.network c in
+  let delivered0 = Runtime.Transport.messages_delivered net in
+  (* NAC write: one broadcast, n-1 = 2 receivers, each delivery doubled. *)
+  ignore (Cluster.write_sync c ~site:0 ~block:1 (Block.of_string "twice"));
+  settle c;
+  Alcotest.(check int) "each receiver sees two copies" 4
+    (Runtime.Transport.messages_delivered net - delivered0);
+  Alcotest.(check int) "duplicates recorded" 2 (Faults.duplicates f)
+
+let test_config_fault_profile_installs_injector () =
+  let c = make_cluster ~fault_profile:(Faults.make_exn ~drop:0.5 ()) () in
+  (match Cluster.faults c with
+  | Some _ -> ()
+  | None -> Alcotest.fail "non-pristine profile must install an injector");
+  let pristine = make_cluster () in
+  match Cluster.faults pristine with
+  | None -> ()
+  | Some _ -> Alcotest.fail "pristine config must not install an injector"
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_schedule () =
+  let p = Retry.default_policy ~unit:1.0 () in
+  Alcotest.(check (float 1e-9)) "first backoff" 1.0 (Retry.backoff p ~attempt:1);
+  Alcotest.(check (float 1e-9)) "doubles" 2.0 (Retry.backoff p ~attempt:2);
+  Alcotest.(check (float 1e-9)) "keeps doubling" 8.0 (Retry.backoff p ~attempt:4);
+  Alcotest.(check (float 1e-9)) "caps at 16 units" 16.0 (Retry.backoff p ~attempt:7);
+  (match Retry.validate Retry.no_retry with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "no_retry invalid: %s" e);
+  match Retry.validate { p with max_attempts = 0 } with
+  | Ok _ -> Alcotest.fail "zero attempts accepted"
+  | Error _ -> ()
+
+let test_retry_recovers_and_advances_time () =
+  let engine = Sim.Engine.create () in
+  let stats = Retry.create_stats () in
+  let p = Retry.default_policy ~unit:1.0 () in
+  let calls = ref 0 in
+  let result =
+    Retry.run p ~engine ~stats (fun ~attempt ->
+        incr calls;
+        if attempt < 3 then Error Types.No_quorum else Ok "served")
+  in
+  Alcotest.(check bool) "eventually succeeds" true (result = Ok "served");
+  Alcotest.(check int) "three calls" 3 !calls;
+  Alcotest.(check int) "operations" 1 (Retry.operations stats);
+  Alcotest.(check int) "attempts" 3 (Retry.attempts stats);
+  Alcotest.(check int) "retries" 2 (Retry.retries stats);
+  Alcotest.(check int) "recovered" 1 (Retry.recovered stats);
+  Alcotest.(check int) "no give-ups" 0 (Retry.gave_up stats);
+  (* Backoffs 1 and 2 were slept in virtual time. *)
+  Alcotest.(check (float 1e-9)) "virtual time advanced" 3.0 (Sim.Engine.now engine);
+  Alcotest.(check int) "both errors remembered" 2 (List.length (Retry.last_errors stats))
+
+let test_retry_gives_up () =
+  let engine = Sim.Engine.create () in
+  let stats = Retry.create_stats () in
+  let p = { (Retry.default_policy ~unit:1.0 ()) with max_attempts = 3 } in
+  let result = Retry.run p ~engine ~stats (fun ~attempt:_ -> Error Types.Timed_out) in
+  Alcotest.(check bool) "last error surfaced" true (result = Error Types.Timed_out);
+  Alcotest.(check int) "all attempts used" 3 (Retry.attempts stats);
+  Alcotest.(check int) "gave up once" 1 (Retry.gave_up stats);
+  Alcotest.(check int) "no timeout counted" 0 (Retry.timeouts stats)
+
+let test_retry_deadline () =
+  let engine = Sim.Engine.create () in
+  let stats = Retry.create_stats () in
+  let p =
+    { Retry.max_attempts = 10; base_delay = 10.0; multiplier = 2.0; max_delay = 80.0; deadline = 5.0 }
+  in
+  let result = Retry.run p ~engine ~stats (fun ~attempt:_ -> Error Types.No_quorum) in
+  Alcotest.(check bool) "error surfaced" true (result = Error Types.No_quorum);
+  Alcotest.(check int) "stopped by deadline, not attempts" 1 (Retry.attempts stats);
+  Alcotest.(check int) "timeout counted" 1 (Retry.timeouts stats);
+  Alcotest.(check int) "not a give-up" 0 (Retry.gave_up stats)
+
+let test_retry_respects_retryable_predicate () =
+  let engine = Sim.Engine.create () in
+  let stats = Retry.create_stats () in
+  let p = Retry.default_policy ~unit:1.0 () in
+  let calls = ref 0 in
+  let result =
+    Retry.run p ~engine ~stats
+      ~retryable:(fun r -> r <> Types.Site_not_available)
+      (fun ~attempt:_ ->
+        incr calls;
+        Error Types.Site_not_available)
+  in
+  Alcotest.(check bool) "error surfaced" true (result = Error Types.Site_not_available);
+  Alcotest.(check int) "no retry on non-retryable error" 1 !calls;
+  Alcotest.(check int) "no retries counted" 0 (Retry.retries stats)
+
+let test_no_retry_is_fail_fast () =
+  let engine = Sim.Engine.create () in
+  let stats = Retry.create_stats () in
+  let calls = ref 0 in
+  ignore
+    (Retry.run Retry.no_retry ~engine ~stats (fun ~attempt:_ ->
+         incr calls;
+         Error Types.No_quorum));
+  Alcotest.(check int) "exactly one attempt" 1 !calls;
+  Alcotest.(check (float 0.0)) "no virtual time consumed" 0.0 (Sim.Engine.now engine)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: MCV on a lossy network                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_voting_survives_message_loss () =
+  (* The acceptance scenario: a majority-consensus-voting device on a
+     network that drops a tenth of all deliveries.  Every read and write
+     must still complete — via retries — and the degradation report must
+     show nonzero retry and fault-injection counters. *)
+  let config =
+    Config.make_exn ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:1234
+      ~fault_profile:(Faults.make_exn ~drop:0.1 ()) ()
+  in
+  let d = Device.of_config config in
+  let ops = 20 in
+  for i = 0 to ops - 1 do
+    let tag = Printf.sprintf "op%02d" i in
+    Alcotest.(check bool) (tag ^ " write completes") true
+      (Device.write_block d (i mod 8) (Block.of_string tag));
+    match Device.read_block d (i mod 8) with
+    | Some b ->
+        Alcotest.(check string) (tag ^ " read completes") tag
+          (String.sub (Block.to_string b) 0 (String.length tag))
+    | None -> Alcotest.failf "%s read failed: device gave up under drops" tag
+  done;
+  let deg = Device.degradation d in
+  Alcotest.(check int) "every operation counted" (2 * ops) deg.Device.requests;
+  Alcotest.(check bool) "faults were injected" true (deg.Device.faults_injected > 0);
+  Alcotest.(check bool) "retries were needed" true (deg.Device.retries > 0);
+  Alcotest.(check bool) "retried operations recovered" true (deg.Device.recovered > 0);
+  Alcotest.(check int) "nothing abandoned" 0 (deg.Device.gave_up + deg.Device.timeouts);
+  Alcotest.(check bool) "recent errors recorded" true (List.length deg.Device.last_errors > 0)
+
+let test_degradation_all_zero_when_healthy () =
+  let d =
+    Device.of_config (Config.make_exn ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:77 ())
+  in
+  assert (Device.write_block d 0 (Block.of_string "calm"));
+  ignore (Device.read_block d 0);
+  let deg = Device.degradation d in
+  Alcotest.(check int) "requests" 2 deg.Device.requests;
+  Alcotest.(check int) "no failovers" 0 deg.Device.failovers;
+  Alcotest.(check int) "no retries" 0 deg.Device.retries;
+  Alcotest.(check int) "no faults" 0 deg.Device.faults_injected;
+  Alcotest.(check int) "no errors" 0 (List.length deg.Device.last_errors)
+
+let test_degradation_report_renders () =
+  let config =
+    Config.make_exn ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:4321
+      ~fault_profile:(Faults.make_exn ~drop:0.15 ()) ()
+  in
+  let d = Device.of_config config in
+  for i = 0 to 9 do
+    ignore (Device.write_block d (i mod 8) (Block.of_string "r"))
+  done;
+  let row = Report.Degradation.collect ~label:"mcv drop=0.15" d in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Report.Degradation.print ppf ~errors:true [ row ];
+  Format.pp_print_flush ppf ();
+  let rendered = Buffer.contents buf in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "table mentions the label" true (contains "mcv drop=0.15" rendered);
+  Alcotest.(check bool) "csv has a row per device" true
+    (List.length (Report.Degradation.csv_rows [ row ]) >= 2)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "profiles",
+        [
+          Alcotest.test_case "validation" `Quick test_profile_validation;
+          Alcotest.test_case "pristine plan" `Quick test_plan_pristine_is_clean;
+          Alcotest.test_case "drop all" `Quick test_plan_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_plan_duplicate_all;
+          Alcotest.test_case "extra delay" `Quick test_plan_extra_delay;
+          Alcotest.test_case "reorder jitter" `Quick test_plan_reorder_jitter;
+          Alcotest.test_case "per-link override" `Quick test_per_link_override;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "drop-all starves receivers" `Quick
+            test_network_drop_all_starves_receivers;
+          Alcotest.test_case "duplicates deliver twice" `Quick test_network_duplicates_deliver_twice;
+          Alcotest.test_case "config wires the injector" `Quick
+            test_config_fault_profile_installs_injector;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "recovers and advances time" `Quick
+            test_retry_recovers_and_advances_time;
+          Alcotest.test_case "gives up" `Quick test_retry_gives_up;
+          Alcotest.test_case "deadline" `Quick test_retry_deadline;
+          Alcotest.test_case "retryable predicate" `Quick test_retry_respects_retryable_predicate;
+          Alcotest.test_case "no_retry fail-fast" `Quick test_no_retry_is_fail_fast;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "voting survives message loss" `Quick test_voting_survives_message_loss;
+          Alcotest.test_case "healthy device reports zeros" `Quick
+            test_degradation_all_zero_when_healthy;
+          Alcotest.test_case "degradation report renders" `Quick test_degradation_report_renders;
+        ] );
+    ]

@@ -48,6 +48,32 @@ let test_parse_partition_groups () =
 let test_parse_witnesses_directive () =
   ignore (parse_ok "scheme voting\nsites 3\nwitnesses 2\n@1 fail 0\n")
 
+let test_parse_fault_directives () =
+  ignore
+    (parse_ok
+       "scheme voting\nsites 3\nfault-drop 0.1\nfault-duplicate 0.05\nfault-reorder 0.2\n\
+        fault-jitter 2.0\nfault-delay 0.25\n@1 fail 0\n")
+
+let test_parse_rejects_bad_fault_probability () =
+  let e = parse_err "scheme voting\nsites 3\nfault-drop 1.5\n@1 fail 0\n" in
+  Alcotest.(check bool) "bad fault directive reported" true (String.length e > 0)
+
+let test_faulty_scenario_still_passes_expectations () =
+  (* A lossy wire plus the retry layer: the scenario's expectations must
+     still hold because synchronous operations ride the engine until their
+     round resolves. *)
+  run_ok
+    {|
+scheme nac
+sites 3
+seed 11
+fault-duplicate 0.2
+fault-delay 0.1
+@1  write 0 0 hello
+@5  expect-read 0 0 hello
+@9  expect-available true
+|}
+
 (* ------------------------------------------------------------------ *)
 (* Executor                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -186,6 +212,9 @@ let () =
           Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
           Alcotest.test_case "partition groups" `Quick test_parse_partition_groups;
           Alcotest.test_case "witnesses directive" `Quick test_parse_witnesses_directive;
+          Alcotest.test_case "fault directives" `Quick test_parse_fault_directives;
+          Alcotest.test_case "bad fault probability" `Quick test_parse_rejects_bad_fault_probability;
+          Alcotest.test_case "faulty scenario runs" `Quick test_faulty_scenario_still_passes_expectations;
         ] );
       ("generated", [ QCheck_alcotest.to_alcotest prop_generated_schedules_consistent ]);
       ( "executor",

@@ -5,6 +5,7 @@
    the network's counters, operation by operation. *)
 
 module Cluster = Blockrep.Cluster
+module Runtime = Blockrep.Runtime
 module Types = Blockrep.Types
 module Block = Blockdev.Block
 
@@ -186,6 +187,78 @@ let test_workload_mix_matches_model () =
       (Net.Network.Unicast, Analysis.Traffic_model.Unique_address);
     ]
 
+let test_zero_probability_faults_are_noop () =
+  (* Installing a zero-probability fault injector must leave every traffic
+     counter exactly as in a fault-free run — the fault layer defaults to a
+     strict no-op, not merely a statistical one. *)
+  let drive c =
+    settle c;
+    write c;
+    read c;
+    Cluster.fail_site c 2;
+    write c;
+    Cluster.repair_site c 2;
+    settle c;
+    read c;
+    settle c
+  in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun scheme ->
+          let plain = make scheme ~n:5 ~mode in
+          let faulty = make scheme ~n:5 ~mode in
+          Cluster.install_faults faulty (Net.Faults.of_seed ~seed:2024 Net.Faults.pristine);
+          drive plain;
+          drive faulty;
+          let label suffix =
+            Printf.sprintf "%s/%s %s" (Types.scheme_to_string scheme)
+              (Net.Network.mode_to_string mode) suffix
+          in
+          Alcotest.(check int) (label "messages") (total plain) (total faulty);
+          Alcotest.(check int) (label "bytes")
+            (Net.Traffic.total_bytes (Cluster.traffic plain))
+            (Net.Traffic.total_bytes (Cluster.traffic faulty));
+          Alcotest.(check int) (label "delivered")
+            (Runtime.Transport.messages_delivered (Cluster.network plain))
+            (Runtime.Transport.messages_delivered (Cluster.network faulty)))
+        [ Types.Voting; Types.Available_copy; Types.Naive_available_copy ])
+    [ Net.Network.Multicast; Net.Network.Unicast ]
+
+let test_unicast_broadcast_charges_unreachable () =
+  (* Section 5 counts sends: under unique addressing a broadcast costs n-1
+     whether or not each destination can take delivery.  NAC n=5 with one
+     site down and one partitioned away: the write is still charged 4
+     sends, but only the two live, reachable destinations receive it. *)
+  let c = make Types.Naive_available_copy ~n:5 ~mode:Net.Network.Unicast in
+  settle c;
+  Cluster.fail_site c 4;
+  Cluster.partition c [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  settle c;
+  let net = Cluster.network c in
+  let sent0 = total c and delivered0 = Runtime.Transport.messages_delivered net in
+  write c;
+  settle c;
+  Alcotest.(check int) "charged n-1 sends" 4 (total c - sent0);
+  Alcotest.(check int) "only reachable live sites take delivery" 2
+    (Runtime.Transport.messages_delivered net - delivered0)
+
+let test_multicast_broadcast_unreachable_cost_one () =
+  (* Same degraded topology under multicast: one send on the wire, and the
+     delivery count is unchanged by the addressing mode. *)
+  let c = make Types.Naive_available_copy ~n:5 ~mode:Net.Network.Multicast in
+  settle c;
+  Cluster.fail_site c 4;
+  Cluster.partition c [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  settle c;
+  let net = Cluster.network c in
+  let sent0 = total c and delivered0 = Runtime.Transport.messages_delivered net in
+  write c;
+  settle c;
+  Alcotest.(check int) "multicast broadcast costs one send" 1 (total c - sent0);
+  Alcotest.(check int) "delivery unchanged by addressing mode" 2
+    (Runtime.Transport.messages_delivered net - delivered0)
+
 let () =
   Alcotest.run "traffic-counts"
     [
@@ -202,5 +275,14 @@ let () =
           Alcotest.test_case "copy recovery unicast" `Quick test_copy_recovery_cost_unicast;
           Alcotest.test_case "stale voting read" `Quick test_stale_voting_read_extra;
           Alcotest.test_case "write group vs model" `Quick test_workload_mix_matches_model;
+        ] );
+      ( "faults-and-reachability",
+        [
+          Alcotest.test_case "zero-probability faults are a no-op" `Quick
+            test_zero_probability_faults_are_noop;
+          Alcotest.test_case "unicast broadcast charges unreachable sites" `Quick
+            test_unicast_broadcast_charges_unreachable;
+          Alcotest.test_case "multicast broadcast costs one regardless" `Quick
+            test_multicast_broadcast_unreachable_cost_one;
         ] );
     ]

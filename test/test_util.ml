@@ -206,10 +206,41 @@ let test_histogram () =
   let h = Util.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
   List.iter (Util.Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.5; 42.0; -3.0 ];
   let counts = Util.Stats.Histogram.counts h in
-  Alcotest.(check int) "first bin catches low outlier too" 2 counts.(0);
+  Alcotest.(check int) "first bin holds only in-range samples" 1 counts.(0);
   Alcotest.(check int) "second bin" 2 counts.(1);
-  Alcotest.(check int) "last bin catches high outlier" 2 counts.(9);
-  Alcotest.(check int) "total" 6 (Util.Stats.Histogram.total h)
+  Alcotest.(check int) "last bin holds only in-range samples" 1 counts.(9);
+  Alcotest.(check int) "total counts every sample" 6 (Util.Stats.Histogram.total h);
+  Alcotest.(check int) "underflow" 1 (Util.Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Util.Stats.Histogram.overflow h);
+  Alcotest.(check int) "in_range" 4 (Util.Stats.Histogram.in_range h)
+
+let test_histogram_outliers_excluded_from_quantile () =
+  (* Ten in-range samples spread over [0,100), then a burst of far-out
+     outliers on each side.  Under the old clamping behaviour the outliers
+     piled into the edge bins and dragged the median; now the quantiles
+     must be computed over the in-range samples alone. *)
+  let h = Util.Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for i = 0 to 9 do
+    Util.Stats.Histogram.add h ((float_of_int i *. 10.0) +. 5.0)
+  done;
+  let clean_median = Util.Stats.Histogram.quantile h 0.5 in
+  for _ = 1 to 50 do
+    Util.Stats.Histogram.add h 1.0e6;
+    Util.Stats.Histogram.add h (-1.0e6)
+  done;
+  check_close "median unmoved by outliers" 1e-9 clean_median
+    (Util.Stats.Histogram.quantile h 0.5);
+  Alcotest.(check int) "overflow counted" 50 (Util.Stats.Histogram.overflow h);
+  Alcotest.(check int) "underflow counted" 50 (Util.Stats.Histogram.underflow h);
+  Alcotest.(check int) "in_range stable" 10 (Util.Stats.Histogram.in_range h)
+
+let test_histogram_empty_after_outliers () =
+  let h = Util.Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Util.Stats.Histogram.add h 5.0;
+  Util.Stats.Histogram.add h (-5.0);
+  Alcotest.(check bool)
+    "quantile is nan with no in-range samples" true
+    (Float.is_nan (Util.Stats.Histogram.quantile h 0.5))
 
 let test_histogram_quantile () =
   let h = Util.Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 in
@@ -293,6 +324,10 @@ let () =
           Alcotest.test_case "timed monotonicity" `Quick test_timed_monotonic;
           Alcotest.test_case "histogram binning" `Quick test_histogram;
           Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "histogram outliers excluded from quantile" `Quick
+            test_histogram_outliers_excluded_from_quantile;
+          Alcotest.test_case "histogram all-outlier quantile is nan" `Quick
+            test_histogram_empty_after_outliers;
           QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
           QCheck_alcotest.to_alcotest prop_merge_matches_whole;
         ] );
