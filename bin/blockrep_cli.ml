@@ -5,7 +5,8 @@
      identities  check every analytic identity/theorem of Section 4-5
      availability  one availability measurement (model + chain + simulation)
      traffic     one traffic measurement (model + simulation)
-     simulate    free-form cluster run with failures and a workload *)
+     simulate    free-form cluster run with failures and a workload
+     chaos       seeded chaos sweep with a one-copy consistency oracle *)
 
 open Cmdliner
 
@@ -234,6 +235,170 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Free-form cluster simulation with failures and a client workload.")
     Term.(const run $ scheme_arg $ sites_arg $ blocks_arg $ rho_arg $ horizon_arg $ rate_arg $ seed_arg)
 
+let chaos_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let seed0_arg =
+    Arg.(value & opt int 1 & info [ "seed0" ] ~docv:"S" ~doc:"First seed of the sweep.")
+  in
+  let ops_arg =
+    Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"OPS" ~doc:"Client operations per run.")
+  in
+  let failures_arg =
+    Arg.(
+      value & flag
+      & info [ "failures" ]
+          ~doc:
+            "Force individual site failures on (outside the voting/dynamic envelope: expected to \
+             surface violations there).")
+  in
+  let partitions_arg =
+    Arg.(
+      value & flag
+      & info [ "partitions" ] ~doc:"Force network partitions on (outside every scheme's envelope).")
+  in
+  let total_failures_arg =
+    Arg.(value & flag & info [ "total-failures" ] ~doc:"Force whole-system crashes on.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "drop" ] ~docv:"P" ~doc:"Message drop probability (outside every envelope).")
+  in
+  let read_threshold_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "read-threshold" ] ~docv:"R"
+          ~doc:
+            "Voting: force this read threshold through the unsafe quorum constructor (e.g. 1 to \
+             break read/write intersection).")
+  in
+  let write_threshold_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "write-threshold" ] ~docv:"W" ~doc:"Voting: force this write threshold (unsafe).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip schedule minimization of the first failure.")
+  in
+  let expect_violations_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-violations" ]
+          ~doc:"Invert the verdict: succeed only if the sweep finds at least one violation.")
+  in
+  let dump_schedule_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-schedule" ] ~docv:"FILE"
+          ~doc:"Write the (shrunken, if available) failing schedule to FILE for replay.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one run (seed = --seed0) against the schedule in FILE instead of sweeping.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the row as CSV.")
+  in
+  let run scheme sites seeds seed0 ops failures partitions total_failures drop read_threshold
+      write_threshold no_shrink expect_violations dump_schedule replay csv =
+    let env = Check.Chaos.default_env ~seed:seed0 scheme in
+    let env = { env with Check.Chaos.n_sites = sites } in
+    let env = match ops with Some ops -> { env with Check.Chaos.ops } | None -> env in
+    let env = if failures then { env with Check.Chaos.failures = true } else env in
+    let env = if partitions then { env with Check.Chaos.partitions = true } else env in
+    let env = if total_failures then { env with Check.Chaos.total_failures = true } else env in
+    let env =
+      match drop with
+      | Some p -> { env with Check.Chaos.faults = { env.Check.Chaos.faults with Net.Faults.drop = p } }
+      | None -> env
+    in
+    let env = { env with Check.Chaos.weaken_read = read_threshold; weaken_write = write_threshold } in
+    match replay with
+    | Some file -> (
+        let ic = open_in file in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Check.Chaos.schedule_of_string text with
+        | Error e -> `Error (false, "bad schedule file: " ^ e)
+        | Ok schedule ->
+            let outcome = Check.Chaos.run ~schedule env in
+            let violations = Check.Chaos.violations outcome in
+            Format.printf "replay of %s (seed %d): %d event(s), %d violation(s)@." file seed0
+              (List.length schedule) (List.length violations);
+            List.iter (fun v -> Format.printf "  %a@." Check.Violation.pp v) violations;
+            if (violations <> []) = expect_violations then `Ok ()
+            else `Error (false, "replay verdict did not match expectation"))
+    | None ->
+        let seed_list = List.init seeds (fun i -> seed0 + i) in
+        let sweep = Check.Chaos.sweep ~shrink_failures:(not no_shrink) env ~seeds:seed_list in
+        let label =
+          Printf.sprintf "%s%s%s%s%s%s"
+            (Blockrep.Types.scheme_to_string scheme)
+            (if env.Check.Chaos.failures then "+fail" else "")
+            (if env.Check.Chaos.partitions then "+part" else "")
+            (if env.Check.Chaos.total_failures then "+total" else "")
+            (match drop with Some p -> Printf.sprintf "+drop%g" p | None -> "")
+            (match (read_threshold, write_threshold) with
+            | None, None -> ""
+            | r, w ->
+                Printf.sprintf "+weak(r=%s,w=%s)"
+                  (match r with Some r -> string_of_int r | None -> "-")
+                  (match w with Some w -> string_of_int w | None -> "-"))
+        in
+        let row = Report.Chaos_report.row_of_sweep ~label sweep in
+        Format.printf "%a@." Report.Chaos_report.print [ row ];
+        if sweep.Check.Chaos.failing <> [] then
+          Format.printf "%a@." Report.Chaos_report.print_failure sweep;
+        (match dump_schedule with
+        | Some path ->
+            let schedule =
+              match (sweep.Check.Chaos.shrunk, sweep.Check.Chaos.first_failure) with
+              | Some (s, _), _ -> Some s
+              | None, Some (_, o) -> Some o.Check.Chaos.schedule
+              | None, None -> None
+            in
+            (match schedule with
+            | Some s ->
+                let oc = open_out path in
+                output_string oc (Check.Chaos.schedule_to_string s);
+                output_string oc "\n";
+                close_out oc;
+                Format.printf "(wrote %s)@." path
+            | None -> Format.printf "(no failing schedule to dump)@.")
+        | None -> ());
+        (match csv with
+        | Some path -> (
+            match Report.Csv.write_file path (Report.Chaos_report.csv_rows [ row ]) with
+            | Ok () -> Format.printf "(wrote %s)@." path
+            | Error msg -> Format.printf "(csv error: %s)@." msg)
+        | None -> ());
+        let failed = sweep.Check.Chaos.failing <> [] in
+        if failed = expect_violations then `Ok ()
+        else if expect_violations then
+          `Error (false, "expected the sweep to surface violations, but every seed passed")
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d of %d seed(s) violated one-copy consistency"
+                (List.length sweep.Check.Chaos.failing)
+                seeds )
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded chaos sweep: failures/partitions/message faults over a live workload, judged by a \
+          one-copy consistency oracle and quiescent invariant scans, with greedy schedule \
+          shrinking of any failure.")
+    Term.(
+      ret
+        (const run $ scheme_arg $ sites_arg $ seeds_arg $ seed0_arg $ ops_arg $ failures_arg
+       $ partitions_arg $ total_failures_arg $ drop_arg $ read_threshold_arg $ write_threshold_arg
+       $ no_shrink_arg $ expect_violations_arg $ dump_schedule_arg $ replay_arg $ csv_arg))
+
 let scenario_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario (.scn) file to run.")
@@ -376,6 +541,7 @@ let () =
             availability_cmd;
             traffic_cmd;
             simulate_cmd;
+            chaos_cmd;
             scenario_cmd;
             image_create_cmd;
             fs_cmd;

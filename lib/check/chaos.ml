@@ -1,0 +1,418 @@
+module Types = Blockrep.Types
+module Cluster = Blockrep.Cluster
+module Runtime = Blockrep.Runtime
+module Store = Blockdev.Store
+module Prng = Util.Prng
+
+type event =
+  | Fail of int
+  | Repair of int
+  | Partition of int list list
+  | Heal
+
+type schedule = (float * event) list
+
+type env = {
+  scheme : Types.scheme;
+  n_sites : int;
+  n_blocks : int;
+  seed : int;
+  ops : int;
+  mean_gap : float;
+  reads_per_write : float;
+  horizon : float;
+  failures : bool;
+  failure_rate : float;
+  down_mean : float;
+  partitions : bool;
+  partition_rate : float;
+  partition_duration : float;
+  total_failures : bool;
+  total_failure_rate : float;
+  total_down_mean : float;
+  faults : Net.Faults.profile;
+  weaken_read : int option;
+  weaken_write : int option;
+  settle : float option;
+  readback : bool;
+}
+
+let supported_faults =
+  Net.Faults.make_exn ~duplicate:0.05 ~reorder:0.05
+    ~jitter:(Util.Dist.Uniform (0.0, 1.0))
+    ~extra_delay:0.1 ()
+
+let default_env ?(seed = 1) scheme =
+  let failures, total_failures =
+    match scheme with
+    | Types.Available_copy | Types.Naive_available_copy -> (true, true)
+    | Types.Voting | Types.Dynamic_voting ->
+        (* The one-round write (commit on votes, unacknowledged update
+           multicast — the paper's 1+u message budget) leaves a window
+           where a voter crashes after its vote was counted but before the
+           update reaches its disk; a later read quorum formed without the
+           writer can then be jointly stale.  Site failures are therefore
+           outside the voting envelope — [run] with [failures = true]
+           demonstrates the oracle catching exactly that. *)
+        (false, false)
+  in
+  {
+    scheme;
+    n_sites = 3;
+    n_blocks = 8;
+    seed;
+    ops = 110;
+    mean_gap = 2.5;
+    reads_per_write = 2.5;
+    horizon = 260.0;
+    failures;
+    failure_rate = 0.04;
+    down_mean = 6.0;
+    partitions = false;
+    partition_rate = 0.01;
+    partition_duration = 8.0;
+    total_failures;
+    total_failure_rate = 0.004;
+    total_down_mean = 4.0;
+    faults = supported_faults;
+    weaken_read = None;
+    weaken_write = None;
+    settle = None;
+    readback = true;
+  }
+
+(* --- schedules --- *)
+
+let exp_sample rng mean = -.mean *. log (Prng.float_pos rng)
+
+let site_failure_events env rng site =
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.failure_rate)) in
+  while !t <= env.horizon do
+    events := (!t, Fail site) :: !events;
+    t := !t +. exp_sample rng env.down_mean;
+    if !t <= env.horizon then events := (!t, Repair site) :: !events;
+    t := !t +. exp_sample rng (1.0 /. env.failure_rate)
+  done;
+  List.rev !events
+
+let partition_events env rng =
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.partition_rate)) in
+  while !t <= env.horizon do
+    (* a random two-way split with both sides nonempty *)
+    let side = Array.init env.n_sites (fun _ -> Prng.bool rng) in
+    let all_same = Array.for_all (fun b -> b = side.(0)) side in
+    if all_same then side.(Prng.int rng env.n_sites) <- not side.(0);
+    let left = ref [] and right = ref [] in
+    Array.iteri (fun i b -> if b then left := i :: !left else right := i :: !right) side;
+    events := (!t, Partition [ List.rev !left; List.rev !right ]) :: !events;
+    let heal_t = !t +. exp_sample rng env.partition_duration in
+    if heal_t <= env.horizon then events := (heal_t, Heal) :: !events;
+    t := heal_t +. exp_sample rng (1.0 /. env.partition_rate)
+  done;
+  List.rev !events
+
+let total_failure_events env rng =
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.total_failure_rate)) in
+  while !t <= env.horizon do
+    let last_repair = ref !t in
+    for site = 0 to env.n_sites - 1 do
+      (* stagger the crashes slightly so there is a genuine "last site to
+         fail", then repair each site independently *)
+      let fail_t = !t +. (0.3 *. Prng.float rng) in
+      events := (fail_t, Fail site) :: !events;
+      let repair_t = fail_t +. 0.5 +. exp_sample rng env.total_down_mean in
+      if repair_t <= env.horizon then begin
+        events := (repair_t, Repair site) :: !events;
+        last_repair := Float.max !last_repair repair_t
+      end
+    done;
+    t := !last_repair +. exp_sample rng (1.0 /. env.total_failure_rate)
+  done;
+  List.rev !events
+
+let generate_schedule env =
+  let events = ref [] in
+  if env.failures then begin
+    let frng = Prng.create (env.seed lxor 0x6661696c) in
+    for site = 0 to env.n_sites - 1 do
+      let rng = Prng.split frng in
+      events := !events @ site_failure_events env rng site
+    done
+  end;
+  if env.partitions then
+    events := !events @ partition_events env (Prng.create (env.seed lxor 0x70617274));
+  if env.total_failures then
+    events := !events @ total_failure_events env (Prng.create (env.seed lxor 0x746f7461));
+  List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) !events
+
+(* --- serialization --- *)
+
+let pp_event ppf (time, ev) =
+  match ev with
+  | Fail s -> Format.fprintf ppf "@%.4f fail %d" time s
+  | Repair s -> Format.fprintf ppf "@%.4f repair %d" time s
+  | Partition groups ->
+      Format.fprintf ppf "@%.4f partition %s" time
+        (String.concat " | "
+           (List.map (fun g -> String.concat " " (List.map string_of_int g)) groups))
+  | Heal -> Format.fprintf ppf "@%.4f heal" time
+
+let pp_schedule ppf schedule =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf schedule
+
+let schedule_to_string schedule =
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_event) schedule)
+
+let schedule_of_string text =
+  let parse_line i line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok None
+    else
+      let fail () = Error (Printf.sprintf "line %d: cannot parse %S" (i + 1) line) in
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | time :: rest when String.length time > 1 && time.[0] = '@' -> (
+          match float_of_string_opt (String.sub time 1 (String.length time - 1)) with
+          | None -> fail ()
+          | Some t -> (
+              match rest with
+              | [ "fail"; s ] -> (
+                  match int_of_string_opt s with Some s -> Ok (Some (t, Fail s)) | None -> fail ())
+              | [ "repair"; s ] -> (
+                  match int_of_string_opt s with Some s -> Ok (Some (t, Repair s)) | None -> fail ())
+              | [ "heal" ] -> Ok (Some (t, Heal))
+              | "partition" :: groups -> (
+                  let rec split acc cur = function
+                    | [] -> List.rev (List.rev cur :: acc)
+                    | "|" :: rest -> split (List.rev cur :: acc) [] rest
+                    | s :: rest -> (
+                        match int_of_string_opt s with
+                        | Some s -> split acc (s :: cur) rest
+                        | None -> [])
+                  in
+                  match split [] [] groups with
+                  | [] -> fail ()
+                  | gs when List.exists (fun g -> g = []) gs -> fail ()
+                  | gs -> Ok (Some (t, Partition gs)))
+              | _ -> fail ()))
+      | _ -> fail ()
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line i line with
+        | Error e -> Error e
+        | Ok None -> go (i + 1) acc rest
+        | Ok (Some ev) -> go (i + 1) (ev :: acc) rest)
+  in
+  go 0 [] lines
+
+(* --- running --- *)
+
+type outcome = {
+  seed : int;
+  schedule : schedule;
+  history : History.t;
+  oracle : Violation.t list;
+  invariants_mid : Violation.t list;
+  invariants_final : Violation.t list;
+  ops_ok : int;
+  ops_failed : int;
+  faults_injected : int;
+  end_time : float;
+}
+
+let violations o = o.oracle @ o.invariants_mid @ o.invariants_final
+let passed o = violations o = []
+
+let cluster_of_env env =
+  let quorum =
+    match (env.weaken_read, env.weaken_write) with
+    | None, None -> None
+    | r, w ->
+        let majority = (env.n_sites / 2) + 1 in
+        Some
+          (Blockrep.Quorum.unsafe
+             ~weights:(Array.make env.n_sites 1)
+             ~read_threshold:(Option.value r ~default:majority)
+             ~write_threshold:(Option.value w ~default:majority))
+  in
+  Cluster.create
+    (Blockrep.Config.make_exn ~scheme:env.scheme ~n_sites:env.n_sites ~n_blocks:env.n_blocks
+       ?quorum ~seed:env.seed ~fault_profile:env.faults ())
+
+let apply_event cluster = function
+  | Fail s -> if Cluster.site_state cluster s <> Types.Failed then Cluster.fail_site cluster s
+  | Repair s -> if Cluster.site_state cluster s = Types.Failed then Cluster.repair_site cluster s
+  | Partition groups -> Cluster.partition cluster groups
+  | Heal -> Cluster.heal cluster
+
+let run_against env ~cluster ~schedule =
+  let engine = Cluster.engine cluster in
+  let rt = Cluster.runtime cluster in
+  let n_blocks = Cluster.n_blocks cluster in
+  (* Oracle baseline: the newest committed state per block at entry, so a
+     restored (checkpointed) cluster's contents are legal first reads. *)
+  let baseline_tbl =
+    Array.init n_blocks (fun block ->
+        let best = ref (0, Blockdev.Block.zero) in
+        Array.iter
+          (fun (s : Runtime.site) ->
+            let v = Store.version s.store block in
+            if v > fst !best then best := (v, Store.read s.store block))
+          (Runtime.sites rt);
+        !best)
+  in
+  let baseline block = baseline_tbl.(block) in
+  let now0 = Sim.Engine.now engine in
+  let handles =
+    List.filter_map
+      (fun (time, ev) ->
+        if time < now0 then None
+        else Some (Sim.Engine.schedule_at engine ~time (fun () -> apply_event cluster ev)))
+      schedule
+  in
+  let device = Blockrep.Reliable_device.create ?settle:env.settle cluster in
+  let history = History.create () in
+  History.attach_stub history (Blockrep.Reliable_device.stub device);
+  let gap_rng = Prng.create (env.seed lxor 0x676170) in
+  let gen =
+    Workload.Access_gen.create
+      ~rng:(Prng.create (env.seed lxor 0x6f7073))
+      ~n_blocks ~reads_per_write:env.reads_per_write
+      ~payload_seed:(Printf.sprintf "chaos-%d" env.seed)
+      ()
+  in
+  let ops_ok = ref 0 and ops_failed = ref 0 in
+  for _ = 1 to env.ops do
+    Cluster.run_until cluster (Sim.Engine.now engine +. exp_sample gap_rng env.mean_gap);
+    match Workload.Access_gen.next gen with
+    | Workload.Access_gen.Read block -> (
+        match Blockrep.Reliable_device.read_block device block with
+        | Some _ -> incr ops_ok
+        | None -> incr ops_failed)
+    | Workload.Access_gen.Write (block, data) ->
+        if Blockrep.Reliable_device.write_block device block data then incr ops_ok
+        else incr ops_failed
+  done;
+  (* Stop injecting, drain, and look at the state the run ended in. *)
+  List.iter (Sim.Engine.cancel engine) handles;
+  Cluster.settle cluster;
+  let invariants_mid = Invariant.scan cluster in
+  (* Full recovery: heal, repair everyone, let recovery protocols finish. *)
+  Cluster.heal cluster;
+  for site = 0 to Cluster.n_sites cluster - 1 do
+    if Cluster.site_state cluster site = Types.Failed then Cluster.repair_site cluster site
+  done;
+  Cluster.settle cluster;
+  let invariants_final = Invariant.scan cluster in
+  if env.readback then
+    for block = 0 to n_blocks - 1 do
+      ignore (Blockrep.Reliable_device.read_block device block)
+    done;
+  let oracle = Oracle.check ~baseline history in
+  {
+    seed = env.seed;
+    schedule;
+    history;
+    oracle;
+    invariants_mid;
+    invariants_final;
+    ops_ok = !ops_ok;
+    ops_failed = !ops_failed;
+    faults_injected =
+      (match Cluster.faults cluster with None -> 0 | Some f -> Net.Faults.total_injected f);
+    end_time = Sim.Engine.now engine;
+  }
+
+let run ?schedule env =
+  let schedule = match schedule with Some s -> s | None -> generate_schedule env in
+  run_against env ~cluster:(cluster_of_env env) ~schedule
+
+(* --- shrinking --- *)
+
+let shrink ?(max_runs = 300) env schedule =
+  let runs = ref 0 in
+  let try_run sched =
+    incr runs;
+    run_against env ~cluster:(cluster_of_env env) ~schedule:sched
+  in
+  let failing o = not (passed o) in
+  let first = try_run schedule in
+  if not (failing first) then (schedule, first)
+  else begin
+    let best = ref (Array.of_list schedule) in
+    let best_outcome = ref first in
+    let chunk = ref (max 1 ((Array.length !best + 1) / 2)) in
+    while !chunk >= 1 && !runs < max_runs do
+      let progressed = ref false in
+      let i = ref 0 in
+      while !i < Array.length !best && !runs < max_runs do
+        let len = Array.length !best in
+        let hi = min len (!i + !chunk) in
+        let candidate = Array.append (Array.sub !best 0 !i) (Array.sub !best hi (len - hi)) in
+        if Array.length candidate < len then begin
+          let o = try_run (Array.to_list candidate) in
+          if failing o then begin
+            best := candidate;
+            best_outcome := o;
+            progressed := true
+            (* keep [i]: the next chunk slid into place *)
+          end
+          else i := !i + !chunk
+        end
+        else i := !i + !chunk
+      done;
+      if not !progressed then if !chunk = 1 then chunk := 0 else chunk := !chunk / 2
+    done;
+    (Array.to_list !best, !best_outcome)
+  end
+
+(* --- sweeping --- *)
+
+type run_summary = {
+  run_seed : int;
+  run_passed : bool;
+  run_violations : int;
+  run_ops_ok : int;
+  run_ops_failed : int;
+  run_faults : int;
+}
+
+type sweep_result = {
+  sweep_env : env;
+  summaries : run_summary list;
+  failing : int list;
+  first_failure : (int * outcome) option;
+  shrunk : (schedule * outcome) option;
+}
+
+let sweep ?(shrink_failures = true) ?max_shrink_runs env ~seeds =
+  let first_failure = ref None in
+  let summaries =
+    List.map
+      (fun seed ->
+        let o = run { env with seed } in
+        let n_violations = List.length (violations o) in
+        if n_violations > 0 && !first_failure = None then first_failure := Some (seed, o);
+        {
+          run_seed = seed;
+          run_passed = n_violations = 0;
+          run_violations = n_violations;
+          run_ops_ok = o.ops_ok;
+          run_ops_failed = o.ops_failed;
+          run_faults = o.faults_injected;
+        })
+      seeds
+  in
+  let failing = List.filter_map (fun s -> if s.run_passed then None else Some s.run_seed) summaries in
+  let shrunk =
+    match !first_failure with
+    | Some (seed, o) when shrink_failures ->
+        Some (shrink ?max_runs:max_shrink_runs { env with seed } o.schedule)
+    | _ -> None
+  in
+  { sweep_env = env; summaries; failing; first_failure = !first_failure; shrunk }

@@ -1,0 +1,163 @@
+(** Seeded chaos schedules over a live workload, with a consistency verdict.
+
+    A chaos run builds a cluster, derives a randomized {e schedule} of
+    site failures/repairs, total failures, and partitions from the seed,
+    installs a message-fault profile, and drives a closed-loop client
+    workload through a {!Blockrep.Reliable_device} while the schedule
+    plays out.  At the end it lets the system drain, runs {!Invariant}
+    scans (once as-is, once after repairing every site and healing the
+    network), reads every block back, and hands the recorded history to
+    the {!Oracle}.  Everything is derived from the seed: same environment
+    + same seed = same run, bit for bit.
+
+    {b Supported environments.}  Each scheme has a fault envelope inside
+    which it must be violation-free, encoded by {!default_env}:
+
+    - {e available copy} and {e naive available copy}: site failures +
+      total failures + benign message faults (duplicate, reorder, jitter,
+      extra delay).  Partitions excluded, as the paper itself notes
+      (available-copy schemes assume failures are clean).
+    - {e voting} and {e dynamic voting}: benign message faults only.
+      Site failures, partitions and total failures are {e excluded}: the
+      paper's one-round write commits on votes and propagates the new
+      version with one unacknowledged update multicast (that is what
+      makes its multicast write cost 1+u), so a voter that crashes — or
+      is cut off — between its counted vote and the update's delivery
+      keeps a stale disk, and a later read quorum formed without the
+      writer can be jointly stale.  Forcing [failures = true] on voting
+      is the canonical demonstration that the oracle catches this.
+
+    Message {e drops} are outside every envelope: update propagation is
+    fire-and-forget in all three protocols, so a dropped update is lost
+    for good.  Forcing drops/partitions/failures beyond the envelope, or
+    weakening the quorum thresholds via {!Blockrep.Quorum.unsafe}, turns
+    the harness into a demonstration that the oracle catches real
+    violations. *)
+
+type event =
+  | Fail of int
+  | Repair of int
+  | Partition of int list list
+  | Heal
+
+type schedule = (float * event) list
+(** Timed events, ascending. *)
+
+type env = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  n_blocks : int;
+  seed : int;
+  ops : int;  (** workload operations issued by the client *)
+  mean_gap : float;  (** mean think time between operations *)
+  reads_per_write : float;
+  horizon : float;  (** schedule events are generated on [0, horizon] *)
+  failures : bool;  (** independent per-site failure/repair processes *)
+  failure_rate : float;  (** per-site failure rate (mean up time = 1/rate) *)
+  down_mean : float;  (** mean repair time of an individual failure *)
+  partitions : bool;
+  partition_rate : float;
+  partition_duration : float;
+  total_failures : bool;  (** whole-system crashes (staggered site failures) *)
+  total_failure_rate : float;
+  total_down_mean : float;  (** mean per-site outage after a total failure *)
+  faults : Net.Faults.profile;  (** message-fault profile for the run *)
+  weaken_read : int option;  (** voting: forced (unsafe) read threshold *)
+  weaken_write : int option;  (** voting: forced (unsafe) write threshold *)
+  settle : float option;  (** driver-stub failover settle override *)
+  readback : bool;  (** read every block back after final recovery *)
+}
+
+val default_env : ?seed:int -> Blockrep.Types.scheme -> env
+(** The scheme's supported environment (see above) at moderate chaos
+    rates: 3 sites, 8 blocks, 110 operations, benign-fault profile
+    {!supported_faults}. *)
+
+val supported_faults : Net.Faults.profile
+(** duplicate 0.05, reorder 0.05 with jitter ~ U(0,1), extra delay 0.1 —
+    and no drops. *)
+
+(** {1 Schedules} *)
+
+val generate_schedule : env -> schedule
+(** The seed-derived schedule for [env] (empty when every process is
+    disabled). *)
+
+val schedule_to_string : schedule -> string
+(** One event per line ([@time fail 2], [@time partition 0 1 | 2], ...);
+    round-trips through {!schedule_of_string} for replay. *)
+
+val schedule_of_string : string -> (schedule, string) result
+
+val pp_event : Format.formatter -> float * event -> unit
+val pp_schedule : Format.formatter -> schedule -> unit
+
+(** {1 Running} *)
+
+type outcome = {
+  seed : int;
+  schedule : schedule;  (** the schedule that was played *)
+  history : History.t;
+  oracle : Violation.t list;
+  invariants_mid : Violation.t list;
+      (** scan after the workload drained, before forced repairs — the
+          partial-failure state the run ended in *)
+  invariants_final : Violation.t list;
+      (** scan after every site repaired, the network healed and recovery
+          completed *)
+  ops_ok : int;
+  ops_failed : int;
+  faults_injected : int;
+  end_time : float;
+}
+
+val violations : outcome -> Violation.t list
+(** Oracle + both scans, in that order. *)
+
+val passed : outcome -> bool
+
+val cluster_of_env : env -> Blockrep.Cluster.t
+(** A fresh cluster for [env] (applies the weakened quorum and fault
+    profile when set). *)
+
+val run_against : env -> cluster:Blockrep.Cluster.t -> schedule:schedule -> outcome
+(** Play [schedule] and the client workload against an existing cluster —
+    the entry point for checkpoint-resume checks.  Events scheduled
+    before the cluster's current virtual time are skipped.  The oracle
+    baseline is captured from the cluster's stores at entry, so a
+    restored cluster's prior contents are legal initial reads. *)
+
+val run : ?schedule:schedule -> env -> outcome
+(** Fresh cluster + generated (or given) schedule + workload + verdict. *)
+
+(** {1 Shrinking and sweeping} *)
+
+val shrink : ?max_runs:int -> env -> schedule -> schedule * outcome
+(** Greedy ddmin-style minimization: repeatedly drop chunks of the
+    schedule while some violation still reproduces (failure/repair and
+    partition events are individually removable — a repair of an up site
+    or a stray heal is a no-op).  Returns the smallest failing schedule
+    found within [max_runs] (default 300) re-runs and its outcome; if the
+    given schedule does not fail at all, returns it unchanged. *)
+
+type run_summary = {
+  run_seed : int;
+  run_passed : bool;
+  run_violations : int;
+  run_ops_ok : int;
+  run_ops_failed : int;
+  run_faults : int;
+}
+
+type sweep_result = {
+  sweep_env : env;
+  summaries : run_summary list;
+  failing : int list;  (** seeds whose run had any violation *)
+  first_failure : (int * outcome) option;
+  shrunk : (schedule * outcome) option;
+      (** minimized schedule of the first failing seed (when shrinking) *)
+}
+
+val sweep : ?shrink_failures:bool -> ?max_shrink_runs:int -> env -> seeds:int list -> sweep_result
+(** Run [{env with seed}] for every seed; shrink the first failure
+    (default on). *)

@@ -1,0 +1,28 @@
+(** Quiescent-cluster invariant scans.
+
+    Where the {!Oracle} judges what clients were told, these scans judge
+    the replicas themselves.  They are meaningful at {e quiescent} points —
+    no message in flight, no recovery exchange half-done (drain the engine
+    first); the chaos harness runs them after cancelling its schedule and
+    again after repairing every site.
+
+    Per scheme:
+
+    - {b available copy / naive available copy}: every available site
+      holds the globally newest version of every block, and available
+      stores agree bit-for-bit ([stale-available-copy],
+      [copy-divergence]); every available site's version vector dominates
+      every comatose site's ([dominance]); and for every site — up, down
+      or comatose — the closure of its was-available set contains, for
+      each block, a site holding the newest version ([closure-gap]): this
+      is what makes recovery-by-closure sound after a total failure.
+    - {b voting / dynamic voting}: within every network-reachable group
+      whose available weight can still form a read quorum, some available
+      site knows the globally newest version of every block
+      ([quorum-stale]) — the observable form of quorum intersection.
+      (Dynamic voting uses its own service predicate in place of the
+      static quorum test.) *)
+
+val scan : Blockrep.Cluster.t -> Violation.t list
+(** Empty list = every invariant holds.  Only inspects state — never
+    mutates the cluster or advances time. *)

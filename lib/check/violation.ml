@@ -1,0 +1,10 @@
+type t = { code : string; block : int option; time : float; detail : string }
+
+let make ?block ~code ~time detail = { code; block; time; detail }
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]%s t=%.3f: %s" t.code
+    (match t.block with None -> "" | Some b -> Printf.sprintf " block %d" b)
+    t.time t.detail
+
+let to_string t = Format.asprintf "%a" pp t

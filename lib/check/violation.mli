@@ -1,0 +1,19 @@
+(** A consistency violation found by the checking subsystem.
+
+    One record per finding, whether it came from the {!Oracle} (a served
+    read that no one-copy serialization can explain) or from an
+    {!Invariant} scan (replica state that breaks a protocol guarantee).
+    The [code] is a short stable tag for grouping and assertions; the
+    [detail] is the human-readable explanation the harness prints. *)
+
+type t = {
+  code : string;  (** stable tag, e.g. ["stale-read"], ["closure-gap"] *)
+  block : int option;  (** the block involved, when meaningful *)
+  time : float;  (** virtual time of the offending observation *)
+  detail : string;  (** full human-readable explanation *)
+}
+
+val make : ?block:int -> code:string -> time:float -> string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,6 +1,26 @@
 type protocol = Voting_p of Voting.t | Copy_p of Copy_protocol.t | Dynamic_p of Dynamic_voting.t
 
-type t = { rt : Runtime.t; protocol : protocol; monitor : Availability_monitor.t }
+module Observe = struct
+  type kind = Read | Write
+
+  type event = {
+    kind : kind;
+    site : int;
+    block : int;
+    invoked : float;
+    responded : float;
+    payload : Blockdev.Block.t option;
+    version : int option;
+    error : Types.failure_reason option;
+  }
+end
+
+type t = {
+  rt : Runtime.t;
+  protocol : protocol;
+  monitor : Availability_monitor.t;
+  mutable observers : (Observe.event -> unit) list;
+}
 
 let system_available_rt protocol =
   match protocol with
@@ -18,7 +38,7 @@ let create (config : Config.t) =
     | Types.Dynamic_voting -> Dynamic_p (Dynamic_voting.create rt)
   in
   let monitor = Availability_monitor.create (Runtime.engine rt) ~initially:true in
-  let t = { rt; protocol; monitor } in
+  let t = { rt; protocol; monitor; observers = [] } in
   let engine = Runtime.engine rt in
   Runtime.on_state_change rt (fun _ _ ->
       Availability_monitor.record monitor (system_available_rt protocol);
@@ -45,8 +65,52 @@ let n_blocks t = (config t).n_blocks
 let check_block t block =
   if block < 0 || block >= n_blocks t then invalid_arg "Cluster: block index out of range"
 
+let add_observer t f = t.observers <- t.observers @ [ f ]
+
+(* Wrap an operation callback so observers see a completion event.  When no
+   observer is attached at invocation the callback passes through untouched
+   — the legacy path pays nothing. *)
+let observed_read t ~site ~block callback =
+  match t.observers with
+  | [] -> callback
+  | _ ->
+      let invoked = Sim.Engine.now (engine t) in
+      fun result ->
+        let responded = Sim.Engine.now (engine t) in
+        let event =
+          match result with
+          | Ok (data, version) ->
+              { Observe.kind = Observe.Read; site; block; invoked; responded;
+                payload = Some data; version = Some version; error = None }
+          | Error e ->
+              { Observe.kind = Observe.Read; site; block; invoked; responded; payload = None;
+                version = None; error = Some e }
+        in
+        List.iter (fun f -> f event) t.observers;
+        callback result
+
+let observed_write t ~site ~block ~data callback =
+  match t.observers with
+  | [] -> callback
+  | _ ->
+      let invoked = Sim.Engine.now (engine t) in
+      fun result ->
+        let responded = Sim.Engine.now (engine t) in
+        let event =
+          match result with
+          | Ok version ->
+              { Observe.kind = Observe.Write; site; block; invoked; responded;
+                payload = Some data; version = Some version; error = None }
+          | Error e ->
+              { Observe.kind = Observe.Write; site; block; invoked; responded;
+                payload = Some data; version = None; error = Some e }
+        in
+        List.iter (fun f -> f event) t.observers;
+        callback result
+
 let read t ~site ~block callback =
   check_block t block;
+  let callback = observed_read t ~site ~block callback in
   match t.protocol with
   | Voting_p v -> Voting.read v ~site ~block callback
   | Copy_p c -> Copy_protocol.read c ~site ~block callback
@@ -54,6 +118,7 @@ let read t ~site ~block callback =
 
 let write t ~site ~block data callback =
   check_block t block;
+  let callback = observed_write t ~site ~block ~data callback in
   match t.protocol with
   | Voting_p v -> Voting.write v ~site ~block data callback
   | Copy_p c -> Copy_protocol.write c ~site ~block data callback

@@ -26,6 +26,34 @@ val scheme : t -> Types.scheme
 val n_sites : t -> int
 val n_blocks : t -> int
 
+(** {1 Operation observers}
+
+    Lightweight instrumentation for the checking subsystem: every
+    completed operation (successful or not) is reported to subscribed
+    observers with its virtual invocation/response times, payload and
+    version.  With no observer subscribed the operation path is untouched. *)
+
+module Observe : sig
+  type kind = Read | Write
+
+  type event = {
+    kind : kind;
+    site : int;  (** the site the operation was issued at *)
+    block : int;
+    invoked : float;  (** virtual time the operation entered the cluster *)
+    responded : float;  (** virtual time its callback fired *)
+    payload : Blockdev.Block.t option;
+        (** data written (all writes) or returned (successful reads) *)
+    version : int option;  (** version assigned/served, on success *)
+    error : Types.failure_reason option;
+  }
+end
+
+val add_observer : t -> (Observe.event -> unit) -> unit
+(** Subscribe to operation completions; observers fire in subscription
+    order, at the virtual time of the response, before the operation's own
+    callback. *)
+
 (** {1 Block access} *)
 
 val read : t -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit

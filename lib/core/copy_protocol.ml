@@ -49,7 +49,20 @@ let write t ~site ~block data callback =
                         | _ -> None)
                       replies
                   in
-                  s.w <- Int_set.add site (Int_set.of_list ackers);
+                  (* Comatose peers belong in W too: their stores absorb the
+                     update (see the Block_update handler), and leaving them
+                     out loses the race where a write lands between a
+                     recovering site's version-vector exchange and its
+                     becoming available — the write would replace W and drop
+                     a site that is about to serve, so a later total-failure
+                     recovery starting there could close over {itself} and
+                     come back stale.  A member that fails before the update
+                     reaches it is harmless: closure recovery restores the
+                     newest copy in the closure, not any particular one. *)
+                  let comatose =
+                    Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose)
+                  in
+                  s.w <- Int_set.union comatose (Int_set.add site (Int_set.of_list ackers));
                   callback (Ok version))
         in
         Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
@@ -207,16 +220,22 @@ let on_repair t site_id =
 let handle t (s : Runtime.site) ~from msg =
   match msg with
   | Wire.Block_update { rid; block; version; data; carried_w } ->
-      if s.state = Types.Available then begin
-        if version > Store.version s.store block then Store.write s.store block data ~version;
-        if t.variant = Standard then begin
-          s.w <- Int_set.add s.id (Int_set.add from carried_w);
-          match rid with
-          | Some rid ->
-              Runtime.send t.rt ~op:Net.Message.Write ~from:s.id ~dst:from
-                (Wire.Write_ack { rid; block })
-          | None -> ()
-        end
+      (* The store absorbs the update whenever the site is up, comatose
+         included: versions are monotone so applying is always safe, and a
+         comatose site must not miss an update whose delivery races the
+         version-vector exchange of its own recovery — it would finish
+         recovering with a copy staler than the one the writer believes it
+         holds.  Only available sites acknowledge and learn W: a comatose
+         site is not yet part of any write's was-available set. *)
+      if s.state <> Types.Failed && version > Store.version s.store block then
+        Store.write s.store block data ~version;
+      if s.state = Types.Available && t.variant = Standard then begin
+        s.w <- Int_set.add s.id (Int_set.add from carried_w);
+        match rid with
+        | Some rid ->
+            Runtime.send t.rt ~op:Net.Message.Write ~from:s.id ~dst:from
+              (Wire.Write_ack { rid; block })
+        | None -> ()
       end
   | Wire.Write_ack { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
   | Wire.Recovery_probe { rid; info } ->

@@ -1,14 +1,29 @@
+type op_view = {
+  kind : Cluster.Observe.kind;
+  block : Blockdev.Block.id;
+  site : int;
+  invoked : float;
+  responded : float;
+  payload : Blockdev.Block.t option;
+  version : int option;
+  error : Types.failure_reason option;
+}
+
 type t = {
   cluster : Cluster.t;
   home : int;
   policy : Retry.policy;
+  settle : float;
   stats : Retry.stats;
   mutable requests : int;
   mutable site_attempts : int;
   mutable failovers : int;
+  mutable last_served : int;
+  mutable last_tried : int;
+  mutable observers : (op_view -> unit) list;
 }
 
-let create ?(home = 0) ?policy cluster =
+let create ?(home = 0) ?policy ?settle cluster =
   if home < 0 || home >= Cluster.n_sites cluster then invalid_arg "Driver_stub.create: bad home site";
   let policy =
     match policy with
@@ -18,14 +33,25 @@ let create ?(home = 0) ?policy cluster =
   (match Retry.validate policy with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Driver_stub.create: bad retry policy: " ^ e));
+  let settle =
+    match settle with
+    | None -> (Cluster.config cluster).Config.op_timeout
+    | Some s ->
+        if s < 0.0 then invalid_arg "Driver_stub.create: settle must be non-negative";
+        s
+  in
   {
     cluster;
     home;
     policy;
+    settle;
     stats = Retry.create_stats ();
     requests = 0;
     site_attempts = 0;
     failovers = 0;
+    last_served = home;
+    last_tried = home;
+    observers = [];
   }
 
 let home t = t.home
@@ -34,22 +60,42 @@ let site_attempts t = t.site_attempts
 let failovers t = t.failovers
 let retry_stats t = t.stats
 let policy t = t.policy
+let settle t = t.settle
+let last_served t = t.last_served
+let add_observer t f = t.observers <- t.observers @ [ f ]
 
 (* One rotation: try the home site first, then the remaining sites once in
    id order when the local server cannot serve.  The home never migrates —
    a transient outage must not permanently strand requests elsewhere; the
    next request probes the home again and service resumes the moment it
    recovers.  Other error kinds (quorum loss) are global, so failing over
-   would not help and the error is surfaced to the retry layer. *)
+   would not help and the error is surfaced to the retry layer.
+
+   Before handing a request to an *available* site other than the one that
+   served last, the stub lets in-flight traffic drain for [settle] virtual
+   time: the copy schemes propagate updates fire-and-forget, so without the
+   barrier a failover (or the return home after one) could read a copy that
+   has not yet received the previous server's update — or worse, write at
+   it and mint a colliding version.  Down sites are probed without waiting;
+   failing over past a corpse must stay fast. *)
 let rotation t attempt =
   let n = Cluster.n_sites t.cluster in
+  let engine = Cluster.engine t.cluster in
   let rec go tried site =
+    if
+      site <> t.last_served && t.settle > 0.0
+      && Cluster.site_state t.cluster site = Types.Available
+    then Cluster.run_until t.cluster (Sim.Engine.now engine +. t.settle);
     t.site_attempts <- t.site_attempts + 1;
+    t.last_tried <- site;
     match attempt site with
     | Error Types.Site_not_available when tried < n - 1 ->
         t.failovers <- t.failovers + 1;
         go (tried + 1) ((site + 1) mod n)
-    | result -> result
+    | Ok _ as ok ->
+        t.last_served <- site;
+        ok
+    | Error _ as err -> err
   in
   go 0 t.home
 
@@ -60,6 +106,42 @@ let forward t attempt =
   Retry.run t.policy ~engine:(Cluster.engine t.cluster) ~stats:t.stats (fun ~attempt:_ ->
       rotation t attempt)
 
-let read_block t block = forward t (fun site -> Cluster.read_sync t.cluster ~site ~block)
+let notify t view = List.iter (fun f -> f view) t.observers
 
-let write_block t block data = forward t (fun site -> Cluster.write_sync t.cluster ~site ~block data)
+let read_block t block =
+  let engine = Cluster.engine t.cluster in
+  let invoked = Sim.Engine.now engine in
+  let result = forward t (fun site -> Cluster.read_sync t.cluster ~site ~block) in
+  if t.observers <> [] then begin
+    let responded = Sim.Engine.now engine in
+    let view =
+      match result with
+      | Ok (data, version) ->
+          { kind = Cluster.Observe.Read; block; site = t.last_served; invoked; responded;
+            payload = Some data; version = Some version; error = None }
+      | Error e ->
+          { kind = Cluster.Observe.Read; block; site = t.last_tried; invoked; responded;
+            payload = None; version = None; error = Some e }
+    in
+    notify t view
+  end;
+  result
+
+let write_block t block data =
+  let engine = Cluster.engine t.cluster in
+  let invoked = Sim.Engine.now engine in
+  let result = forward t (fun site -> Cluster.write_sync t.cluster ~site ~block data) in
+  if t.observers <> [] then begin
+    let responded = Sim.Engine.now engine in
+    let view =
+      match result with
+      | Ok version ->
+          { kind = Cluster.Observe.Write; block; site = t.last_served; invoked; responded;
+            payload = Some data; version = Some version; error = None }
+      | Error e ->
+          { kind = Cluster.Observe.Write; block; site = t.last_tried; invoked; responded;
+            payload = Some data; version = None; error = Some e }
+    in
+    notify t view
+  end;
+  result

@@ -14,15 +14,25 @@
     request while it lasts and service moves back automatically the moment
     the home recovers.  When a whole rotation fails (e.g. messages lost to
     an injected fault), the stub retries with bounded exponential backoff
-    under its {!Retry.policy} instead of failing the request outright. *)
+    under its {!Retry.policy} instead of failing the request outright.
+
+    Because the copy schemes propagate updates fire-and-forget, the stub
+    additionally imposes a {e settle barrier}: before handing a request to
+    an available site other than the one that served the previous success,
+    it advances virtual time by [settle] so in-flight update broadcasts
+    drain first.  A single client therefore never observes the propagation
+    window of its own last write across a failover — the analogue of a real
+    driver draining its request queue before switching servers. *)
 
 type t
 
-val create : ?home:int -> ?policy:Retry.policy -> Cluster.t -> t
-(** [create ?home ?policy cluster] forwards requests to site [home]
+val create : ?home:int -> ?policy:Retry.policy -> ?settle:float -> Cluster.t -> t
+(** [create ?home ?policy ?settle cluster] forwards requests to site [home]
     (default 0).  [policy] defaults to {!Retry.default_policy} scaled by
     the cluster's [op_timeout]; pass {!Retry.no_retry} for the paper's
-    original fail-fast behaviour. *)
+    original fail-fast behaviour.  [settle] (default the cluster's
+    [op_timeout]; [0.0] disables) is the virtual-time drain imposed before
+    switching service between available sites. *)
 
 val home : t -> int
 (** The configured home site; requests always probe it first. *)
@@ -51,3 +61,32 @@ val retry_stats : t -> Retry.stats
     abandoned operations, recent errors). *)
 
 val policy : t -> Retry.policy
+
+val settle : t -> float
+(** The drain imposed before switching service between available sites. *)
+
+val last_served : t -> int
+(** The site that served the most recent successful request (the home
+    until one succeeds elsewhere). *)
+
+(** {1 Operation observers}
+
+    Per-request completion events for the checking subsystem.  Unlike
+    {!Cluster.add_observer} — which reports every per-site attempt — a
+    stub observer sees one event per logical request, after failover and
+    retry resolution, which is the client-visible history a consistency
+    oracle must judge. *)
+
+type op_view = {
+  kind : Cluster.Observe.kind;
+  block : Blockdev.Block.id;
+  site : int;  (** site that served (success) or was last tried (failure) *)
+  invoked : float;
+  responded : float;
+  payload : Blockdev.Block.t option;
+      (** data written (all writes) or returned (successful reads) *)
+  version : int option;  (** version assigned/served, on success *)
+  error : Types.failure_reason option;
+}
+
+val add_observer : t -> (op_view -> unit) -> unit

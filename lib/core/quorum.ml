@@ -15,6 +15,17 @@ let create ~weights ?read_threshold ?write_threshold () =
     else Ok { weights = Array.copy weights; read_threshold; write_threshold; total }
   end
 
+let unsafe ~weights ~read_threshold ~write_threshold =
+  if Array.length weights = 0 then invalid_arg "Quorum.unsafe: no sites";
+  if Array.exists (fun w -> w <= 0) weights then
+    invalid_arg "Quorum.unsafe: weights must be positive";
+  let total = Array.fold_left ( + ) 0 weights in
+  if read_threshold <= 0 || write_threshold <= 0 then
+    invalid_arg "Quorum.unsafe: thresholds must be positive";
+  if read_threshold > total || write_threshold > total then
+    invalid_arg "Quorum.unsafe: thresholds exceed total weight";
+  { weights = Array.copy weights; read_threshold; write_threshold; total }
+
 let majority ~n =
   if n < 1 then invalid_arg "Quorum.majority: need n >= 1";
   let weights = if n mod 2 = 1 then Array.make n 1 else Array.init n (fun i -> if i = 0 then 3 else 2) in

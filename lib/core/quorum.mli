@@ -15,6 +15,15 @@ val create :
     [Error] when a weight is non-positive, or the thresholds violate
     [read + write > total] or [2*write > total]. *)
 
+val unsafe : weights:int array -> read_threshold:int -> write_threshold:int -> t
+(** Like {!create} but {e without} the intersection constraints: thresholds
+    need only be positive and at most the total weight.  This deliberately
+    builds broken quorum systems ([read + write <= total], minority
+    writes, ...) for the adversarial chaos harness, whose oracle must
+    catch the resulting stale reads.  Never use in a configuration whose
+    answers you intend to trust.  Raises [Invalid_argument] only on
+    non-positive weights/thresholds or thresholds above the total. *)
+
 val majority : n:int -> t
 (** The paper's default configuration.  Odd [n]: equal weights 1.  Even [n]:
     the tie-breaking adjustment of Section 4.1 — site 0 gets weight 3 and

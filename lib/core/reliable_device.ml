@@ -1,9 +1,9 @@
 type t = { cluster : Cluster.t; stub : Driver_stub.t; mutable last_error : Types.failure_reason option }
 
-let create ?home ?policy cluster =
-  { cluster; stub = Driver_stub.create ?home ?policy cluster; last_error = None }
+let create ?home ?policy ?settle cluster =
+  { cluster; stub = Driver_stub.create ?home ?policy ?settle cluster; last_error = None }
 
-let of_config ?policy config = create ?policy (Cluster.create config)
+let of_config ?policy ?settle config = create ?policy ?settle (Cluster.create config)
 
 let cluster t = t.cluster
 let stub t = t.stub
@@ -38,9 +38,11 @@ type degradation = {
   site_attempts : int;
   failovers : int;
   retries : int;
+  succeeded : int;
   recovered : int;
   timeouts : int;
   gave_up : int;
+  rejected : int;
   faults_injected : int;
   last_errors : (float * string) list;
 }
@@ -52,18 +54,22 @@ let degradation t =
     site_attempts = Driver_stub.site_attempts t.stub;
     failovers = Driver_stub.failovers t.stub;
     retries = Retry.retries s;
+    succeeded = Retry.succeeded s;
     recovered = Retry.recovered s;
     timeouts = Retry.timeouts s;
     gave_up = Retry.gave_up s;
+    rejected = Retry.rejected s;
     faults_injected = (match Cluster.faults t.cluster with None -> 0 | Some f -> Net.Faults.total_injected f);
     last_errors = Retry.last_errors s;
   }
 
+let degradation_conserved d = d.requests = d.succeeded + d.timeouts + d.gave_up + d.rejected
+
 let pp_degradation ppf d =
   Format.fprintf ppf
-    "@[<v>degradation: %d requests, %d site attempts, %d failovers@,\
-     %d retries (%d recovered), %d deadline timeouts, %d gave up, %d faults injected"
-    d.requests d.site_attempts d.failovers d.retries d.recovered d.timeouts d.gave_up
-    d.faults_injected;
+    "@[<v>degradation: %d requests (%d ok), %d site attempts, %d failovers@,\
+     %d retries (%d recovered), %d deadline timeouts, %d gave up, %d rejected, %d faults injected"
+    d.requests d.succeeded d.site_attempts d.failovers d.retries d.recovered d.timeouts d.gave_up
+    d.rejected d.faults_injected;
   List.iter (fun (at, msg) -> Format.fprintf ppf "@,  t=%-10.3f %s" at msg) (List.rev d.last_errors);
   Format.fprintf ppf "@]"

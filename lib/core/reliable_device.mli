@@ -9,12 +9,13 @@
 
 type t
 
-val create : ?home:int -> ?policy:Retry.policy -> Cluster.t -> t
+val create : ?home:int -> ?policy:Retry.policy -> ?settle:float -> Cluster.t -> t
 (** Wrap a cluster (any scheme) as a device, forwarding through a
-    {!Driver_stub} homed at [home] with the given retry [policy] (see
-    {!Driver_stub.create} for the defaults). *)
+    {!Driver_stub} homed at [home] with the given retry [policy] and
+    failover settle barrier [settle] (see {!Driver_stub.create} for the
+    defaults). *)
 
-val of_config : ?policy:Retry.policy -> Config.t -> t
+val of_config : ?policy:Retry.policy -> ?settle:float -> Config.t -> t
 (** Convenience: build the cluster too. *)
 
 val cluster : t -> Cluster.t
@@ -38,13 +39,20 @@ type degradation = {
   site_attempts : int;  (** per-site service attempts (incl. probes) *)
   failovers : int;  (** requests moved on from the home site *)
   retries : int;  (** rotations re-attempted after backoff *)
+  succeeded : int;  (** requests that completed with a success *)
   recovered : int;  (** requests that failed first and then succeeded *)
   timeouts : int;  (** requests abandoned at the retry deadline *)
   gave_up : int;  (** requests abandoned after exhausting attempts *)
+  rejected : int;  (** requests refused by the retryable predicate *)
   faults_injected : int;  (** total network fault injections, 0 if none *)
   last_errors : (float * string) list;  (** newest first *)
 }
 
 val degradation : t -> degradation
+
+val degradation_conserved : degradation -> bool
+(** Counter conservation: with no request in flight every forwarded
+    request terminated exactly one way —
+    [requests = succeeded + timeouts + gave_up + rejected]. *)
 
 val pp_degradation : Format.formatter -> degradation -> unit

@@ -24,6 +24,7 @@ let validate p =
   else if p.base_delay < 0.0 then Error "base_delay must be non-negative"
   else if p.multiplier < 1.0 then Error "multiplier must be at least 1"
   else if p.max_delay < 0.0 then Error "max_delay must be non-negative"
+  else if p.max_delay < p.base_delay then Error "max_delay must not be below base_delay"
   else if p.deadline <= 0.0 then Error "deadline must be positive"
   else Ok p
 
@@ -35,9 +36,11 @@ type stats = {
   mutable operations : int;
   mutable attempts : int;
   mutable retries : int;
+  mutable succeeded : int;
   mutable recovered : int;
   mutable timeouts : int;
   mutable gave_up : int;
+  mutable rejected : int;
   mutable last_errors : (float * string) list;
   error_window : int;
 }
@@ -48,9 +51,11 @@ let create_stats ?(error_window = 8) () =
     operations = 0;
     attempts = 0;
     retries = 0;
+    succeeded = 0;
     recovered = 0;
     timeouts = 0;
     gave_up = 0;
+    rejected = 0;
     last_errors = [];
     error_window;
   }
@@ -58,10 +63,14 @@ let create_stats ?(error_window = 8) () =
 let operations s = s.operations
 let attempts s = s.attempts
 let retries s = s.retries
+let succeeded s = s.succeeded
 let recovered s = s.recovered
 let timeouts s = s.timeouts
 let gave_up s = s.gave_up
+let rejected s = s.rejected
 let last_errors s = s.last_errors
+
+let conserved s = s.operations = s.succeeded + s.timeouts + s.gave_up + s.rejected
 
 let record_error s ~at reason =
   if s.error_window > 0 then begin
@@ -83,11 +92,15 @@ let run policy ~engine ~stats ?(retryable = transient) f =
     stats.attempts <- stats.attempts + 1;
     match f ~attempt with
     | Ok _ as ok ->
+        stats.succeeded <- stats.succeeded + 1;
         if attempt > 1 then stats.recovered <- stats.recovered + 1;
         ok
     | Error reason as err ->
         record_error stats ~at:(Sim.Engine.now engine) reason;
-        if not (retryable reason) then err
+        if not (retryable reason) then begin
+          stats.rejected <- stats.rejected + 1;
+          err
+        end
         else if attempt >= policy.max_attempts then begin
           stats.gave_up <- stats.gave_up + 1;
           err
@@ -110,7 +123,8 @@ let run policy ~engine ~stats ?(retryable = transient) f =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "@[<v>retry stats: %d ops, %d attempts (%d retries), %d recovered, %d deadline timeouts, %d gave up"
-    s.operations s.attempts s.retries s.recovered s.timeouts s.gave_up;
+    "@[<v>retry stats: %d ops (%d ok), %d attempts (%d retries), %d recovered, %d deadline timeouts, \
+     %d gave up, %d rejected"
+    s.operations s.succeeded s.attempts s.retries s.recovered s.timeouts s.gave_up s.rejected;
   List.iter (fun (at, msg) -> Format.fprintf ppf "@,  t=%-10.3f %s" at msg) (List.rev s.last_errors);
   Format.fprintf ppf "@]"

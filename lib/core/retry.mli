@@ -54,14 +54,27 @@ val attempts : stats -> int
 val retries : stats -> int
 (** Attempts beyond an operation's first. *)
 
+val succeeded : stats -> int
+(** Operations that returned [Ok] (on any attempt). *)
+
 val recovered : stats -> int
-(** Operations that failed at least once and then succeeded. *)
+(** Operations that failed at least once and then succeeded;
+    [recovered <= succeeded]. *)
 
 val timeouts : stats -> int
 (** Operations abandoned because the deadline budget ran out. *)
 
 val gave_up : stats -> int
 (** Operations abandoned after exhausting [max_attempts]. *)
+
+val rejected : stats -> int
+(** Operations abandoned because the [retryable] predicate refused their
+    error (with the default {!transient} predicate this stays 0). *)
+
+val conserved : stats -> bool
+(** Counter conservation: with no operation in flight, every operation
+    submitted to {!run} terminated exactly one way —
+    [operations = succeeded + timeouts + gave_up + rejected]. *)
 
 val last_errors : stats -> (float * string) list
 (** Most recent first: (virtual time, failure reason) of failed attempts. *)

@@ -1,0 +1,64 @@
+type row = {
+  label : string;
+  seeds : int;
+  failing : int;
+  violations : int;
+  ops_ok : int;
+  ops_failed : int;
+  faults : int;
+}
+
+let row_of_sweep ~label (r : Check.Chaos.sweep_result) =
+  let fold f = List.fold_left (fun acc s -> acc + f s) 0 r.summaries in
+  {
+    label;
+    seeds = List.length r.summaries;
+    failing = List.length r.failing;
+    violations = fold (fun (s : Check.Chaos.run_summary) -> s.run_violations);
+    ops_ok = fold (fun s -> s.run_ops_ok);
+    ops_failed = fold (fun s -> s.run_ops_failed);
+    faults = fold (fun s -> s.run_faults);
+  }
+
+let header =
+  Printf.sprintf "%-22s %6s %8s %11s %8s %8s %8s %8s" "environment" "seeds" "failing" "violations"
+    "ops-ok" "ops-fail" "faults" "verdict"
+
+let print_row ppf r =
+  Format.fprintf ppf "%-22s %6d %8d %11d %8d %8d %8d %8s" r.label r.seeds r.failing r.violations
+    r.ops_ok r.ops_failed r.faults
+    (if r.failing = 0 then "PASS" else "FAIL")
+
+let print ppf rows =
+  Format.fprintf ppf "@[<v>%s@," header;
+  List.iter (fun r -> Format.fprintf ppf "%a@," print_row r) rows;
+  Format.fprintf ppf "@]"
+
+let csv_header = "environment,seeds,failing,violations,ops_ok,ops_failed,faults"
+
+let csv_row r =
+  Printf.sprintf "%s,%d,%d,%d,%d,%d,%d" r.label r.seeds r.failing r.violations r.ops_ok r.ops_failed
+    r.faults
+
+let csv_rows rows = csv_header :: List.map csv_row rows
+
+let print_failure ppf (r : Check.Chaos.sweep_result) =
+  match r.first_failure with
+  | None -> Format.fprintf ppf "no failing seed@."
+  | Some (seed, outcome) ->
+      Format.fprintf ppf "@[<v>seed %d: %d violation(s)@," seed
+        (List.length (Check.Chaos.violations outcome));
+      List.iteri
+        (fun i v -> if i < 8 then Format.fprintf ppf "  %a@," Check.Violation.pp v)
+        (Check.Chaos.violations outcome);
+      (match r.shrunk with
+      | None -> ()
+      | Some (schedule, shrunk_outcome) ->
+          Format.fprintf ppf "shrunken schedule (%d of %d events still failing):@,"
+            (List.length schedule)
+            (List.length outcome.Check.Chaos.schedule);
+          Format.fprintf ppf "%a@," Check.Chaos.pp_schedule schedule;
+          (match Check.Chaos.violations shrunk_outcome with
+          | v :: _ -> Format.fprintf ppf "  reproduces: %a@," Check.Violation.pp v
+          | [] -> ()));
+      Format.fprintf ppf "@]"

@@ -1,0 +1,25 @@
+(** Tabular rendering of chaos sweeps (see {!Check.Chaos}): one row per
+    environment, a PASS/FAIL verdict, CSV export, and a detailed dump of
+    the first failing seed with its shrunken, replayable schedule. *)
+
+type row = {
+  label : string;
+  seeds : int;
+  failing : int;  (** seeds with at least one violation *)
+  violations : int;  (** total violations across the sweep *)
+  ops_ok : int;
+  ops_failed : int;
+  faults : int;  (** message faults injected across the sweep *)
+}
+
+val row_of_sweep : label:string -> Check.Chaos.sweep_result -> row
+val header : string
+val print_row : Format.formatter -> row -> unit
+val print : Format.formatter -> row list -> unit
+
+val csv_rows : row list -> string list
+(** Header line included. *)
+
+val print_failure : Format.formatter -> Check.Chaos.sweep_result -> unit
+(** The first failing seed's violations (up to 8) and, when available, the
+    shrunken schedule that still reproduces one. *)

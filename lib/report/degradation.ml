@@ -4,9 +4,11 @@ type summary = {
   site_attempts : int;
   failovers : int;
   retries : int;
+  succeeded : int;
   recovered : int;
   timeouts : int;
   gave_up : int;
+  rejected : int;
   drops : int;
   duplicates : int;
   reorders : int;
@@ -27,9 +29,11 @@ let collect ?(label = "device") device =
     site_attempts = d.site_attempts;
     failovers = d.failovers;
     retries = d.retries;
+    succeeded = d.succeeded;
     recovered = d.recovered;
     timeouts = d.timeouts;
     gave_up = d.gave_up;
+    rejected = d.rejected;
     drops;
     duplicates;
     reorders;
@@ -38,13 +42,14 @@ let collect ?(label = "device") device =
   }
 
 let header =
-  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %6s %6s %5s %5s %5s %5s" "label" "requests"
-    "attempts" "failover" "retries" "recover" "timeout" "gaveup" "drops" "dups" "reord" "delay" ""
+  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %8s %6s %6s %6s %5s %5s %5s %5s" "label" "requests"
+    "attempts" "failover" "retries" "ok" "recover" "timeout" "gaveup" "reject" "drops" "dups"
+    "reord" "delay" ""
 
 let print_row ppf s =
-  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %6d %6d %5d %5d %5d" s.label s.requests
-    s.site_attempts s.failovers s.retries s.recovered s.timeouts s.gave_up s.drops s.duplicates
-    s.reorders s.delayed
+  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %8d %6d %6d %6d %5d %5d %5d" s.label s.requests
+    s.site_attempts s.failovers s.retries s.succeeded s.recovered s.timeouts s.gave_up s.rejected
+    s.drops s.duplicates s.reorders s.delayed
 
 let print ppf ?(errors = false) rows =
   Format.fprintf ppf "@[<v>%s@," header;
@@ -60,7 +65,7 @@ let print ppf ?(errors = false) rows =
   Format.fprintf ppf "@]"
 
 let csv_rows rows =
-  "label,requests,site_attempts,failovers,retries,recovered,timeouts,gave_up,drops,duplicates,reorders,delayed"
+  "label,requests,site_attempts,failovers,retries,succeeded,recovered,timeouts,gave_up,rejected,drops,duplicates,reorders,delayed"
   :: List.map
        (fun s ->
          String.concat ","
@@ -70,9 +75,11 @@ let csv_rows rows =
              string_of_int s.site_attempts;
              string_of_int s.failovers;
              string_of_int s.retries;
+             string_of_int s.succeeded;
              string_of_int s.recovered;
              string_of_int s.timeouts;
              string_of_int s.gave_up;
+             string_of_int s.rejected;
              string_of_int s.drops;
              string_of_int s.duplicates;
              string_of_int s.reorders;

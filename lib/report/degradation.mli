@@ -13,9 +13,11 @@ type summary = {
   site_attempts : int;
   failovers : int;
   retries : int;
+  succeeded : int;
   recovered : int;
   timeouts : int;
   gave_up : int;
+  rejected : int;
   drops : int;
   duplicates : int;
   reorders : int;

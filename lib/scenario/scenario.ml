@@ -12,6 +12,7 @@ type action =
   | Expect_available of bool
   | Expect_consistent
   | Expect_inconsistent
+  | Check_invariants
 
 type event = { time : float; line : int; action : action }
 
@@ -139,6 +140,7 @@ let parse_action ~line words =
       | None -> Error (Printf.sprintf "line %d: expect-available wants true/false" line))
   | [ "expect-consistent" ] -> Ok Expect_consistent
   | [ "expect-inconsistent" ] -> Ok Expect_inconsistent
+  | [ "check-invariants" ] -> Ok Check_invariants
   | cmd :: _ -> Error (Printf.sprintf "line %d: unknown command %S" line cmd)
   | [] -> Error (Printf.sprintf "line %d: empty event" line)
 
@@ -321,6 +323,13 @@ let run t =
            partition): the scenario asserts the divergence happens. *)
         if Blockrep.Cluster.consistent_available_stores cluster then
           fail_line line "stores unexpectedly consistent"
+    | Check_invariants ->
+        (* The full per-scheme invariant scan of the checking subsystem;
+           meaningful at quiescent points (give in-flight messages time to
+           land before scheduling it). *)
+        List.iter
+          (fun v -> fail_line line "invariant violated: %s" (Check.Violation.to_string v))
+          (Check.Invariant.scan cluster)
   in
   List.iter
     (fun ev -> ignore (Sim.Engine.schedule_at engine ~time:ev.time (fun () -> execute ev) : Sim.Engine.handle))

@@ -35,6 +35,9 @@
     @95   expect-available true
     @99   expect-consistent       # available stores agree
     @100  expect-inconsistent     # ...or assert a documented failure mode
+    @101  check-invariants        # full Check.Invariant scan (run at a
+                                  # quiescent point; every violation is
+                                  # reported as an expectation failure)
     v} *)
 
 type t

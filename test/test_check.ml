@@ -1,0 +1,366 @@
+(* Tests for the checking subsystem: recorded histories, the per-block
+   one-copy oracle, quiescent invariant scans, and the seeded chaos
+   harness — including the sweeps over each scheme's supported fault
+   envelope and the demonstrations that stepping outside it (or weakening
+   the quorum) is caught with a shrunken, replayable schedule. *)
+
+module Chaos = Check.Chaos
+module History = Check.History
+module Oracle = Check.Oracle
+module Invariant = Check.Invariant
+module Types = Blockrep.Types
+module Cluster = Blockrep.Cluster
+module Block = Blockdev.Block
+
+let block s = Block.of_string s
+
+let codes violations = List.map (fun (v : Check.Violation.t) -> v.code) violations
+
+(* ------------------------------------------------------------------ *)
+(* Oracle on synthetic histories                                       *)
+(* ------------------------------------------------------------------ *)
+
+let write h ~t ~block:b ~v payload =
+  History.record h ~kind:History.Write ~block:b ~site:0 ~invoked:t ~responded:(t +. 1.0)
+    ~payload:(block payload) ~version:v ()
+
+let read h ~t ~block:b ~v payload =
+  History.record h ~kind:History.Read ~block:b ~site:0 ~invoked:t ~responded:(t +. 1.0)
+    ~payload:(block payload) ~version:v ()
+
+let test_oracle_clean () =
+  let h = History.create () in
+  read h ~t:0.0 ~block:0 ~v:0 "";
+  write h ~t:2.0 ~block:0 ~v:1 "a";
+  read h ~t:4.0 ~block:0 ~v:1 "a";
+  write h ~t:6.0 ~block:0 ~v:2 "b";
+  read h ~t:8.0 ~block:0 ~v:2 "b";
+  read h ~t:10.0 ~block:1 ~v:0 "";
+  Alcotest.(check (list string)) "clean history" [] (codes (Oracle.check h))
+
+let test_oracle_stale_read () =
+  let h = History.create () in
+  write h ~t:0.0 ~block:3 ~v:1 "a";
+  write h ~t:2.0 ~block:3 ~v:2 "b";
+  read h ~t:4.0 ~block:3 ~v:1 "a";
+  Alcotest.(check (list string)) "stale read caught" [ "stale-read" ] (codes (Oracle.check h))
+
+let test_oracle_phantom_and_conflict () =
+  let h = History.create () in
+  write h ~t:0.0 ~block:0 ~v:1 "a";
+  read h ~t:2.0 ~block:0 ~v:1 "z";
+  (* never written *)
+  read h ~t:4.0 ~block:0 ~v:2 "ghost";
+  (* version above the floor, contents from nowhere *)
+  Alcotest.(check (list string))
+    "value conflict then phantom"
+    [ "read-value-conflict"; "phantom-read" ]
+    (codes (Oracle.check h))
+
+let test_oracle_version_collision () =
+  let h = History.create () in
+  write h ~t:0.0 ~block:0 ~v:1 "a";
+  write h ~t:2.0 ~block:0 ~v:1 "b";
+  let cs = codes (Oracle.check h) in
+  Alcotest.(check bool) "collision reported" true (List.mem "version-collision" cs);
+  Alcotest.(check bool) "regression reported" true (List.mem "write-version-regression" cs)
+
+let test_oracle_read_regression () =
+  let h = History.create () in
+  write h ~t:0.0 ~block:0 ~v:1 "a";
+  (* a failed write: client saw an error, the register may have absorbed it *)
+  History.record h ~kind:History.Write ~block:0 ~site:0 ~invoked:2.0 ~responded:3.0
+    ~payload:(block "maybe") ~error:"timed-out" ();
+  read h ~t:4.0 ~block:0 ~v:2 "maybe";
+  (* once observed, it must stay observed *)
+  read h ~t:6.0 ~block:0 ~v:1 "a";
+  Alcotest.(check (list string)) "regression caught" [ "read-regression" ] (codes (Oracle.check h))
+
+let test_oracle_failed_write_is_maybe () =
+  let h = History.create () in
+  write h ~t:0.0 ~block:0 ~v:1 "a";
+  History.record h ~kind:History.Write ~block:0 ~site:1 ~invoked:2.0 ~responded:3.0
+    ~payload:(block "maybe") ~error:"no-quorum" ();
+  (* both futures are legal: the failed write surfaced ... *)
+  let h2 = History.create () in
+  write h2 ~t:0.0 ~block:0 ~v:1 "a";
+  History.record h2 ~kind:History.Write ~block:0 ~site:1 ~invoked:2.0 ~responded:3.0
+    ~payload:(block "maybe") ~error:"no-quorum" ();
+  read h2 ~t:4.0 ~block:0 ~v:2 "maybe";
+  Alcotest.(check (list string)) "absorbed" [] (codes (Oracle.check h2));
+  (* ... or it vanished. *)
+  read h ~t:4.0 ~block:0 ~v:1 "a";
+  Alcotest.(check (list string)) "vanished" [] (codes (Oracle.check h))
+
+let test_oracle_baseline () =
+  let h = History.create () in
+  read h ~t:0.0 ~block:0 ~v:7 "restored";
+  Alcotest.(check bool) "baseline-less flags phantom" true (Oracle.check h <> []);
+  let baseline = function 0 -> (7, block "restored") | _ -> (0, Block.zero) in
+  Alcotest.(check (list string)) "baseline accepted" [] (codes (Oracle.check ~baseline h));
+  (* reading below the baseline version is stale *)
+  let h2 = History.create () in
+  read h2 ~t:0.0 ~block:0 ~v:3 "old";
+  Alcotest.(check bool) "below baseline is stale" true
+    (List.mem "stale-read" (codes (Oracle.check ~baseline h2)))
+
+let test_oracle_non_sequential () =
+  let h = History.create () in
+  History.record h ~kind:History.Write ~block:0 ~site:0 ~invoked:0.0 ~responded:10.0
+    ~payload:(block "a") ~version:1 ();
+  History.record h ~kind:History.Read ~block:0 ~site:0 ~invoked:5.0 ~responded:6.0
+    ~payload:(block "a") ~version:1 ();
+  Alcotest.(check bool) "overlap reported" true
+    (List.mem "non-sequential-history" (codes (Oracle.check h)))
+
+(* ------------------------------------------------------------------ *)
+(* History instrumentation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_history_attach_stub () =
+  let config = Blockrep.Config.make_exn ~scheme:Types.Naive_available_copy ~n_sites:3 ~n_blocks:4 () in
+  let device = Blockrep.Reliable_device.of_config config in
+  let h = History.create () in
+  History.attach_stub h (Blockrep.Reliable_device.stub device);
+  Alcotest.(check bool) "write ok" true (Blockrep.Reliable_device.write_block device 1 (block "x"));
+  Alcotest.(check bool) "read ok" true (Blockrep.Reliable_device.read_block device 1 <> None);
+  let entries = History.entries h in
+  Alcotest.(check int) "two logical ops" 2 (List.length entries);
+  (match entries with
+  | [ w; r ] ->
+      Alcotest.(check bool) "write first" true (w.History.kind = History.Write);
+      Alcotest.(check bool) "both ok" true (History.ok w && History.ok r);
+      Alcotest.(check (option int)) "versions line up" w.History.version r.History.version;
+      Alcotest.(check bool) "read after write" true (r.History.invoked >= w.History.responded)
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check (list string)) "history is consistent" [] (codes (Oracle.check h))
+
+(* ------------------------------------------------------------------ *)
+(* Invariant scans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_invariant_healthy () =
+  List.iter
+    (fun scheme ->
+      let config = Blockrep.Config.make_exn ~scheme ~n_sites:3 ~n_blocks:4 () in
+      let cluster = Cluster.create config in
+      for b = 0 to 3 do
+        match Cluster.write_sync cluster ~site:0 ~block:b (block (Printf.sprintf "b%d" b)) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "write refused: %s" (Types.failure_reason_to_string e)
+      done;
+      Cluster.settle cluster;
+      Alcotest.(check (list string))
+        (Types.scheme_to_string scheme ^ " healthy")
+        [] (codes (Invariant.scan cluster)))
+    [ Types.Voting; Types.Available_copy; Types.Naive_available_copy; Types.Dynamic_voting ]
+
+let test_invariant_detects_divergence () =
+  (* Plant a newer version at one site behind the protocol's back: every
+     other available site is now stale, which the scan must flag. *)
+  let config = Blockrep.Config.make_exn ~scheme:Types.Available_copy ~n_sites:3 ~n_blocks:4 () in
+  let cluster = Cluster.create config in
+  (match Cluster.write_sync cluster ~site:0 ~block:0 (block "legit") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "write refused");
+  Cluster.settle cluster;
+  let rt = Cluster.runtime cluster in
+  let s2 = Blockrep.Runtime.site rt 2 in
+  Blockdev.Store.write s2.store 0 (block "planted") ~version:9;
+  let cs = codes (Invariant.scan cluster) in
+  Alcotest.(check bool) "stale copies flagged" true (List.mem "stale-available-copy" cs)
+
+let test_invariant_voting_quorum_stale () =
+  let config = Blockrep.Config.make_exn ~scheme:Types.Voting ~n_sites:3 ~n_blocks:2 () in
+  let cluster = Cluster.create config in
+  (match Cluster.write_sync cluster ~site:0 ~block:0 (block "v1") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "write refused");
+  Cluster.settle cluster;
+  Alcotest.(check (list string)) "healthy quorum" [] (codes (Invariant.scan cluster));
+  (* Push the newest version beyond what any up site knows. *)
+  Cluster.fail_site cluster 0;
+  let rt = Cluster.runtime cluster in
+  let s0 = Blockrep.Runtime.site rt 0 in
+  Blockdev.Store.write s0.store 0 (block "hidden") ~version:9;
+  let cs = codes (Invariant.scan cluster) in
+  Alcotest.(check (list string)) "stale quorum flagged" [ "quorum-stale" ] cs
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_roundtrip () =
+  let env = { (Chaos.default_env Types.Available_copy) with Chaos.partitions = true } in
+  let schedule = Chaos.generate_schedule env in
+  Alcotest.(check bool) "nonempty" true (schedule <> []);
+  match Chaos.schedule_of_string (Chaos.schedule_to_string schedule) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok parsed ->
+      Alcotest.(check int) "same length" (List.length schedule) (List.length parsed);
+      List.iter2
+        (fun (t1, e1) (t2, e2) ->
+          (* times are serialized to 4 decimals; events must be exact *)
+          Alcotest.(check (float 1e-4)) "time" t1 t2;
+          Alcotest.(check bool) "event" true (e1 = e2))
+        schedule parsed
+
+let test_schedule_bad_input () =
+  (match Chaos.schedule_of_string "@1.0 explode 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nonsense accepted");
+  match Chaos.schedule_of_string "# comment\n\n@1.0 fail 2\n@2.0 heal" with
+  | Ok [ (_, Chaos.Fail 2); (_, Chaos.Heal) ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "comment/blank handling"
+
+let test_chaos_deterministic () =
+  let env = Chaos.default_env ~seed:7 Types.Available_copy in
+  let a = Chaos.run env and b = Chaos.run env in
+  Alcotest.(check bool) "same schedule" true (a.Chaos.schedule = b.Chaos.schedule);
+  Alcotest.(check int) "same ops ok" a.Chaos.ops_ok b.Chaos.ops_ok;
+  Alcotest.(check int) "same faults" a.Chaos.faults_injected b.Chaos.faults_injected;
+  Alcotest.(check int) "same history length" (History.length a.Chaos.history)
+    (History.length b.Chaos.history);
+  Alcotest.(check (float 0.0)) "same end time" a.Chaos.end_time b.Chaos.end_time
+
+let sweep_clean scheme =
+  let env = Chaos.default_env scheme in
+  let sweep = Chaos.sweep ~shrink_failures:false env ~seeds:(List.init 100 (fun i -> i + 1)) in
+  Alcotest.(check (list int))
+    (Types.scheme_to_string scheme ^ " supported envelope clean")
+    [] sweep.Chaos.failing;
+  (* the sweep must actually have exercised the cluster *)
+  let ops =
+    List.fold_left (fun acc (s : Chaos.run_summary) -> acc + s.run_ops_ok) 0 sweep.Chaos.summaries
+  in
+  Alcotest.(check bool) "workload ran" true (ops > 5_000)
+
+let test_sweep_voting () = sweep_clean Types.Voting
+let test_sweep_ac () = sweep_clean Types.Available_copy
+let test_sweep_nac () = sweep_clean Types.Naive_available_copy
+let test_sweep_dynamic () = sweep_clean Types.Dynamic_voting
+
+let test_voting_window_caught () =
+  (* Outside the envelope: voting under site failures must be caught by
+     the oracle, and shrinking must keep the violation while dropping
+     most of the schedule. *)
+  let env = { (Chaos.default_env Types.Voting) with Chaos.failures = true } in
+  let sweep = Chaos.sweep env ~seeds:(List.init 40 (fun i -> i + 1)) in
+  Alcotest.(check bool) "some seed caught" true (sweep.Chaos.failing <> []);
+  match (sweep.Chaos.shrunk, sweep.Chaos.first_failure) with
+  | Some (schedule, outcome), Some (_, original) ->
+      Alcotest.(check bool) "still failing" true (Chaos.violations outcome <> []);
+      Alcotest.(check bool) "shrunk" true
+        (List.length schedule < List.length original.Chaos.schedule);
+      (* the shrunken schedule replays to the same verdict *)
+      let seed = (List.hd sweep.Chaos.failing : int) in
+      let replay = Chaos.run ~schedule { env with Chaos.seed } in
+      Alcotest.(check bool) "replay fails too" true (Chaos.violations replay <> [])
+  | _ -> Alcotest.fail "no shrunken reproduction"
+
+let test_weakened_quorum_caught () =
+  let env =
+    {
+      (Chaos.default_env Types.Voting) with
+      Chaos.failures = true;
+      weaken_read = Some 1;
+      weaken_write = Some 2;
+    }
+  in
+  let sweep = Chaos.sweep ~shrink_failures:false env ~seeds:(List.init 40 (fun i -> i + 1)) in
+  Alcotest.(check bool) "read quorum 1 caught" true (sweep.Chaos.failing <> [])
+
+let test_drops_caught_or_survived () =
+  (* Message drops are outside every envelope because updates are
+     fire-and-forget; under heavy loss the oracle (not availability
+     accounting) is what decides.  We only assert the harness runs and
+     reaches a verdict on every seed — deterministically. *)
+  let env =
+    {
+      (Chaos.default_env Types.Naive_available_copy) with
+      Chaos.faults = Net.Faults.make_exn ~drop:0.3 ();
+    }
+  in
+  let a = Chaos.sweep ~shrink_failures:false env ~seeds:[ 1; 2; 3; 4; 5 ] in
+  let b = Chaos.sweep ~shrink_failures:false env ~seeds:[ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "deterministic verdict" a.Chaos.failing b.Chaos.failing;
+  Alcotest.(check bool) "drops do break fire-and-forget NAC" true (a.Chaos.failing <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint round trip under chaos                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"chaos -> checkpoint -> restore -> chaos stays consistent" ~count:8
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let env = { (Chaos.default_env ~seed Types.Available_copy) with Chaos.ops = 60 } in
+      (* Phase 1 ends quiescent and fully repaired (run_against settles and
+         repairs before its final scans). *)
+      let cluster = Chaos.cluster_of_env env in
+      let phase1 = Chaos.run_against env ~cluster ~schedule:(Chaos.generate_schedule env) in
+      if Chaos.violations phase1 <> [] then
+        QCheck.Test.fail_reportf "phase 1 violated its own envelope (seed %d)" seed;
+      let path = Filename.temp_file "blockrep" ".ckpt" in
+      let ( let* ) = Result.bind in
+      let result =
+        let* () = Blockrep.Checkpoint.save cluster path in
+        let fresh = Chaos.cluster_of_env env in
+        let* () = Blockrep.Checkpoint.restore fresh path in
+        Ok fresh
+      in
+      Sys.remove path;
+      match result with
+      | Error e -> QCheck.Test.fail_reportf "checkpoint failed: %s" e
+      | Ok fresh ->
+          (* Resume different chaos on the restored cluster; the oracle's
+             baseline comes from the restored stores. *)
+          let env2 = { env with Chaos.seed = seed + 1000 } in
+          let phase2 =
+            Chaos.run_against env2 ~cluster:fresh ~schedule:(Chaos.generate_schedule env2)
+          in
+          (match Chaos.violations phase2 with
+          | [] -> ()
+          | v :: _ ->
+              QCheck.Test.fail_reportf "after restore (seed %d): %s" seed
+                (Check.Violation.to_string v));
+          true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "clean history" `Quick test_oracle_clean;
+          Alcotest.test_case "stale read" `Quick test_oracle_stale_read;
+          Alcotest.test_case "phantom + conflict" `Quick test_oracle_phantom_and_conflict;
+          Alcotest.test_case "version collision" `Quick test_oracle_version_collision;
+          Alcotest.test_case "read regression" `Quick test_oracle_read_regression;
+          Alcotest.test_case "failed write is maybe" `Quick test_oracle_failed_write_is_maybe;
+          Alcotest.test_case "baseline" `Quick test_oracle_baseline;
+          Alcotest.test_case "non-sequential" `Quick test_oracle_non_sequential;
+        ] );
+      ("history", [ Alcotest.test_case "attach stub" `Quick test_history_attach_stub ]);
+      ( "invariants",
+        [
+          Alcotest.test_case "healthy clusters" `Quick test_invariant_healthy;
+          Alcotest.test_case "planted divergence" `Quick test_invariant_detects_divergence;
+          Alcotest.test_case "voting quorum stale" `Quick test_invariant_voting_quorum_stale;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "schedule bad input" `Quick test_schedule_bad_input;
+          Alcotest.test_case "deterministic" `Quick test_chaos_deterministic;
+          Alcotest.test_case "sweep voting" `Slow test_sweep_voting;
+          Alcotest.test_case "sweep available-copy" `Slow test_sweep_ac;
+          Alcotest.test_case "sweep naive" `Slow test_sweep_nac;
+          Alcotest.test_case "sweep dynamic" `Slow test_sweep_dynamic;
+          Alcotest.test_case "voting window caught" `Slow test_voting_window_caught;
+          Alcotest.test_case "weakened quorum caught" `Slow test_weakened_quorum_caught;
+          Alcotest.test_case "drops break NAC" `Quick test_drops_caught_or_survived;
+        ] );
+      ("checkpoint", [ QCheck_alcotest.to_alcotest prop_checkpoint_roundtrip ]);
+    ]

@@ -206,6 +206,59 @@ let test_retry_respects_retryable_predicate () =
   Alcotest.(check int) "no retry on non-retryable error" 1 !calls;
   Alcotest.(check int) "no retries counted" 0 (Retry.retries stats)
 
+let test_retry_invalid_bounds () =
+  let p = Retry.default_policy ~unit:1.0 () in
+  let reject label bad =
+    match Retry.validate bad with
+    | Ok _ -> Alcotest.failf "%s accepted" label
+    | Error _ -> ()
+  in
+  reject "zero attempts" { p with max_attempts = 0 };
+  reject "negative attempts" { p with max_attempts = -3 };
+  reject "zero deadline" { p with deadline = 0.0 };
+  reject "negative deadline" { p with deadline = -1.0 };
+  reject "negative base delay" { p with base_delay = -0.5 };
+  reject "shrinking multiplier" { p with multiplier = 0.5 };
+  reject "max below base" { p with base_delay = 4.0; max_delay = 1.0 };
+  (* ...and run refuses to start on an invalid policy. *)
+  let engine = Sim.Engine.create () in
+  let stats = Retry.create_stats () in
+  match
+    Retry.run { p with max_attempts = 0 } ~engine ~stats (fun ~attempt:_ -> Ok ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run accepted an invalid policy"
+
+let test_retry_conservation () =
+  (* Every operation submitted must terminate in exactly one of the four
+     ways the counters distinguish, whatever mix of outcomes occurs. *)
+  let engine = Sim.Engine.create () in
+  let stats = Retry.create_stats () in
+  let p = { (Retry.default_policy ~unit:1.0 ()) with max_attempts = 2 } in
+  (* success on first try *)
+  ignore (Retry.run p ~engine ~stats (fun ~attempt:_ -> Ok ()));
+  (* recovery on second try *)
+  ignore
+    (Retry.run p ~engine ~stats (fun ~attempt ->
+         if attempt = 1 then Error Types.No_quorum else Ok ()));
+  (* exhausts attempts *)
+  ignore (Retry.run p ~engine ~stats (fun ~attempt:_ -> Error Types.No_quorum));
+  (* rejected by the retryable predicate *)
+  ignore
+    (Retry.run p ~engine ~stats
+       ~retryable:(fun _ -> false)
+       (fun ~attempt:_ -> Error Types.Site_not_available));
+  (* stopped by the deadline before the first retry *)
+  let tight = { p with max_attempts = 10; base_delay = 10.0; deadline = 5.0 } in
+  ignore (Retry.run tight ~engine ~stats (fun ~attempt:_ -> Error Types.Timed_out));
+  Alcotest.(check int) "operations" 5 (Retry.operations stats);
+  Alcotest.(check int) "succeeded" 2 (Retry.succeeded stats);
+  Alcotest.(check int) "recovered" 1 (Retry.recovered stats);
+  Alcotest.(check int) "gave up" 1 (Retry.gave_up stats);
+  Alcotest.(check int) "rejected" 1 (Retry.rejected stats);
+  Alcotest.(check int) "timeouts" 1 (Retry.timeouts stats);
+  Alcotest.(check bool) "conserved" true (Retry.conserved stats)
+
 let test_no_retry_is_fail_fast () =
   let engine = Sim.Engine.create () in
   let stats = Retry.create_stats () in
@@ -316,6 +369,8 @@ let () =
           Alcotest.test_case "gives up" `Quick test_retry_gives_up;
           Alcotest.test_case "deadline" `Quick test_retry_deadline;
           Alcotest.test_case "retryable predicate" `Quick test_retry_respects_retryable_predicate;
+          Alcotest.test_case "invalid bounds rejected" `Quick test_retry_invalid_bounds;
+          Alcotest.test_case "counters conserved" `Quick test_retry_conservation;
           Alcotest.test_case "no_retry fail-fast" `Quick test_no_retry_is_fail_fast;
         ] );
       ( "end-to-end",
