@@ -23,11 +23,91 @@ let section title =
   Format.printf "%s@." title;
   Format.printf "==================================================================@."
 
+(* Flags: --quick shrinks every simulation horizon / op count to CI-smoke
+   size; --json additionally writes machine-readable results (per-section
+   wall clock, group-commit amortization, cache hit rates, engine event
+   counts) to BENCH_results.json. *)
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let emit_json = Array.exists (( = ) "--json") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled: no JSON library in the tree)              *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Int of int
+    | Bool of bool
+
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf indent = function
+    | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+    | Num f ->
+        (* JSON has no NaN/inf; the hit rate before any read is NaN. *)
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+        else Buffer.add_string buf "null"
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf pad;
+            emit buf (indent + 2) item)
+          items;
+        Buffer.add_string buf ("\n" ^ String.make indent ' ' ^ "]")
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        let pad = String.make (indent + 2) ' ' in
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (Printf.sprintf "%s\"%s\": " pad (escape k));
+            emit buf (indent + 2) v)
+          fields;
+        Buffer.add_string buf ("\n" ^ String.make indent ' ' ^ "}")
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    emit buf 0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+end
+
+let section_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  section_times := (name, Unix.gettimeofday () -. t0) :: !section_times
+
 (* ------------------------------------------------------------------ *)
 (* 1-4: figures                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let sim_horizon = 20_000.0
+let sim_horizon = if quick then 500.0 else 20_000.0
+let ablation_horizon = if quick then 500.0 else 20_000.0
+let extension_horizon = if quick then 500.0 else 10_000.0
 
 let figures () =
   section "Figure 9: availability, 3 copies (voting: 6 copies), rho in [0, 0.20]";
@@ -74,7 +154,7 @@ let ablation_repair_distribution () =
           Workload.Failure_gen.attach_dist cluster ~rng:(Util.Prng.create 17)
             ~up_time:(Util.Dist.Exponential rho) ~down_time:repair
         in
-        Blockrep.Cluster.run_until cluster 20_000.0;
+        Blockrep.Cluster.run_until cluster ablation_horizon;
         Workload.Failure_gen.stop gen;
         Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor cluster)
       in
@@ -110,10 +190,10 @@ let ablation_w_maintenance () =
          Workload.Access_gen.create ~rng:(Util.Prng.create 31) ~n_blocks:4 ~reads_per_write:0.0 ()
        in
        ignore
-         (Workload.Runner.run_open_loop cluster access ~site:0 ~rate:write_rate ~horizon:20_000.0
+         (Workload.Runner.run_open_loop cluster access ~site:0 ~rate:write_rate ~horizon:ablation_horizon
            : Workload.Runner.results)
      end);
-    Blockrep.Cluster.run_until cluster 20_000.0;
+    Blockrep.Cluster.run_until cluster ablation_horizon;
     Workload.Failure_gen.stop gen;
     Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor cluster)
   in
@@ -244,7 +324,7 @@ let extension_witnesses () =
       Workload.Access_gen.create ~rng:(Util.Prng.create 67) ~n_blocks:2 ~reads_per_write:0.5 ()
     in
     ignore
-      (Workload.Runner.run_open_loop cluster access ~site:0 ~rate:20.0 ~horizon:10_000.0
+      (Workload.Runner.run_open_loop cluster access ~site:0 ~rate:20.0 ~horizon:extension_horizon
         : Workload.Runner.results);
     Workload.Failure_gen.stop gen;
     Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor cluster)
@@ -302,7 +382,7 @@ let extension_dynamic_voting () =
       Workload.Access_gen.create ~rng:(Util.Prng.create 101) ~n_blocks:2 ~reads_per_write:0.0 ()
     in
     ignore
-      (Workload.Runner.run_open_loop c writes ~site:0 ~rate:20.0 ~horizon:10_000.0
+      (Workload.Runner.run_open_loop c writes ~site:0 ~rate:20.0 ~horizon:extension_horizon
         : Workload.Runner.results);
     Workload.Failure_gen.stop gen;
     Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor c)
@@ -332,7 +412,9 @@ let size_based_comparison () =
     (fun n ->
       let sample scheme =
         Workload.Experiment.measure_traffic ~scheme ~n_sites:n ~env:Net.Network.Multicast
-          ~reads_per_write:2.0 ~ops:1500 ()
+          ~reads_per_write:2.0
+          ~ops:(if quick then 200 else 1500)
+          ()
       in
       let v = sample Blockrep.Types.Voting in
       let ac = sample Blockrep.Types.Available_copy in
@@ -345,6 +427,196 @@ let size_based_comparison () =
         (if byte_ratio_nac < msg_ratio_nac then "yes" else "no")
         msg_ratio_ac byte_ratio_ac)
     [ 3; 5; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Group commit: batched-write amortization and the write-back cache   *)
+(* ------------------------------------------------------------------ *)
+
+let amortization_rows : Report.Figures.amortization_row list ref = ref []
+
+let amortization () =
+  section "Group commit: Write transmissions / bytes / host time per block vs batch size (n = 5, multicast)";
+  let rows = Report.Figures.amortization_table ~groups:(if quick then 25 else 100) () in
+  amortization_rows := rows;
+  Format.printf "%a@."
+    (fun ppf ->
+      Report.Figures.print_amortization ppf
+        ~title:"(per committed block; batch 1 = the unbatched baseline)")
+    rows;
+  (match
+     ( List.find_opt (fun (r : Report.Figures.amortization_row) -> r.batch = 1) rows,
+       List.find_opt (fun (r : Report.Figures.amortization_row) -> r.batch = 16) rows )
+   with
+  | Some b1, Some b16 -> (
+      match
+        ( List.assoc_opt Blockrep.Types.Voting b1.per_scheme,
+          List.assoc_opt Blockrep.Types.Voting b16.per_scheme )
+      with
+      | Some s1, Some s16 ->
+          Format.printf "voting batch-16 amortization: %.2fx fewer Write transmissions per block@."
+            (s1.Workload.Experiment.messages_per_block /. s16.Workload.Experiment.messages_per_block)
+      | _ -> ())
+  | _ -> ())
+
+type cache_run = {
+  cache_policy : string;
+  cache_hits : int;
+  cache_misses : int;
+  cache_hit_rate : float;
+  cache_write_backs : int;
+  cache_blocks_written_back : int;
+  cache_events_fired : int;
+  cache_write_messages : int;
+}
+
+let cache_runs : cache_run list ref = ref []
+
+(* The full stack the tentpole adds: workload -> write-back cache ->
+   batched reliable device (voting).  Write-through over the same
+   workload is the baseline; the write-back column shows the same
+   client work reaching the wire in far fewer Write transmissions. *)
+let cache_section () =
+  section "Buffer cache over the reliable device: write-through vs write-back (voting, n = 5)";
+  let module C = Fs.Buffer_cache.Make_batched (Blockrep.Reliable_device) in
+  let run policy tag =
+    let device =
+      Blockrep.Reliable_device.of_config
+        (Blockrep.Config.make_exn ~scheme:Blockrep.Types.Voting ~n_sites:5 ~n_blocks:64
+           ~net_mode:Net.Network.Multicast ~seed:131 ())
+    in
+    let cluster = Blockrep.Reliable_device.cluster device in
+    let engine = Blockrep.Cluster.engine cluster in
+    let cache =
+      C.create ~policy
+        ~scheduler:(fun delay k -> ignore (Sim.Engine.schedule engine ~delay k : Sim.Engine.handle))
+        ~window:10.0 ~capacity:16 device
+    in
+    let gen =
+      Workload.Access_gen.create ~rng:(Util.Prng.create 137) ~n_blocks:64 ~reads_per_write:3.0 ()
+    in
+    let ops = if quick then 200 else 2000 in
+    for _ = 1 to ops do
+      Blockrep.Cluster.run_until cluster (Sim.Engine.now engine +. 0.5);
+      match Workload.Access_gen.next gen with
+      | Workload.Access_gen.Read block -> ignore (C.read_block cache block : Blockdev.Block.t option)
+      | Workload.Access_gen.Write (block, data) -> ignore (C.write_block cache block data : bool)
+    done;
+    ignore (C.flush cache : bool);
+    Blockrep.Cluster.settle cluster;
+    let traffic = Blockrep.Cluster.traffic cluster in
+    let sample =
+      {
+        cache_policy = tag;
+        cache_hits = C.hits cache;
+        cache_misses = C.misses cache;
+        cache_hit_rate = C.hit_rate cache;
+        cache_write_backs = C.write_backs cache;
+        cache_blocks_written_back = C.blocks_written_back cache;
+        cache_events_fired = Sim.Engine.events_fired engine;
+        cache_write_messages = Net.Traffic.by_operation traffic Net.Message.Write;
+      }
+    in
+    cache_runs := !cache_runs @ [ sample ];
+    sample
+  in
+  let wt = run Fs.Buffer_cache.Write_through "write-through" in
+  let wb = run Fs.Buffer_cache.Write_back "write-back" in
+  Format.printf "%-14s %8s %8s %9s %11s %11s %12s %12s@." "policy" "hits" "misses" "hit-rate"
+    "write-backs" "blks-wrtbk" "write-msgs" "events";
+  List.iter
+    (fun s ->
+      Format.printf "%-14s %8d %8d %9.3f %11d %11d %12d %12d@." s.cache_policy s.cache_hits
+        s.cache_misses s.cache_hit_rate s.cache_write_backs s.cache_blocks_written_back
+        s.cache_write_messages s.cache_events_fired)
+    [ wt; wb ];
+  if wb.cache_write_messages > 0 then
+    Format.printf "write-back cut Write transmissions by %.2fx for the same client workload@."
+      (float_of_int wt.cache_write_messages /. float_of_int wb.cache_write_messages)
+
+(* ------------------------------------------------------------------ *)
+(* JSON results file                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_tag = function
+  | Blockrep.Types.Voting -> "voting"
+  | Blockrep.Types.Available_copy -> "available-copy"
+  | Blockrep.Types.Naive_available_copy -> "naive-available-copy"
+  | Blockrep.Types.Dynamic_voting -> "dynamic-voting"
+
+let write_json_results path =
+  let amortization =
+    List.concat_map
+      (fun (row : Report.Figures.amortization_row) ->
+        List.map
+          (fun (scheme, (s : Workload.Experiment.amortization_sample)) ->
+            Json.Obj
+              [
+                ("scheme", Json.Str (scheme_tag scheme));
+                ("batch", Json.Int row.batch);
+                ("groups", Json.Int s.groups);
+                ("blocks_committed", Json.Int s.blocks_committed);
+                ("write_messages", Json.Int s.write_messages);
+                ("write_bytes", Json.Int s.write_bytes);
+                ("messages_per_block", Json.Num s.messages_per_block);
+                ("bytes_per_block", Json.Num s.bytes_per_block);
+                ("wall_clock_per_block_us", Json.Num (s.wall_clock_per_block *. 1e6));
+              ])
+          row.per_scheme)
+      !amortization_rows
+  in
+  let caches =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("policy", Json.Str s.cache_policy);
+            ("hits", Json.Int s.cache_hits);
+            ("misses", Json.Int s.cache_misses);
+            ("hit_rate", Json.Num s.cache_hit_rate);
+            ("write_backs", Json.Int s.cache_write_backs);
+            ("blocks_written_back", Json.Int s.cache_blocks_written_back);
+            ("write_messages", Json.Int s.cache_write_messages);
+            ("events_fired", Json.Int s.cache_events_fired);
+          ])
+      !cache_runs
+  in
+  let traffic =
+    List.map
+      (fun scheme ->
+        let s =
+          Workload.Experiment.measure_traffic ~scheme ~n_sites:5 ~env:Net.Network.Multicast
+            ~reads_per_write:2.0
+            ~ops:(if quick then 200 else 1000)
+            ()
+        in
+        Json.Obj
+          [
+            ("scheme", Json.Str (scheme_tag scheme));
+            ("messages_per_write_group", Json.Num s.messages_per_write_group);
+            ("bytes_per_write_group", Json.Num s.bytes_per_write_group);
+          ])
+      [ Blockrep.Types.Voting; Blockrep.Types.Available_copy; Blockrep.Types.Naive_available_copy ]
+  in
+  let sections =
+    List.rev_map
+      (fun (name, seconds) -> Json.Obj [ ("name", Json.Str name); ("wall_clock_s", Json.Num seconds) ])
+      !section_times
+  in
+  let doc =
+    Json.Obj
+      [
+        ("generator", Json.Str "bench/main.ml");
+        ("quick", Json.Bool quick);
+        ("sections", Json.Arr sections);
+        ("amortization", Json.Arr amortization);
+        ("cache", Json.Arr caches);
+        ("traffic_per_write_group", Json.Arr traffic);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  Format.printf "@.json results written to %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* 7: Bechamel micro-benchmarks                                        *)
@@ -441,16 +713,20 @@ let run_bechamel tests =
          | Some [] | None -> Format.printf "%-45s %15s@." name "n/a")
 
 let () =
-  figures ();
-  identities ();
-  ablation_repair_distribution ();
-  ablation_w_maintenance ();
-  ablation_lazy_recovery ();
-  size_based_comparison ();
-  reliability_table ();
-  latency_table ();
-  extension_witnesses ();
-  extension_dynamic_voting ();
-  section "Bechamel micro-benchmarks (simulated-protocol operation costs)";
-  run_bechamel (op_tests () @ recovery_tests () @ analysis_tests () @ fs_tests ());
+  timed "figures" figures;
+  timed "identities" identities;
+  timed "ablation_repair_distribution" ablation_repair_distribution;
+  timed "ablation_w_maintenance" ablation_w_maintenance;
+  timed "ablation_lazy_recovery" ablation_lazy_recovery;
+  timed "size_based_comparison" size_based_comparison;
+  timed "reliability_table" reliability_table;
+  timed "latency_table" latency_table;
+  timed "extension_witnesses" extension_witnesses;
+  timed "extension_dynamic_voting" extension_dynamic_voting;
+  timed "amortization" amortization;
+  timed "cache" cache_section;
+  timed "bechamel" (fun () ->
+      section "Bechamel micro-benchmarks (simulated-protocol operation costs)";
+      run_bechamel (op_tests () @ recovery_tests () @ analysis_tests () @ fs_tests ()));
+  if emit_json then write_json_results "BENCH_results.json";
   Format.printf "@.bench: done@."

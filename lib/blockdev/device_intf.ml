@@ -20,3 +20,39 @@ module type S = sig
   val write_block : t -> Block.id -> Block.t -> bool
   (** [false] when the write could not be performed. *)
 end
+
+(** A device that can also serve a group of blocks in one request.
+
+    The replicated device implements this natively (a whole batch rides
+    one quorum round — the group-commit fast path); {!Batched_of_simple}
+    lifts any plain [S] by looping, so clients of [BATCHED] run on
+    either. *)
+module type BATCHED = sig
+  include S
+
+  val read_blocks : t -> Block.id list -> Block.t list option
+  (** Blocks must be distinct and non-empty; [None] if any id is out of
+      range or the group could not be served. *)
+
+  val write_blocks : t -> (Block.id * Block.t) list -> bool
+  (** [false] when the group could not be fully committed.  Not
+      necessarily atomic: a loop-lifted device (see
+      {!Batched_of_simple}) may have applied a prefix. *)
+end
+
+(** Lift a plain device to the batched interface by looping.  No
+    amortization — each block still costs one device request — but it
+    lets batch-aware clients (the write-back cache) run over any [S]. *)
+module Batched_of_simple (Dev : S) : BATCHED with type t = Dev.t = struct
+  include Dev
+
+  let read_blocks t ks =
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | k :: rest -> (
+          match Dev.read_block t k with Some d -> go (d :: acc) rest | None -> None)
+    in
+    if ks = [] then None else go [] ks
+
+  let write_blocks t writes = writes <> [] && List.for_all (fun (k, d) -> Dev.write_block t k d) writes
+end

@@ -66,6 +66,20 @@ type env = {
   weaken_write : int option;  (** voting: forced (unsafe) write threshold *)
   settle : float option;  (** driver-stub failover settle override *)
   readback : bool;  (** read every block back after final recovery *)
+  batch : int;
+      (** > 1 routes the workload through a write-back cache over the
+          device: writes are absorbed until [batch] blocks are dirty,
+          then commit as one batched group request.  The harness also
+          flushes the dirty set just before each injected failure or
+          partition (flush-on-failover, skipped if a client operation is
+          mid-flight — the oracle judges single-client histories, so a
+          nested commit may not be recorded inside another operation)
+          and again after final recovery.
+          The client-visible history then contains the {e committed}
+          operations, so the oracle judges what the replicated layer
+          actually did — the cache's absorption delay is invisible to
+          it.  [1] (the default) is the unbatched path, bit-identical
+          to the historical harness. *)
 }
 
 val default_env : ?seed:int -> Blockrep.Types.scheme -> env

@@ -41,10 +41,16 @@ let check ?(baseline = default_baseline) history =
   let violations = ref [] in
   let add ~block ~time code detail = violations := Violation.make ~block ~code ~time detail :: !violations in
   let prev_responded = ref neg_infinity in
+  let prev_interval = ref (neg_infinity, neg_infinity) in
   let seq_reported = ref false in
   List.iter
     (fun (e : History.entry) ->
-      if e.invoked < !prev_responded -. 1e-9 && not !seq_reported then begin
+      (* Per-block views of one batched request share the request's
+         [invoked, responded] interval exactly — they are one operation,
+         not concurrent clients — so only genuinely different overlapping
+         intervals break sequentiality. *)
+      let same_batch = !prev_interval = (e.invoked, e.responded) in
+      if e.invoked < !prev_responded -. 1e-9 && (not same_batch) && not !seq_reported then begin
         seq_reported := true;
         add ~block:e.block ~time:e.invoked "non-sequential-history"
           (Printf.sprintf
@@ -53,6 +59,7 @@ let check ?(baseline = default_baseline) history =
              e.id e.invoked !prev_responded)
       end;
       prev_responded := Float.max !prev_responded e.responded;
+      prev_interval := (e.invoked, e.responded);
       let s = state_for states ~baseline e.block in
       match e.kind with
       | History.Write -> (

@@ -108,6 +108,70 @@ let observed_write t ~site ~block ~data callback =
         List.iter (fun f -> f event) t.observers;
         callback result
 
+(* Batch observers report one event per block of the group, so a history
+   checker sees the same shape of events whichever path produced them. *)
+let observed_read_blocks t ~site ~blocks callback =
+  match t.observers with
+  | [] -> callback
+  | _ ->
+      let invoked = Sim.Engine.now (engine t) in
+      fun result ->
+        let responded = Sim.Engine.now (engine t) in
+        (match result with
+        | Ok results ->
+            List.iter2
+              (fun block (data, version) ->
+                let event =
+                  { Observe.kind = Observe.Read; site; block; invoked; responded;
+                    payload = Some data; version = Some version; error = None }
+                in
+                List.iter (fun f -> f event) t.observers)
+              blocks results
+        | Error e ->
+            List.iter
+              (fun block ->
+                let event =
+                  { Observe.kind = Observe.Read; site; block; invoked; responded; payload = None;
+                    version = None; error = Some e }
+                in
+                List.iter (fun f -> f event) t.observers)
+              blocks);
+        callback result
+
+let observed_write_blocks t ~site ~writes callback =
+  match t.observers with
+  | [] -> callback
+  | _ ->
+      let invoked = Sim.Engine.now (engine t) in
+      fun result ->
+        let responded = Sim.Engine.now (engine t) in
+        (match result with
+        | Ok versions ->
+            List.iter2
+              (fun (block, data) version ->
+                let event =
+                  { Observe.kind = Observe.Write; site; block; invoked; responded;
+                    payload = Some data; version = Some version; error = None }
+                in
+                List.iter (fun f -> f event) t.observers)
+              writes versions
+        | Error e ->
+            List.iter
+              (fun (block, data) ->
+                let event =
+                  { Observe.kind = Observe.Write; site; block; invoked; responded;
+                    payload = Some data; version = None; error = Some e }
+                in
+                List.iter (fun f -> f event) t.observers)
+              writes);
+        callback result
+
+let check_batch t blocks =
+  if blocks = [] then invalid_arg "Cluster: empty batch";
+  List.iter (check_block t) blocks;
+  if List.length (List.sort_uniq Int.compare blocks) <> List.length blocks then
+    invalid_arg "Cluster: batch blocks must be distinct"
+
 let read t ~site ~block callback =
   check_block t block;
   let callback = observed_read t ~site ~block callback in
@@ -123,6 +187,50 @@ let write t ~site ~block data callback =
   | Voting_p v -> Voting.write v ~site ~block data callback
   | Copy_p c -> Copy_protocol.write c ~site ~block data callback
   | Dynamic_p d -> Dynamic_voting.write d ~site ~block data callback
+
+(* A batch of one takes the single-block path exactly — same wire
+   messages, same observer events — so defaults are bit-identical to the
+   unbatched cluster.  Dynamic voting keeps per-block update groups that
+   a shared vote round cannot carry, so it falls back to chaining the
+   single-block operations (no amortization, full correctness). *)
+let read_blocks t ~site ~blocks callback =
+  check_batch t blocks;
+  match blocks with
+  | [ block ] -> read t ~site ~block (fun r -> callback (Result.map (fun x -> [ x ]) r))
+  | _ -> (
+      let callback = observed_read_blocks t ~site ~blocks callback in
+      match t.protocol with
+      | Voting_p v -> Voting.read_batch v ~site ~blocks callback
+      | Copy_p c -> Copy_protocol.read_batch c ~site ~blocks callback
+      | Dynamic_p d ->
+          let rec chain acc = function
+            | [] -> callback (Ok (List.rev acc))
+            | b :: rest ->
+                Dynamic_voting.read d ~site ~block:b (function
+                  | Ok r -> chain (r :: acc) rest
+                  | Error e -> callback (Error e))
+          in
+          chain [] blocks)
+
+let write_blocks t ~site writes callback =
+  check_batch t (List.map fst writes);
+  match writes with
+  | [ (block, data) ] ->
+      write t ~site ~block data (fun r -> callback (Result.map (fun v -> [ v ]) r))
+  | _ -> (
+      let callback = observed_write_blocks t ~site ~writes callback in
+      match t.protocol with
+      | Voting_p v -> Voting.write_batch v ~site writes callback
+      | Copy_p c -> Copy_protocol.write_batch c ~site writes callback
+      | Dynamic_p d ->
+          let rec chain acc = function
+            | [] -> callback (Ok (List.rev acc))
+            | (b, data) :: rest ->
+                Dynamic_voting.write d ~site ~block:b data (function
+                  | Ok v -> chain (v :: acc) rest
+                  | Error e -> callback (Error e))
+          in
+          chain [] writes)
 
 (* Drive the engine until the callback lands.  Operations always settle in
    bounded virtual time (rounds carry timeouts), so the loop terminates even
@@ -145,6 +253,8 @@ let run_sync t issue =
 
 let read_sync t ~site ~block = run_sync t (fun k -> read t ~site ~block k)
 let write_sync t ~site ~block data = run_sync t (fun k -> write t ~site ~block data k)
+let read_blocks_sync t ~site ~blocks = run_sync t (fun k -> read_blocks t ~site ~blocks k)
+let write_blocks_sync t ~site writes = run_sync t (fun k -> write_blocks t ~site writes k)
 
 (* Retry-aware synchronous operations: quorum and copy operations survive
    transient message loss instead of failing on the first lossy round. *)

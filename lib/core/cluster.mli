@@ -67,6 +67,33 @@ val read_sync : t -> site:int -> block:Blockdev.Block.id -> Types.read_result
 
 val write_sync : t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
 
+(** {1 Group commit}
+
+    Batched block access.  Blocks must be distinct, in range and
+    non-empty ([Invalid_argument] otherwise).  A batch of one is
+    delegated to the single-block path, so it is bit-identical to
+    {!read}/{!write} — same wire traffic, same observer events.  Larger
+    batches run the scheme's amortized group round (one vote collection
+    and one update multicast for voting; one update multicast for the
+    copy schemes); dynamic voting has no shared round — its per-block
+    update groups cannot ride one message — and transparently chains the
+    single-block operations instead.  Observers see one event per block
+    of the group. *)
+
+val read_blocks :
+  t -> site:int -> blocks:Blockdev.Block.id list -> (Types.batch_read_result -> unit) -> unit
+
+val write_blocks :
+  t ->
+  site:int ->
+  (Blockdev.Block.id * Blockdev.Block.t) list ->
+  (Types.batch_write_result -> unit) ->
+  unit
+
+val read_blocks_sync : t -> site:int -> blocks:Blockdev.Block.id list -> Types.batch_read_result
+val write_blocks_sync :
+  t -> site:int -> (Blockdev.Block.id * Blockdev.Block.t) list -> Types.batch_write_result
+
 val read_sync_retry :
   t ->
   policy:Retry.policy ->

@@ -70,6 +70,66 @@ let write t ~site ~block data callback =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Copy-scheme reads are local, so batching them saves nothing on the
+   wire; the batched form exists so the cache and driver layers can use
+   one calling convention across schemes. *)
+let read_batch t ~site ~blocks callback =
+  let s = Runtime.site t.rt site in
+  if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else
+    callback
+      (Ok (List.map (fun b -> (Store.read s.store b, Store.version s.store b)) blocks))
+
+(* Figure 5/6 writes, amortized: all k new versions travel in one
+   update multicast, and (Standard) one ack per peer covers the whole
+   batch, so a k-block group costs the same number of transmissions as
+   a single write. *)
+let write_batch t ~site writes callback =
+  let s = Runtime.site t.rt site in
+  if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else begin
+    let payloads =
+      List.map
+        (fun (block, data) ->
+          let version = Store.version s.store block + 1 in
+          Store.write s.store block data ~version;
+          (block, version, data))
+        writes
+    in
+    let versions = List.map (fun (_, v, _) -> v) payloads in
+    match t.variant with
+    | Naive ->
+        Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
+          (Wire.Batch_update { rid = None; writes = payloads; carried_w = full_set t });
+        callback (Ok versions)
+    | Standard ->
+        let expected = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available) in
+        let rid =
+          Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+              match outcome with
+              | Runtime.Aborted -> callback (Error Types.Site_not_available)
+              | Runtime.Complete | Runtime.Timeout ->
+                  let ackers =
+                    List.filter_map
+                      (function from, Wire.Batch_ack _ -> Some from | _ -> None)
+                      replies
+                  in
+                  (* Same W rule as the single-block write: ackers plus
+                     comatose absorbers plus ourselves. *)
+                  let comatose =
+                    Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose)
+                  in
+                  s.w <- Int_set.union comatose (Int_set.add site (Int_set.of_list ackers));
+                  callback (Ok versions))
+        in
+        Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
+          (Wire.Batch_update { rid = Some rid; writes = payloads; carried_w = s.w })
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Recovery (Figures 5 and 6)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -237,7 +297,22 @@ let handle t (s : Runtime.site) ~from msg =
               (Wire.Write_ack { rid; block })
         | None -> ()
       end
-  | Wire.Write_ack { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
+  | Wire.Batch_update { rid; writes; carried_w } ->
+      (* Same absorption rule as Block_update, applied per block. *)
+      if s.state <> Types.Failed then
+        List.iter
+          (fun (block, version, data) ->
+            if version > Store.version s.store block then Store.write s.store block data ~version)
+          writes;
+      if s.state = Types.Available && t.variant = Standard then begin
+        s.w <- Int_set.add s.id (Int_set.add from carried_w);
+        match rid with
+        | Some rid ->
+            Runtime.send t.rt ~op:Net.Message.Write ~from:s.id ~dst:from
+              (Wire.Batch_ack { rid; blocks = List.map (fun (b, _, _) -> b) writes })
+        | None -> ()
+      end
+  | Wire.Write_ack { rid; _ } | Wire.Batch_ack { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
   | Wire.Recovery_probe { rid; info } ->
       if s.state <> Types.Failed then begin
         Runtime.cache_info t.rt s.id info;
@@ -261,7 +336,8 @@ let handle t (s : Runtime.site) ~from msg =
       end
   | Wire.Vv_reply { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
   | Wire.Vote_request _ | Wire.Vote_reply _ | Wire.Block_request _ | Wire.Block_transfer _
-  | Wire.Group_fix _ ->
+  | Wire.Group_fix _ | Wire.Batch_vote_request _ | Wire.Batch_vote_reply _ | Wire.Batch_request _
+  | Wire.Batch_transfer _ ->
       (* Voting traffic is meaningless under a copy scheme. *)
       ()
 

@@ -47,6 +47,29 @@ val write :
   unit
 (** Write to all available copies. *)
 
+(** {1 Group commit}
+
+    Batched counterparts of [read] and [write].  Reads stay local;
+    a batched write pushes every block of the batch in a single update
+    multicast and (Standard) collects one ack per peer for the whole
+    batch, so the transmission count of a k-block group equals that of a
+    single write.  A batch of one is semantically identical to the
+    single-block operation. *)
+
+val read_batch :
+  t ->
+  site:int ->
+  blocks:Blockdev.Block.id list ->
+  (Types.batch_read_result -> unit) ->
+  unit
+
+val write_batch :
+  t ->
+  site:int ->
+  (Blockdev.Block.id * Blockdev.Block.t) list ->
+  (Types.batch_write_result -> unit) ->
+  unit
+
 val on_repair : t -> int -> unit
 (** Bring a failed site back as comatose and start the recovery protocol of
     Figure 5 (Standard) or Figure 6 (Naive). *)

@@ -16,6 +16,8 @@ type t = {
   settle : float;
   stats : Retry.stats;
   mutable requests : int;
+  mutable batch_requests : int;
+  mutable batched_blocks : int;
   mutable site_attempts : int;
   mutable failovers : int;
   mutable last_served : int;
@@ -47,6 +49,8 @@ let create ?(home = 0) ?policy ?settle cluster =
     settle;
     stats = Retry.create_stats ();
     requests = 0;
+    batch_requests = 0;
+    batched_blocks = 0;
     site_attempts = 0;
     failovers = 0;
     last_served = home;
@@ -56,6 +60,8 @@ let create ?(home = 0) ?policy ?settle cluster =
 
 let home t = t.home
 let requests t = t.requests
+let batch_requests t = t.batch_requests
+let batched_blocks t = t.batched_blocks
 let site_attempts t = t.site_attempts
 let failovers t = t.failovers
 let retry_stats t = t.stats
@@ -144,4 +150,65 @@ let write_block t block data =
     in
     notify t view
   end;
+  result
+
+(* Batched forwarding: the whole group rides one rotation — failover,
+   settle barrier and bounded retries are paid once per batch, not once
+   per block.  Observers still see one event per block, after the batch
+   resolves, so history checkers need not know about batching. *)
+
+let notify_batch_reads t ~invoked blocks result =
+  if t.observers <> [] then begin
+    let responded = Sim.Engine.now (Cluster.engine t.cluster) in
+    match result with
+    | Ok results ->
+        List.iter2
+          (fun block (data, version) ->
+            notify t
+              { kind = Cluster.Observe.Read; block; site = t.last_served; invoked; responded;
+                payload = Some data; version = Some version; error = None })
+          blocks results
+    | Error e ->
+        List.iter
+          (fun block ->
+            notify t
+              { kind = Cluster.Observe.Read; block; site = t.last_tried; invoked; responded;
+                payload = None; version = None; error = Some e })
+          blocks
+  end
+
+let notify_batch_writes t ~invoked writes result =
+  if t.observers <> [] then begin
+    let responded = Sim.Engine.now (Cluster.engine t.cluster) in
+    match result with
+    | Ok versions ->
+        List.iter2
+          (fun (block, data) version ->
+            notify t
+              { kind = Cluster.Observe.Write; block; site = t.last_served; invoked; responded;
+                payload = Some data; version = Some version; error = None })
+          writes versions
+    | Error e ->
+        List.iter
+          (fun (block, data) ->
+            notify t
+              { kind = Cluster.Observe.Write; block; site = t.last_tried; invoked; responded;
+                payload = Some data; version = None; error = Some e })
+          writes
+  end
+
+let read_blocks t blocks =
+  let invoked = Sim.Engine.now (Cluster.engine t.cluster) in
+  t.batch_requests <- t.batch_requests + 1;
+  t.batched_blocks <- t.batched_blocks + List.length blocks;
+  let result = forward t (fun site -> Cluster.read_blocks_sync t.cluster ~site ~blocks) in
+  notify_batch_reads t ~invoked blocks result;
+  result
+
+let write_blocks t writes =
+  let invoked = Sim.Engine.now (Cluster.engine t.cluster) in
+  t.batch_requests <- t.batch_requests + 1;
+  t.batched_blocks <- t.batched_blocks + List.length writes;
+  let result = forward t (fun site -> Cluster.write_blocks_sync t.cluster ~site writes) in
+  notify_batch_writes t ~invoked writes result;
   result

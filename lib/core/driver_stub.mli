@@ -44,10 +44,29 @@ val read_block : t -> Blockdev.Block.id -> Types.read_result
 
 val write_block : t -> Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
 
+(** {1 Group commit}
+
+    Batched forwarding: the whole group rides one rotation, so failover
+    probes, the settle barrier and bounded retries are paid once per
+    batch rather than once per block.  Blocks must be distinct and in
+    range (see {!Cluster.read_blocks}); a batch of one behaves exactly
+    like the single-block call. *)
+
+val read_blocks : t -> Blockdev.Block.id list -> Types.batch_read_result
+val write_blocks : t -> (Blockdev.Block.id * Blockdev.Block.t) list -> Types.batch_write_result
+
 val requests : t -> int
 (** Logical block requests forwarded (one per [read_block] /
     [write_block] call — failover probes and retries are counted
     separately so per-request traffic ratios stay honest). *)
+
+val batch_requests : t -> int
+(** Batched requests forwarded (one per [read_blocks] / [write_blocks]
+    call; also counted in [requests]). *)
+
+val batched_blocks : t -> int
+(** Total blocks carried by batched requests; [batched_blocks /.
+    batch_requests] is the realised mean batch size. *)
 
 val site_attempts : t -> int
 (** Individual per-site service attempts, including failover probes and

@@ -31,6 +31,31 @@ let write_block t k data =
         t.last_error <- Some reason;
         false
 
+(* Batched forms, for the write-back cache: one stub rotation serves the
+   whole group.  Mirrors the single-block convention — out-of-range ids
+   answer None/false without touching the cluster. *)
+let read_blocks t ks =
+  if ks = [] || List.exists (fun k -> k < 0 || k >= capacity t) ks then None
+  else
+    match Driver_stub.read_blocks t.stub ks with
+    | Ok results ->
+        t.last_error <- None;
+        Some (List.map fst results)
+    | Error reason ->
+        t.last_error <- Some reason;
+        None
+
+let write_blocks t writes =
+  if writes = [] || List.exists (fun (k, _) -> k < 0 || k >= capacity t) writes then false
+  else
+    match Driver_stub.write_blocks t.stub writes with
+    | Ok _versions ->
+        t.last_error <- None;
+        true
+    | Error reason ->
+        t.last_error <- Some reason;
+        false
+
 let last_error t = t.last_error
 
 type degradation = {

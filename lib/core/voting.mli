@@ -33,6 +33,33 @@ val write :
 (** Figure 4: collect votes, take max version + 1, push the block to every
     reachable site. *)
 
+(** {1 Group commit}
+
+    The k-block analogue of Figures 3 and 4: one vote collection covers
+    every block of the batch, and a batched write pushes all k new
+    versions in a single update multicast.  A batch therefore costs the
+    same {e number} of transmissions as one single-block operation (their
+    sizes grow with k), which is the whole amortization argument of the
+    group-commit fast path.  Blocks must be distinct; a batch of one is
+    semantically identical to the single-block operation. *)
+
+val read_batch :
+  t -> site:int -> blocks:Blockdev.Block.id list -> (Types.batch_read_result -> unit) -> unit
+(** One vote round for all [blocks]; blocks whose current copy the local
+    site holds are served locally, the rest are pulled with one
+    batch-request per distinct source site.  Results are in the order of
+    [blocks].  Fails as a whole with the first per-block failure a
+    single-block read would report. *)
+
+val write_batch :
+  t ->
+  site:int ->
+  (Blockdev.Block.id * Blockdev.Block.t) list ->
+  (Types.batch_write_result -> unit) ->
+  unit
+(** One vote round, per-block max version + 1, one batch-update multicast.
+    Returns the new versions in batch order. *)
+
 val on_repair : t -> int -> unit
 (** Voting recovery: none.  The site simply becomes available again. *)
 

@@ -39,6 +39,25 @@ type t =
       w_of_source : Types.Int_set.t;
     }
   | Group_fix of { block : Blockdev.Block.id; version : int; group : Types.Int_set.t }
+  | Batch_vote_request of {
+      rid : int;
+      blocks : Blockdev.Block.id list;
+      purpose : Net.Message.operation;
+    }
+  | Batch_vote_reply of {
+      rid : int;
+      votes : (Blockdev.Block.id * int) list;
+      weight : int;
+      group_size : int;
+    }
+  | Batch_update of {
+      rid : int option;
+      writes : (Blockdev.Block.id * int * Blockdev.Block.t) list;
+      carried_w : Types.Int_set.t;
+    }
+  | Batch_ack of { rid : int; blocks : Blockdev.Block.id list }
+  | Batch_request of { rid : int; blocks : Blockdev.Block.id list }
+  | Batch_transfer of { rid : int; payloads : (Blockdev.Block.id * int * Blockdev.Block.t) list }
 
 let category = function
   | Vote_request _ -> Net.Message.Vote_request
@@ -52,6 +71,14 @@ let category = function
   | Vv_send _ -> Net.Message.Version_vector_send
   | Vv_reply _ -> Net.Message.Version_vector_reply
   | Group_fix _ -> Net.Message.Was_available_update
+  (* Batch messages are one transmission of the same category as their
+     single-block counterpart; only their size grows with the batch. *)
+  | Batch_vote_request _ -> Net.Message.Vote_request
+  | Batch_vote_reply _ -> Net.Message.Vote_reply
+  | Batch_update _ -> Net.Message.Block_update
+  | Batch_ack _ -> Net.Message.Write_ack
+  | Batch_request _ -> Net.Message.Block_request
+  | Batch_transfer _ -> Net.Message.Block_transfer
 
 (* Byte-size model: 32-byte header on everything, 4 bytes per integer
    field, full block payloads, 4 bytes per set member / vector entry. *)
@@ -78,6 +105,16 @@ let size = function
           (fun acc (_, _, _) -> acc + (2 * int_field) + Blockdev.Block.size)
           0 updates
   | Group_fix { group; _ } -> header + (2 * int_field) + set_size group
+  | Batch_vote_request { blocks; _ } -> header + (2 * int_field) + (int_field * List.length blocks)
+  | Batch_vote_reply { votes; _ } -> header + (3 * int_field) + (2 * int_field * List.length votes)
+  | Batch_update { writes; carried_w; _ } ->
+      header + int_field + set_size carried_w
+      + List.fold_left (fun acc _ -> acc + (2 * int_field) + Blockdev.Block.size) 0 writes
+  | Batch_ack { blocks; _ } | Batch_request { blocks; _ } ->
+      header + int_field + (int_field * List.length blocks)
+  | Batch_transfer { payloads; _ } ->
+      header + int_field
+      + List.fold_left (fun acc _ -> acc + (2 * int_field) + Blockdev.Block.size) 0 payloads
 
 let rid = function
   | Vote_request { rid; _ }
@@ -88,9 +125,14 @@ let rid = function
   | Recovery_probe { rid; _ }
   | Recovery_reply { rid; _ }
   | Vv_send { rid; _ }
-  | Vv_reply { rid; _ } ->
+  | Vv_reply { rid; _ }
+  | Batch_vote_request { rid; _ }
+  | Batch_vote_reply { rid; _ }
+  | Batch_ack { rid; _ }
+  | Batch_request { rid; _ }
+  | Batch_transfer { rid; _ } ->
       Some rid
-  | Block_update { rid; _ } -> rid
+  | Block_update { rid; _ } | Batch_update { rid; _ } -> rid
   | Group_fix _ -> None
 
 let describe = function
@@ -111,3 +153,14 @@ let describe = function
   | Vv_reply { rid; updates; _ } -> Printf.sprintf "vv-reply(rid=%d, %d updates)" rid (List.length updates)
   | Group_fix { block; version; group } ->
       Printf.sprintf "group-fix(block=%d, v=%d, |g|=%d)" block version (Types.Int_set.cardinal group)
+  | Batch_vote_request { rid; blocks; purpose } ->
+      Printf.sprintf "batch-vote-request(rid=%d, %d blocks, %s)" rid (List.length blocks)
+        (Net.Message.operation_to_string purpose)
+  | Batch_vote_reply { rid; votes; weight; _ } ->
+      Printf.sprintf "batch-vote-reply(rid=%d, %d votes, w=%d)" rid (List.length votes) weight
+  | Batch_update { writes; _ } -> Printf.sprintf "batch-update(%d writes)" (List.length writes)
+  | Batch_ack { rid; blocks } -> Printf.sprintf "batch-ack(rid=%d, %d blocks)" rid (List.length blocks)
+  | Batch_request { rid; blocks } ->
+      Printf.sprintf "batch-request(rid=%d, %d blocks)" rid (List.length blocks)
+  | Batch_transfer { rid; payloads } ->
+      Printf.sprintf "batch-transfer(rid=%d, %d blocks)" rid (List.length payloads)

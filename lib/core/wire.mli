@@ -65,8 +65,38 @@ type t =
           group member failed to acknowledge, the coordinator publishes
           the group that actually applied the write, so recorded
           cardinalities match reality *)
+  | Batch_vote_request of {
+      rid : int;
+      blocks : Blockdev.Block.id list;
+      purpose : Net.Message.operation;
+    }
+      (** group commit: one vote collection covering every block of a
+          batch — the k-block analogue of [Vote_request], accounted to the
+          same category with a size that grows with the batch *)
+  | Batch_vote_reply of {
+      rid : int;
+      votes : (Blockdev.Block.id * int) list;  (** (block, version) pairs *)
+      weight : int;
+      group_size : int;
+    }
+  | Batch_update of {
+      rid : int option;  (** as in [Block_update]: [Some] iff acked (AC) *)
+      writes : (Blockdev.Block.id * int * Blockdev.Block.t) list;
+      carried_w : Types.Int_set.t;
+    }
+      (** group commit: one update multicast carrying a whole batch of
+          (block, version, data) writes *)
+  | Batch_ack of { rid : int; blocks : Blockdev.Block.id list }
+  | Batch_request of { rid : int; blocks : Blockdev.Block.id list }
+      (** batched voting read: pull every listed block from one source *)
+  | Batch_transfer of { rid : int; payloads : (Blockdev.Block.id * int * Blockdev.Block.t) list }
 
 val category : t -> Net.Message.category
+(** Batch messages account to the category of their single-block
+    counterpart ([Batch_update] to [Block_update], and so on): a batch is
+    {e one} high-level transmission whose {!size} grows with the blocks it
+    carries, which is exactly what keeps the Section 5 message counts
+    honest under group commit. *)
 
 val size : t -> int
 (** Estimated wire size in bytes: a fixed header plus the natural encoding

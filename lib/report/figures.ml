@@ -172,3 +172,59 @@ let print_identities ppf rows =
     rows;
   let failed = List.length (List.filter (fun r -> not r.holds) rows) in
   Format.fprintf ppf "%d checks, %d violated@]" (List.length rows) failed
+
+(* --- group-commit amortization (the PR's perf target, not a paper figure) --- *)
+
+type amortization_row = {
+  batch : int;
+  per_scheme : (Blockrep.Types.scheme * Workload.Experiment.amortization_sample) list;
+}
+
+let amortization_table ?(n_sites = 5) ?(env = Net.Network.Multicast)
+    ?(schemes = [ Blockrep.Types.Voting; Blockrep.Types.Available_copy; Blockrep.Types.Naive_available_copy ])
+    ?(batches = [ 1; 4; 16; 64 ]) ?(groups = 100) ?(seed = 31) () =
+  List.map
+    (fun batch ->
+      {
+        batch;
+        per_scheme =
+          List.map
+            (fun scheme ->
+              ( scheme,
+                Workload.Experiment.measure_batch_amortization ~scheme ~n_sites ~env ~batch
+                  ~groups ~seed () ))
+            schemes;
+      })
+    batches
+
+let print_amortization ppf ~title rows =
+  Format.fprintf ppf "@[<v>%s@," title;
+  (match rows with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf ppf "%5s" "batch";
+      List.iter
+        (fun (scheme, _) ->
+          let tag =
+            match scheme with
+            | Blockrep.Types.Voting -> "V"
+            | Blockrep.Types.Available_copy -> "AC"
+            | Blockrep.Types.Naive_available_copy -> "NAC"
+            | Blockrep.Types.Dynamic_voting -> "DV"
+          in
+          Format.fprintf ppf " %11s %11s %12s" (tag ^ ".msg/blk") (tag ^ ".KB/blk") (tag ^ ".us/blk"))
+        first.per_scheme;
+      Format.fprintf ppf "@,";
+      List.iter
+        (fun row ->
+          Format.fprintf ppf "%5d" row.batch;
+          List.iter
+            (fun (_, s) ->
+              Format.fprintf ppf " %11.3f %11.3f %12.2f"
+                s.Workload.Experiment.messages_per_block
+                (s.Workload.Experiment.bytes_per_block /. 1024.0)
+                (s.Workload.Experiment.wall_clock_per_block *. 1e6))
+            row.per_scheme;
+          Format.fprintf ppf "@,")
+        rows);
+  Format.fprintf ppf "@]"

@@ -49,6 +49,31 @@ val identity_checks : ?rhos:float list -> unit -> identity_row list
     closed forms (2)-(4) vs the chain; the bound (5); Theorem 4.1 at each
     grid point; U_V^n closed form vs the chain. *)
 
+(** {1 Group-commit amortization}
+
+    Not a paper figure: the measured payoff of the batched write path
+    (one vote round + one update multicast per batch), per scheme and
+    batch size.  The batch-1 row is the unbatched baseline. *)
+
+type amortization_row = {
+  batch : int;
+  per_scheme : (Blockrep.Types.scheme * Workload.Experiment.amortization_sample) list;
+}
+
+val amortization_table :
+  ?n_sites:int ->
+  ?env:Net.Network.mode ->
+  ?schemes:Blockrep.Types.scheme list ->
+  ?batches:int list ->
+  ?groups:int ->
+  ?seed:int ->
+  unit ->
+  amortization_row list
+(** Defaults: 5 sites, multicast, voting + AC + NAC, batches 1/4/16/64,
+    100 groups per point. *)
+
+val print_amortization : Format.formatter -> title:string -> amortization_row list -> unit
+
 val print_availability : Format.formatter -> title:string -> availability_row list -> unit
 val print_traffic : Format.formatter -> title:string -> traffic_row list -> unit
 val print_identities : Format.formatter -> identity_row list -> unit

@@ -1,4 +1,6 @@
-type event = { time : float; seq : int; action : unit -> unit; mutable cancelled : bool }
+type state = Pending | Cancelled | Fired
+
+type event = { time : float; seq : int; action : unit -> unit; mutable state : state }
 
 type handle = event
 
@@ -6,6 +8,8 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
+  mutable live : int;  (* scheduled, not yet fired, not cancelled *)
+  mutable dead_in_queue : int;  (* cancelled events awaiting lazy deletion *)
   queue : event Heap.t;
 }
 
@@ -13,14 +17,17 @@ let compare_events a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create () = { clock = 0.0; next_seq = 0; fired = 0; queue = Heap.create ~cmp:compare_events }
+let create () =
+  { clock = 0.0; next_seq = 0; fired = 0; live = 0; dead_in_queue = 0;
+    queue = Heap.create ~cmp:compare_events }
 
 let now t = t.clock
 
 let schedule_at t ~time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
-  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  let ev = { time; seq = t.next_seq; action; state = Pending } in
   t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
   Heap.push t.queue ev;
   ev
 
@@ -28,12 +35,32 @@ let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) action
 
-let cancel _t h = h.cancelled <- true
+(* Lazy deletion leaves cancelled events in the heap until popped, which a
+   long run with many moot timeouts would grow without bound.  Compact
+   whenever the dead outnumber the live: each cancelled event is visited by
+   at most one O(n) sweep that removes at least half the queue, so the
+   amortized cost per cancellation stays constant. *)
+let compact_if_worthwhile t =
+  if t.dead_in_queue > 8 && 2 * t.dead_in_queue > Heap.size t.queue then begin
+    Heap.filter_in_place t.queue (fun ev -> ev.state = Pending);
+    t.dead_in_queue <- 0
+  end
 
-let pending t = List.length (List.filter (fun e -> not e.cancelled) (Heap.to_list t.queue))
+let cancel t h =
+  if h.state = Pending then begin
+    h.state <- Cancelled;
+    t.live <- t.live - 1;
+    t.dead_in_queue <- t.dead_in_queue + 1;
+    compact_if_worthwhile t
+  end
+
+let pending t = t.live
+let queue_size t = Heap.size t.queue
 
 let fire t ev =
   t.clock <- ev.time;
+  ev.state <- Fired;
+  t.live <- t.live - 1;
   t.fired <- t.fired + 1;
   ev.action ()
 
@@ -45,8 +72,10 @@ let rec pop_live t ~horizon =
   | Some ev when ev.time > horizon -> None
   | Some _ -> (
       match Heap.pop t.queue with
-      | Some ev when not ev.cancelled -> Some ev
-      | Some _ -> pop_live t ~horizon
+      | Some ev when ev.state = Pending -> Some ev
+      | Some _ ->
+          t.dead_in_queue <- t.dead_in_queue - 1;
+          pop_live t ~horizon
       | None -> None)
 
 let step t =
@@ -68,6 +97,9 @@ let run_until t horizon =
     | None -> ()
   in
   loop ();
-  t.clock <- horizon
+  (* A fired event may have driven the engine reentrantly (a synchronous
+     client inside an event handler) past [horizon]; the clock must never
+     move backwards. *)
+  t.clock <- Float.max t.clock horizon
 
 let events_fired t = t.fired

@@ -30,10 +30,20 @@ val schedule_at : t -> time:float -> (unit -> unit) -> handle
 
 val cancel : t -> handle -> unit
 (** [cancel t h] prevents the event from firing.  Cancelling an event that
-    already fired (or was already cancelled) is a no-op. *)
+    already fired (or was already cancelled) is a no-op.  Cancelled events
+    are deleted lazily, but the queue is compacted whenever they outnumber
+    the live events, so cancellation is amortized O(1) and the queue never
+    holds more dead events than live ones (beyond a small constant). *)
 
 val pending : t -> int
-(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+(** Number of scheduled, not-yet-fired, not-cancelled events.  O(1): a
+    live counter maintained by {!schedule}/{!cancel}/firing — an earlier
+    version walked the whole heap and allocated a list per call. *)
+
+val queue_size : t -> int
+(** Physical size of the event queue, cancelled-but-not-yet-removed events
+    included; [queue_size t >= pending t].  Exposed so tests can assert the
+    compaction bound. *)
 
 val step : t -> bool
 (** [step t] fires the earliest pending event, advancing the clock to its

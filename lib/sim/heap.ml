@@ -62,6 +62,21 @@ let clear h =
   h.data <- [||];
   h.size <- 0
 
+let filter_in_place h keep =
+  let j = ref 0 in
+  for i = 0 to h.size - 1 do
+    if keep h.data.(i) then begin
+      h.data.(!j) <- h.data.(i);
+      incr j
+    end
+  done;
+  (* Overwrite the dropped tail so the array stops pinning dead elements. *)
+  if !j > 0 then Array.fill h.data !j (h.size - !j) h.data.(0);
+  h.size <- !j;
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done
+
 let to_list h =
   let rec collect i acc = if i < 0 then acc else collect (i - 1) (h.data.(i) :: acc) in
   collect (h.size - 1) []

@@ -22,6 +22,11 @@ val pop : 'a t -> 'a option
 
 val clear : 'a t -> unit
 
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** [filter_in_place h keep] drops every element for which [keep] is false
+    and restores the heap invariant over the survivors, in O(n) — the
+    compaction primitive behind the engine's lazy event deletion. *)
+
 val to_list : 'a t -> 'a list
 (** Elements in unspecified order (heap order, not sorted); intended for
     tests and introspection. *)

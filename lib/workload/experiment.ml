@@ -80,6 +80,60 @@ let measure_traffic ~scheme ~n_sites ~env ~reads_per_write ?(ops = 2000) ?(seed 
     recovery_messages = Net.Traffic.by_operation traffic Net.Message.Recovery;
   }
 
+type amortization_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  env : Net.Network.mode;
+  batch : int;
+  groups : int;
+  blocks_committed : int;
+  write_messages : int;
+  write_bytes : int;
+  messages_per_block : float;
+  bytes_per_block : float;
+  wall_clock_per_block : float;
+}
+
+(* Group-commit amortization: push [groups] batches of [batch] distinct
+   blocks through the driver stub and charge the Write-operation traffic
+   to the blocks committed.  batch = 1 goes down the unbatched path, so
+   the batch-1 row doubles as the historical baseline. *)
+let measure_batch_amortization ~scheme ~n_sites ~env ~batch ?(groups = 100) ?(seed = 31) () =
+  if batch <= 0 then invalid_arg "Experiment.measure_batch_amortization: batch must be positive";
+  let n_blocks = max 64 batch in
+  let config = Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks ~net_mode:env ~seed () in
+  let device = Blockrep.Reliable_device.of_config config in
+  let stub = Blockrep.Reliable_device.stub device in
+  let traffic = Blockrep.Cluster.traffic (Blockrep.Reliable_device.cluster device) in
+  let msgs0 = Net.Traffic.by_operation traffic Net.Message.Write in
+  let bytes0 = Net.Traffic.bytes_by_operation traffic Net.Message.Write in
+  let t0 = Sys.time () in
+  for g = 0 to groups - 1 do
+    let base = g * batch mod n_blocks in
+    let writes =
+      List.init batch (fun i ->
+          ((base + i) mod n_blocks, Blockdev.Block.of_string (Printf.sprintf "g%d.%d" g i)))
+    in
+    ignore (Blockrep.Driver_stub.write_blocks stub writes : Blockrep.Types.batch_write_result)
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let blocks = groups * batch in
+  let write_messages = Net.Traffic.by_operation traffic Net.Message.Write - msgs0 in
+  let write_bytes = Net.Traffic.bytes_by_operation traffic Net.Message.Write - bytes0 in
+  {
+    scheme;
+    n_sites;
+    env;
+    batch;
+    groups;
+    blocks_committed = blocks;
+    write_messages;
+    write_bytes;
+    messages_per_block = float_of_int write_messages /. float_of_int blocks;
+    bytes_per_block = float_of_int write_bytes /. float_of_int blocks;
+    wall_clock_per_block = elapsed /. float_of_int blocks;
+  }
+
 type degradation_sample = {
   scheme : Blockrep.Types.scheme;
   n_sites : int;

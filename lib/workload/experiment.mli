@@ -65,6 +65,39 @@ val measure_traffic :
     every transmission at send time, so drops raise the measured cost per
     {e successful} operation. *)
 
+type amortization_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  env : Net.Network.mode;
+  batch : int;  (** blocks per group-commit batch *)
+  groups : int;  (** batched writes issued *)
+  blocks_committed : int;  (** [groups * batch] *)
+  write_messages : int;  (** Write-operation transmissions charged *)
+  write_bytes : int;
+  messages_per_block : float;
+  bytes_per_block : float;
+  wall_clock_per_block : float;  (** host CPU seconds per committed block *)
+}
+
+val measure_batch_amortization :
+  scheme:Blockrep.Types.scheme ->
+  n_sites:int ->
+  env:Net.Network.mode ->
+  batch:int ->
+  ?groups:int ->
+  ?seed:int ->
+  unit ->
+  amortization_sample
+(** Failure-free group-commit run: [groups] batches (default 100) of
+    [batch] distinct blocks each, written through the driver stub's
+    batched path, measuring Write transmissions, payload bytes and host
+    time per committed block.  [batch = 1] takes the unbatched
+    single-block path and is the baseline the larger batches amortize
+    against; under voting in multicast a k-block batch costs one vote
+    round and one update multicast in total, so messages per block fall
+    roughly as 1/k while bytes per block stay nearly flat (the payloads
+    still have to travel). *)
+
 type degradation_sample = {
   scheme : Blockrep.Types.scheme;
   n_sites : int;

@@ -114,6 +114,20 @@ let test_engine_run_until () =
   Alcotest.(check int) "the rest" 10 !count;
   Alcotest.(check (float 1e-9)) "clock at horizon even with no events" 20.0 (Sim.Engine.now e)
 
+let test_engine_reentrant_run_until_never_rewinds () =
+  (* Regression: an event handler that drives the engine reentrantly (a
+     synchronous client inside a scheduled event — e.g. a cache flush on
+     failover) used to have its progress undone when the outer run_until
+     snapped the clock back to its own horizon.  Virtual time must be
+     monotonic. *)
+  let e = Sim.Engine.create () in
+  ignore
+    (Sim.Engine.schedule e ~delay:1.0 (fun () ->
+         ignore (Sim.Engine.schedule e ~delay:7.0 (fun () -> ()));
+         Sim.Engine.run e));
+  Sim.Engine.run_until e 2.0;
+  Alcotest.(check (float 1e-9)) "clock kept the reentrant progress" 8.0 (Sim.Engine.now e)
+
 let test_engine_rejects_past () =
   let e = Sim.Engine.create () in
   ignore (Sim.Engine.schedule e ~delay:2.0 (fun () -> ()));
@@ -145,6 +159,77 @@ let test_engine_pending_and_fired () =
   Sim.Engine.run e;
   Alcotest.(check int) "none pending" 0 (Sim.Engine.pending e);
   Alcotest.(check int) "one fired" 1 (Sim.Engine.events_fired e)
+
+let test_engine_pending_is_counter () =
+  (* [pending] is a live counter now; check every transition that feeds it:
+     schedule, cancel, double cancel, cancel after fire, firing. *)
+  let e = Sim.Engine.create () in
+  let h1 = Sim.Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  let h2 = Sim.Engine.schedule e ~delay:2.0 (fun () -> ()) in
+  ignore (Sim.Engine.schedule e ~delay:3.0 (fun () -> ()));
+  Alcotest.(check int) "three live" 3 (Sim.Engine.pending e);
+  Sim.Engine.cancel e h2;
+  Alcotest.(check int) "two live after cancel" 2 (Sim.Engine.pending e);
+  Sim.Engine.cancel e h2;
+  Alcotest.(check int) "double cancel is a no-op" 2 (Sim.Engine.pending e);
+  Sim.Engine.run_until e 1.5;
+  Alcotest.(check int) "one live after h1 fired" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel e h1;
+  Alcotest.(check int) "cancel after fire is a no-op" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "none live" 0 (Sim.Engine.pending e);
+  Alcotest.(check int) "two fired" 2 (Sim.Engine.events_fired e)
+
+let test_engine_compacts_cancelled () =
+  (* Regression: cancelled events used to linger in the heap until popped,
+     so a long chaos sweep cancelling many timeouts grew the queue without
+     bound.  Now cancellation compacts once the dead outnumber the live. *)
+  let e = Sim.Engine.create () in
+  let n = 10_000 in
+  let handles =
+    Array.init n (fun i -> Sim.Engine.schedule e ~delay:(float_of_int (i + 1)) (fun () -> ()))
+  in
+  (* Cancel all but every 100th event without ever running the engine. *)
+  Array.iteri (fun i h -> if i mod 100 <> 0 then Sim.Engine.cancel e h) handles;
+  Alcotest.(check int) "live events" (n / 100) (Sim.Engine.pending e);
+  Alcotest.(check bool)
+    (Printf.sprintf "queue compacted (%d physical for %d live)" (Sim.Engine.queue_size e)
+       (Sim.Engine.pending e))
+    true
+    (Sim.Engine.queue_size e <= (2 * Sim.Engine.pending e) + 16);
+  (* The survivors still fire, in order. *)
+  Sim.Engine.run e;
+  Alcotest.(check int) "survivors fired" (n / 100) (Sim.Engine.events_fired e);
+  Alcotest.(check int) "queue drained" 0 (Sim.Engine.queue_size e)
+
+let prop_engine_pending_matches_model =
+  (* Random interleaving of schedule/cancel ops: the O(1) counter must agree
+     with a naive model of the live set at every step. *)
+  QCheck.Test.make ~name:"pending counter agrees with naive model" ~count:200
+    QCheck.(list (pair bool (float_range 0.0 50.0)))
+    (fun ops ->
+      let e = Sim.Engine.create () in
+      let live = ref [] in
+      let model = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (do_cancel, delay) ->
+          (if do_cancel then (
+             match !live with
+             | h :: rest ->
+                 Sim.Engine.cancel e h;
+                 live := rest;
+                 decr model
+             | [] -> ())
+           else begin
+             live := Sim.Engine.schedule e ~delay (fun () -> ()) :: !live;
+             incr model
+           end);
+          if Sim.Engine.pending e <> !model then ok := false;
+          if Sim.Engine.queue_size e < Sim.Engine.pending e then ok := false)
+        ops;
+      Sim.Engine.run e;
+      !ok && Sim.Engine.pending e = 0)
 
 let prop_engine_time_monotone =
   QCheck.Test.make ~name:"events observe non-decreasing time" ~count:100
@@ -267,9 +352,14 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "cancel vs horizon" `Quick test_engine_cancel_does_not_leak_past_horizon;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "reentrant run_until never rewinds" `Quick
+            test_engine_reentrant_run_until_never_rewinds;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "pending/fired counters" `Quick test_engine_pending_and_fired;
+          Alcotest.test_case "pending transitions" `Quick test_engine_pending_is_counter;
+          Alcotest.test_case "cancelled events compacted" `Quick test_engine_compacts_cancelled;
+          QCheck_alcotest.to_alcotest prop_engine_pending_matches_model;
           QCheck_alcotest.to_alcotest prop_engine_time_monotone;
         ] );
       ( "process",

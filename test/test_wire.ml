@@ -27,6 +27,13 @@ let sample_messages =
     Wire.Vv_reply
       { rid = 5; versions = Vv.create 4; updates = [ (0, 2, Block.zero) ]; w_of_source = set [ 1; 2 ] };
     Wire.Group_fix { block = 0; version = 7; group = set [ 0; 2 ] };
+    Wire.Batch_vote_request { rid = 6; blocks = [ 0; 1; 2 ]; purpose = Net.Message.Write };
+    Wire.Batch_vote_reply { rid = 6; votes = [ (0, 1); (1, 0); (2, 2) ]; weight = 1; group_size = 5 };
+    Wire.Batch_update
+      { rid = Some 6; writes = [ (0, 2, Block.zero); (1, 1, Block.zero) ]; carried_w = set [ 0; 1 ] };
+    Wire.Batch_ack { rid = 6; blocks = [ 0; 1 ] };
+    Wire.Batch_request { rid = 7; blocks = [ 0; 1 ] };
+    Wire.Batch_transfer { rid = 7; payloads = [ (0, 2, Block.zero); (1, 1, Block.zero) ] };
   ]
 
 let test_sizes_positive () =
@@ -39,7 +46,8 @@ let test_block_carriers_dominate () =
   (* Messages carrying block payloads must be at least a block big — the
      size model that makes the Section 5 byte remark meaningful. *)
   let carries_block = function
-    | Wire.Block_update _ | Wire.Block_transfer _ -> true
+    | Wire.Block_update _ | Wire.Block_transfer _ | Wire.Batch_update _ | Wire.Batch_transfer _ ->
+        true
     | Wire.Vv_reply { updates; _ } -> updates <> []
     | _ -> false
   in
@@ -71,6 +79,44 @@ let test_rid_extraction () =
   Alcotest.(check (option int)) "fire-and-forget update" None
     (Wire.rid
        (Wire.Block_update { rid = None; block = 0; version = 1; data = Block.zero; carried_w = set [] }))
+
+let test_batch_categories_match_single_block () =
+  (* Group-commit accounting: every batch message is charged to the same
+     Section 5 category as its single-block counterpart, so one batched
+     transmission replaces k single ones without touching the traffic
+     tables. *)
+  let pairs =
+    [
+      (Wire.Batch_vote_request { rid = 1; blocks = [ 0 ]; purpose = Net.Message.Write },
+       Net.Message.Vote_request);
+      (Wire.Batch_vote_reply { rid = 1; votes = [ (0, 1) ]; weight = 1; group_size = 3 },
+       Net.Message.Vote_reply);
+      (Wire.Batch_update { rid = None; writes = [ (0, 1, Block.zero) ]; carried_w = set [] },
+       Net.Message.Block_update);
+      (Wire.Batch_ack { rid = 1; blocks = [ 0 ] }, Net.Message.Write_ack);
+      (Wire.Batch_request { rid = 1; blocks = [ 0 ] }, Net.Message.Block_request);
+      (Wire.Batch_transfer { rid = 1; payloads = [ (0, 1, Block.zero) ] },
+       Net.Message.Block_transfer);
+    ]
+  in
+  List.iter
+    (fun (m, expected) ->
+      Alcotest.(check string) (Wire.describe m)
+        (Net.Message.to_string expected)
+        (Net.Message.to_string (Wire.category m)))
+    pairs
+
+let test_batch_update_size_grows_per_block () =
+  (* One transmission, but the bytes still travel: a k-write batch update
+     is k block payloads big, which is what keeps the size-based
+     comparison of Section 5 honest under group commit. *)
+  let mk k =
+    Wire.Batch_update
+      { rid = None; writes = List.init k (fun i -> (i, 1, Block.zero)); carried_w = set [] }
+  in
+  let one = Wire.size (mk 1) in
+  let four = Wire.size (mk 4) in
+  Alcotest.(check bool) "k payloads" true (four - one >= 3 * Block.size)
 
 let test_categories_cover_accounting () =
   (* Every message lands in some accounting category (total function), and
@@ -130,6 +176,10 @@ let () =
           Alcotest.test_case "describe" `Quick test_describe_nonempty_and_distinct;
           Alcotest.test_case "rid extraction" `Quick test_rid_extraction;
           Alcotest.test_case "categories total" `Quick test_categories_cover_accounting;
+          Alcotest.test_case "batch categories match single-block" `Quick
+            test_batch_categories_match_single_block;
+          Alcotest.test_case "batch update size grows per block" `Quick
+            test_batch_update_size_grows_per_block;
         ] );
       ( "config",
         [
