@@ -261,6 +261,30 @@ let chaos_cmd =
   let total_failures_arg =
     Arg.(value & flag & info [ "total-failures" ] ~doc:"Force whole-system crashes on.")
   in
+  let media_arg =
+    Arg.(
+      value & flag
+      & info [ "media" ]
+          ~doc:
+            "Turn on the scheme's storage-fault envelope: crash-torn writes, latent bitrot and \
+             disk replacement for the copy schemes, bitrot only for the voting flavours.")
+  in
+  let crash_writes_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-writes" ] ~doc:"Force crash-torn writes on (crash mid-write; scrub replays).")
+  in
+  let bitrot_arg =
+    Arg.(
+      value & flag
+      & info [ "bitrot" ] ~doc:"Force latent sector errors on (maskable injections only).")
+  in
+  let disk_replace_arg =
+    Arg.(
+      value & flag
+      & info [ "disk-replace" ]
+          ~doc:"Force whole-disk replacements on (blank medium, rebuilt by recovery).")
+  in
   let drop_arg =
     Arg.(
       value & opt (some float) None
@@ -303,14 +327,21 @@ let chaos_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the row as CSV.")
   in
-  let run scheme sites seeds seed0 ops failures partitions total_failures drop read_threshold
-      write_threshold no_shrink expect_violations dump_schedule replay csv =
-    let env = Check.Chaos.default_env ~seed:seed0 scheme in
+  let run scheme sites seeds seed0 ops failures partitions total_failures media crash_writes bitrot
+      disk_replace drop read_threshold write_threshold no_shrink expect_violations dump_schedule
+      replay csv =
+    let env =
+      if media then Check.Chaos.media_env ~seed:seed0 scheme
+      else Check.Chaos.default_env ~seed:seed0 scheme
+    in
     let env = { env with Check.Chaos.n_sites = sites } in
     let env = match ops with Some ops -> { env with Check.Chaos.ops } | None -> env in
     let env = if failures then { env with Check.Chaos.failures = true } else env in
     let env = if partitions then { env with Check.Chaos.partitions = true } else env in
     let env = if total_failures then { env with Check.Chaos.total_failures = true } else env in
+    let env = if crash_writes then { env with Check.Chaos.crash_writes = true } else env in
+    let env = if bitrot then { env with Check.Chaos.bitrot = true } else env in
+    let env = if disk_replace then { env with Check.Chaos.disk_replace = true } else env in
     let env =
       match drop with
       | Some p -> { env with Check.Chaos.faults = { env.Check.Chaos.faults with Net.Faults.drop = p } }
@@ -336,11 +367,14 @@ let chaos_cmd =
         let seed_list = List.init seeds (fun i -> seed0 + i) in
         let sweep = Check.Chaos.sweep ~shrink_failures:(not no_shrink) env ~seeds:seed_list in
         let label =
-          Printf.sprintf "%s%s%s%s%s%s"
+          Printf.sprintf "%s%s%s%s%s%s%s%s%s"
             (Blockrep.Types.scheme_to_string scheme)
             (if env.Check.Chaos.failures then "+fail" else "")
             (if env.Check.Chaos.partitions then "+part" else "")
             (if env.Check.Chaos.total_failures then "+total" else "")
+            (if env.Check.Chaos.crash_writes then "+torn" else "")
+            (if env.Check.Chaos.bitrot then "+rot" else "")
+            (if env.Check.Chaos.disk_replace then "+swap" else "")
             (match drop with Some p -> Printf.sprintf "+drop%g" p | None -> "")
             (match (read_threshold, write_threshold) with
             | None, None -> ""
@@ -390,14 +424,15 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Seeded chaos sweep: failures/partitions/message faults over a live workload, judged by a \
-          one-copy consistency oracle and quiescent invariant scans, with greedy schedule \
-          shrinking of any failure.")
+         "Seeded chaos sweep: failures/partitions/message faults and media faults (torn writes, \
+          bitrot, disk replacement) over a live workload, judged by a one-copy consistency oracle \
+          and quiescent invariant scans, with greedy schedule shrinking of any failure.")
     Term.(
       ret
         (const run $ scheme_arg $ sites_arg $ seeds_arg $ seed0_arg $ ops_arg $ failures_arg
-       $ partitions_arg $ total_failures_arg $ drop_arg $ read_threshold_arg $ write_threshold_arg
-       $ no_shrink_arg $ expect_violations_arg $ dump_schedule_arg $ replay_arg $ csv_arg))
+       $ partitions_arg $ total_failures_arg $ media_arg $ crash_writes_arg $ bitrot_arg
+       $ disk_replace_arg $ drop_arg $ read_threshold_arg $ write_threshold_arg $ no_shrink_arg
+       $ expect_violations_arg $ dump_schedule_arg $ replay_arg $ csv_arg))
 
 let scenario_cmd =
   let file =

@@ -11,6 +11,19 @@ module Fs_on_reliable = Fs.Flat_fs.Make (Blockrep.Reliable_device)
 
 let check = function Ok v -> v | Error e -> failwith (Fs.Flat_fs.error_to_string e)
 
+(* Locate the data block holding motd's contents by scanning the device
+   through the ordinary read interface — both devices implement it. *)
+let holds_motd b =
+  let s = Blockdev.Block.to_string b in
+  String.length s >= 10 && String.sub s 0 10 = "hello from"
+
+let find_motd_block read =
+  let rec go i =
+    if i >= 128 then failwith "motd block not found"
+    else match read i with Some b when holds_motd b -> i | _ -> go (i + 1)
+  in
+  go 0
+
 let exercise_files create write read list_files label =
   create "motd" |> check;
   write "motd" (Bytes.of_string "hello from a block device\n") |> check;
@@ -28,6 +41,15 @@ let () =
   exercise_files (Fs_on_disk.create fs1) (fun n b -> Fs_on_disk.write fs1 n b) (Fs_on_disk.read fs1)
     (fun () -> Fs_on_disk.list fs1)
     "single disk";
+  (* A latent sector error: the sector holding motd rots.  One disk means
+     one copy — there is no peer to re-read it from, so the data is gone. *)
+  let rotten = find_motd_block (Blockdev.Mem_device.read_block disk) in
+  Blockdev.Mem_device.inject_bitrot disk rotten;
+  (match Fs_on_disk.read fs1 "motd" with
+  | Ok _ -> Printf.printf "[single disk] rotten sector served?!\n"
+  | Error e ->
+      Printf.printf "[single disk] bit rot on block %d: %s — no peer to repair from, data lost\n"
+        rotten (Fs.Flat_fs.error_to_string e));
   Blockdev.Mem_device.fail disk;
   (match Fs_on_disk.read fs1 "motd" with
   | Ok _ -> Printf.printf "[single disk] still readable?!\n"
@@ -65,4 +87,21 @@ let () =
     (Blockrep.Cluster.consistent_available_stores cluster);
   let st = Fs_on_reliable.stat fs2 "data.log" |> check in
   Printf.printf "[reliable device] data.log: %d bytes in %d blocks (inode %d)\n" st.Fs.Flat_fs.size
-    st.Fs.Flat_fs.blocks_used st.Fs.Flat_fs.inode
+    st.Fs.Flat_fs.blocks_used st.Fs.Flat_fs.inode;
+
+  (* 3. The same latent fault that killed the single disk's file: the home
+     site's copy of motd rots.  The next read detects the bad checksum,
+     quarantines the copy, and heals it from a peer — the file system
+     never notices. *)
+  print_newline ();
+  let rotten = find_motd_block (Blockrep.Reliable_device.read_block device) in
+  Blockrep.Cluster.inject_bitrot cluster ~site:0 ~block:rotten;
+  Printf.printf "[reliable device] site 0 copy of block %d rotted (checksum ok: %b)\n" rotten
+    (Blockrep.Cluster.checksum_ok cluster ~site:0 ~block:rotten);
+  (match Fs_on_reliable.read fs2 "motd" with
+  | Ok b -> Printf.printf "[reliable device] motd reads through the fault: %S\n" (Bytes.to_string b)
+  | Error e -> Printf.printf "[reliable device] read failed: %s\n" (Fs.Flat_fs.error_to_string e));
+  let c = Blockrep.Cluster.storage_counters cluster in
+  Printf.printf "[reliable device] copy healed from a peer: checksum ok again: %b (%d repaired)\n"
+    (Blockrep.Cluster.checksum_ok cluster ~site:0 ~block:rotten)
+    c.Blockdev.Durable_store.repaired_blocks

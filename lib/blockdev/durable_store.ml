@@ -1,0 +1,298 @@
+type tear = Torn_apply | Torn_journal
+
+type counters = {
+  mutable torn_writes : int;
+  mutable bitrot_injected : int;
+  mutable refused_installs : int;
+  mutable repaired_blocks : int;
+  mutable scrub_runs : int;
+  mutable scrub_replayed : int;
+  mutable scrub_discarded : int;
+  mutable scrub_quarantined : int;
+  mutable scrub_meta_reset : int;
+  mutable disk_replacements : int;
+}
+
+let zero_counters () =
+  {
+    torn_writes = 0;
+    bitrot_injected = 0;
+    refused_installs = 0;
+    repaired_blocks = 0;
+    scrub_runs = 0;
+    scrub_replayed = 0;
+    scrub_discarded = 0;
+    scrub_quarantined = 0;
+    scrub_meta_reset = 0;
+    disk_replacements = 0;
+  }
+
+let accumulate_counters acc c =
+  acc.torn_writes <- acc.torn_writes + c.torn_writes;
+  acc.bitrot_injected <- acc.bitrot_injected + c.bitrot_injected;
+  acc.refused_installs <- acc.refused_installs + c.refused_installs;
+  acc.repaired_blocks <- acc.repaired_blocks + c.repaired_blocks;
+  acc.scrub_runs <- acc.scrub_runs + c.scrub_runs;
+  acc.scrub_replayed <- acc.scrub_replayed + c.scrub_replayed;
+  acc.scrub_discarded <- acc.scrub_discarded + c.scrub_discarded;
+  acc.scrub_quarantined <- acc.scrub_quarantined + c.scrub_quarantined;
+  acc.scrub_meta_reset <- acc.scrub_meta_reset + c.scrub_meta_reset;
+  acc.disk_replacements <- acc.disk_replacements + c.disk_replacements
+
+type scrub_report = {
+  replayed : int;
+  discarded : int;
+  quarantined : int;
+  meta_reset : string list;
+}
+
+type intention =
+  | Data of {
+      block : Block.id;
+      version : int;
+      data : Block.t;
+      prev_version : int;
+      prev_data : Block.t;
+    }
+  | Meta of { key : string; value : int list; prev : int list option }
+
+type slot = { intention : intention; mutable committed : bool }
+
+type t = {
+  store : Store.t;
+  sums : int array;
+  meta : (string, int list) Hashtbl.t;
+  meta_defaults : (string, int list) Hashtbl.t;
+  mutable journal : slot option;
+  mutable armed : tear option;
+  mutable torn_meta : string option;
+  mutable last_scrub : scrub_report option;
+  counters : counters;
+}
+
+(* FNV-1a over the contents, mixed with the version: a checksum is valid
+   only for the (contents, version) pair it was computed over, so a stale
+   re-blessing of rotten bytes cannot masquerade as the current version. *)
+let checksum data ~version =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    (Block.to_string data);
+  !h lxor (version * 0x9e3779b land 0x3FFFFFFF)
+
+let create ~capacity =
+  let store = Store.create ~capacity in
+  let zero_sum = checksum Block.zero ~version:0 in
+  {
+    store;
+    sums = Array.make capacity zero_sum;
+    meta = Hashtbl.create 7;
+    meta_defaults = Hashtbl.create 7;
+    journal = None;
+    armed = None;
+    torn_meta = None;
+    last_scrub = None;
+    counters = zero_counters ();
+  }
+
+let store t = t.store
+let capacity t = Store.capacity t.store
+let counters t = t.counters
+let last_scrub t = t.last_scrub
+
+let checksum_ok t k =
+  t.sums.(k) = checksum (Store.read t.store k) ~version:(Store.version t.store k)
+
+let effective_version t k = if checksum_ok t k then Store.version t.store k else 0
+
+let effective_versions t =
+  let v = Version_vector.create (capacity t) in
+  for k = 0 to capacity t - 1 do
+    Version_vector.set v k (effective_version t k)
+  done;
+  v
+
+let read_verified t k =
+  if checksum_ok t k then Some (Store.read t.store k, Store.version t.store k) else None
+
+let bless t k =
+  t.sums.(k) <- checksum (Store.read t.store k) ~version:(Store.version t.store k)
+
+let write t k data ~version =
+  let stored = Store.version t.store k in
+  if version < stored then begin
+    if checksum_ok t k then
+      invalid_arg
+        (Printf.sprintf "Durable_store.write: version regression on block %d (%d < %d)" k version
+           stored)
+    else
+      (* The local copy is corrupt but its version metadata is intact and
+         higher than what we are being offered: installing would regress
+         below a version this disk is known to have acknowledged.  Stay
+         quarantined and wait for data at >= the stored version. *)
+      t.counters.refused_installs <- t.counters.refused_installs + 1
+  end
+  else begin
+    let was_corrupt = not (checksum_ok t k) in
+    let slot =
+      {
+        intention =
+          Data
+            {
+              block = k;
+              version;
+              data;
+              prev_version = stored;
+              prev_data = Store.read t.store k;
+            };
+        committed = false;
+      }
+    in
+    (* Two-phase intention record: append, commit, then apply in place.  A
+       crash tears at most one of these phases (see {!crash}); the scrub
+       replays a committed-but-torn apply and discards an uncommitted
+       append, so the block write and its version update are atomic as a
+       pair. *)
+    t.journal <- Some slot;
+    slot.committed <- true;
+    Store.write t.store k data ~version;
+    t.sums.(k) <- checksum data ~version;
+    if was_corrupt then t.counters.repaired_blocks <- t.counters.repaired_blocks + 1
+  end
+
+let apply_updates t updates =
+  List.iter
+    (fun (k, ver, data) ->
+      let stored = Store.version t.store k in
+      let corrupt = not (checksum_ok t k) in
+      if ver > stored || (corrupt && ver = stored) then begin
+        Store.write t.store k data ~version:ver;
+        t.sums.(k) <- checksum data ~version:ver;
+        if corrupt then t.counters.repaired_blocks <- t.counters.repaired_blocks + 1
+      end
+      else if corrupt && ver < stored then
+        t.counters.refused_installs <- t.counters.refused_installs + 1)
+    updates
+
+let verified_blocks_newer_than t v =
+  List.filter (fun (k, _, _) -> checksum_ok t k) (Store.blocks_newer_than t.store v)
+
+let set_meta t key value =
+  let slot =
+    { intention = Meta { key; value; prev = Hashtbl.find_opt t.meta key }; committed = false }
+  in
+  t.journal <- Some slot;
+  slot.committed <- true;
+  Hashtbl.replace t.meta key value
+
+let get_meta t key = Hashtbl.find_opt t.meta key
+
+let set_meta_default t key value =
+  Hashtbl.replace t.meta_defaults key value;
+  if not (Hashtbl.mem t.meta key) then Hashtbl.replace t.meta key value
+
+(* Deterministic in-place scramble of the stored bytes of block [k].  The
+   version metadata is left intact — sector decay and torn sector writes
+   corrupt data bytes, not the separately journaled version table — so the
+   checksum no longer matches and the block is quarantined. *)
+let corrupt_in_place t k =
+  let v = Store.version t.store k in
+  let data = Store.read t.store k in
+  let flip d i mask = Block.set d i (Char.chr (Char.code (Block.get d i) lxor mask)) in
+  let pos = (k * 131 + v * 31) mod Block.size in
+  let d = ref (flip data pos 0xA5) in
+  if checksum !d ~version:v = t.sums.(k) then d := flip !d ((pos + 1) mod Block.size) 0x3C;
+  Store.write t.store k !d ~version:v
+
+let inject_bitrot t k =
+  corrupt_in_place t k;
+  t.counters.bitrot_injected <- t.counters.bitrot_injected + 1
+
+let arm_torn_write ?(mode = Torn_apply) t = t.armed <- Some mode
+let armed t = t.armed
+
+let crash t =
+  (match (t.armed, t.journal) with
+  | Some Torn_apply, Some { intention = Data { block; _ }; committed = true } ->
+      (* Journal committed, but the in-place apply was torn: garbage bytes
+         on the platter under an intact version number. *)
+      corrupt_in_place t block;
+      t.counters.torn_writes <- t.counters.torn_writes + 1
+  | Some Torn_apply, Some { intention = Meta { key; _ }; committed = true } ->
+      t.torn_meta <- Some key;
+      t.counters.torn_writes <- t.counters.torn_writes + 1
+  | Some Torn_journal, Some slot ->
+      (* The journal append itself was torn: the intention never became
+         durable, so the apply never reached the platter either.  Restore
+         the pre-image; the scrub will discard the half-written record. *)
+      slot.committed <- false;
+      (match slot.intention with
+      | Data { block; prev_version; prev_data; _ } ->
+          Store.demote t.store block;
+          Store.write t.store block prev_data ~version:prev_version;
+          t.sums.(block) <- checksum prev_data ~version:prev_version
+      | Meta { key; prev; _ } -> (
+          match prev with
+          | Some v -> Hashtbl.replace t.meta key v
+          | None -> Hashtbl.remove t.meta key));
+      t.counters.torn_writes <- t.counters.torn_writes + 1
+  | _ -> ());
+  t.armed <- None
+
+let scrub t =
+  t.counters.scrub_runs <- t.counters.scrub_runs + 1;
+  let replayed = ref 0 and discarded = ref 0 in
+  (match t.journal with
+  | Some { intention = Data { block; version; data; _ }; committed = true }
+    when Store.version t.store block = version && not (checksum_ok t block) ->
+      (* Committed intention whose apply was torn: replay it exactly. *)
+      Store.write t.store block data ~version;
+      t.sums.(block) <- checksum data ~version;
+      incr replayed
+  | Some { committed = false; _ } -> incr discarded
+  | _ -> ());
+  t.journal <- None;
+  let meta_reset =
+    match t.torn_meta with
+    | Some key ->
+        (match Hashtbl.find_opt t.meta_defaults key with
+        | Some d -> Hashtbl.replace t.meta key d
+        | None -> Hashtbl.remove t.meta key);
+        t.torn_meta <- None;
+        t.counters.scrub_meta_reset <- t.counters.scrub_meta_reset + 1;
+        [ key ]
+    | None -> []
+  in
+  let quarantined = ref 0 in
+  for k = 0 to capacity t - 1 do
+    if not (checksum_ok t k) then incr quarantined
+  done;
+  t.counters.scrub_replayed <- t.counters.scrub_replayed + !replayed;
+  t.counters.scrub_discarded <- t.counters.scrub_discarded + !discarded;
+  t.counters.scrub_quarantined <- t.counters.scrub_quarantined + !quarantined;
+  let report =
+    { replayed = !replayed; discarded = !discarded; quarantined = !quarantined; meta_reset }
+  in
+  t.last_scrub <- Some report;
+  report
+
+let replace_disk t =
+  let zero_sum = checksum Block.zero ~version:0 in
+  for k = 0 to capacity t - 1 do
+    Store.demote t.store k;
+    t.sums.(k) <- zero_sum
+  done;
+  Hashtbl.reset t.meta;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.meta k v) t.meta_defaults;
+  t.journal <- None;
+  t.armed <- None;
+  t.torn_meta <- None;
+  t.counters.disk_replacements <- t.counters.disk_replacements + 1
+
+let rebless t =
+  for k = 0 to capacity t - 1 do
+    bless t k
+  done;
+  t.journal <- None;
+  t.armed <- None;
+  t.torn_meta <- None

@@ -54,6 +54,11 @@ let apply_updates t updates =
       end)
     updates
 
+let demote t k =
+  check t k "demote";
+  t.blocks.(k) <- Block.zero;
+  t.versions.(k) <- 0
+
 let equal_contents a b =
   capacity a = capacity b
   && a.versions = b.versions

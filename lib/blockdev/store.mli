@@ -4,7 +4,13 @@
     version numbers.  The store models a disk: it survives site failures (a
     failed site that repairs still has its — possibly stale — blocks and
     versions), which is why recovery only transfers the blocks modified
-    during the outage. *)
+    during the outage.
+
+    The store itself is an {e ideal} disk: every byte written is the byte
+    read back.  {!Durable_store} wraps it with the honest model — torn
+    writes at crash boundaries, latent sector errors, whole-disk
+    replacement — and the checksums and intention journal that let the
+    protocols defend against them. *)
 
 type t
 
@@ -36,6 +42,13 @@ val blocks_newer_than : t -> Version_vector.t -> (Block.id * int * Block.t) list
 val apply_updates : t -> (Block.id * int * Block.t) list -> unit
 (** Install a recovery transfer set; entries older than the store are
     ignored (the store is already as current). *)
+
+val demote : t -> Block.id -> unit
+(** Reset one block to the blank-disk state (zero contents, version 0), the
+    one sanctioned version regression: it models replacing the medium under
+    a copy, so a recovery exchange transfers the block afresh.  Used by the
+    disk-replacement fault of {!Durable_store}; the protocols themselves
+    never lower a version. *)
 
 val equal_contents : t -> t -> bool
 (** Same capacity, versions and contents everywhere — the consistency

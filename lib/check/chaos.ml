@@ -9,6 +9,9 @@ type event =
   | Repair of int
   | Partition of int list list
   | Heal
+  | Crash_torn of int
+  | Bitrot of int * int
+  | Disk_replace of int
 
 type schedule = (float * event) list
 
@@ -36,6 +39,13 @@ type env = {
   settle : float option;
   readback : bool;
   batch : int;
+  crash_writes : bool;
+  crash_write_rate : float;
+  bitrot : bool;
+  bitrot_rate : float;
+  disk_replace : bool;
+  disk_replace_rate : float;
+  media_down_mean : float;
 }
 
 (* The group-commit fast path under chaos: client writes are absorbed by
@@ -90,7 +100,26 @@ let default_env ?(seed = 1) scheme =
     settle = None;
     readback = true;
     batch = 1;
+    crash_writes = false;
+    crash_write_rate = 0.02;
+    bitrot = false;
+    bitrot_rate = 0.03;
+    disk_replace = false;
+    disk_replace_rate = 0.005;
+    media_down_mean = 6.0;
   }
+
+let media_env ?seed scheme =
+  (* The storage-fault envelope per scheme.  Crash-torn writes and disk
+     replacement take a site down; under the one-round voting write any
+     site failure is already outside that scheme's envelope (see
+     [default_env]), so the voting flavours get latent bitrot only —
+     every copy stays mounted, quarantine + quorum re-pull heal it. *)
+  let base = default_env ?seed scheme in
+  match scheme with
+  | Types.Available_copy | Types.Naive_available_copy ->
+      { base with crash_writes = true; bitrot = true; disk_replace = true }
+  | Types.Voting | Types.Dynamic_voting -> { base with bitrot = true }
 
 (* --- schedules --- *)
 
@@ -144,6 +173,42 @@ let total_failure_events env rng =
   done;
   List.rev !events
 
+let crash_write_events env rng =
+  (* Crash-torn writes: the site loses power mid-write; the next crash is
+     armed to tear the apply of its most recent journaled write, and the
+     site is repaired a while later (the scrub replays the intention). *)
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.crash_write_rate)) in
+  while !t <= env.horizon do
+    let site = Prng.int rng env.n_sites in
+    events := (!t, Crash_torn site) :: !events;
+    let repair_t = !t +. 0.5 +. exp_sample rng env.media_down_mean in
+    if repair_t <= env.horizon then events := (repair_t, Repair site) :: !events;
+    t := !t +. exp_sample rng (1.0 /. env.crash_write_rate)
+  done;
+  List.rev !events
+
+let bitrot_events env rng =
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.bitrot_rate)) in
+  while !t <= env.horizon do
+    events := (!t, Bitrot (Prng.int rng env.n_sites, Prng.int rng env.n_blocks)) :: !events;
+    t := !t +. exp_sample rng (1.0 /. env.bitrot_rate)
+  done;
+  List.rev !events
+
+let disk_replace_events env rng =
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.disk_replace_rate)) in
+  while !t <= env.horizon do
+    let site = Prng.int rng env.n_sites in
+    events := (!t, Disk_replace site) :: !events;
+    let repair_t = !t +. 0.5 +. exp_sample rng env.media_down_mean in
+    if repair_t <= env.horizon then events := (repair_t, Repair site) :: !events;
+    t := !t +. exp_sample rng (1.0 /. env.disk_replace_rate)
+  done;
+  List.rev !events
+
 let generate_schedule env =
   let events = ref [] in
   if env.failures then begin
@@ -157,6 +222,11 @@ let generate_schedule env =
     events := !events @ partition_events env (Prng.create (env.seed lxor 0x70617274));
   if env.total_failures then
     events := !events @ total_failure_events env (Prng.create (env.seed lxor 0x746f7461));
+  if env.crash_writes then
+    events := !events @ crash_write_events env (Prng.create (env.seed lxor 0x746f726e));
+  if env.bitrot then events := !events @ bitrot_events env (Prng.create (env.seed lxor 0x726f74));
+  if env.disk_replace then
+    events := !events @ disk_replace_events env (Prng.create (env.seed lxor 0x7265706c));
   List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) !events
 
 (* --- serialization --- *)
@@ -170,6 +240,9 @@ let pp_event ppf (time, ev) =
         (String.concat " | "
            (List.map (fun g -> String.concat " " (List.map string_of_int g)) groups))
   | Heal -> Format.fprintf ppf "@%.4f heal" time
+  | Crash_torn s -> Format.fprintf ppf "@%.4f crash-torn %d" time s
+  | Bitrot (s, b) -> Format.fprintf ppf "@%.4f bitrot %d %d" time s b
+  | Disk_replace s -> Format.fprintf ppf "@%.4f disk-replace %d" time s
 
 let pp_schedule ppf schedule =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf schedule
@@ -194,6 +267,18 @@ let schedule_of_string text =
               | [ "repair"; s ] -> (
                   match int_of_string_opt s with Some s -> Ok (Some (t, Repair s)) | None -> fail ())
               | [ "heal" ] -> Ok (Some (t, Heal))
+              | [ "crash-torn"; s ] -> (
+                  match int_of_string_opt s with
+                  | Some s -> Ok (Some (t, Crash_torn s))
+                  | None -> fail ())
+              | [ "bitrot"; s; b ] -> (
+                  match (int_of_string_opt s, int_of_string_opt b) with
+                  | Some s, Some b -> Ok (Some (t, Bitrot (s, b)))
+                  | _ -> fail ())
+              | [ "disk-replace"; s ] -> (
+                  match int_of_string_opt s with
+                  | Some s -> Ok (Some (t, Disk_replace s))
+                  | None -> fail ())
               | "partition" :: groups -> (
                   let rec split acc cur = function
                     | [] -> List.rev (List.rev cur :: acc)
@@ -233,6 +318,7 @@ type outcome = {
   ops_ok : int;
   ops_failed : int;
   faults_injected : int;
+  storage : Blockdev.Durable_store.counters;
   end_time : float;
 }
 
@@ -255,11 +341,55 @@ let cluster_of_env env =
     (Blockrep.Config.make_exn ~scheme:env.scheme ~n_sites:env.n_sites ~n_blocks:env.n_blocks
        ?quorum ~seed:env.seed ~fault_profile:env.faults ())
 
+(* Maskability guards for media faults.  The paper's disks are fail-stop;
+   a latent fault that destroys the {e only} current copy of a block is
+   unmaskable by any replication protocol, so the generator's random
+   injections are filtered at apply time to those a correct system must
+   survive: some other mounted site still holds a verified copy at least
+   as new as whatever the fault wipes out.  (Crash-torn writes need no
+   guard: the committed intention journal survives the tear and the
+   recovery scrub replays it, so even a sole survivor loses nothing.) *)
+
+let covered_elsewhere cluster ~victim ~block ~version =
+  version = 0
+  ||
+  let n = Cluster.n_sites cluster in
+  let rec check j =
+    j < n
+    && ((j <> victim
+        && Cluster.site_state cluster j = Types.Available
+        && Cluster.checksum_ok cluster ~site:j ~block
+        && Cluster.effective_version cluster ~site:j ~block >= version)
+       || check (j + 1))
+  in
+  check 0
+
+let stored_version cluster s block =
+  Store.version (Runtime.site (Cluster.runtime cluster) s).Runtime.store block
+
 let apply_event cluster = function
   | Fail s -> if Cluster.site_state cluster s <> Types.Failed then Cluster.fail_site cluster s
   | Repair s -> if Cluster.site_state cluster s = Types.Failed then Cluster.repair_site cluster s
   | Partition groups -> Cluster.partition cluster groups
   | Heal -> Cluster.heal cluster
+  | Crash_torn s ->
+      if Cluster.site_state cluster s = Types.Available then begin
+        Cluster.arm_torn_write cluster s;
+        Cluster.fail_site cluster s
+      end
+  | Bitrot (s, b) ->
+      if
+        Cluster.site_state cluster s <> Types.Failed
+        && covered_elsewhere cluster ~victim:s ~block:b ~version:(stored_version cluster s b)
+      then Cluster.inject_bitrot cluster ~site:s ~block:b
+  | Disk_replace s ->
+      let n_blocks = Cluster.n_blocks cluster in
+      let rec all_covered b =
+        b >= n_blocks
+        || (covered_elsewhere cluster ~victim:s ~block:b ~version:(stored_version cluster s b)
+           && all_covered (b + 1))
+      in
+      if all_covered 0 then Cluster.replace_disk cluster s
 
 let run_against env ~cluster ~schedule =
   let engine = Cluster.engine cluster in
@@ -272,8 +402,11 @@ let run_against env ~cluster ~schedule =
         let best = ref (0, Blockdev.Block.zero) in
         Array.iter
           (fun (s : Runtime.site) ->
-            let v = Store.version s.store block in
-            if v > fst !best then best := (v, Store.read s.store block))
+            (* Verified copies only: a quarantined block must not seed the
+               oracle's notion of committed state. *)
+            match Blockdev.Durable_store.read_verified s.durable block with
+            | Some (data, v) -> if v > fst !best then best := (v, data)
+            | None -> ())
           (Runtime.sites rt);
         !best)
   in
@@ -313,8 +446,8 @@ let run_against env ~cluster ~schedule =
                     fault lands (reentrant flushes are ignored by the
                     cache, so a flush already in flight is safe). *)
                  (match ev with
-                 | Fail _ | Partition _ -> flush_cache ()
-                 | Repair _ | Heal -> ());
+                 | Fail _ | Partition _ | Crash_torn _ | Disk_replace _ -> flush_cache ()
+                 | Repair _ | Heal | Bitrot _ -> ());
                  apply_event cluster ev)))
       schedule
   in
@@ -385,6 +518,7 @@ let run_against env ~cluster ~schedule =
     ops_failed = !ops_failed;
     faults_injected =
       (match Cluster.faults cluster with None -> 0 | Some f -> Net.Faults.total_injected f);
+    storage = Cluster.storage_counters cluster;
     end_time = Sim.Engine.now engine;
   }
 
@@ -440,6 +574,7 @@ type run_summary = {
   run_ops_ok : int;
   run_ops_failed : int;
   run_faults : int;
+  run_storage_faults : int;
 }
 
 type sweep_result = {
@@ -465,6 +600,10 @@ let sweep ?(shrink_failures = true) ?max_shrink_runs env ~seeds =
           run_ops_ok = o.ops_ok;
           run_ops_failed = o.ops_failed;
           run_faults = o.faults_injected;
+          run_storage_faults =
+            o.storage.Blockdev.Durable_store.torn_writes
+            + o.storage.Blockdev.Durable_store.bitrot_injected
+            + o.storage.Blockdev.Durable_store.disk_replacements;
         })
       seeds
   in

@@ -39,6 +39,20 @@ type event =
   | Repair of int
   | Partition of int list list
   | Heal
+  | Crash_torn of int
+      (** arm the site's next crash to tear its most recent journaled
+          write, then fail it — the committed intention survives, so the
+          recovery scrub replays the write (no guard needed: even a sole
+          survivor loses nothing acknowledged) *)
+  | Bitrot of int * int
+      (** (site, block): silent sector decay of one stored copy.  Applied
+          only when some other mounted site holds a verified copy at least
+          as new — destroying the only current copy is unmaskable by any
+          replication protocol (the paper's disks are fail-stop) *)
+  | Disk_replace of int
+      (** swap the site's medium for a blank one (fails the site).
+          Applied only when every block it holds is covered by a verified
+          peer copy, same reasoning as bitrot *)
 
 type schedule = (float * event) list
 (** Timed events, ascending. *)
@@ -80,12 +94,30 @@ type env = {
           actually did — the cache's absorption delay is invisible to
           it.  [1] (the default) is the unbatched path, bit-identical
           to the historical harness. *)
+  crash_writes : bool;  (** seeded {!Crash_torn} process (default off) *)
+  crash_write_rate : float;
+  bitrot : bool;  (** seeded {!Bitrot} process (default off) *)
+  bitrot_rate : float;
+  disk_replace : bool;  (** seeded {!Disk_replace} process (default off) *)
+  disk_replace_rate : float;
+  media_down_mean : float;
+      (** mean outage after a crash-torn write or a disk replacement,
+          before the paired repair *)
 }
 
 val default_env : ?seed:int -> Blockrep.Types.scheme -> env
 (** The scheme's supported environment (see above) at moderate chaos
     rates: 3 sites, 8 blocks, 110 operations, benign-fault profile
-    {!supported_faults}. *)
+    {!supported_faults}.  All media-fault processes are off: a default
+    run exercises no storage fault and is bit-identical to the
+    pre-durable harness. *)
+
+val media_env : ?seed:int -> Blockrep.Types.scheme -> env
+(** {!default_env} plus the scheme's {e storage-fault} envelope, inside
+    which it must stay violation-free: the copy schemes get crash-torn
+    writes, bitrot and disk replacement; the voting flavours get bitrot
+    only (torn crashes and replacement take a site down, and any site
+    failure is already outside the one-round-write voting envelope). *)
 
 val supported_faults : Net.Faults.profile
 (** duplicate 0.05, reorder 0.05 with jitter ~ U(0,1), extra delay 0.1 —
@@ -122,6 +154,11 @@ type outcome = {
   ops_ok : int;
   ops_failed : int;
   faults_injected : int;
+  storage : Blockdev.Durable_store.counters;
+      (** summed storage-fault counters across all sites: faults injected
+          (torn writes, bitrot, replacements) and the repair work the
+          protocols did about them (scrub replays, quarantines, peer
+          repairs, refused installs) *)
   end_time : float;
 }
 
@@ -161,6 +198,7 @@ type run_summary = {
   run_ops_ok : int;
   run_ops_failed : int;
   run_faults : int;
+  run_storage_faults : int;  (** torn writes + bitrot + disk replacements *)
 }
 
 type sweep_result = {

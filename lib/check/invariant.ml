@@ -1,10 +1,19 @@
 module Types = Blockrep.Types
 module Runtime = Blockrep.Runtime
 module Store = Blockdev.Store
+module Durable = Blockdev.Durable_store
 module Vv = Blockdev.Version_vector
 
+(* Staleness and divergence are judged over {e verified} copies: a
+   quarantined (checksum-invalid) copy refuses to serve, vote or transfer,
+   so it can make nobody read garbage — the protocols owe it a repair, not
+   an excuse.  Stored version numbers stay trustworthy under media faults
+   (the version table is journaled separately from the data bytes), so the
+   dominance and closure checks keep using stored vectors. *)
+let effective (s : Runtime.site) block = Durable.effective_version s.durable block
+
 let global_max sites block =
-  Array.fold_left (fun acc (s : Runtime.site) -> Int.max acc (Store.version s.store block)) 0 sites
+  Array.fold_left (fun acc (s : Runtime.site) -> Int.max acc (effective s block)) 0 sites
 
 (* Maximal groups of mutually reachable sites (singleton groups for
    isolated sites).  With no partition installed this is one group. *)
@@ -37,21 +46,32 @@ let scan_copy cluster ~add =
     let gm = global_max sites block in
     List.iter
       (fun (s : Runtime.site) ->
-        let v = Store.version s.store block in
-        if v < gm then
-          add ~block "stale-available-copy"
-            (Printf.sprintf
-               "site %d is available but holds version %d of block %d while version %d exists in \
-                the system — a read served there would be stale"
-               s.id v block gm))
+        (* A quarantined copy is excused from the staleness check: it
+           serves nothing (reads there trigger peer repair) and the bitrot
+           guard guarantees a verified current copy elsewhere. *)
+        if Durable.checksum_ok s.durable block then begin
+          let v = effective s block in
+          if v < gm then
+            add ~block "stale-available-copy"
+              (Printf.sprintf
+                 "site %d is available but holds version %d of block %d while version %d exists in \
+                  the system — a read served there would be stale"
+                 s.id v block gm)
+        end)
       available;
-    (match List.filter (fun (s : Runtime.site) -> Store.version s.store block = gm) available with
+    (match
+       List.filter_map
+         (fun (s : Runtime.site) ->
+           match Durable.read_verified s.durable block with
+           | Some (data, v) when v = gm -> Some (s, data)
+           | _ -> None)
+         available
+     with
     | [] | [ _ ] -> ()
-    | first :: rest ->
-        let reference = Store.read first.store block in
+    | (first, reference) :: rest ->
         List.iter
-          (fun (s : Runtime.site) ->
-            if not (Blockdev.Block.equal (Store.read s.store block) reference) then
+          (fun ((s : Runtime.site), data) ->
+            if not (Blockdev.Block.equal data reference) then
               add ~block "copy-divergence"
                 (Printf.sprintf
                    "sites %d and %d both hold version %d of block %d with different contents — \
@@ -89,7 +109,9 @@ let scan_copy cluster ~add =
       for block = 0 to n_blocks - 1 do
         let gm = global_max sites block in
         let reaches_current =
-          Types.Int_set.exists (fun u -> Store.version (Runtime.site rt u).store block = gm) closure
+          (* Verified copies only: a quarantined gm-holder cannot be
+             transferred from, so it does not plug a closure gap. *)
+          Types.Int_set.exists (fun u -> effective (Runtime.site rt u) block = gm) closure
         in
         if not reaches_current then
           add ~block "closure-gap"
@@ -116,7 +138,7 @@ let scan_quorum cluster ~add =
         List.exists
           (fun i ->
             let s = Runtime.site rt i in
-            s.state = Types.Available && Store.version s.store block = gm)
+            s.state = Types.Available && effective s block = gm)
           group
       in
       if not known_up then

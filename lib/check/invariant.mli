@@ -21,7 +21,15 @@
       site knows the globally newest version of every block
       ([quorum-stale]) — the observable form of quorum intersection.
       (Dynamic voting uses its own service predicate in place of the
-      static quorum test.) *)
+      static quorum test.)
+
+    All scans are checksum-aware: staleness, divergence and quorum
+    currency are judged over {e verified} copies, and a quarantined
+    (checksum-invalid) copy is excused — it refuses to serve rather than
+    serving garbage, so the protocols owe it a repair, not a violation.
+    Stored version numbers stay trustworthy under media faults (the
+    version table is journaled separately from the data bytes), so the
+    dominance and closure checks keep using stored vectors. *)
 
 val scan : Blockrep.Cluster.t -> Violation.t list
 (** Empty list = every invariant holds.  Only inspects state — never

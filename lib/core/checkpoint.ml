@@ -129,7 +129,11 @@ let restore cluster path =
                             read_blocks (k + 1)
                     in
                     let* () = read_blocks 0 in
-                    s.Runtime.w <- w;
+                    (* Blocks were installed behind the durable layer's back;
+                       re-bless so checksums cover the restored contents, then
+                       route W through set_w so the on-disk record matches. *)
+                    Blockdev.Durable_store.rebless s.Runtime.durable;
+                    Runtime.set_w rt i w;
                     Runtime.Transport.set_up (Runtime.net rt) i (state <> Types.Failed);
                     Runtime.set_state rt i state;
                     restore_site (i + 1)

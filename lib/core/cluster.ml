@@ -1,3 +1,5 @@
+module Durable = Blockdev.Durable_store
+
 type protocol = Voting_p of Voting.t | Copy_p of Copy_protocol.t | Dynamic_p of Dynamic_voting.t
 
 module Observe = struct
@@ -282,6 +284,52 @@ let repair_site t i =
 let partition t groups = Runtime.Transport.partition (Runtime.net t.rt) groups
 let heal t = Runtime.Transport.heal (Runtime.net t.rt)
 
+(* ------------------------------------------------------------------ *)
+(* Storage faults                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_site t i =
+  if i < 0 || i >= n_sites t then invalid_arg "Cluster: site index out of range"
+
+let arm_torn_write ?mode t i =
+  check_site t i;
+  Durable.arm_torn_write ?mode (Runtime.site t.rt i).durable
+
+let inject_bitrot t ~site ~block =
+  check_site t site;
+  check_block t block;
+  Durable.inject_bitrot (Runtime.site t.rt site).durable block
+
+let replace_disk t i =
+  check_site t i;
+  (* The medium is swapped while the site is down (a running site does not
+     lose its disk under it); a later repair brings the blank replica back
+     through the ordinary recovery path. *)
+  Runtime.fail_site t.rt i;
+  Durable.replace_disk (Runtime.site t.rt i).durable;
+  Availability_monitor.record t.monitor (system_available_rt t.protocol)
+
+let checksum_ok t ~site ~block =
+  check_site t site;
+  check_block t block;
+  Durable.checksum_ok (Runtime.site t.rt site).durable block
+
+let effective_version t ~site ~block =
+  check_site t site;
+  check_block t block;
+  Durable.effective_version (Runtime.site t.rt site).durable block
+
+let last_scrub t i =
+  check_site t i;
+  Durable.last_scrub (Runtime.site t.rt i).durable
+
+let storage_counters t =
+  let acc = Durable.zero_counters () in
+  Array.iter
+    (fun (s : Runtime.site) -> Durable.accumulate_counters acc (Durable.counters s.durable))
+    (Runtime.sites t.rt);
+  acc
+
 let site_state t i = (Runtime.site t.rt i).state
 let site_versions t i = Blockdev.Store.versions (Runtime.site t.rt i).store
 let site_was_available t i = (Runtime.site t.rt i).w
@@ -295,8 +343,9 @@ let consistent_available_stores t =
   match t.protocol with
   | Dynamic_p d ->
       (* Whenever the dynamic service predicate holds, some up site holds
-         the globally newest version of every block (quorum checks then
-         find it). *)
+         a verified copy of the globally newest provable version of every
+         block (quorum checks then find it).  Effective versions: a
+         quarantined copy claims nothing. *)
       if not (Dynamic_voting.service_available d) then true
       else begin
         let sites = Runtime.sites t.rt in
@@ -304,13 +353,15 @@ let consistent_available_stores t =
         for block = 0 to n_blocks t - 1 do
           let global_max =
             Array.fold_left
-              (fun acc (s : Runtime.site) -> Int.max acc (Blockdev.Store.version s.store block))
+              (fun acc (s : Runtime.site) ->
+                Int.max acc (Durable.effective_version s.durable block))
               0 sites
           in
           let held_up =
             Array.exists
               (fun (s : Runtime.site) ->
-                s.state = Types.Available && Blockdev.Store.version s.store block = global_max)
+                s.state = Types.Available
+                && Durable.effective_version s.durable block = global_max)
               sites
           in
           if not held_up then ok := false
@@ -318,20 +369,29 @@ let consistent_available_stores t =
         !ok
       end
   | Copy_p _ ->
-      let stores =
+      (* Every pair of verified copies at available sites must agree; a
+         quarantined copy is excused — it refuses to serve rather than
+         serving divergent bytes, and peer read-repair heals it. *)
+      let avail =
         Array.to_list (Runtime.sites t.rt)
         |> List.filter (fun (s : Runtime.site) -> s.state = Types.Available)
-        |> List.map (fun (s : Runtime.site) -> s.store)
       in
-      let rec pairwise = function
-        | a :: (b :: _ as rest) -> Blockdev.Store.equal_contents a b && pairwise rest
-        | [ _ ] | [] -> true
-      in
-      pairwise stores
+      let ok = ref true in
+      for block = 0 to n_blocks t - 1 do
+        let copies =
+          List.filter_map (fun (s : Runtime.site) -> Durable.read_verified s.durable block) avail
+        in
+        match copies with
+        | [] -> ()
+        | (d0, v0) :: rest ->
+            if not (List.for_all (fun (d, v) -> v = v0 && Blockdev.Block.equal d d0) rest) then
+              ok := false
+      done;
+      !ok
   | Voting_p _ ->
       (* Quorum-intersection safety: whenever enough weight is up to form a
-         read quorum, some up site holds the globally newest version of
-         every block. *)
+         read quorum, some up site holds a verified copy of the globally
+         newest provable version of every block. *)
       let quorum = (config t).quorum in
       let sites = Runtime.sites t.rt in
       let up = Array.to_list sites |> List.filter (fun (s : Runtime.site) -> s.state = Types.Available) in
@@ -342,11 +402,14 @@ let consistent_available_stores t =
         for block = 0 to n_blocks t - 1 do
           let global_max =
             Array.fold_left
-              (fun acc (s : Runtime.site) -> Int.max acc (Blockdev.Store.version s.store block))
+              (fun acc (s : Runtime.site) ->
+                Int.max acc (Durable.effective_version s.durable block))
               0 sites
           in
           let held_up =
-            List.exists (fun (s : Runtime.site) -> Blockdev.Store.version s.store block = global_max) up
+            List.exists
+              (fun (s : Runtime.site) -> Durable.effective_version s.durable block = global_max)
+              up
           in
           if not held_up then ok := false
         done;

@@ -137,6 +137,38 @@ val install_faults : t -> Net.Faults.t -> unit
 (** Install a fault injector on the running cluster's network (per-link
     overrides included); affects deliveries from now on. *)
 
+(** {1 Storage faults}
+
+    Media-level fault injection into a site's {!Blockdev.Durable_store}.
+    All default-off: a cluster that never calls these behaves bit-identically
+    to one without the durable layer. *)
+
+val arm_torn_write : ?mode:Blockdev.Durable_store.tear -> t -> int -> unit
+(** Arm site [i]'s next crash ({!fail_site}) to tear its most recent
+    journaled write (default [Torn_apply]: the intention survives and the
+    recovery scrub replays it). *)
+
+val inject_bitrot : t -> site:int -> block:Blockdev.Block.id -> unit
+(** Latent sector error: silently rot one stored copy.  Detected at the
+    next checksum verification; the protocols then quarantine the copy and
+    heal it from a peer (read-repair or recovery transfer). *)
+
+val replace_disk : t -> int -> unit
+(** Swap site [i]'s medium: the site is failed (if up) and its disk reset
+    to blank — zeroed blocks at version 0, metadata at defaults.  A later
+    {!repair_site} regenerates the replica through the ordinary recovery
+    exchange (the paper's fresh-replica case). *)
+
+val checksum_ok : t -> site:int -> block:Blockdev.Block.id -> bool
+val effective_version : t -> site:int -> block:Blockdev.Block.id -> int
+(** Stored version if the checksum verifies, 0 otherwise. *)
+
+val last_scrub : t -> int -> Blockdev.Durable_store.scrub_report option
+(** Report of site [i]'s most recent recovery-time scrub. *)
+
+val storage_counters : t -> Blockdev.Durable_store.counters
+(** Fresh record summing every site's storage-fault counters. *)
+
 val site_state : t -> int -> Types.site_state
 val site_versions : t -> int -> Blockdev.Version_vector.t
 val site_was_available : t -> int -> Types.Int_set.t
@@ -159,4 +191,7 @@ val consistent_available_stores : t -> bool
     stores (contents and versions).  Vacuously true with fewer than two
     available sites.  Under voting, checked only across up-to-date sites
     (stale but reachable copies are legal there), so this flavour asserts
-    instead that every quorum's maximum version is held by some up site. *)
+    instead that every quorum's maximum version is held by some up site.
+    Checksum-aware throughout: a quarantined (checksum-invalid) copy is
+    excused — it refuses to serve rather than serving divergent bytes —
+    and version comparisons use effective (verified) versions. *)

@@ -1,5 +1,6 @@
 module Int_set = Types.Int_set
 module Store = Blockdev.Store
+module Durable = Blockdev.Durable_store
 module Vv = Blockdev.Version_vector
 
 type variant = Standard | Naive
@@ -10,21 +11,81 @@ let variant t = t.variant
 
 let full_set t = Int_set.of_list (List.init (Runtime.n_sites t.rt) Fun.id)
 
+(* Install an update carrying verified peer data: strictly newer versions
+   install as always, and data at (or above) a quarantined block's version
+   floor repairs it in place. *)
+let absorb (s : Runtime.site) block version data =
+  if
+    version > Store.version s.store block
+    || ((not (Durable.checksum_ok s.durable block)) && version >= Store.version s.store block)
+  then Durable.write s.durable block data ~version
+
 (* ------------------------------------------------------------------ *)
 (* Data access                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Steady-state peer read-repair: an available site whose local copy fails
+   its checksum asks the available peers for the block instead of serving
+   garbage.  Only a verified copy at or above the local stored version may
+   heal the quarantine — the intact version number is a floor below which
+   this disk must not regress — so a repaired read can never be stale. *)
+let read_repair t ~site ~block callback =
+  let s = Runtime.site t.rt site in
+  let floor_version = Store.version s.store block in
+  if Int_set.is_empty (Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available))
+  then
+    if floor_version = 0 then begin
+      (* A rotted never-written block with nobody to ask: it logically
+         holds the zero block, so heal it in place and serve that. *)
+      Durable.write s.durable block Blockdev.Block.zero ~version:0;
+      callback (Ok (Blockdev.Block.zero, 0))
+    end
+    else callback (Error Types.Current_copy_unreachable)
+  else begin
+    let expected = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available) in
+    let rid =
+      Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+          match outcome with
+          | Runtime.Aborted -> callback (Error Types.Site_not_available)
+          | Runtime.Complete | Runtime.Timeout -> (
+              let best =
+                List.fold_left
+                  (fun acc reply ->
+                    match reply with
+                    | _, Wire.Block_transfer { block = b; version; data; _ }
+                      when b = block && version >= floor_version -> (
+                        match acc with
+                        | Some (_, v) when v >= version -> acc
+                        | _ -> Some (data, version))
+                    | _ -> acc)
+                  None replies
+              in
+              match best with
+              | Some (data, version) ->
+                  Durable.write s.durable block data ~version;
+                  callback (Ok (data, version))
+              | None -> callback (Error Types.Current_copy_unreachable)))
+    in
+    Int_set.iter
+      (fun peer ->
+        Runtime.send t.rt ~op:Net.Message.Repair ~from:site ~dst:peer
+          (Wire.Block_request { rid; block }))
+      expected
+  end
+
 let read t ~site ~block callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
-  else callback (Ok (Store.read s.store block, Store.version s.store block))
+  else if Durable.checksum_ok s.durable block then
+    callback (Ok (Store.read s.store block, Store.version s.store block))
+  else read_repair t ~site ~block callback
 
 let write t ~site ~block data callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
   else begin
     let version = Store.version s.store block + 1 in
-    Store.write s.store block data ~version;
+    Durable.write s.durable block data ~version;
     match t.variant with
     | Naive ->
         (* Fire and forget: reliable delivery makes the single broadcast
@@ -62,7 +123,8 @@ let write t ~site ~block data callback =
                   let comatose =
                     Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose)
                   in
-                  s.w <- Int_set.union comatose (Int_set.add site (Int_set.of_list ackers));
+                  Runtime.set_w t.rt site
+                    (Int_set.union comatose (Int_set.add site (Int_set.of_list ackers)));
                   callback (Ok version))
         in
         Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
@@ -80,8 +142,20 @@ let read_batch t ~site ~blocks callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
   else
-    callback
-      (Ok (List.map (fun b -> (Store.read s.store b, Store.version s.store b)) blocks))
+    (* Heal any quarantined member of the group first (chained single-block
+       read-repairs), then serve the whole group locally as before. *)
+    let rec heal = function
+      | [] ->
+          callback
+            (Ok (List.map (fun b -> (Store.read s.store b, Store.version s.store b)) blocks))
+      | b :: rest ->
+          if Durable.checksum_ok s.durable b then heal rest
+          else
+            read_repair t ~site ~block:b (function
+              | Ok _ -> heal rest
+              | Error e -> callback (Error e))
+    in
+    heal blocks
 
 (* Figure 5/6 writes, amortized: all k new versions travel in one
    update multicast, and (Standard) one ack per peer covers the whole
@@ -95,7 +169,7 @@ let write_batch t ~site writes callback =
       List.map
         (fun (block, data) ->
           let version = Store.version s.store block + 1 in
-          Store.write s.store block data ~version;
+          Durable.write s.durable block data ~version;
           (block, version, data))
         writes
     in
@@ -122,7 +196,8 @@ let write_batch t ~site writes callback =
                   let comatose =
                     Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose)
                   in
-                  s.w <- Int_set.union comatose (Int_set.add site (Int_set.of_list ackers));
+                  Runtime.set_w t.rt site
+                    (Int_set.union comatose (Int_set.add site (Int_set.of_list ackers)));
                   callback (Ok versions))
         in
         Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
@@ -190,9 +265,14 @@ and repair_from t (s : Runtime.site) source =
             in
             match reply with
             | Some (versions, updates, w_of_source) when s.state = Types.Comatose ->
-                Store.apply_updates s.store updates;
+                Durable.apply_updates s.durable updates;
+                (* [versions] is the source's effective (verified) vector;
+                   our stored versions must dominate it — a quarantined
+                   block that refused a below-floor offer still holds a
+                   stored version above what was offered. *)
                 assert (Vv.dominates (Store.versions s.store) versions);
-                if t.variant = Standard then s.w <- Int_set.add s.id w_of_source;
+                if t.variant = Standard then
+                  Runtime.set_w t.rt s.id (Int_set.add s.id w_of_source);
                 become_available t s
             | Some _ -> ()
             | None ->
@@ -204,8 +284,10 @@ and repair_from t (s : Runtime.site) source =
                   start_recovery t s
                 end))
   in
+  (* Send the effective vector: a quarantined block claims version 0, so
+     the source's transfer set covers it with a verified copy. *)
   Runtime.send t.rt ~op:Net.Message.Recovery ~from:s.id ~dst:source
-    (Wire.Vv_send { rid; versions = Store.versions s.store; w_of_sender = s.w })
+    (Wire.Vv_send { rid; versions = Durable.effective_versions s.durable; w_of_sender = s.w })
 
 (* The select of Figures 5/6: prefer any available site; otherwise wait for
    the closure of the was-available set (all sites, in the naive variant)
@@ -287,10 +369,9 @@ let handle t (s : Runtime.site) ~from msg =
          recovering with a copy staler than the one the writer believes it
          holds.  Only available sites acknowledge and learn W: a comatose
          site is not yet part of any write's was-available set. *)
-      if s.state <> Types.Failed && version > Store.version s.store block then
-        Store.write s.store block data ~version;
+      if s.state <> Types.Failed then absorb s block version data;
       if s.state = Types.Available && t.variant = Standard then begin
-        s.w <- Int_set.add s.id (Int_set.add from carried_w);
+        Runtime.set_w t.rt s.id (Int_set.add s.id (Int_set.add from carried_w));
         match rid with
         | Some rid ->
             Runtime.send t.rt ~op:Net.Message.Write ~from:s.id ~dst:from
@@ -300,12 +381,9 @@ let handle t (s : Runtime.site) ~from msg =
   | Wire.Batch_update { rid; writes; carried_w } ->
       (* Same absorption rule as Block_update, applied per block. *)
       if s.state <> Types.Failed then
-        List.iter
-          (fun (block, version, data) ->
-            if version > Store.version s.store block then Store.write s.store block data ~version)
-          writes;
+        List.iter (fun (block, version, data) -> absorb s block version data) writes;
       if s.state = Types.Available && t.variant = Standard then begin
-        s.w <- Int_set.add s.id (Int_set.add from carried_w);
+        Runtime.set_w t.rt s.id (Int_set.add s.id (Int_set.add from carried_w));
         match rid with
         | Some rid ->
             Runtime.send t.rt ~op:Net.Message.Write ~from:s.id ~dst:from
@@ -326,18 +404,56 @@ let handle t (s : Runtime.site) ~from msg =
       if s.state = Types.Comatose then evaluate t s
   | Wire.Vv_send { rid; versions; w_of_sender = _ } ->
       if s.state <> Types.Failed then begin
-        let updates = Store.blocks_newer_than s.store versions in
         (* Figure 5's trailing send(t, W_s) collapses to W_t <- W_t ∪ {s}
            since s will set W_s = W_t ∪ {s}; the piggyback spares the extra
            transmission. *)
-        if t.variant = Standard then s.w <- Int_set.add from s.w;
-        Runtime.send t.rt ~op:Net.Message.Recovery ~from:s.id ~dst:from
-          (Wire.Vv_reply { rid; versions = Store.versions s.store; updates; w_of_source = s.w })
+        if t.variant = Standard then Runtime.set_w t.rt s.id (Int_set.add from s.w);
+        let reply () =
+          (* Only verified blocks travel: a transfer never ships
+             quarantined bytes, and the reply's vector claims only what we
+             can prove. *)
+          let updates = Durable.verified_blocks_newer_than s.durable versions in
+          Runtime.send t.rt ~op:Net.Message.Recovery ~from:s.id ~dst:from
+            (Wire.Vv_reply
+               {
+                 rid;
+                 versions = Durable.effective_versions s.durable;
+                 updates;
+                 w_of_source = s.w;
+               })
+        in
+        (* A quarantined copy the requester needs — our stored version is
+           above what it claims — cannot travel.  Heal those blocks from a
+           current peer first, then answer: otherwise the recovering site
+           would come back with a silent gap where our rotted block should
+           be, serve stale version-0 reads and reassign used version
+           numbers.  A repair that finds no current peer leaves the block
+           quarantined and the reply simply cannot cover it. *)
+        let needy = ref [] in
+        for b = Store.capacity s.store - 1 downto 0 do
+          if (not (Durable.checksum_ok s.durable b)) && Store.version s.store b > Vv.get versions b
+          then needy := b :: !needy
+        done;
+        let rec heal = function
+          | [] -> reply ()
+          | b :: rest -> read_repair t ~site:s.id ~block:b (fun _ -> heal rest)
+        in
+        heal !needy
       end
   | Wire.Vv_reply { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
-  | Wire.Vote_request _ | Wire.Vote_reply _ | Wire.Block_request _ | Wire.Block_transfer _
-  | Wire.Group_fix _ | Wire.Batch_vote_request _ | Wire.Batch_vote_reply _ | Wire.Batch_request _
-  | Wire.Batch_transfer _ ->
+  | Wire.Block_request { rid; block } ->
+      (* Peer read-repair: serve what we can prove — the effective version
+         and its verified contents, or (0, zero) when our own copy is
+         quarantined.  The requester discards unhelpful replies. *)
+      if s.state <> Types.Failed then begin
+        let version = Durable.effective_version s.durable block in
+        let data = if version = 0 then Blockdev.Block.zero else Store.read s.store block in
+        Runtime.send t.rt ~op:Net.Message.Repair ~from:s.id ~dst:from
+          (Wire.Block_transfer { rid; block; version; data })
+      end
+  | Wire.Block_transfer { rid; _ } -> Runtime.reply t.rt ~rid ~from msg
+  | Wire.Vote_request _ | Wire.Vote_reply _ | Wire.Group_fix _ | Wire.Batch_vote_request _
+  | Wire.Batch_vote_reply _ | Wire.Batch_request _ | Wire.Batch_transfer _ ->
       (* Voting traffic is meaningless under a copy scheme. *)
       ()
 
@@ -353,7 +469,8 @@ let install_liveness_tracking t =
       in
       if not (Int_set.is_empty avail) then
         Array.iter
-          (fun (p : Runtime.site) -> if p.state = Types.Available then p.w <- avail)
+          (fun (p : Runtime.site) ->
+            if p.state = Types.Available then Runtime.set_w t.rt p.id avail)
           (Runtime.sites t.rt))
 
 let create rt variant =

@@ -1,17 +1,28 @@
 module Int_set = Types.Int_set
 module Store = Blockdev.Store
+module Durable = Blockdev.Durable_store
 
 type t = {
   rt : Runtime.t;
   (* groups.(site).(block): the last update group this site knows for the
-     block.  Kept beside the version numbers; like them, it lives on disk
-     and survives site failures.  Votes carry only the cardinality (all
-     the quorum test needs); the membership itself drives the
-     availability predicate. *)
+     block.  The in-memory mirror of a journaled on-disk record (one
+     metadata key per block): like the version numbers it survives site
+     failures, and unlike them a torn write of it is caught by the scrub
+     and reset to the conservative full-set default — a too-large
+     cardinality only makes quorum tests stricter.  Votes carry only the
+     cardinality (all the quorum test needs); the membership itself
+     drives the availability predicate. *)
   groups : Types.Int_set.t array array;
 }
 
 let group_of t site block = Int_set.cardinal t.groups.(site).(block)
+
+let group_key block = Printf.sprintf "group%d" block
+
+let set_group t site block g =
+  t.groups.(site).(block) <- g;
+  Durable.set_meta (Runtime.site t.rt site).Runtime.durable (group_key block)
+    (Int_set.elements g)
 
 (* A vote: (site, version, recorded group size). *)
 let vote_of_reply block = function
@@ -19,9 +30,10 @@ let vote_of_reply block = function
       Some (from, version, group_size)
   | _ -> None
 
+(* Votes carry the effective version: a quarantined copy claims 0. *)
 let local_vote t site block =
   let s = Runtime.site t.rt site in
-  (site, Store.version s.Runtime.store block, Int_set.cardinal t.groups.(site).(block))
+  (site, Durable.effective_version s.Runtime.durable block, Int_set.cardinal t.groups.(site).(block))
 
 let coordinator_alive t site = (Runtime.site t.rt site).Runtime.state = Types.Available
 
@@ -50,9 +62,13 @@ let collect_votes t ~site ~block ~purpose ~k =
 
 let apply_update t site block data ~version ~group =
   let s = Runtime.site t.rt site in
-  if version > Store.version s.Runtime.store block then begin
-    Store.write s.Runtime.store block data ~version;
-    t.groups.(site).(block) <- group
+  if
+    version > Store.version s.Runtime.store block
+    || ((not (Durable.checksum_ok s.Runtime.durable block))
+       && version >= Store.version s.Runtime.store block)
+  then begin
+    Durable.write s.Runtime.durable block data ~version;
+    set_group t site block group
   end
 
 (* Version-based quorum checks can fail transiently while an update is
@@ -84,10 +100,21 @@ let read_attempt t ~site ~block callback =
       | Some votes -> (
           match quorum_check votes with
           | None -> callback (Error Types.No_quorum)
-          | Some (holders, top_version) ->
-              if Store.version s.Runtime.store block >= top_version then
-                callback (Ok (Store.read s.Runtime.store block, top_version))
-              else begin
+          | Some (holders, top_version) -> (
+              match Durable.read_verified s.Runtime.durable block with
+              | Some (data, v) when v >= top_version -> callback (Ok (data, top_version))
+              | _ when List.for_all (fun (i, _, _) -> i = site) holders ->
+                  (* The local site is the only holder yet cannot serve: a
+                     quarantined copy only wins the vote at effective
+                     version 0 (a rotted never-written block), so there is
+                     nothing to pull — heal it with the zero block. *)
+                  if top_version = 0 then begin
+                    Durable.write s.Runtime.durable block Blockdev.Block.zero ~version:0;
+                    callback (Ok (Blockdev.Block.zero, 0))
+                  end
+                  else callback (Error Types.Current_copy_unreachable)
+              | _ ->
+              begin
                 (* Pull from the lowest-id current holder (deterministic). *)
                 let source =
                   List.fold_left (fun acc (i, _, _) -> Int.min acc i) max_int
@@ -108,21 +135,30 @@ let read_attempt t ~site ~block callback =
                                 | _ -> None)
                               replies )
                         with
-                        | (Runtime.Complete | Runtime.Timeout), Some (version, data) ->
+                        | (Runtime.Complete | Runtime.Timeout), Some (version, data)
+                          when version >= top_version ->
                             (* Install the data but keep our group record:
                                a pulled copy does not make us a member of
                                the holder's group, and a conservative
                                (over-large) recorded cardinality can only
                                make later quorum tests stricter, never
-                               unsafe. *)
-                            if version > Store.version s.Runtime.store block then
-                              Store.write s.Runtime.store block data ~version;
+                               unsafe.  A transfer below the voted version
+                               (the holder's copy rotted in between) is
+                               rejected above, like a timeout. *)
+                            if
+                              version > Store.version s.Runtime.store block
+                              || ((not (Durable.checksum_ok s.Runtime.durable block))
+                                 && version >= Store.version s.Runtime.store block)
+                            then Durable.write s.Runtime.durable block data ~version;
                             callback (Ok (data, version))
-                        | _, None | Runtime.Aborted, _ -> callback (Error Types.Timed_out))
+                        | (Runtime.Complete | Runtime.Timeout), Some _
+                        | _, None
+                        | Runtime.Aborted, _ ->
+                            callback (Error Types.Timed_out))
                 in
                 Runtime.send t.rt ~op:Net.Message.Read ~from:site ~dst:source
                   (Wire.Block_request { rid; block })
-              end))
+              end)))
 
 let read t ~site ~block callback = with_retry t ~site (fun k -> read_attempt t ~site ~block k) callback
 
@@ -142,8 +178,8 @@ let write_attempt t ~site ~block data callback =
               let tentative =
                 List.fold_left (fun acc (i, _, _) -> Int_set.add i acc) Int_set.empty votes
               in
-              Store.write s.Runtime.store block data ~version;
-              t.groups.(site).(block) <- tentative;
+              Durable.write s.Runtime.durable block data ~version;
+              set_group t site block tentative;
               (* The group's recorded cardinality must match who actually
                  applied the write, or a missed update could wedge a small
                  group forever: collect acknowledgements and, when someone
@@ -164,7 +200,7 @@ let write_attempt t ~site ~block data callback =
                         in
                         let final = Int_set.add site (Int_set.of_list ackers) in
                         if not (Int_set.equal final tentative) then begin
-                          t.groups.(site).(block) <- final;
+                          set_group t site block final;
                           Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
                             (Wire.Group_fix { block; version; group = final })
                         end;
@@ -184,7 +220,7 @@ let handle t (s : Runtime.site) ~from msg =
            {
              rid;
              block;
-             version = Store.version s.Runtime.store block;
+             version = Durable.effective_version s.Runtime.durable block;
              weight = 1;
              group_size = Int_set.cardinal t.groups.(s.Runtime.id).(block);
            })
@@ -205,17 +241,17 @@ let handle t (s : Runtime.site) ~from msg =
          write. *)
       if
         Int_set.mem s.Runtime.id group
-        && Store.version s.Runtime.store block = version
-      then t.groups.(s.Runtime.id).(block) <- group
+        && Durable.effective_version s.Runtime.durable block = version
+      then set_group t s.Runtime.id block group
   | Wire.Block_request { rid; block } ->
+      (* A quarantined copy serves (0, zero) — it can prove nothing — and
+         the requester rejects the transfer against the voted version. *)
+      let version = Durable.effective_version s.Runtime.durable block in
+      let data =
+        if version = 0 then Blockdev.Block.zero else Store.read s.Runtime.store block
+      in
       Runtime.send t.rt ~op:Net.Message.Read ~from:s.Runtime.id ~dst:from
-        (Wire.Block_transfer
-           {
-             rid;
-             block;
-             version = Store.version s.Runtime.store block;
-             data = Store.read s.Runtime.store block;
-           })
+        (Wire.Block_transfer { rid; block; version; data })
   | Wire.Vote_reply { rid; _ } | Wire.Block_transfer { rid; _ } | Wire.Write_ack { rid; _ } ->
       Runtime.reply t.rt ~rid ~from msg
   | Wire.Recovery_probe _ | Wire.Recovery_reply _ | Wire.Vv_send _ | Wire.Vv_reply _
@@ -235,11 +271,30 @@ let create rt =
       groups = Array.init config.Config.n_sites (fun _ -> Array.make config.Config.n_blocks everyone);
     }
   in
+  (* Register the conservative on-disk default for every group record, the
+     value a scrub (torn metadata) or disk replacement falls back to. *)
+  Array.iter
+    (fun (s : Runtime.site) ->
+      for b = 0 to config.Config.n_blocks - 1 do
+        Durable.set_meta_default s.Runtime.durable (group_key b) (Int_set.elements everyone)
+      done)
+    (Runtime.sites rt);
   Runtime.set_dispatch rt (fun s ~from msg -> handle t s ~from msg);
   t
 
 let on_repair t site =
   Runtime.repair_site t.rt site (fun (s : Runtime.site) ->
+      (* Reload the in-memory group mirror from disk: the scrub may have
+         reset a torn record to its full-set default, and a replaced disk
+         comes back with defaults everywhere. *)
+      let everyone = Int_set.of_list (List.init (Runtime.n_sites t.rt) Fun.id) in
+      Array.iteri
+        (fun block _ ->
+          t.groups.(site).(block) <-
+            (match Durable.get_meta s.Runtime.durable (group_key block) with
+            | Some ids -> Int_set.of_list ids
+            | None -> everyone))
+        t.groups.(site);
       Runtime.set_state t.rt s.Runtime.id Types.Available)
 
 (* Post-quiescence availability: once in-flight updates land, every up
@@ -255,12 +310,13 @@ let service_available t =
   for block = 0 to config.Config.n_blocks - 1 do
     let top_version = ref 0 in
     Array.iter
-      (fun (s : Runtime.site) -> top_version := Int.max !top_version (Store.version s.Runtime.store block))
+      (fun (s : Runtime.site) ->
+        top_version := Int.max !top_version (Durable.effective_version s.Runtime.durable block))
       sites;
     let group = ref None in
     Array.iter
       (fun (s : Runtime.site) ->
-        if Store.version s.Runtime.store block = !top_version then begin
+        if Durable.effective_version s.Runtime.durable block = !top_version then begin
           let g = t.groups.(s.Runtime.id).(block) in
           match !group with
           | Some best when Int_set.cardinal best <= Int_set.cardinal g -> ()

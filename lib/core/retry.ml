@@ -1,13 +1,23 @@
+type jitter = No_jitter | Decorrelated
+
 type policy = {
   max_attempts : int;
   base_delay : float;
   multiplier : float;
   max_delay : float;
   deadline : float;
+  jitter : jitter;
 }
 
 let no_retry =
-  { max_attempts = 1; base_delay = 0.0; multiplier = 1.0; max_delay = 0.0; deadline = infinity }
+  {
+    max_attempts = 1;
+    base_delay = 0.0;
+    multiplier = 1.0;
+    max_delay = 0.0;
+    deadline = infinity;
+    jitter = No_jitter;
+  }
 
 let default_policy ?(unit = 4.0) () =
   if unit <= 0.0 then invalid_arg "Retry.default_policy: unit must be positive";
@@ -17,6 +27,7 @@ let default_policy ?(unit = 4.0) () =
     multiplier = 2.0;
     max_delay = 16.0 *. unit;
     deadline = 64.0 *. unit;
+    jitter = No_jitter;
   }
 
 let validate p =
@@ -31,6 +42,17 @@ let validate p =
 let backoff p ~attempt =
   (* Delay before attempt [attempt + 1]; attempt is 1-based. *)
   Float.min p.max_delay (p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)))
+
+let backoff_jittered p ~rng ~prev =
+  (* Decorrelated jitter: draw uniformly from [base, prev * 3], clamped to
+     the policy's [base_delay, max_delay] envelope.  The sequence is seeded
+     by the caller's [rng], so runs stay deterministic in the seed. *)
+  let hi = prev *. 3.0 in
+  let d =
+    if hi <= p.base_delay then p.base_delay
+    else p.base_delay +. Random.State.float rng (hi -. p.base_delay)
+  in
+  Float.max p.base_delay (Float.min p.max_delay d)
 
 type stats = {
   mutable operations : int;
@@ -84,11 +106,11 @@ let record_error s ~at reason =
    attempt/deadline bounds keep genuinely persistent outages from spinning. *)
 let transient (_ : Types.failure_reason) = true
 
-let run policy ~engine ~stats ?(retryable = transient) f =
+let run policy ~engine ~stats ?rng ?(retryable = transient) f =
   (match validate policy with Ok _ -> () | Error e -> invalid_arg ("Retry.run: " ^ e));
   let start = Sim.Engine.now engine in
   stats.operations <- stats.operations + 1;
-  let rec go attempt =
+  let rec go attempt ~prev_delay =
     stats.attempts <- stats.attempts + 1;
     match f ~attempt with
     | Ok _ as ok ->
@@ -106,7 +128,11 @@ let run policy ~engine ~stats ?(retryable = transient) f =
           err
         end
         else begin
-          let delay = backoff policy ~attempt in
+          let delay =
+            match (policy.jitter, rng) with
+            | Decorrelated, Some rng -> backoff_jittered policy ~rng ~prev:prev_delay
+            | Decorrelated, None | No_jitter, _ -> backoff policy ~attempt
+          in
           let now = Sim.Engine.now engine in
           if now +. delay -. start > policy.deadline then begin
             stats.timeouts <- stats.timeouts + 1;
@@ -115,11 +141,11 @@ let run policy ~engine ~stats ?(retryable = transient) f =
           else begin
             stats.retries <- stats.retries + 1;
             Sim.Engine.run_until engine (now +. delay);
-            go (attempt + 1)
+            go (attempt + 1) ~prev_delay:delay
           end
         end
   in
-  go 1
+  go 1 ~prev_delay:policy.base_delay
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -14,6 +14,16 @@
     keeps a bounded window of the most recent errors — surfaced through
     [Reliable_device.degradation] and [Report.Degradation]. *)
 
+type jitter =
+  | No_jitter  (** deterministic exponential backoff (the default) *)
+  | Decorrelated
+      (** decorrelated jitter: each delay is drawn uniformly from
+          [[base_delay, 3 * previous delay]], clamped to the policy's
+          [[base_delay, max_delay]] envelope.  Spreads simultaneous
+          retriers apart so they stop colliding on the same quorum round.
+          Needs the caller to pass [?rng] to {!run}; without one the
+          deterministic schedule is used. *)
+
 type policy = {
   max_attempts : int;  (** total tries, including the first (>= 1) *)
   base_delay : float;  (** backoff before the second attempt *)
@@ -22,6 +32,7 @@ type policy = {
   deadline : float;
       (** total virtual-time budget measured from the first attempt; a
           retry that would start beyond it is not issued *)
+  jitter : jitter;  (** randomisation of the backoff schedule *)
 }
 
 val no_retry : policy
@@ -36,6 +47,11 @@ val validate : policy -> (policy, string) result
 
 val backoff : policy -> attempt:int -> float
 (** Backoff scheduled after failed attempt number [attempt] (1-based). *)
+
+val backoff_jittered : policy -> rng:Random.State.t -> prev:float -> float
+(** One decorrelated-jitter delay given the previous delay (seed the chain
+    with [base_delay]).  Always within [[base_delay, max_delay]] whatever
+    [rng] draws — the property the unit tests pin down. *)
 
 (** {1 Degradation statistics} *)
 
@@ -92,11 +108,14 @@ val run :
   policy ->
   engine:Sim.Engine.t ->
   stats:stats ->
+  ?rng:Random.State.t ->
   ?retryable:(Types.failure_reason -> bool) ->
   (attempt:int -> ('a, Types.failure_reason) result) ->
   ('a, Types.failure_reason) result
 (** [run policy ~engine ~stats f] calls [f ~attempt:1], and on a retryable
     error backs off (driving [engine] forward by the delay) and tries
     again, up to the policy's attempt and deadline bounds.  Returns the
-    first success or the last error.  Raises [Invalid_argument] on an
-    invalid policy. *)
+    first success or the last error.  With [jitter = Decorrelated] and an
+    [rng], delays follow the decorrelated-jitter chain; otherwise the
+    deterministic schedule (so existing callers are bit-identical).
+    Raises [Invalid_argument] on an invalid policy. *)

@@ -3,12 +3,19 @@ module Int_set = Types.Int_set
 
 type site = {
   id : int;
+  durable : Blockdev.Durable_store.t;
   store : Blockdev.Store.t;
   mutable state : Types.site_state;
   mutable w : Types.Int_set.t;
   cache : Wire.site_info option array;
   mutable repairing : bool;
 }
+
+(* Journaled-metadata key under which a site's was-available set lives on
+   disk; its registered default (everyone) is the conservative fallback a
+   scrub restores after a torn metadata write — a too-large W only widens
+   the closure a recovery waits for, never fabricates availability. *)
+let w_meta_key = "w"
 
 type outcome = Complete | Timeout | Aborted
 
@@ -49,13 +56,17 @@ let create (config : Config.t) =
       ~rng:(Util.Prng.split rng) ~n_sites:config.n_sites
   in
   let make_site id =
+    let durable = Blockdev.Durable_store.create ~capacity:config.n_blocks in
+    let everyone = List.init config.n_sites Fun.id in
+    Blockdev.Durable_store.set_meta_default durable w_meta_key everyone;
     {
       id;
-      store = Blockdev.Store.create ~capacity:config.n_blocks;
+      durable;
+      store = Blockdev.Durable_store.store durable;
       state = Types.Available;
       (* Everyone holds version 0 of every block, so initially every site
          "received the most recent write". *)
-      w = Int_set.of_list (List.init config.n_sites Fun.id);
+      w = Int_set.of_list everyone;
       cache = Array.make config.n_sites None;
       repairing = false;
     }
@@ -161,9 +172,15 @@ let abort_rounds_of t coordinator =
   in
   List.iter (fun rid -> finish_round t rid Aborted) to_abort
 
+let set_w t i w =
+  let s = site t i in
+  s.w <- w;
+  Blockdev.Durable_store.set_meta s.durable w_meta_key (Int_set.elements w)
+
 let fail_site t i =
   let s = site t i in
   if s.state <> Types.Failed then begin
+    Blockdev.Durable_store.crash s.durable;
     Transport.set_up t.net i false;
     Array.fill s.cache 0 (Array.length s.cache) None;
     s.repairing <- false;
@@ -174,6 +191,12 @@ let fail_site t i =
 let repair_site t i on_repair =
   let s = site t i in
   if s.state = Types.Failed then begin
+    (* Power back on: integrity pass over the journal before the protocol
+       sees the disk, then reload the disk-resident metadata mirror. *)
+    ignore (Blockdev.Durable_store.scrub s.durable : Blockdev.Durable_store.scrub_report);
+    (match Blockdev.Durable_store.get_meta s.durable w_meta_key with
+    | Some ids -> s.w <- Int_set.of_list ids
+    | None -> ());
     Transport.set_up t.net i true;
     on_repair s
   end

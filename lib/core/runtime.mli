@@ -18,7 +18,13 @@ end
 
 type site = {
   id : int;
+  durable : Blockdev.Durable_store.t;
+      (** the site's disk, with checksums and intention journal; faults are
+          injected and scrubbed here *)
   store : Blockdev.Store.t;
+      (** [Durable_store.store durable] — the underlying block/version
+          arrays, for unchecked reads.  All writes must go through
+          [durable]. *)
   mutable state : Types.site_state;
   mutable w : Types.Int_set.t;
       (** was-available set; persistent across failures (kept on disk with
@@ -88,15 +94,23 @@ val round_active : t -> int -> bool
 
 (** {1 Failure injection} *)
 
+val set_w : t -> int -> Types.Int_set.t -> unit
+(** Update a site's was-available set, both the in-memory mirror and the
+    journaled on-disk copy (so a crash between a commit and this metadata
+    write is caught by the scrub, not silently survived). *)
+
 val fail_site : t -> int -> unit
-(** Fail-stop: the network stops delivering to and from the site, its
-    volatile state (peer cache, interests, in-flight rounds it coordinates)
-    is lost, and its protocol state becomes [Failed].  Store, version
-    numbers and was-available set survive, as on a disk.  No-op when
+(** Fail-stop: the durable store takes its crash (an armed torn write
+    fires here), the network stops delivering to and from the site, its
+    volatile state (peer cache, interests, in-flight rounds it
+    coordinates) is lost, and its protocol state becomes [Failed].  Store,
+    version numbers and was-available set survive on disk.  No-op when
     already failed. *)
 
 val repair_site : t -> int -> (site -> unit) -> unit
-(** Bring a failed site back up and run the protocol's [on_repair] hook
+(** Bring a failed site back up: run the durable store's recovery scrub
+    (replay/discard torn intentions, count quarantined blocks), reload the
+    was-available set from disk, then run the protocol's [on_repair] hook
     (which decides whether the site becomes comatose or immediately
     available).  No-op when the site is not failed. *)
 

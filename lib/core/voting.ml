@@ -1,4 +1,5 @@
 module Int_set = Types.Int_set
+module Durable = Blockdev.Durable_store
 
 type t = { rt : Runtime.t; quorum : Quorum.t; witnesses : Int_set.t }
 
@@ -10,9 +11,24 @@ let vote_of_reply block = function
       Some (from, version, weight)
   | _ -> None
 
+(* Votes carry the effective version: a quarantined copy claims 0 — it can
+   prove nothing — so it never wins a tally it could not serve. *)
 let local_vote t site_id block =
   let s = Runtime.site t.rt site_id in
-  (site_id, Blockdev.Store.version s.store block, Quorum.weight t.quorum site_id)
+  (site_id, Durable.effective_version s.durable block, Quorum.weight t.quorum site_id)
+
+(* Install an update carrying verified data: strictly newer versions as
+   always, and data at (or above) a quarantined block's version floor
+   repairs it in place.  Witnesses keep only the version number. *)
+let absorb t (s : Runtime.site) block version data =
+  if
+    version > Blockdev.Store.version s.store block
+    || ((not (Durable.checksum_ok s.durable block))
+       && version >= Blockdev.Store.version s.store block)
+  then
+    Durable.write s.durable block
+      (if is_witness t s.id then Blockdev.Block.zero else data)
+      ~version
 
 (* Highest version wins; prefer the local site on ties (free), then the
    lowest id (determinism). *)
@@ -44,8 +60,10 @@ let collect_votes t ~site_id ~block ~purpose ~k =
   Runtime.broadcast t.rt ~op:purpose ~from:site_id (Wire.Vote_request { rid; block; purpose })
 
 (* Pull the current copy from [source] and serve it, installing it locally
-   when the local site stores data (lazy per-block recovery). *)
-let pull_and_serve t ~site ~block ~source callback =
+   when the local site stores data (lazy per-block recovery).  The source
+   promised [min_version] in its vote; a transfer below that means its copy
+   rotted between vote and transfer, and must not be served as current. *)
+let pull_and_serve t ~site ~block ~source ~min_version callback =
   let s = Runtime.site t.rt site in
   let rid =
     Runtime.begin_round t.rt ~coordinator:site ~expected:(Int_set.singleton source)
@@ -61,13 +79,12 @@ let pull_and_serve t ~site ~block ~source callback =
                   | _ -> None)
                 replies )
           with
-          | (Runtime.Complete | Runtime.Timeout), Some (version, data) ->
-              if version > Blockdev.Store.version s.store block then
-                Blockdev.Store.write s.store block
-                  (if is_witness t site then Blockdev.Block.zero else data)
-                  ~version;
+          | (Runtime.Complete | Runtime.Timeout), Some (version, data)
+            when version >= min_version ->
+              absorb t s block version data;
               callback (Ok (data, version))
-          | _, None | Runtime.Aborted, _ -> callback (Error Types.Timed_out))
+          | (Runtime.Complete | Runtime.Timeout), Some _ | _, None | Runtime.Aborted, _ ->
+              callback (Error Types.Timed_out))
   in
   Runtime.send t.rt ~op:Net.Message.Read ~from:site ~dst:source (Wire.Block_request { rid; block })
 
@@ -95,7 +112,7 @@ let collect_batch_votes t ~site_id ~blocks ~purpose ~k =
               let s = Runtime.site t.rt site_id in
               let local =
                 ( site_id,
-                  List.map (fun b -> (b, Blockdev.Store.version s.store b)) blocks,
+                  List.map (fun b -> (b, Durable.effective_version s.durable b)) blocks,
                   Quorum.weight t.quorum site_id )
               in
               let remote =
@@ -150,7 +167,7 @@ let write_batch t ~site writes callback =
               List.map
                 (fun (block, data) ->
                   let version = batch_max_version votes block + 1 in
-                  Blockdev.Store.write s.store block
+                  Durable.write s.durable block
                     (if is_witness t site then Blockdev.Block.zero else data)
                     ~version;
                   (block, version, data))
@@ -187,17 +204,35 @@ let read_batch t ~site ~blocks callback =
                   | Some (_, best_version) when best_version < max_version ->
                       Error Types.Current_copy_unreachable
                   | Some (best_site, best_version) ->
-                      let local_version = Blockdev.Store.version s.store block in
-                      if (not (is_witness t site)) && local_version >= best_version then
-                        Ok (block, `Local)
-                      else Ok (block, `Pull best_site))
+                      let serve_local =
+                        (not (is_witness t site))
+                        &&
+                        match Durable.read_verified s.durable block with
+                        | Some (_, v) -> v >= best_version
+                        | None ->
+                            (* Quarantined local copy.  It can only have won
+                               the vote tie at effective version 0 (a rotted
+                               never-written block, nothing remote to pull):
+                               heal it with the zero block and serve that. *)
+                            best_site = site
+                            && best_version = 0
+                            &&
+                            (Durable.write s.durable block Blockdev.Block.zero ~version:0;
+                             true)
+                      in
+                      if serve_local then Ok (block, `Local)
+                      else Ok (block, `Pull (best_site, best_version)))
                 blocks
             in
             match List.find_map (function Error e -> Some e | Ok _ -> None) classified with
             | Some e -> callback (Error e)
             | None ->
                 let classified = List.filter_map Result.to_option classified in
-                let pulls = List.filter_map (function b, `Pull src -> Some (b, src) | _ -> None) classified in
+                let pulls =
+                  List.filter_map
+                    (function b, `Pull (src, v) -> Some (b, src, v) | _ -> None)
+                    classified
+                in
                 let fetched : (Blockdev.Block.id, Blockdev.Block.t * int) Hashtbl.t =
                   Hashtbl.create (List.length pulls)
                 in
@@ -214,10 +249,13 @@ let read_batch t ~site ~blocks callback =
                 in
                 if pulls = [] then assemble ()
                 else begin
-                  (* One batch-request per distinct source. *)
+                  (* One batch-request per distinct source; remember the
+                     version each block's source promised in its vote. *)
+                  let required = Hashtbl.create (List.length pulls) in
+                  List.iter (fun (block, _, v) -> Hashtbl.replace required block v) pulls;
                   let by_source = Hashtbl.create 4 in
                   List.iter
-                    (fun (block, src) ->
+                    (fun (block, src, _) ->
                       let l = try Hashtbl.find by_source src with Not_found -> [] in
                       Hashtbl.replace by_source src (block :: l))
                     pulls;
@@ -252,11 +290,16 @@ let read_batch t ~site ~blocks callback =
                               | (Runtime.Complete | Runtime.Timeout), Some payloads ->
                                   List.iter
                                     (fun (block, version, data) ->
-                                      if version > Blockdev.Store.version s.store block then
-                                        Blockdev.Store.write s.store block
-                                          (if is_witness t site then Blockdev.Block.zero else data)
-                                          ~version;
-                                      Hashtbl.replace fetched block (data, version))
+                                      (* A payload below the version its
+                                         source voted means the copy rotted
+                                         between vote and transfer: install
+                                         nothing and leave the block
+                                         unfetched, failing the batch. *)
+                                      match Hashtbl.find_opt required block with
+                                      | Some v when version >= v ->
+                                          absorb t s block version data;
+                                          Hashtbl.replace fetched block (data, version)
+                                      | Some _ | None -> ())
                                     payloads;
                                   if List.exists (fun b -> not (Hashtbl.mem fetched b)) sblocks then
                                     failed := Some Types.Timed_out;
@@ -292,10 +335,23 @@ let read t ~site ~block callback =
                      site in the quorum holds it. *)
                   callback (Error Types.Current_copy_unreachable)
                 else begin
-                  let local_version = Blockdev.Store.version s.store block in
-                  if (not (is_witness t site)) && local_version >= best_data_version then
-                    callback (Ok (Blockdev.Store.read s.store block, local_version))
-                  else pull_and_serve t ~site ~block ~source:best_data_site callback
+                  match Durable.read_verified s.durable block with
+                  | Some (data, local_version)
+                    when (not (is_witness t site)) && local_version >= best_data_version ->
+                      callback (Ok (data, local_version))
+                  | Some _ | None ->
+                      if best_data_site <> site then
+                        pull_and_serve t ~site ~block ~source:best_data_site
+                          ~min_version:best_data_version callback
+                      else begin
+                        (* The local copy won the vote tie but cannot serve:
+                           it is quarantined at effective version 0 (so every
+                           data vote was 0 — a rotted never-written block).
+                           There is no remote copy to pull; heal it with the
+                           zero block it logically holds and serve that. *)
+                        Durable.write s.durable block Blockdev.Block.zero ~version:0;
+                        callback (Ok (Blockdev.Block.zero, 0))
+                      end
                 end)
           end)
 
@@ -311,7 +367,7 @@ let write t ~site ~block data callback =
           else begin
             let _, max_version, _ = best_vote site votes in
             let version = max_version + 1 in
-            Blockdev.Store.write s.store block
+            Durable.write s.durable block
               (if is_witness t site then Blockdev.Block.zero else data)
               ~version;
             Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
@@ -327,42 +383,36 @@ let handle t (s : Runtime.site) ~from msg =
            {
              rid;
              block;
-             version = Blockdev.Store.version s.store block;
+             version = Durable.effective_version s.durable block;
              weight = Quorum.weight t.quorum s.id;
              group_size = Quorum.n_sites t.quorum;
            })
   | Wire.Block_update { block; version; data; _ } ->
-      if version > Blockdev.Store.version s.store block then
-        (* Witnesses retain only the version number: the data they are
-           handed is dropped, which is their whole storage advantage. *)
-        Blockdev.Store.write s.store block
-          (if is_witness t s.id then Blockdev.Block.zero else data)
-          ~version
+      (* Witnesses retain only the version number: the data they are
+         handed is dropped, which is their whole storage advantage. *)
+      absorb t s block version data
   | Wire.Block_request { rid; block } ->
       (* Only data sites are ever asked, so serving unconditionally is
          safe; a witness replying zeroes would indicate a coordinator bug,
-         which the assert below would surface in tests. *)
+         which the assert below would surface in tests.  A quarantined
+         copy serves (0, zero) — it can prove nothing — and the requester
+         rejects the transfer against the version the vote promised. *)
       assert (not (is_witness t s.id));
+      let version = Durable.effective_version s.durable block in
+      let data = if version = 0 then Blockdev.Block.zero else Blockdev.Store.read s.store block in
       Runtime.send t.rt ~op:Net.Message.Read ~from:s.id ~dst:from
-        (Wire.Block_transfer
-           { rid; block; version = Blockdev.Store.version s.store block; data = Blockdev.Store.read s.store block })
+        (Wire.Block_transfer { rid; block; version; data })
   | Wire.Batch_vote_request { rid; blocks; purpose } ->
       Runtime.send t.rt ~op:purpose ~from:s.id ~dst:from
         (Wire.Batch_vote_reply
            {
              rid;
-             votes = List.map (fun b -> (b, Blockdev.Store.version s.store b)) blocks;
+             votes = List.map (fun b -> (b, Durable.effective_version s.durable b)) blocks;
              weight = Quorum.weight t.quorum s.id;
              group_size = Quorum.n_sites t.quorum;
            })
   | Wire.Batch_update { writes; _ } ->
-      List.iter
-        (fun (block, version, data) ->
-          if version > Blockdev.Store.version s.store block then
-            Blockdev.Store.write s.store block
-              (if is_witness t s.id then Blockdev.Block.zero else data)
-              ~version)
-        writes
+      List.iter (fun (block, version, data) -> absorb t s block version data) writes
   | Wire.Batch_request { rid; blocks } ->
       assert (not (is_witness t s.id));
       Runtime.send t.rt ~op:Net.Message.Read ~from:s.id ~dst:from
@@ -371,7 +421,12 @@ let handle t (s : Runtime.site) ~from msg =
              rid;
              payloads =
                List.map
-                 (fun b -> (b, Blockdev.Store.version s.store b, Blockdev.Store.read s.store b))
+                 (fun b ->
+                   let version = Durable.effective_version s.durable b in
+                   let data =
+                     if version = 0 then Blockdev.Block.zero else Blockdev.Store.read s.store b
+                   in
+                   (b, version, data))
                  blocks;
            })
   | Wire.Vote_reply { rid; _ } | Wire.Block_transfer { rid; _ }
@@ -411,13 +466,14 @@ let quorum_up t =
     for block = 0 to n_blocks - 1 do
       let global_max =
         Array.fold_left
-          (fun acc (s : Runtime.site) -> Int.max acc (Blockdev.Store.version s.store block))
+          (fun acc (s : Runtime.site) -> Int.max acc (Durable.effective_version s.durable block))
           0 sites
       in
       let current_data_up =
         List.exists
           (fun i ->
-            (not (is_witness t i)) && Blockdev.Store.version sites.(i).store block = global_max)
+            (not (is_witness t i))
+            && Durable.effective_version sites.(i).durable block = global_max)
           up
       in
       if not current_data_up then ok := false

@@ -41,10 +41,14 @@ let to_string = function
 
 let pp ppf c = Format.pp_print_string ppf (to_string c)
 
-type operation = Read | Write | Recovery
+type operation = Read | Write | Recovery | Repair
 
-let operation_to_string = function Read -> "read" | Write -> "write" | Recovery -> "recovery"
+let operation_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Recovery -> "recovery"
+  | Repair -> "repair"
 
-let all_operations = [ Read; Write; Recovery ]
+let all_operations = [ Read; Write; Recovery; Repair ]
 
 let pp_operation ppf o = Format.pp_print_string ppf (operation_to_string o)

@@ -26,8 +26,12 @@ val to_string : category -> string
 val pp : Format.formatter -> category -> unit
 
 (** The operation on whose behalf a transmission was sent, for the per-class
-    breakdowns of Figures 11 and 12. *)
-type operation = Read | Write | Recovery
+    breakdowns of Figures 11 and 12.  [Repair] is outside the paper's
+    taxonomy: it tags steady-state peer read-repair of a checksum-invalid
+    block, so the robustness tax of an honest storage model is accounted
+    separately from the Section 5 categories (its cells stay zero when no
+    media faults are injected). *)
+type operation = Read | Write | Recovery | Repair
 
 val operation_to_string : operation -> string
 val all_operations : operation list

@@ -11,7 +11,11 @@ let category_index = function
   | Message.Version_vector_reply -> 9
   | Message.Was_available_update -> 10
 
-let operation_index = function Message.Read -> 0 | Message.Write -> 1 | Message.Recovery -> 2
+let operation_index = function
+  | Message.Read -> 0
+  | Message.Write -> 1
+  | Message.Recovery -> 2
+  | Message.Repair -> 3
 
 let n_categories = List.length Message.all
 let n_operations = List.length Message.all_operations

@@ -6,6 +6,7 @@ type row = {
   ops_ok : int;
   ops_failed : int;
   faults : int;
+  storage_faults : int;
 }
 
 let row_of_sweep ~label (r : Check.Chaos.sweep_result) =
@@ -18,15 +19,16 @@ let row_of_sweep ~label (r : Check.Chaos.sweep_result) =
     ops_ok = fold (fun s -> s.run_ops_ok);
     ops_failed = fold (fun s -> s.run_ops_failed);
     faults = fold (fun s -> s.run_faults);
+    storage_faults = fold (fun s -> s.run_storage_faults);
   }
 
 let header =
-  Printf.sprintf "%-22s %6s %8s %11s %8s %8s %8s %8s" "environment" "seeds" "failing" "violations"
-    "ops-ok" "ops-fail" "faults" "verdict"
+  Printf.sprintf "%-22s %6s %8s %11s %8s %8s %8s %8s %8s" "environment" "seeds" "failing"
+    "violations" "ops-ok" "ops-fail" "faults" "media" "verdict"
 
 let print_row ppf r =
-  Format.fprintf ppf "%-22s %6d %8d %11d %8d %8d %8d %8s" r.label r.seeds r.failing r.violations
-    r.ops_ok r.ops_failed r.faults
+  Format.fprintf ppf "%-22s %6d %8d %11d %8d %8d %8d %8d %8s" r.label r.seeds r.failing r.violations
+    r.ops_ok r.ops_failed r.faults r.storage_faults
     (if r.failing = 0 then "PASS" else "FAIL")
 
 let print ppf rows =
@@ -34,11 +36,11 @@ let print ppf rows =
   List.iter (fun r -> Format.fprintf ppf "%a@," print_row r) rows;
   Format.fprintf ppf "@]"
 
-let csv_header = "environment,seeds,failing,violations,ops_ok,ops_failed,faults"
+let csv_header = "environment,seeds,failing,violations,ops_ok,ops_failed,faults,storage_faults"
 
 let csv_row r =
-  Printf.sprintf "%s,%d,%d,%d,%d,%d,%d" r.label r.seeds r.failing r.violations r.ops_ok r.ops_failed
-    r.faults
+  Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d" r.label r.seeds r.failing r.violations r.ops_ok
+    r.ops_failed r.faults r.storage_faults
 
 let csv_rows rows = csv_header :: List.map csv_row rows
 

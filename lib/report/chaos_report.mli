@@ -10,6 +10,9 @@ type row = {
   ops_ok : int;
   ops_failed : int;
   faults : int;  (** message faults injected across the sweep *)
+  storage_faults : int;
+      (** media faults injected across the sweep: torn writes + bitrot +
+          disk replacements *)
 }
 
 val row_of_sweep : label:string -> Check.Chaos.sweep_result -> row

@@ -3,6 +3,9 @@ type action =
   | Repair of int
   | Partition of int list list
   | Heal
+  | Crash_torn of int
+  | Bitrot of int * int
+  | Disk_replace of int
   | Write of int * int * string
   | Read of int * int
   | Expect_read of int * int * string
@@ -109,6 +112,16 @@ let parse_action ~line words =
       let* groups = parse_groups ~line rest in
       Ok (Partition groups)
   | [ "heal" ] -> Ok Heal
+  | [ "crash-torn"; s ] ->
+      let* s = parse_int ~line "site" s in
+      Ok (Crash_torn s)
+  | [ "bitrot"; s; b ] ->
+      let* s = parse_int ~line "site" s in
+      let* b = parse_int ~line "block" b in
+      Ok (Bitrot (s, b))
+  | [ "disk-replace"; s ] ->
+      let* s = parse_int ~line "site" s in
+      Ok (Disk_replace s)
   | [ "write"; s; b; payload ] ->
       let* s = parse_int ~line "site" s in
       let* b = parse_int ~line "block" b in
@@ -281,6 +294,13 @@ let run t =
     | Repair s -> Blockrep.Cluster.repair_site cluster s
     | Partition groups -> Blockrep.Cluster.partition cluster groups
     | Heal -> Blockrep.Cluster.heal cluster
+    | Crash_torn s ->
+        (* Arm the tear, then crash: the site's most recent journaled write
+           is left garbled on the platter for the recovery scrub to replay. *)
+        Blockrep.Cluster.arm_torn_write cluster s;
+        Blockrep.Cluster.fail_site cluster s
+    | Bitrot (site, block) -> Blockrep.Cluster.inject_bitrot cluster ~site ~block
+    | Disk_replace s -> Blockrep.Cluster.replace_disk cluster s
     | Write (site, block, payload) ->
         Blockrep.Cluster.write cluster ~site ~block (Blockdev.Block.of_string payload) (function
           | Ok _ -> ()

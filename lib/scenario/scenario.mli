@@ -31,6 +31,11 @@
     @20   repair 1
     @25   partition 0 1 | 2
     @30   heal
+    @40   crash-torn 1              # fail site 1, tearing its last write
+                                    # (the recovery scrub replays it)
+    @45   bitrot 2 3                # silently rot site 2's copy of block 3
+    @50   disk-replace 1            # swap site 1's disk for a blank one
+                                    # (fails the site; repair rebuilds it)
     @90   expect-state 1 available
     @95   expect-available true
     @99   expect-consistent       # available stores agree

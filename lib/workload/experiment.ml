@@ -134,6 +134,88 @@ let measure_batch_amortization ~scheme ~n_sites ~env ~batch ?(groups = 100) ?(se
     wall_clock_per_block = elapsed /. float_of_int blocks;
   }
 
+type repair_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  ops : int;
+  bitrot_injected : int;
+  repaired_blocks : int;
+  scrub_replayed : int;
+  repair_messages : int;
+  repair_bytes : int;
+  total_messages : int;
+  repair_overhead : float;
+}
+
+(* Scrub/repair cost: run a closed-loop workload while latent bitrot lands
+   on rotating replicas, then read every block back from every site so any
+   copy still quarantined gets healed.  The healing traffic is exactly the
+   Repair-operation cells of the traffic matrix (a category invented for
+   this purpose — zero in any fault-free run), so the overhead is directly
+   the paper-style message count of defending against media decay. *)
+let measure_repair_cost ~scheme ~n_sites ?(ops = 400) ?(rot_every = 10) ?(seed = 17) () =
+  if rot_every <= 0 then invalid_arg "Experiment.measure_repair_cost: rot_every must be positive";
+  let n_blocks = 16 in
+  let config = Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks ~seed () in
+  let cluster = Blockrep.Cluster.create config in
+  let gen =
+    Access_gen.create ~rng:(Util.Prng.create (seed + 1)) ~n_blocks ~reads_per_write:2.0 ()
+  in
+  let rot_rng = Util.Prng.create (seed lxor 0x726f74) in
+  let try_rot () =
+    (* Only maskable faults: the victim's copy must be verified and some
+       other mounted site must hold a verified copy at least as new. *)
+    let victim = Util.Prng.int rot_rng n_sites in
+    let block = Util.Prng.int rot_rng n_blocks in
+    let covered =
+      Blockrep.Cluster.checksum_ok cluster ~site:victim ~block
+      &&
+      let v = Blockrep.Cluster.effective_version cluster ~site:victim ~block in
+      let rec check j =
+        j < n_sites
+        && ((j <> victim
+            && Blockrep.Cluster.checksum_ok cluster ~site:j ~block
+            && Blockrep.Cluster.effective_version cluster ~site:j ~block >= v)
+           || check (j + 1))
+      in
+      check 0
+    in
+    if covered then Blockrep.Cluster.inject_bitrot cluster ~site:victim ~block
+  in
+  for i = 1 to ops do
+    let site = i mod n_sites in
+    (match Access_gen.next gen with
+    | Access_gen.Read block -> ignore (Blockrep.Cluster.read_sync cluster ~site ~block)
+    | Access_gen.Write (block, data) ->
+        ignore (Blockrep.Cluster.write_sync cluster ~site ~block data));
+    if i mod rot_every = 0 then try_rot ()
+  done;
+  (* Heal the tail: probe every copy so nothing stays quarantined. *)
+  for site = 0 to n_sites - 1 do
+    for block = 0 to n_blocks - 1 do
+      ignore (Blockrep.Cluster.read_sync cluster ~site ~block)
+    done
+  done;
+  Blockrep.Cluster.settle cluster;
+  let traffic = Blockrep.Cluster.traffic cluster in
+  let counters = Blockrep.Cluster.storage_counters cluster in
+  let repair_messages = Net.Traffic.by_operation traffic Net.Message.Repair in
+  let total_messages = Net.Traffic.total traffic in
+  {
+    scheme;
+    n_sites;
+    ops;
+    bitrot_injected = counters.Blockdev.Durable_store.bitrot_injected;
+    repaired_blocks = counters.Blockdev.Durable_store.repaired_blocks;
+    scrub_replayed = counters.Blockdev.Durable_store.scrub_replayed;
+    repair_messages;
+    repair_bytes = Net.Traffic.bytes_by_operation traffic Net.Message.Repair;
+    total_messages;
+    repair_overhead =
+      (if total_messages = 0 then 0.0
+       else float_of_int repair_messages /. float_of_int total_messages);
+  }
+
 type degradation_sample = {
   scheme : Blockrep.Types.scheme;
   n_sites : int;

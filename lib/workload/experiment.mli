@@ -98,6 +98,35 @@ val measure_batch_amortization :
     roughly as 1/k while bytes per block stay nearly flat (the payloads
     still have to travel). *)
 
+type repair_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  ops : int;
+  bitrot_injected : int;  (** maskable latent faults that actually landed *)
+  repaired_blocks : int;  (** quarantined copies healed from a peer *)
+  scrub_replayed : int;  (** torn applies replayed from the journal *)
+  repair_messages : int;  (** Repair-operation transmissions *)
+  repair_bytes : int;
+  total_messages : int;  (** all transmissions in the run *)
+  repair_overhead : float;  (** [repair_messages / total_messages] *)
+}
+
+val measure_repair_cost :
+  scheme:Blockrep.Types.scheme ->
+  n_sites:int ->
+  ?ops:int ->
+  ?rot_every:int ->
+  ?seed:int ->
+  unit ->
+  repair_sample
+(** Closed-loop run of [ops] operations (default 400) at a 2:1 read:write
+    mix with a seeded bitrot injection every [rot_every] operations
+    (default 10) on a rotating, always-maskable victim, followed by a full
+    readback of every copy so nothing stays quarantined.  The Repair cells
+    of the traffic matrix are exactly the peer read-repair cost of
+    surviving the decay — zero in a fault-free run, so the overhead column
+    is the marginal price of the storage fault model. *)
+
 type degradation_sample = {
   scheme : Blockrep.Types.scheme;
   n_sites : int;

@@ -156,6 +156,42 @@ let test_store_apply_ignores_stale () =
   Alcotest.(check int) "kept newer" 5 (Store.version s 0);
   Alcotest.(check bool) "content kept" true (Block.equal (Store.read s 0) (Block.of_string "new"))
 
+let test_store_transfer_roundtrip_idempotent () =
+  let a = Store.create ~capacity:6 and b = Store.create ~capacity:6 in
+  Store.write a 0 (Block.of_string "zero") ~version:3;
+  Store.write a 2 (Block.of_string "two") ~version:1;
+  Store.write a 5 (Block.of_string "five") ~version:2;
+  Store.write b 2 (Block.of_string "old-two") ~version:1 (* equal version: stays *);
+  Store.write b 4 (Block.of_string "mine") ~version:7 (* b-only: untouched *);
+  let updates = Store.blocks_newer_than a (Store.versions b) in
+  Store.apply_updates b updates;
+  Alcotest.(check int) "b caught up on 0" 3 (Store.version b 0);
+  Alcotest.(check int) "b caught up on 5" 2 (Store.version b 5);
+  Alcotest.(check bool) "equal-version block untouched" true
+    (Block.equal (Store.read b 2) (Block.of_string "old-two"));
+  Alcotest.(check int) "b-only block untouched" 7 (Store.version b 4);
+  (* Round trip is now dry in both directions... *)
+  Alcotest.(check int) "a->b dry" 0 (List.length (Store.blocks_newer_than a (Store.versions b)));
+  (* ...and replaying the same transfer set is a no-op (idempotent). *)
+  let snapshot = Array.init 6 (Store.version b) in
+  Store.apply_updates b updates;
+  Alcotest.(check bool) "replay is a no-op" true
+    (Array.for_all Fun.id (Array.init 6 (fun k -> Store.version b k = snapshot.(k))))
+
+let test_store_blank_disk_full_transfer () =
+  (* The fresh-replica case: a blank disk's version vector is all zeros,
+     so the transfer set is exactly every block ever written and a single
+     application converges the replica. *)
+  let a = Store.create ~capacity:8 and blank = Store.create ~capacity:8 in
+  List.iter
+    (fun (k, v) -> Store.write a k (Block.of_string (Printf.sprintf "blk%d" k)) ~version:v)
+    [ (0, 2); (1, 1); (3, 4); (7, 1) ];
+  let updates = Store.blocks_newer_than a (Store.versions blank) in
+  Alcotest.(check (list int)) "every written block ships" [ 0; 1; 3; 7 ]
+    (List.sort compare (List.map (fun (k, _, _) -> k) updates));
+  Store.apply_updates blank updates;
+  Alcotest.(check bool) "replica converged" true (Store.equal_contents a blank)
+
 let test_store_equal_contents () =
   let a = Store.create ~capacity:2 and b = Store.create ~capacity:2 in
   Alcotest.(check bool) "fresh stores equal" true (Store.equal_contents a b);
@@ -193,6 +229,42 @@ let test_mem_device_fail_revive () =
   | Some b -> Alcotest.(check bool) "data survives" true (Block.equal b (Block.of_string "kept"))
   | None -> Alcotest.fail "revive failed"
 
+let test_mem_device_bitrot_is_fatal () =
+  let d = Blockdev.Mem_device.create ~capacity:4 in
+  ignore (Blockdev.Mem_device.write_block d 2 (Block.of_string "precious"));
+  Blockdev.Mem_device.inject_bitrot d 2;
+  Alcotest.(check bool) "checksum broken" false (Blockdev.Mem_device.checksum_ok d 2);
+  (* One disk, one copy: a rotten sector is a failed read, not a repair. *)
+  Alcotest.(check bool) "rotten sector unreadable" true (Blockdev.Mem_device.read_block d 2 = None);
+  Alcotest.(check bool) "other blocks unaffected" true (Blockdev.Mem_device.read_block d 0 <> None);
+  Alcotest.(check int) "no peer, no repair" 0
+    (Blockdev.Mem_device.storage_counters d).Blockdev.Durable_store.repaired_blocks;
+  (* A fresh write supersedes the rot. *)
+  ignore (Blockdev.Mem_device.write_block d 2 (Block.of_string "rewritten"));
+  Alcotest.(check bool) "rewrite heals" true (Blockdev.Mem_device.read_block d 2 <> None)
+
+let test_mem_device_torn_write_scrubbed () =
+  let d = Blockdev.Mem_device.create ~capacity:4 in
+  ignore (Blockdev.Mem_device.write_block d 1 (Block.of_string "acked"));
+  Blockdev.Mem_device.arm_torn_write d;
+  Blockdev.Mem_device.fail d (* the crash fires the armed tear *);
+  Blockdev.Mem_device.revive d (* power-on scrub replays the journal *);
+  (match Blockdev.Mem_device.read_block d 1 with
+  | Some b ->
+      Alcotest.(check bool) "acknowledged write survives the tear" true
+        (Block.equal b (Block.of_string "acked"))
+  | None -> Alcotest.fail "torn write not replayed");
+  Alcotest.(check int) "tear counted" 1
+    (Blockdev.Mem_device.storage_counters d).Blockdev.Durable_store.torn_writes
+
+let test_mem_device_replace_disk () =
+  let d = Blockdev.Mem_device.create ~capacity:4 in
+  ignore (Blockdev.Mem_device.write_block d 0 (Block.of_string "gone"));
+  Blockdev.Mem_device.replace_disk d;
+  match Blockdev.Mem_device.read_block d 0 with
+  | Some b -> Alcotest.(check bool) "blank medium reads zeroes" true (Block.equal b Block.zero)
+  | None -> Alcotest.fail "replaced disk should serve blank blocks"
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -215,6 +287,27 @@ let prop_stale_blocks_sound =
       List.for_all (fun k -> Vv.get theirs k > Vv.get mine k) stale
       && List.length stale
          = List.length (List.filteri (fun i x -> List.nth ys i > x) xs))
+
+let prop_transfer_roundtrip_idempotent =
+  QCheck.Test.make ~name:"blocks_newer_than/apply_updates round trip converges and is idempotent"
+    ~count:200
+    QCheck.(
+      pair (list_of_size (Gen.return 4) (int_range 0 6)) (list_of_size (Gen.return 4) (int_range 0 6)))
+    (fun (xs, ys) ->
+      let a = Store.create ~capacity:4 and b = Store.create ~capacity:4 in
+      let plant s tag =
+        List.iteri (fun k v ->
+            if v > 0 then Store.write s k (Block.of_string (Printf.sprintf "%s%d.%d" tag k v)) ~version:v)
+      in
+      plant a "a" xs;
+      plant b "b" ys;
+      let updates = Store.blocks_newer_than a (Store.versions b) in
+      Store.apply_updates b updates;
+      Store.blocks_newer_than a (Store.versions b) = []
+      &&
+      let snap = Array.init 4 (Store.version b) in
+      Store.apply_updates b updates;
+      Array.for_all Fun.id (Array.init 4 (fun k -> Store.version b k = snap.(k))))
 
 let prop_apply_updates_monotone =
   QCheck.Test.make ~name:"apply_updates never lowers a version" ~count:200
@@ -261,7 +354,11 @@ let () =
           Alcotest.test_case "versions snapshot" `Quick test_store_versions_snapshot;
           Alcotest.test_case "newer-than and apply" `Quick test_store_newer_than_and_apply;
           Alcotest.test_case "apply ignores stale" `Quick test_store_apply_ignores_stale;
+          Alcotest.test_case "transfer round trip idempotent" `Quick
+            test_store_transfer_roundtrip_idempotent;
+          Alcotest.test_case "blank-disk full transfer" `Quick test_store_blank_disk_full_transfer;
           Alcotest.test_case "equal contents" `Quick test_store_equal_contents;
+          QCheck_alcotest.to_alcotest prop_transfer_roundtrip_idempotent;
           QCheck_alcotest.to_alcotest prop_apply_updates_monotone;
         ] );
       ( "mem-device",
@@ -269,5 +366,8 @@ let () =
           Alcotest.test_case "read/write" `Quick test_mem_device_rw;
           Alcotest.test_case "bounds" `Quick test_mem_device_bounds;
           Alcotest.test_case "fail/revive" `Quick test_mem_device_fail_revive;
+          Alcotest.test_case "bitrot is fatal" `Quick test_mem_device_bitrot_is_fatal;
+          Alcotest.test_case "torn write scrubbed" `Quick test_mem_device_torn_write_scrubbed;
+          Alcotest.test_case "disk replacement" `Quick test_mem_device_replace_disk;
         ] );
     ]

@@ -166,7 +166,9 @@ let test_invariant_detects_divergence () =
   Cluster.settle cluster;
   let rt = Cluster.runtime cluster in
   let s2 = Blockrep.Runtime.site rt 2 in
-  Blockdev.Store.write s2.store 0 (block "planted") ~version:9;
+  (* Through the durable layer, so the planted copy carries a valid
+     checksum — a raw store write would be quarantined and excused. *)
+  Blockdev.Durable_store.write s2.durable 0 (block "planted") ~version:9;
   let cs = codes (Invariant.scan cluster) in
   Alcotest.(check bool) "stale copies flagged" true (List.mem "stale-available-copy" cs)
 
@@ -182,7 +184,7 @@ let test_invariant_voting_quorum_stale () =
   Cluster.fail_site cluster 0;
   let rt = Cluster.runtime cluster in
   let s0 = Blockrep.Runtime.site rt 0 in
-  Blockdev.Store.write s0.store 0 (block "hidden") ~version:9;
+  Blockdev.Durable_store.write s0.durable 0 (block "hidden") ~version:9;
   let cs = codes (Invariant.scan cluster) in
   Alcotest.(check (list string)) "stale quorum flagged" [ "quorum-stale" ] cs
 
@@ -239,6 +241,47 @@ let test_sweep_voting () = sweep_clean Types.Voting
 let test_sweep_ac () = sweep_clean Types.Available_copy
 let test_sweep_nac () = sweep_clean Types.Naive_available_copy
 let test_sweep_dynamic () = sweep_clean Types.Dynamic_voting
+
+(* Storage-fault envelope: torn writes at crash boundaries, maskable
+   bitrot and disk replacement on top of each scheme's supported failure
+   envelope.  One-copy consistency must survive all of it — every
+   quarantined copy gets healed from a peer before it can be served. *)
+let media_sweep_clean scheme =
+  let env = Chaos.media_env scheme in
+  let sweep = Chaos.sweep ~shrink_failures:false env ~seeds:(List.init 6 (fun i -> i + 1)) in
+  Alcotest.(check (list int))
+    (Types.scheme_to_string scheme ^ " media envelope clean")
+    [] sweep.Chaos.failing;
+  (* the sweep must actually have injected storage faults *)
+  let faults =
+    List.fold_left
+      (fun acc (s : Chaos.run_summary) -> acc + s.Chaos.run_storage_faults)
+      0 sweep.Chaos.summaries
+  in
+  Alcotest.(check bool) "storage faults injected" true (faults > 0)
+
+let test_media_sweep_voting () = media_sweep_clean Types.Voting
+let test_media_sweep_ac () = media_sweep_clean Types.Available_copy
+let test_media_sweep_nac () = media_sweep_clean Types.Naive_available_copy
+let test_media_sweep_dynamic () = media_sweep_clean Types.Dynamic_voting
+
+let test_media_schedule_roundtrip () =
+  let env = Chaos.media_env Types.Available_copy in
+  let schedule = Chaos.generate_schedule env in
+  let has p = List.exists (fun (_, e) -> p e) schedule in
+  Alcotest.(check bool) "crash-torn events generated" true
+    (has (function Chaos.Crash_torn _ -> true | _ -> false));
+  Alcotest.(check bool) "bitrot events generated" true
+    (has (function Chaos.Bitrot _ -> true | _ -> false));
+  match Chaos.schedule_of_string (Chaos.schedule_to_string schedule) with
+  | Error e -> Alcotest.failf "media roundtrip failed: %s" e
+  | Ok parsed ->
+      Alcotest.(check int) "same length" (List.length schedule) (List.length parsed);
+      List.iter2
+        (fun (t1, e1) (t2, e2) ->
+          Alcotest.(check (float 1e-4)) "time" t1 t2;
+          Alcotest.(check bool) "event" true (e1 = e2))
+        schedule parsed
 
 let test_voting_window_caught () =
   (* Outside the envelope: voting under site failures must be caught by
@@ -358,6 +401,11 @@ let () =
           Alcotest.test_case "sweep available-copy" `Slow test_sweep_ac;
           Alcotest.test_case "sweep naive" `Slow test_sweep_nac;
           Alcotest.test_case "sweep dynamic" `Slow test_sweep_dynamic;
+          Alcotest.test_case "media schedule roundtrip" `Quick test_media_schedule_roundtrip;
+          Alcotest.test_case "media sweep voting" `Slow test_media_sweep_voting;
+          Alcotest.test_case "media sweep available-copy" `Slow test_media_sweep_ac;
+          Alcotest.test_case "media sweep naive" `Slow test_media_sweep_nac;
+          Alcotest.test_case "media sweep dynamic" `Slow test_media_sweep_dynamic;
           Alcotest.test_case "voting window caught" `Slow test_voting_window_caught;
           Alcotest.test_case "weakened quorum caught" `Slow test_weakened_quorum_caught;
           Alcotest.test_case "drops break NAC" `Quick test_drops_caught_or_survived;

@@ -147,6 +147,69 @@ let test_backoff_schedule () =
   | Ok _ -> Alcotest.fail "zero attempts accepted"
   | Error _ -> ()
 
+let test_jitter_bounds () =
+  let p = { (Retry.default_policy ~unit:1.0 ()) with jitter = Retry.Decorrelated } in
+  let rng = Random.State.make [| 42 |] in
+  (* Seed of the chain: previous delay = base_delay. *)
+  let d1 = Retry.backoff_jittered p ~rng ~prev:p.Retry.base_delay in
+  Alcotest.(check bool) "first draw >= base" true (d1 >= p.Retry.base_delay);
+  Alcotest.(check bool) "first draw <= 3*base" true (d1 <= 3.0 *. p.Retry.base_delay);
+  (* A huge previous delay is clamped to the policy envelope. *)
+  let d2 = Retry.backoff_jittered p ~rng ~prev:1_000_000.0 in
+  Alcotest.(check bool) "clamped below max" true (d2 <= p.Retry.max_delay);
+  (* A degenerate previous delay still respects the floor. *)
+  let d3 = Retry.backoff_jittered p ~rng ~prev:0.0 in
+  Alcotest.(check (float 1e-9)) "floor when prev collapses" p.Retry.base_delay d3
+
+let prop_jitter_preserves_bounds =
+  (* The decorrelated-jitter satellite's contract: whatever the rng draws
+     and wherever the chain has wandered, every delay stays within the
+     policy's [base_delay, max_delay] envelope. *)
+  QCheck.Test.make ~name:"decorrelated jitter stays within [base_delay, max_delay]" ~count:500
+    QCheck.(pair (int_range 0 10_000) (float_bound_exclusive 200.0))
+    (fun (seed, prev) ->
+      let p = { (Retry.default_policy ~unit:1.0 ()) with jitter = Retry.Decorrelated } in
+      let rng = Random.State.make [| seed |] in
+      let d = Retry.backoff_jittered p ~rng ~prev in
+      d >= p.Retry.base_delay && d <= p.Retry.max_delay)
+
+let test_jitter_chain_in_run () =
+  (* A failing operation under Decorrelated jitter: the slept virtual time
+     is bounded by the same envelope, per retry, and the run is
+     deterministic in the rng seed. *)
+  let total_slept seed =
+    let engine = Sim.Engine.create () in
+    let stats = Retry.create_stats () in
+    let p =
+      { (Retry.default_policy ~unit:1.0 ()) with Retry.jitter = Retry.Decorrelated }
+    in
+    let rng = Random.State.make [| seed |] in
+    ignore (Retry.run p ~engine ~stats ~rng (fun ~attempt:_ -> Error Types.No_quorum));
+    (Retry.attempts stats, Sim.Engine.now engine)
+  in
+  let attempts, slept = total_slept 7 in
+  let retries = attempts - 1 in
+  Alcotest.(check bool) "at least base per retry" true (slept >= float_of_int retries *. 1.0);
+  Alcotest.(check bool) "at most max per retry" true (slept <= float_of_int retries *. 16.0);
+  let _, slept' = total_slept 7 in
+  Alcotest.(check (float 1e-9)) "deterministic in the seed" slept slept'
+
+let test_jitter_off_is_bit_identical () =
+  (* Default-off: passing an rng without opting into Decorrelated jitter
+     must not perturb the deterministic schedule. *)
+  let run_with rng =
+    let engine = Sim.Engine.create () in
+    let stats = Retry.create_stats () in
+    let p = Retry.default_policy ~unit:1.0 () in
+    ignore
+      (Retry.run p ~engine ~stats ?rng (fun ~attempt ->
+           if attempt < 3 then Error Types.No_quorum else Ok ()));
+    Sim.Engine.now engine
+  in
+  Alcotest.(check (float 1e-9))
+    "No_jitter ignores the rng" (run_with None)
+    (run_with (Some (Random.State.make [| 99 |])))
+
 let test_retry_recovers_and_advances_time () =
   let engine = Sim.Engine.create () in
   let stats = Retry.create_stats () in
@@ -182,7 +245,14 @@ let test_retry_deadline () =
   let engine = Sim.Engine.create () in
   let stats = Retry.create_stats () in
   let p =
-    { Retry.max_attempts = 10; base_delay = 10.0; multiplier = 2.0; max_delay = 80.0; deadline = 5.0 }
+    {
+      Retry.max_attempts = 10;
+      base_delay = 10.0;
+      multiplier = 2.0;
+      max_delay = 80.0;
+      deadline = 5.0;
+      jitter = Retry.No_jitter;
+    }
   in
   let result = Retry.run p ~engine ~stats (fun ~attempt:_ -> Error Types.No_quorum) in
   Alcotest.(check bool) "error surfaced" true (result = Error Types.No_quorum);
@@ -364,6 +434,10 @@ let () =
       ( "retry",
         [
           Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds;
+          Alcotest.test_case "jitter chain in run" `Quick test_jitter_chain_in_run;
+          Alcotest.test_case "jitter off is bit-identical" `Quick test_jitter_off_is_bit_identical;
+          QCheck_alcotest.to_alcotest prop_jitter_preserves_bounds;
           Alcotest.test_case "recovers and advances time" `Quick
             test_retry_recovers_and_advances_time;
           Alcotest.test_case "gives up" `Quick test_retry_gives_up;

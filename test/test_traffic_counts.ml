@@ -225,6 +225,39 @@ let test_zero_probability_faults_are_noop () =
         [ Types.Voting; Types.Available_copy; Types.Naive_available_copy ])
     [ Net.Network.Multicast; Net.Network.Unicast ]
 
+let test_repair_cells_zero_without_media_faults () =
+  (* The Repair operation exists only for media-fault read-repair: with no
+     faults injected its traffic cells stay exactly zero through writes,
+     reads, and a full failure/recovery cycle — so every Section 5 count
+     above, and every recorded snapshot, is untouched by the durable
+     layer. *)
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun scheme ->
+          let c = make scheme ~n:5 ~mode in
+          settle c;
+          write c;
+          read c;
+          Cluster.fail_site c 2;
+          write c;
+          Cluster.repair_site c 2;
+          settle c;
+          read c;
+          settle c;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s no Repair traffic" (Types.scheme_to_string scheme)
+               (Net.Network.mode_to_string mode))
+            0
+            (Net.Traffic.by_operation (Cluster.traffic c) Net.Message.Repair))
+        [
+          Types.Voting;
+          Types.Available_copy;
+          Types.Naive_available_copy;
+          Types.Dynamic_voting;
+        ])
+    [ Net.Network.Multicast; Net.Network.Unicast ]
+
 let test_unicast_broadcast_charges_unreachable () =
   (* Section 5 counts sends: under unique addressing a broadcast costs n-1
      whether or not each destination can take delivery.  NAC n=5 with one
@@ -280,6 +313,8 @@ let () =
         [
           Alcotest.test_case "zero-probability faults are a no-op" `Quick
             test_zero_probability_faults_are_noop;
+          Alcotest.test_case "repair cells zero without media faults" `Quick
+            test_repair_cells_zero_without_media_faults;
           Alcotest.test_case "unicast broadcast charges unreachable sites" `Quick
             test_unicast_broadcast_charges_unreachable;
           Alcotest.test_case "multicast broadcast costs one regardless" `Quick
