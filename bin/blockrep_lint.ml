@@ -1,0 +1,59 @@
+(* blockrep-lint: typed-AST protocol linter for this repository.
+
+   Scans dune-produced .cmt files (default: lib/ and bin/ under
+   _build/default) and enforces the repo's determinism,
+   polymorphic-compare, wire-exhaustiveness and no-partiality
+   invariants.  Exit status: 0 when every finding is suppressed with a
+   justification, 1 when unsuppressed findings remain, 2 on usage or
+   internal errors.  See DESIGN.md section 4f for the rules. *)
+
+let usage =
+  "blockrep_lint [--root DIR] [--json FILE] [--list-rules] [DIR ...]\n\n\
+   Scans .cmt files under the given directories (default: lib bin),\n\
+   resolved relative to --root (default: _build/default when it\n\
+   exists, else the current directory)."
+
+let () =
+  let root = ref None in
+  let json = ref None in
+  let list_rules = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.String (fun s -> root := Some s), "DIR scan root (default: _build/default)");
+      ("--json", Arg.String (fun s -> json := Some s), "FILE also write a JSON report to FILE");
+      ("--list-rules", Arg.Set list_rules, " print the rule identifiers and exit");
+    ]
+  in
+  (try Arg.parse spec (fun d -> dirs := d :: !dirs) usage
+   with e ->
+     prerr_endline (Printexc.to_string e);
+     exit 2);
+  if !list_rules then begin
+    List.iter print_endline Lint.Config.rule_ids;
+    exit 0
+  end;
+  let root =
+    match !root with
+    | Some r -> r
+    | None -> if Sys.file_exists "_build/default" then "_build/default" else "."
+  in
+  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let cfg = Lint.Config.default in
+  let units = Lint.Driver.find_units ~root ~dirs in
+  if units = [] then begin
+    Printf.eprintf
+      "blockrep_lint: no .cmt files under %s in %s — build first (dune build @check)\n" root
+      (String.concat ", " dirs);
+    exit 2
+  end;
+  let findings = Lint.Driver.run ~cfg units in
+  Format.printf "%a" Lint.Report.pp_human findings;
+  (match !json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Lint.Report.to_json findings);
+      close_out oc;
+      Printf.printf "JSON report written to %s\n" path);
+  if Lint.Report.clean findings then exit 0 else exit 1

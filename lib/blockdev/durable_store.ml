@@ -283,7 +283,9 @@ let replace_disk t =
     t.sums.(k) <- zero_sum
   done;
   Hashtbl.reset t.meta;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.meta k v) t.meta_defaults;
+  (Hashtbl.iter (fun k v -> Hashtbl.replace t.meta k v) t.meta_defaults
+  [@lint.allow "hashtbl-order"
+    "copies bindings between tables keyed on the same distinct keys; replace is idempotent per key, so order cannot matter"]);
   t.journal <- None;
   t.armed <- None;
   t.torn_meta <- None;

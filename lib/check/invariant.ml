@@ -166,7 +166,10 @@ let scan_quorum cluster ~add =
   | Types.Dynamic_voting ->
       if Blockrep.Cluster.system_available cluster then
         check_group "the service-available system" (List.init n_sites Fun.id)
-  | Types.Available_copy | Types.Naive_available_copy -> assert false
+  | Types.Available_copy | Types.Naive_available_copy ->
+      ((assert false)
+      [@lint.allow "partiality"
+        "unreachable: scan dispatches copy schemes to scan_copy; scan_quorum is only ever entered for quorum schemes"])
 
 let scan cluster =
   let now = Sim.Engine.now (Blockrep.Cluster.engine cluster) in

@@ -26,7 +26,8 @@ let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
         else begin
           let quorum = match quorum with Some q -> q | None -> Quorum.majority ~n:n_sites in
           let witness_set = Types.int_set_of_list witnesses in
-          if Quorum.n_sites quorum <> n_sites then Error "quorum weight vector length must equal n_sites"
+          if not (Int.equal (Quorum.n_sites quorum) n_sites) then
+            Error "quorum weight vector length must equal n_sites"
           else if Types.Int_set.exists (fun w -> w < 0 || w >= n_sites) witness_set then
             Error "witness ids must name existing sites"
           else if Types.Int_set.cardinal witness_set >= n_sites then

@@ -114,11 +114,15 @@ let forward t attempt =
 
 let notify t view = List.iter (fun f -> f view) t.observers
 
+(* observers carry closures, so structural comparison (even against [])
+   is off the table; test emptiness by pattern instead. *)
+let has_observers t = match t.observers with [] -> false | _ :: _ -> true
+
 let read_block t block =
   let engine = Cluster.engine t.cluster in
   let invoked = Sim.Engine.now engine in
   let result = forward t (fun site -> Cluster.read_sync t.cluster ~site ~block) in
-  if t.observers <> [] then begin
+  if has_observers t then begin
     let responded = Sim.Engine.now engine in
     let view =
       match result with
@@ -137,7 +141,7 @@ let write_block t block data =
   let engine = Cluster.engine t.cluster in
   let invoked = Sim.Engine.now engine in
   let result = forward t (fun site -> Cluster.write_sync t.cluster ~site ~block data) in
-  if t.observers <> [] then begin
+  if has_observers t then begin
     let responded = Sim.Engine.now engine in
     let view =
       match result with
@@ -158,7 +162,7 @@ let write_block t block data =
    resolves, so history checkers need not know about batching. *)
 
 let notify_batch_reads t ~invoked blocks result =
-  if t.observers <> [] then begin
+  if has_observers t then begin
     let responded = Sim.Engine.now (Cluster.engine t.cluster) in
     match result with
     | Ok results ->
@@ -178,7 +182,7 @@ let notify_batch_reads t ~invoked blocks result =
   end
 
 let notify_batch_writes t ~invoked writes result =
-  if t.observers <> [] then begin
+  if has_observers t then begin
     let responded = Sim.Engine.now (Cluster.engine t.cluster) in
     match result with
     | Ok versions ->

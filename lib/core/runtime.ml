@@ -167,8 +167,12 @@ let reply t ~rid ~from payload =
 let round_active t rid = Hashtbl.mem t.rounds rid
 
 let abort_rounds_of t coordinator =
+  (* Sorted so aborts fire in rid order regardless of hash layout:
+     abort callbacks are observable (timeouts, retries), and replay
+     equality across runs depends on their order. *)
   let to_abort =
     Hashtbl.fold (fun rid r acc -> if r.coordinator = coordinator then rid :: acc else acc) t.rounds []
+    |> List.sort Int.compare
   in
   List.iter (fun rid -> finish_round t rid Aborted) to_abort
 

@@ -259,8 +259,10 @@ let read_batch t ~site ~blocks callback =
                       let l = try Hashtbl.find by_source src with Not_found -> [] in
                       Hashtbl.replace by_source src (block :: l))
                     pulls;
-                  let sources = Hashtbl.fold (fun src bs acc -> (src, List.rev bs) :: acc) by_source [] in
-                  let sources = List.sort compare sources in
+                  let sources =
+                    Hashtbl.fold (fun src bs acc -> (src, List.rev bs) :: acc) by_source []
+                    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+                  in
                   let outstanding = ref (List.length sources) in
                   let failed = ref None in
                   let one_done () =

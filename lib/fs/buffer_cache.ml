@@ -57,7 +57,9 @@ module Make_batched (Dev : Blockdev.Device_intf.BATCHED) = struct
     Hashtbl.fold (fun k e acc -> if e.dirty then (k, e.data) :: acc else acc) t.entries []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-  let dirty_blocks t = Hashtbl.fold (fun _ e acc -> if e.dirty then acc + 1 else acc) t.entries 0
+  let dirty_blocks t =
+    (Hashtbl.fold (fun _ e acc -> if e.dirty then acc + 1 else acc) t.entries 0
+    [@lint.allow "hashtbl-order" "pure count: integer addition is commutative, so the result cannot depend on iteration order"])
 
   (* Commit a group of dirty blocks.  The whole group goes down in one
      batched device request; if the device rejects it — a quorum lost
@@ -130,14 +132,19 @@ module Make_batched (Dev : Blockdev.Device_intf.BATCHED) = struct
          reclaiming one is free; only when every frame is dirty is the
          LRU dirty block written back (exactly once) to make room. *)
       let oldest pred =
-        Hashtbl.fold
-          (fun k e acc ->
-            if not (pred e) then acc
-            else
-              match acc with
-              | Some (_, oldest) when oldest <= e.last_used -> acc
-              | _ -> Some (k, e.last_used))
-          t.entries None
+        (* Minimum by (last_used, key): the key tie-break makes the
+           winner independent of hash iteration order even when two
+           frames were touched on the same tick. *)
+        (Hashtbl.fold
+           (fun k e acc ->
+             if not (pred e) then acc
+             else
+               match acc with
+               | Some (k', u') when u' < e.last_used || (u' = e.last_used && k' < k) -> acc
+               | _ -> Some (k, e.last_used))
+           t.entries None
+        [@lint.allow "hashtbl-order"
+          "commutative min-reduction over (last_used, key); the total tie-break keeps the result iteration-order independent"])
       in
       match oldest (fun e -> not e.dirty) with
       | Some (k, _) -> Hashtbl.remove t.entries k

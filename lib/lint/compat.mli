@@ -1,0 +1,22 @@
+(* The typedtree constructs whose shape changes across the OCaml
+   versions CI builds with (4.14, 5.1, 5.2): [Texp_assert] gained a
+   location argument in 5.1, [Texp_function] switched from a case
+   record to a params/body form in 5.2, and [Tpat_var]/[Tpat_alias]
+   gained a shape-Uid field in 5.2.  dune copies the matching
+   compat_*.ml-src into compat.ml based on %{ocaml_version}; everything
+   else the linter touches is stable across those versions. *)
+
+val is_assert_false : Typedtree.expression -> bool
+(** The expression is literally [assert false]. *)
+
+val function_cases : Typedtree.expression -> Typedtree.value Typedtree.case list option
+(** [Some cases] when the expression is a [function]-style (or
+    single-argument case-list) function; [None] for [fun]-with-body
+    and non-functions. *)
+
+val pat_bound_name : Typedtree.pattern -> string option
+(** The name a [Tpat_var] or [Tpat_alias] binding pattern introduces —
+    an annotated [let f : t = ...] typechecks as an alias pattern. *)
+
+val pat_alias_inner : 'k Typedtree.general_pattern -> 'k Typedtree.general_pattern option
+(** [Some inner] when the pattern is [inner as x]; [None] otherwise. *)

@@ -1,0 +1,111 @@
+(* Orchestration: find .cmt files under dune's _build tree, run the
+   pass-1 table collection over all of them, then the pass-2 rule
+   engine over each, and return the sorted findings.
+
+   The library a unit belongs to is recovered from dune's object-dir
+   naming: lib/core/.blockrep.objs/byte/Foo.cmt -> "blockrep",
+   bin/.blockrep_cli.eobjs/byte/... -> "blockrep_cli". *)
+
+type unit_src = { cmt_path : string; library : string }
+
+let is_objs_dir seg =
+  String.length seg > 1 && seg.[0] = '.'
+  && (Syms.has_suffix ~suffix:".objs" seg || Syms.has_suffix ~suffix:".eobjs" seg)
+
+let library_of_path path =
+  let segs = String.split_on_char '/' path in
+  List.fold_left
+    (fun acc seg ->
+      if is_objs_dir seg then
+        let strip suffix = String.sub seg 1 (String.length seg - 1 - String.length suffix) in
+        if Syms.has_suffix ~suffix:".eobjs" seg then Some (strip ".eobjs")
+        else Some (strip ".objs")
+      else acc)
+    None segs
+  |> Option.value ~default:"unknown"
+
+let rec find_cmts acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then
+            (* .sandbox trees and other dot-dirs that are not object dirs
+               hold duplicate or unrelated artifacts. *)
+            if String.length entry > 0 && entry.[0] = '.' && not (is_objs_dir entry) then acc
+            else find_cmts acc path
+          else if Filename.check_suffix entry ".cmt" then
+            { cmt_path = path; library = library_of_path path } :: acc
+          else acc)
+        acc entries
+
+let find_units ~root ~dirs =
+  List.concat_map
+    (fun d ->
+      let dir = Filename.concat root d in
+      if Sys.file_exists dir && Sys.is_directory dir then find_cmts [] dir else [])
+    dirs
+  |> List.sort (fun a b -> String.compare a.cmt_path b.cmt_path)
+
+type loaded = {
+  src : unit_src;
+  unit_name : string;
+  structure : Typedtree.structure option; (* None: not an implementation *)
+}
+
+let internal_finding ~path ~library message =
+  Finding.make ~rule:Config.rule_internal
+    ~pos:{ Finding.file = path; line = 1; col = 0 }
+    ~unit_name:"" ~library ~message ~justification:None
+
+let load (src : unit_src) =
+  match Cmt_format.read_cmt src.cmt_path with
+  | exception e ->
+      Error
+        (internal_finding ~path:src.cmt_path ~library:src.library
+           (Printf.sprintf "cannot read cmt: %s" (Printexc.to_string e)))
+  | infos -> (
+      let unit_name = Syms.canonical_unit infos.cmt_modname in
+      match infos.cmt_annots with
+      | Implementation str -> Ok { src; unit_name; structure = Some str }
+      | _ -> Ok { src; unit_name; structure = None })
+
+let run ~cfg units =
+  let loaded, errors =
+    List.fold_left
+      (fun (ok, errs) src ->
+        match load src with Ok l -> (l :: ok, errs) | Error f -> (ok, f :: errs))
+      ([], []) units
+  in
+  let loaded = List.rev loaded in
+  let tables = Tables.create () in
+  List.iter
+    (fun l ->
+      match l.structure with
+      | Some str -> Tables.collect tables ~unit_name:l.unit_name str
+      | None -> ())
+    loaded;
+  let findings =
+    List.concat_map
+      (fun l ->
+        match l.structure with
+        | None -> []
+        | Some str -> (
+            match
+              Engine.scan_structure ~cfg ~tables ~unit_name:l.unit_name ~library:l.src.library str
+            with
+            | fs -> fs
+            | exception e ->
+                [
+                  internal_finding ~path:l.src.cmt_path ~library:l.src.library
+                    (Printf.sprintf "rule engine failed on %s: %s" l.unit_name
+                       (Printexc.to_string e));
+                ]))
+      loaded
+  in
+  List.sort Finding.compare_by_site (errors @ findings)
+
+let run_dirs ~cfg ~root ~dirs = run ~cfg (find_units ~root ~dirs)

@@ -1,0 +1,432 @@
+(* Pass 2: the per-unit rule engine.
+
+   One [Tast_iterator] walk per compilation unit, carrying three pieces
+   of mutable context: the active [@lint.allow] suppressions (scoped to
+   the attributed expression / binding / whole module), a sorted-context
+   depth (inside an argument of List.sort & friends, unordered Hashtbl
+   iteration is fine — the sort launders the order away), and the
+   finding accumulator.  Cross-module knowledge comes from the pass-1
+   [Tables.t]. *)
+
+open Typedtree
+
+type allow = { a_rule : string; a_just : string }
+
+type ctx = {
+  cfg : Config.t;
+  tables : Tables.t;
+  unit_name : string;
+  library : string;
+  mutable allows : allow list;
+  mutable sorted : int;
+  mutable out : Finding.t list;
+}
+
+let emit ctx ~loc rule message =
+  let justification =
+    List.find_map (fun a -> if a.a_rule = rule then Some a.a_just else None) ctx.allows
+  in
+  ctx.out <-
+    Finding.make ~rule ~pos:(Finding.pos_of_location loc) ~unit_name:ctx.unit_name
+      ~library:ctx.library ~message ~justification
+    :: ctx.out
+
+(* ------------------------------------------------------------------ *)
+(* [@lint.allow "rule" "justification"] parsing                        *)
+(* ------------------------------------------------------------------ *)
+
+let string_const (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_constant (Pconst_string (s, _, _)) -> Some s | _ -> None
+
+(* Returns the suppressions this attribute list contributes.  A
+   malformed or justification-less allow contributes nothing — the
+   finding it was meant to hide still fires — and is itself reported
+   under the "lint-allow" rule. *)
+let parse_allows ctx (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (attr : Parsetree.attribute) ->
+      if attr.attr_name.txt <> "lint.allow" then None
+      else
+        let loc = attr.attr_loc in
+        match attr.attr_payload with
+        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+            match e.pexp_desc with
+            | Pexp_apply (f, [ (Nolabel, arg) ]) -> (
+                match (string_const f, string_const arg) with
+                | Some rule, Some just ->
+                    if not (List.mem rule Config.rule_ids) then begin
+                      emit ctx ~loc Config.rule_allow
+                        (Printf.sprintf "[@lint.allow] names unknown rule %S" rule);
+                      None
+                    end
+                    else if String.trim just = "" then begin
+                      emit ctx ~loc Config.rule_allow
+                        (Printf.sprintf "[@lint.allow %S] has an empty justification" rule);
+                      None
+                    end
+                    else Some { a_rule = rule; a_just = just }
+                | _ ->
+                    emit ctx ~loc Config.rule_allow
+                      "[@lint.allow] expects two string literals: a rule name and a justification";
+                    None)
+            | Pexp_constant (Pconst_string (rule, _, _)) ->
+                emit ctx ~loc Config.rule_allow
+                  (Printf.sprintf
+                     "[@lint.allow %S] is missing the mandatory justification string" rule);
+                None
+            | _ ->
+                emit ctx ~loc Config.rule_allow
+                  "[@lint.allow] expects two string literals: a rule name and a justification";
+                None)
+        | _ ->
+            emit ctx ~loc Config.rule_allow
+              "[@lint.allow] expects a payload of two string literals";
+            None)
+    attrs
+
+let with_allows ctx allows f =
+  match allows with
+  | [] -> f ()
+  | _ ->
+      let saved = ctx.allows in
+      ctx.allows <- allows @ saved;
+      Fun.protect ~finally:(fun () -> ctx.allows <- saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Type classification for the poly-compare rule                       *)
+(* ------------------------------------------------------------------ *)
+
+let head_constr_name ctx ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (Syms.canonical ~unit_name:ctx.unit_name (Path.name p))
+  | _ -> None
+
+let is_tree_backed name =
+  Syms.has_suffix ~suffix:"Int_set.t" name
+  || Syms.has_suffix ~suffix:".Set.t" name
+  || Syms.has_suffix ~suffix:".Map.t" name
+  || (let re = "Set.Make" in
+      let contains hay needle =
+        let n = String.length needle in
+        let rec at i = i + n <= String.length hay && (String.sub hay i n = needle || at (i + 1)) in
+        at 0
+      in
+      contains name re || contains name "Map.Make")
+
+(* Why is structural comparison at this type dangerous?  [None] when it
+   is fine (or unknowable, e.g. still polymorphic). *)
+let classify_compared_type ctx ty =
+  let visited = Hashtbl.create 16 in
+  let rec go depth ty =
+    if depth > 64 then None
+    else
+      let id = Types.get_id ty in
+      if Hashtbl.mem visited id then None
+      else begin
+        Hashtbl.add visited id ();
+        match Types.get_desc ty with
+        | Types.Tarrow _ -> Some "the compared type contains a function"
+        | Types.Ttuple l -> List.find_map (go (depth + 1)) l
+        | Types.Tpoly (t', _) -> go (depth + 1) t'
+        | Types.Tconstr (p, args, _) -> (
+            let name = Syms.canonical ~unit_name:ctx.unit_name (Path.name p) in
+            if List.mem name ctx.cfg.Config.message_types then
+              Some (Printf.sprintf "%s is a wire-message type (add a field and every structural comparison silently changes meaning)" name)
+            else
+              match Tables.closure_carrier ctx.tables name with
+              | Some field ->
+                  Some
+                    (Printf.sprintf "%s carries a closure (field/constructor %s): structural comparison raises at runtime" name field)
+              | None ->
+                  if is_tree_backed name then
+                    Some
+                      (Printf.sprintf "%s is a balanced-tree set/map: structural equality depends on construction history, use the module's equal/compare" name)
+                  else if
+                    List.exists
+                      (fun prefix -> Syms.has_prefix ~prefix name)
+                      ctx.cfg.Config.suspicious_prefixes
+                    && not (Tables.is_pure_enum ctx.tables name)
+                  then
+                    Some
+                      (Printf.sprintf "%s is a protocol type not provably a pure enum: use a dedicated equality" name)
+                  else List.find_map (go (depth + 1)) args)
+        | _ -> None
+      end
+  in
+  go 0 ty
+
+(* First argument type of a (possibly partially applied) comparison
+   ident: for ['a -> 'a -> int] and friends, the ['a] instantiation. *)
+let first_arg_type ty =
+  match Types.get_desc ty with Types.Tarrow (_, arg, _, _) -> Some arg | _ -> None
+
+let result_type ty =
+  let rec go depth ty =
+    if depth > 16 then ty
+    else match Types.get_desc ty with Types.Tarrow (_, _, r, _) -> go (depth + 1) r | _ -> ty
+  in
+  go 0 ty
+
+let is_list_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      match Syms.split_path (Path.name p) with
+      | [ "list" ] | [ "Stdlib"; "list" ] -> true
+      | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Ident classification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let poly_compare_idents =
+  [ "="; "<>"; "compare"; "min"; "max"; "List.mem"; "List.assoc"; "List.mem_assoc" ]
+
+let partiality_idents = [ "List.hd"; "List.tl"; "Option.get"; "failwith" ]
+
+let hashtbl_unordered =
+  [ "Hashtbl.fold"; "Hashtbl.iter"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys"; "Hashtbl.to_seq_values" ]
+
+let sort_idents =
+  [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq"; "Array.sort"; "Array.stable_sort" ]
+
+let banned_determinism name =
+  name = "Sys.time"
+  || Syms.has_prefix ~prefix:"Unix." name
+  || name = "Random.self_init"
+  || name = "Random.State.make_self_init"
+  || (Syms.has_prefix ~prefix:"Random." name && not (Syms.has_prefix ~prefix:"Random.State." name))
+
+let rec head_ident (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_apply (f, _) -> head_ident f
+  | _ -> None
+
+let canonical_head ctx e =
+  Option.map (fun p -> Syms.canonical ~unit_name:ctx.unit_name (Path.name p)) (head_ident e)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern helpers (GADT-polymorphic over value/computation patterns)  *)
+(* ------------------------------------------------------------------ *)
+
+let rec is_catch_all : type k. k general_pattern -> bool =
+ fun p ->
+  match Compat.pat_alias_inner p with
+  | Some q -> is_catch_all q
+  | None -> (
+      match p.pat_desc with
+      | Tpat_any -> true
+      | Tpat_var _ -> true
+      | Tpat_value v -> is_catch_all (v :> value general_pattern)
+      | Tpat_or (a, b, _) -> is_catch_all a || is_catch_all b
+      | _ -> false)
+
+let rec iter_pattern_ctors : type k. (Types.constructor_description -> unit) -> k general_pattern -> unit =
+ fun f p ->
+  match Compat.pat_alias_inner p with
+  | Some q -> iter_pattern_ctors f q
+  | None -> (
+      match p.pat_desc with
+      | Tpat_construct (_, cd, args, _) ->
+          f cd;
+          List.iter (iter_pattern_ctors f) args
+      | Tpat_or (a, b, _) ->
+          iter_pattern_ctors f a;
+          iter_pattern_ctors f b
+      | Tpat_value v -> iter_pattern_ctors f (v :> value general_pattern)
+      | Tpat_exception q -> iter_pattern_ctors f q
+      | Tpat_tuple l | Tpat_array l -> List.iter (iter_pattern_ctors f) l
+      | Tpat_record (fields, _) -> List.iter (fun (_, _, q) -> iter_pattern_ctors f q) fields
+      | Tpat_variant (_, Some q, _) -> iter_pattern_ctors f q
+      | Tpat_lazy q -> iter_pattern_ctors f q
+      | _ -> ())
+
+let is_wire_ctor ctx (cd : Types.constructor_description) =
+  match head_constr_name ctx cd.cstr_res with
+  | Some name -> name = ctx.cfg.Config.wire_type
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rules on one expression node                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_ident ctx (e : expression) path =
+  let name = Syms.canonical ~unit_name:ctx.unit_name (Path.name path) in
+  if Config.in_scope ctx.cfg.Config.determinism_libs ctx.library && banned_determinism name then
+    emit ctx ~loc:e.exp_loc Config.rule_determinism
+      (Printf.sprintf
+         "%s is outside the simulation envelope: virtual time and seeded Util.Prng streams are the only clocks and randomness sim-critical code may observe"
+         name);
+  if Config.in_scope ctx.cfg.Config.partiality_libs ctx.library && List.mem name partiality_idents
+  then
+    emit ctx ~loc:e.exp_loc Config.rule_partiality
+      (Printf.sprintf "%s can raise in a protocol hot path: match explicitly or justify with [@lint.allow]" name);
+  if
+    Config.in_scope ctx.cfg.Config.hashtbl_libs ctx.library
+    && List.mem name hashtbl_unordered
+    && ctx.sorted = 0
+  then begin
+    let into_list = is_list_type (result_type e.exp_type) in
+    emit ctx ~loc:e.exp_loc Config.rule_hashtbl
+      (Printf.sprintf
+         "%s iterates in unspecified hash order%s: sort the result (the sort may wrap this expression directly or via |>) or justify with [@lint.allow]"
+         name
+         (if into_list then " and its result flows into a list" else ""))
+  end;
+  if List.mem name poly_compare_idents then
+    match Option.bind (first_arg_type e.exp_type) (classify_compared_type ctx) with
+    | Some reason ->
+        emit ctx ~loc:e.exp_loc Config.rule_poly_compare
+          (Printf.sprintf "polymorphic %s used where %s" name reason)
+    | None -> ()
+
+let analyze_dispatch : type k. ctx -> Location.t -> k case list -> unit =
+ fun ctx loc cases ->
+  let ctors = Hashtbl.create 8 in
+  let catch_all = ref None in
+  List.iter
+    (fun (c : k case) ->
+      iter_pattern_ctors
+        (fun cd -> if is_wire_ctor ctx cd then Hashtbl.replace ctors cd.Types.cstr_name ())
+        c.c_lhs;
+      if is_catch_all c.c_lhs && Option.is_none !catch_all then catch_all := Some c.c_lhs.pat_loc)
+    cases;
+  ignore (loc : Location.t);
+  if Hashtbl.length ctors >= ctx.cfg.Config.dispatch_min_ctors then
+    match !catch_all with
+    | Some pat_loc ->
+        emit ctx ~loc:pat_loc Config.rule_wire
+          (Printf.sprintf
+             "catch-all case in a wire-message dispatch (%d %s constructors matched): a new message constructor would be silently swallowed — enumerate the remaining constructors"
+             (Hashtbl.length ctors) ctx.cfg.Config.wire_type)
+    | None -> ()
+
+let check_expr ctx (e : expression) =
+  (match e.exp_desc with Texp_ident (p, _, _) -> check_ident ctx e p | _ -> ());
+  if Config.in_scope ctx.cfg.Config.partiality_libs ctx.library && Compat.is_assert_false e then
+    emit ctx ~loc:e.exp_loc Config.rule_partiality
+      "assert false in a protocol hot path: make the case unrepresentable or justify with [@lint.allow]";
+  match e.exp_desc with
+  | Texp_match (_, cases, _) -> analyze_dispatch ctx e.exp_loc cases
+  | _ -> (
+      match Compat.function_cases e with
+      | Some cases -> analyze_dispatch ctx e.exp_loc cases
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Charging-function verification (wire-exhaustiveness, part 1)        *)
+(* ------------------------------------------------------------------ *)
+
+let check_charging ctx (vb : value_binding) value_name =
+  match Compat.function_cases vb.vb_expr with
+  | None ->
+      emit ctx ~loc:vb.vb_loc Config.rule_wire
+        (Printf.sprintf
+           "charging function %s is not a direct function-by-cases: the linter cannot verify that every wire constructor is charged to exactly one traffic category"
+           value_name)
+  | Some cases ->
+      let charged : (string, string) Hashtbl.t = Hashtbl.create 32 in
+      let ok = ref true in
+      List.iter
+        (fun (c : value case) ->
+          if is_catch_all c.c_lhs then begin
+            ok := false;
+            emit ctx ~loc:c.c_lhs.pat_loc Config.rule_wire
+              (Printf.sprintf
+                 "catch-all case in charging function %s: a new wire constructor would silently inherit a default traffic category instead of failing the build"
+                 value_name)
+          end
+          else begin
+            let names = ref [] in
+            iter_pattern_ctors
+              (fun cd -> if is_wire_ctor ctx cd then names := cd.Types.cstr_name :: !names)
+              c.c_lhs;
+            match c.c_rhs.exp_desc with
+            | Texp_construct (_, cat, []) ->
+                List.iter (fun n -> Hashtbl.add charged n cat.Types.cstr_name) !names
+            | _ ->
+                ok := false;
+                emit ctx ~loc:c.c_rhs.exp_loc Config.rule_wire
+                  (Printf.sprintf
+                     "charging function %s: case result is not a constant category constructor, so the constructor-to-category mapping cannot be statically verified"
+                     value_name)
+          end)
+        cases;
+      if !ok then
+        match Tables.variant_ctors ctx.tables ctx.cfg.Config.wire_type with
+        | None -> () (* wire type declaration not among the scanned units *)
+        | Some all ->
+            List.iter
+              (fun ctor ->
+                match Hashtbl.find_all charged ctor with
+                | [] ->
+                    emit ctx ~loc:vb.vb_loc Config.rule_wire
+                      (Printf.sprintf "charging function %s: wire constructor %s is not charged to any traffic category"
+                         value_name ctor)
+                | [ _ ] -> ()
+                | cats ->
+                    emit ctx ~loc:vb.vb_loc Config.rule_wire
+                      (Printf.sprintf
+                         "charging function %s: wire constructor %s is charged %d times (%s)"
+                         value_name ctor (List.length cats) (String.concat ", " cats)))
+              all
+
+(* ------------------------------------------------------------------ *)
+(* The iterator                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let binding_name (vb : value_binding) = Compat.pat_bound_name vb.vb_pat
+
+let make_iterator ctx =
+  let default = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    let allows = parse_allows ctx e.exp_attributes in
+    with_allows ctx allows (fun () ->
+        check_expr ctx e;
+        let visit_sorted sub =
+          ctx.sorted <- ctx.sorted + 1;
+          Fun.protect ~finally:(fun () -> ctx.sorted <- ctx.sorted - 1) (fun () -> it.Tast_iterator.expr it sub)
+        in
+        let is_sort e' =
+          match canonical_head ctx e' with Some n -> List.mem n sort_idents | None -> false
+        in
+        match e.exp_desc with
+        | Texp_apply (f, args) when is_sort f ->
+            (* The sort's arguments are order-laundered. *)
+            it.Tast_iterator.expr it f;
+            List.iter (function _, Some a -> visit_sorted a | _, None -> ()) args
+        | Texp_apply (op, [ (_, Some data); (_, Some fn) ])
+          when canonical_head ctx op = Some "|>" && is_sort fn ->
+            it.Tast_iterator.expr it fn;
+            visit_sorted data
+        | Texp_apply (op, [ (_, Some fn); (_, Some data) ])
+          when canonical_head ctx op = Some "@@" && is_sort fn ->
+            it.Tast_iterator.expr it fn;
+            visit_sorted data
+        | _ -> default.Tast_iterator.expr it e)
+  in
+  let value_binding it (vb : value_binding) =
+    let allows = parse_allows ctx vb.vb_attributes in
+    with_allows ctx allows (fun () ->
+        (match binding_name vb with
+        | Some name when List.mem (ctx.unit_name, name) ctx.cfg.Config.charging ->
+            check_charging ctx vb name
+        | _ -> ());
+        default.Tast_iterator.value_binding it vb)
+  in
+  { default with Tast_iterator.expr; value_binding }
+
+(* Module-wide [@@@lint.allow ...] floating attributes. *)
+let module_allows ctx (str : structure) =
+  List.concat_map
+    (fun (it : structure_item) ->
+      match it.str_desc with Tstr_attribute attr -> parse_allows ctx [ attr ] | _ -> [])
+    str.str_items
+
+let scan_structure ~cfg ~tables ~unit_name ~library (str : structure) =
+  let ctx = { cfg; tables; unit_name; library; allows = []; sorted = 0; out = [] } in
+  ctx.allows <- module_allows ctx str;
+  let it = make_iterator ctx in
+  it.Tast_iterator.structure it str;
+  List.rev ctx.out

@@ -1,0 +1,71 @@
+(* Rendering: a human report grouped by file, and a JSON document for
+   the CI artifact.  Suppressed findings are listed with their
+   justifications — a suppression is a visible, reviewed decision, not
+   a way to make a finding disappear. *)
+
+type summary = {
+  total : int;
+  unsuppressed : int;
+  suppressed : int;
+  by_rule : (string * int) list; (* unsuppressed counts, every rule listed *)
+}
+
+let summarize findings =
+  let unsuppressed = List.filter (fun f -> not (Finding.suppressed f)) findings in
+  let by_rule =
+    List.map
+      (fun rule ->
+        (rule, List.length (List.filter (fun (f : Finding.t) -> f.Finding.rule = rule) unsuppressed)))
+      Config.rule_ids
+  in
+  {
+    total = List.length findings;
+    unsuppressed = List.length unsuppressed;
+    suppressed = List.length findings - List.length unsuppressed;
+    by_rule;
+  }
+
+let clean findings = (summarize findings).unsuppressed = 0
+
+let pp_human ppf findings =
+  let s = summarize findings in
+  let active = List.filter (fun f -> not (Finding.suppressed f)) findings in
+  let quiet = List.filter Finding.suppressed findings in
+  if active <> [] then begin
+    Format.fprintf ppf "Findings:@.";
+    List.iter (fun f -> Format.fprintf ppf "  %s@." (Finding.to_string f)) active
+  end;
+  if quiet <> [] then begin
+    Format.fprintf ppf "Suppressed (each carries a reviewed justification):@.";
+    List.iter (fun f -> Format.fprintf ppf "  %s@." (Finding.to_string f)) quiet
+  end;
+  Format.fprintf ppf "blockrep-lint: %d finding%s (%d unsuppressed, %d suppressed)@." s.total
+    (if s.total = 1 then "" else "s")
+    s.unsuppressed s.suppressed;
+  if s.unsuppressed > 0 then begin
+    Format.fprintf ppf "by rule:";
+    List.iter (fun (r, n) -> if n > 0 then Format.fprintf ppf " %s=%d" r n) s.by_rule;
+    Format.fprintf ppf "@."
+  end
+
+let to_json findings =
+  let s = summarize findings in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"version\": 1,\n  \"summary\": {";
+  Buffer.add_string b
+    (Printf.sprintf "\"total\": %d, \"unsuppressed\": %d, \"suppressed\": %d, \"by_rule\": {"
+       s.total s.unsuppressed s.suppressed);
+  List.iteri
+    (fun i (r, n) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" (Finding.json_escape r) n))
+    s.by_rule;
+  Buffer.add_string b "}},\n  \"findings\": [\n";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "    ";
+      Buffer.add_string b (Finding.to_json f))
+    findings;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,60 @@
+(* Canonical names for compiler paths.
+
+   The typechecker records fully resolved paths, but the same entity
+   prints differently depending on where it is mentioned: [Wire.t] is
+   ["t"] inside wire.ml, ["Blockrep__Wire.t"] from a sibling module of
+   the wrapped library, and ["Blockrep.Wire.t"] from another library.
+   Rules match on one canonical spelling: dune's ["Lib__Unit"] mangling
+   is split into ["Lib.Unit"], a leading ["Stdlib"] is dropped (so
+   [Sys.time] and [Stdlib.Sys.time] coincide), the ["Dune__exe"]
+   prefix of executable units is erased, and a bare local name is
+   qualified with the canonical name of the unit mentioning it. *)
+
+let split_mangled seg =
+  (* "Blockrep__Wire" -> ["Blockrep"; "Wire"]; plain segments (including
+     names with single underscores, like "site_state") pass through. *)
+  let find_sep s =
+    let n = String.length s in
+    let rec at i =
+      if i + 1 >= n - 1 then None
+      else if s.[i] = '_' && s.[i + 1] = '_' && i > 0 then Some i
+      else at (i + 1)
+    in
+    at 1
+  in
+  let rec go acc rest =
+    match find_sep rest with
+    | Some i -> go (String.sub rest 0 i :: acc) (String.sub rest (i + 2) (String.length rest - i - 2))
+    | None -> List.rev (rest :: acc)
+  in
+  if String.length seg >= 2 && seg.[0] = '_' then [ seg ] else go [] seg
+
+let split_path name =
+  String.split_on_char '.' name |> List.concat_map split_mangled
+
+(* Canonical name of a compilation unit, from [cmt_modname]:
+   "Blockrep__Wire" -> "Blockrep.Wire", "Dune__exe__Blockrep_cli" ->
+   "Blockrep_cli". *)
+let canonical_unit modname =
+  let segs = split_path modname in
+  let segs = match segs with "Dune" :: "exe" :: rest -> rest | segs -> segs in
+  String.concat "." segs
+
+(* Canonical name of a path mentioned inside [unit_name] (itself
+   canonical).  [raw] is the [Path.name] spelling. *)
+let canonical ~unit_name raw =
+  match split_path raw with
+  | [ single ] when not (String.contains raw '.') ->
+      (* A genuinely local name: qualify with the mentioning unit so
+         that wire.ml's own [t] and other units' [Wire.t] coincide. *)
+      if unit_name = "" then single else unit_name ^ "." ^ single
+  | "Stdlib" :: (_ :: _ as rest) -> String.concat "." rest
+  | "Dune" :: "exe" :: (_ :: _ as rest) -> String.concat "." rest
+  | segs -> String.concat "." segs
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let has_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix

@@ -1,0 +1,102 @@
+(* Pass 1: cross-module type tables.
+
+   Walking every .cmt first lets the expression rules reason about
+   nominal types they cannot see into locally: a record declared three
+   libraries away whose field is a closure, or a variant proven to be
+   a pure enum (all-constant constructors), which makes polymorphic
+   comparison on it total and deterministic.  Keys are canonical type
+   names ("Blockrep.Types.site_state"). *)
+
+type t = {
+  pure_enums : (string, unit) Hashtbl.t;
+  closure_carriers : (string, string) Hashtbl.t; (* type -> offending field/ctor *)
+  variants : (string, string list) Hashtbl.t; (* type -> constructor names *)
+}
+
+let create () =
+  { pure_enums = Hashtbl.create 64; closure_carriers = Hashtbl.create 16; variants = Hashtbl.create 64 }
+
+let is_pure_enum t name = Hashtbl.mem t.pure_enums name
+let closure_carrier t name = Hashtbl.find_opt t.closure_carriers name
+let variant_ctors t name = Hashtbl.find_opt t.variants name
+
+(* Does a type expression syntactically mention an arrow?  Nominal
+   abbreviations are not expanded (that would need a full environment);
+   the closure_carriers table is how arrows hidden behind record /
+   variant declarations are found anyway. *)
+let mentions_arrow ty =
+  let visited = Hashtbl.create 16 in
+  let rec go depth ty =
+    if depth > 64 then false
+    else
+      let id = Types.get_id ty in
+      if Hashtbl.mem visited id then false
+      else begin
+        Hashtbl.add visited id ();
+        match Types.get_desc ty with
+        | Types.Tarrow _ -> true
+        | Types.Ttuple l -> List.exists (go (depth + 1)) l
+        | Types.Tconstr (_, args, _) -> List.exists (go (depth + 1)) args
+        | Types.Tpoly (t', args) -> go (depth + 1) t' || List.exists (go (depth + 1)) args
+        | _ -> false
+      end
+  in
+  go 0 ty
+
+let add_declaration t ~type_name (decl : Typedtree.type_declaration) =
+  match decl.typ_kind with
+  | Ttype_variant ctors ->
+      let names = List.map (fun (c : Typedtree.constructor_declaration) -> c.cd_name.txt) ctors in
+      Hashtbl.replace t.variants type_name names;
+      let arg_types (c : Typedtree.constructor_declaration) =
+        match c.cd_args with
+        | Cstr_tuple args -> List.map (fun (ct : Typedtree.core_type) -> ct.ctyp_type) args
+        | Cstr_record lds -> List.map (fun (ld : Typedtree.label_declaration) -> ld.ld_type.ctyp_type) lds
+      in
+      let constant c = match arg_types c with [] -> true | _ :: _ -> false in
+      if List.for_all constant ctors then Hashtbl.replace t.pure_enums type_name ()
+      else
+        List.iter
+          (fun (c : Typedtree.constructor_declaration) ->
+            if List.exists mentions_arrow (arg_types c) then
+              Hashtbl.replace t.closure_carriers type_name c.cd_name.txt)
+          ctors
+  | Ttype_record lds ->
+      List.iter
+        (fun (ld : Typedtree.label_declaration) ->
+          if mentions_arrow ld.ld_type.ctyp_type then
+            Hashtbl.replace t.closure_carriers type_name ld.ld_name.txt)
+        lds
+  | Ttype_abstract | Ttype_open -> ()
+
+(* Collect declarations from one unit's typed structure, descending
+   into plain nested modules (functor bodies are keyed without their
+   argument, an acceptable approximation). *)
+let collect t ~unit_name (str : Typedtree.structure) =
+  let rec module_expr prefix (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure s -> List.iter (item prefix) s.str_items
+    | Tmod_constraint (me', _, _, _) -> module_expr prefix me'
+    | Tmod_functor (_, me') -> module_expr prefix me'
+    | _ -> ()
+  and item prefix (it : Typedtree.structure_item) =
+    match it.str_desc with
+    | Tstr_type (_, decls) ->
+        List.iter
+          (fun (d : Typedtree.type_declaration) ->
+            add_declaration t ~type_name:(prefix ^ "." ^ d.typ_name.txt) d)
+          decls
+    | Tstr_module mb -> (
+        match mb.mb_name.txt with
+        | Some name -> module_expr (prefix ^ "." ^ name) mb.mb_expr
+        | None -> ())
+    | Tstr_recmodule mbs ->
+        List.iter
+          (fun (mb : Typedtree.module_binding) ->
+            match mb.mb_name.txt with
+            | Some name -> module_expr (prefix ^ "." ^ name) mb.mb_expr
+            | None -> ())
+          mbs
+    | _ -> ()
+  in
+  List.iter (item unit_name) str.str_items

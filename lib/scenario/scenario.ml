@@ -271,8 +271,13 @@ let payload_matches expected block =
 
 let run t =
   let h = t.header in
-  let scheme = Option.get h.scheme in
-  let n_sites = Option.get h.sites in
+  let scheme, n_sites =
+    match (h.scheme, h.sites) with
+    | Some scheme, Some sites -> (scheme, sites)
+    | None, _ | _, None ->
+        (* parse rejects scenarios without these directives. *)
+        invalid_arg "Scenario.run: header lacks scheme or sites"
+  in
   let config =
     Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:h.blocks
       ?latency:(Option.map (fun x -> Util.Dist.Constant x) h.latency)

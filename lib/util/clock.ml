@@ -1,0 +1,13 @@
+type t = float
+
+(* The single justified determinism suppression in the tree: benchmark
+   harnesses read host time only through this opaque stopwatch, so the
+   lint report shows exactly one audited envelope exit. *)
+let now () : t =
+  ((Sys.time ())
+  [@lint.allow "determinism"
+    "the one audited envelope exit: harness code measures wall-clock throughput through this opaque stopwatch and cannot feed host time back into protocol decisions"])
+
+let elapsed_s t0 =
+  let t1 = now () in
+  if t1 > t0 then t1 -. t0 else 0.0

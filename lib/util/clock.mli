@@ -1,0 +1,19 @@
+(** Host-clock stopwatch for benchmark reporting.
+
+    Sim-critical code must never observe host time — virtual time from
+    the engine is the only clock the protocol layers may read, and the
+    determinism lint ({!page-"DESIGN"} section 4f) enforces that.
+    Benchmark harnesses still want to cite wall-clock throughput, so
+    this module is the one audited exit from the simulation envelope:
+    instants are opaque, only durations escape, and nothing here can
+    leak back into protocol decisions. *)
+
+type t
+(** An opaque instant captured from the host clock. *)
+
+val now : unit -> t
+(** Capture the current host instant. *)
+
+val elapsed_s : t -> float
+(** [elapsed_s t0] is the host processor time, in seconds, spent since
+    [t0] was captured.  Monotone: later calls never report less. *)

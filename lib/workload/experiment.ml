@@ -107,7 +107,7 @@ let measure_batch_amortization ~scheme ~n_sites ~env ~batch ?(groups = 100) ?(se
   let traffic = Blockrep.Cluster.traffic (Blockrep.Reliable_device.cluster device) in
   let msgs0 = Net.Traffic.by_operation traffic Net.Message.Write in
   let bytes0 = Net.Traffic.bytes_by_operation traffic Net.Message.Write in
-  let t0 = Sys.time () in
+  let t0 = Util.Clock.now () in
   for g = 0 to groups - 1 do
     let base = g * batch mod n_blocks in
     let writes =
@@ -116,7 +116,7 @@ let measure_batch_amortization ~scheme ~n_sites ~env ~batch ?(groups = 100) ?(se
     in
     ignore (Blockrep.Driver_stub.write_blocks stub writes : Blockrep.Types.batch_write_result)
   done;
-  let elapsed = Sys.time () -. t0 in
+  let elapsed = Util.Clock.elapsed_s t0 in
   let blocks = groups * batch in
   let write_messages = Net.Traffic.by_operation traffic Net.Message.Write - msgs0 in
   let write_bytes = Net.Traffic.bytes_by_operation traffic Net.Message.Write - bytes0 in

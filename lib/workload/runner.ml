@@ -113,5 +113,10 @@ let run_open_loop cluster gen ~site ~rate ~horizon =
 let replay cluster entries ~site =
   let c = fresh_counters () in
   let start = Sim.Engine.now (Blockrep.Cluster.engine cluster) in
-  List.iter (fun entry -> issue_sync cluster c site (List.hd (Trace.to_ops [ entry ]))) entries;
+  List.iter
+    (fun entry ->
+      match Trace.to_ops [ entry ] with
+      | [ op ] -> issue_sync cluster c site op
+      | [] | _ :: _ :: _ -> invalid_arg "Runner.replay: a trace entry must map to exactly one op")
+    entries;
   results_of c ~span:(Sim.Engine.now (Blockrep.Cluster.engine cluster) -. start)

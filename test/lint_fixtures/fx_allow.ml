@@ -1,0 +1,23 @@
+(* Suppression-machinery fixture.  Expected:
+   - 1 suppressed determinism finding (module-wide floating allow),
+   - 1 suppressed hashtbl-order finding (well-formed local allow),
+   - 2 unsuppressed hashtbl-order findings whose allows are rejected
+     (missing and blank justification), and
+   - 3 lint-allow findings (missing justification, blank justification,
+     unknown rule name). *)
+
+[@@@lint.allow "determinism" "fixture: a module-wide allow covers every use in the unit"]
+
+let stamp () = Sys.time ()
+
+let count tbl =
+  (Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+  [@lint.allow "hashtbl-order" "commutative count, kept to exercise suppression"])
+
+let keys_missing_just tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@lint.allow "hashtbl-order"])
+
+let keys_blank_just tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] [@lint.allow "hashtbl-order" "   "])
+
+let answer = ((41 + 1) [@lint.allow "no-such-rule" "the rule name is bogus on purpose"])

@@ -1,0 +1,6 @@
+(* Expected findings: 3x determinism (host clock, self-seeding, and an
+   unseeded global Random draw). *)
+
+let cpu_seconds () = Sys.time ()
+let reseed () = Random.self_init ()
+let coin () = Random.bool ()

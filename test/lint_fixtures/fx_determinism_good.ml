@@ -1,0 +1,5 @@
+(* Expected findings: none.  Explicitly seeded Random.State streams are
+   the sanctioned randomness source inside the simulation envelope. *)
+
+let make_stream ~seed = Random.State.make [| seed |]
+let draw st = Random.State.float st 1.0

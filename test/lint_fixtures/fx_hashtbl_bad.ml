@@ -1,0 +1,5 @@
+(* Expected findings: 2x hashtbl-order — a fold whose result flows into
+   a list with no sort in sight, and a bare iter. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+let visit f tbl = Hashtbl.iter f tbl

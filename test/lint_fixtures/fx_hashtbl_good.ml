@@ -1,0 +1,5 @@
+(* Expected findings: none.  Both recognized sorted contexts: piping the
+   fold into a sort, and wrapping it in one directly. *)
+
+let keys_piped tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+let keys_direct tbl = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

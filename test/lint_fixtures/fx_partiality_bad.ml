@@ -1,0 +1,8 @@
+(* Expected findings: 5x partiality — the four banned idents plus one
+   assert false. *)
+
+let first l = List.hd l
+let rest l = List.tl l
+let force o = Option.get o
+let fail_op () = failwith "nope"
+let absurd () = assert false

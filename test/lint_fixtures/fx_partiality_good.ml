@@ -1,0 +1,6 @@
+(* Expected findings: none.  Total counterparts of the banned partial
+   operations. *)
+
+let first = function [] -> None | x :: _ -> Some x
+let rest = function [] -> [] | _ :: tl -> tl
+let force ~default = function None -> default | Some x -> x

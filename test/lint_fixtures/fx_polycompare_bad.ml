@@ -1,0 +1,12 @@
+(* Expected findings: 4x poly-compare — structural equality at a wire
+   message type, at a closure-carrying record, at a function type, and
+   at a record the test config marks suspicious without being a pure
+   enum. *)
+
+type handler = { tag : int; run : int -> int }
+type pair = { left : int; right : string }
+
+let same_message (a : Blockrep.Wire.t) b = a = b
+let same_handler (a : handler) b = a = b
+let same_fn (f : int -> int) g = f = g
+let same_pair (x : pair) y = x = y

@@ -1,0 +1,8 @@
+(* Expected findings: none.  [verdict] is a pure constant-constructor
+   enum, which pass 1 proves safe for structural comparison even though
+   the test config marks every fixture type suspicious. *)
+
+type verdict = Accept | Reject | Defer
+
+let same_verdict (a : verdict) b = a = b
+let eq_int = Int.equal

@@ -1,0 +1,21 @@
+(* Expected findings: 2x wire-exhaustive — a protocol dispatch over
+   enough Wire constructors to count as one but ending in a wildcard,
+   and a charging function (named in the test config) whose catch-all
+   would silently give a new constructor a default traffic category. *)
+
+open Blockrep
+
+type cat = Vote | Other
+
+let summarize = function
+  | Wire.Vote_request _ -> "vote-request"
+  | Wire.Vote_reply _ -> "vote-reply"
+  | Wire.Block_update _ -> "block-update"
+  | Wire.Write_ack _ -> "write-ack"
+  | _ -> "other"
+
+(* Two distinct constructors: below the dispatch threshold, so only the
+   charging rule fires here. *)
+let bad_category : Wire.t -> cat = function
+  | Wire.Vote_request _ | Wire.Batch_vote_request _ -> Vote
+  | _ -> Other

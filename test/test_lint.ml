@@ -1,0 +1,137 @@
+(* Tests for blockrep-lint against the deliberately good/bad modules in
+   test/lint_fixtures/.  The linter reads the fixtures' .cmt files from
+   the build tree (tests run inside _build/default/test, and the
+   fixture library is a link-time dependency, so its object dir is
+   always present and fresh).  Counts are exact: a fixture that stops
+   producing its finding, or starts producing an extra one, is a rule
+   regression either way. *)
+
+module C = Lint.Config
+module F = Lint.Finding
+
+(* Scope the library-gated rules to the fixture library, mark fixture
+   types as protocol types for the poly-compare rule (so the pure-enum
+   exemption is exercised), and register the fixtures' charging
+   functions. *)
+let cfg =
+  {
+    C.default with
+    C.determinism_libs = [ "lint_fixtures" ];
+    C.hashtbl_libs = [ "lint_fixtures" ];
+    C.partiality_libs = [ "lint_fixtures" ];
+    C.suspicious_prefixes = "Lint_fixtures." :: C.default.C.suspicious_prefixes;
+    C.charging =
+      ("Lint_fixtures.Fx_wire_bad", "bad_category")
+      :: ("Lint_fixtures.Fx_wire_good", "good_category")
+      :: C.default.C.charging;
+  }
+
+let scan = lazy (Lint.Driver.run_dirs ~cfg ~root:"." ~dirs:[ "lint_fixtures" ])
+let unit_of fx = "Lint_fixtures." ^ fx
+
+let in_unit fx =
+  List.filter (fun (f : F.t) -> f.F.unit_name = unit_of fx) (Lazy.force scan)
+
+let count ?(suppressed = false) fx rule =
+  List.length
+    (List.filter (fun (f : F.t) -> f.F.rule = rule && F.suppressed f = suppressed) (in_unit fx))
+
+let check_count ?suppressed fx rule expected =
+  Alcotest.(check int)
+    (Printf.sprintf "%s %s%s" fx rule
+       (match suppressed with Some true -> " (suppressed)" | _ -> ""))
+    expected
+    (count ?suppressed fx rule)
+
+let check_silent fx = Alcotest.(check int) (fx ^ " is clean") 0 (List.length (in_unit fx))
+
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  check_count "Fx_determinism_bad" C.rule_determinism 3;
+  check_silent "Fx_determinism_good"
+
+let test_hashtbl () =
+  check_count "Fx_hashtbl_bad" C.rule_hashtbl 2;
+  let flows =
+    List.filter
+      (fun (f : F.t) ->
+        let msg = f.F.message in
+        let sub = "flows into a list" in
+        let n = String.length sub in
+        let rec at i = i + n <= String.length msg && (String.sub msg i n = sub || at (i + 1)) in
+        at 0)
+      (in_unit "Fx_hashtbl_bad")
+  in
+  Alcotest.(check int) "fold into a list is called out" 1 (List.length flows);
+  check_silent "Fx_hashtbl_good"
+
+let test_poly_compare () =
+  check_count "Fx_polycompare_bad" C.rule_poly_compare 4;
+  check_silent "Fx_polycompare_good"
+
+let test_wire () =
+  check_count "Fx_wire_bad" C.rule_wire 2;
+  check_silent "Fx_wire_good"
+
+let test_partiality () =
+  check_count "Fx_partiality_bad" C.rule_partiality 5;
+  check_silent "Fx_partiality_good"
+
+let test_allow () =
+  (* A well-formed allow suppresses; the finding stays in the report
+     with its justification attached. *)
+  check_count ~suppressed:true "Fx_allow" C.rule_hashtbl 1;
+  check_count ~suppressed:true "Fx_allow" C.rule_determinism 1;
+  List.iter
+    (fun (f : F.t) ->
+      if F.suppressed f then
+        match f.F.justification with
+        | Some j -> Alcotest.(check bool) "justification is non-blank" false (String.trim j = "")
+        | None -> Alcotest.fail "suppressed finding without justification")
+    (in_unit "Fx_allow");
+  (* An allow missing (or blanking) its justification is itself a
+     finding, and the finding it meant to hide still fires. *)
+  check_count "Fx_allow" C.rule_allow 3;
+  check_count "Fx_allow" C.rule_hashtbl 2
+
+let test_summary () =
+  let s = Lint.Report.summarize (Lazy.force scan) in
+  Alcotest.(check int) "unsuppressed" 21 s.Lint.Report.unsuppressed;
+  Alcotest.(check int) "suppressed" 2 s.Lint.Report.suppressed;
+  Alcotest.(check bool) "fixtures are not clean" false (Lint.Report.clean (Lazy.force scan));
+  Alcotest.(check int)
+    "internal errors" 0
+    (List.length
+       (List.filter (fun (f : F.t) -> f.F.rule = C.rule_internal) (Lazy.force scan)))
+
+(* The production policy over the real tree: every library the test
+   suite links is already built next to us, so scan it and require the
+   same cleanliness `dune build @lint` enforces. *)
+let test_real_tree_clean () =
+  if not (Sys.file_exists "../lib") then ()
+  else begin
+    let findings = Lint.Driver.run_dirs ~cfg:C.default ~root:".." ~dirs:[ "lib" ] in
+    let bad = List.filter (fun f -> not (F.suppressed f)) findings in
+    List.iter (fun f -> Printf.printf "unexpected: %s\n" (F.to_string f)) bad;
+    Alcotest.(check int) "lib/ lints clean" 0 (List.length bad)
+  end
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "hashtbl order" `Quick test_hashtbl;
+          Alcotest.test_case "poly compare" `Quick test_poly_compare;
+          Alcotest.test_case "wire exhaustiveness" `Quick test_wire;
+          Alcotest.test_case "partiality" `Quick test_partiality;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "lint.allow machinery" `Quick test_allow;
+          Alcotest.test_case "summary totals" `Quick test_summary;
+        ] );
+      ("policy", [ Alcotest.test_case "real tree lints clean" `Quick test_real_tree_clean ]);
+    ]
