@@ -30,6 +30,21 @@ let section title =
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let emit_json = Array.exists (( = ) "--json") Sys.argv
 
+(* --shards N runs the independent-simulation sections (dynamic-voting
+   churn, the scaling campaign) on up to N domains via Sim.Shard_engine.
+   Results are bit-identical to --shards 1 by construction; only wall
+   clock changes. *)
+let shards =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--shards" then int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  match find 1 with
+  | Some n when n > 0 -> n
+  | Some _ -> failwith "bench: --shards must be positive"
+  | None -> 1
+
 (* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled: no JSON library in the tree)              *)
 (* ------------------------------------------------------------------ *)
@@ -371,7 +386,7 @@ let extension_dynamic_voting () =
   Format.printf "sequential failures survived (writes interleaved): static=%d dynamic=%d@."
     (survivable Blockrep.Types.Voting)
     (survivable Blockrep.Types.Dynamic_voting);
-  let churn scheme rho =
+  let churn (scheme, rho) =
     let c =
       Blockrep.Cluster.create
         (Blockrep.Config.make_exn ~scheme ~n_sites:5 ~n_blocks:2
@@ -387,14 +402,25 @@ let extension_dynamic_voting () =
     Workload.Failure_gen.stop gen;
     Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor c)
   in
+  (* Every (scheme, rho) cell is a self-contained simulation, so the six
+     cells shard across domains; the row layout below reassembles them
+     from the order-preserving result list. *)
+  let rhos = [ 0.1; 0.3; 0.5 ] in
+  let cells =
+    List.concat_map
+      (fun rho -> [ (Blockrep.Types.Voting, rho); (Blockrep.Types.Dynamic_voting, rho) ])
+      rhos
+  in
+  let avail = Sim.Shard_engine.map_list ~shards cells churn in
   Format.printf "%8s %12s %12s %12s@." "rho" "static-sim" "dynamic-sim" "A_V(5) chain";
-  List.iter
-    (fun rho ->
-      Format.printf "%8.2f %12.5f %12.5f %12.5f@." rho
-        (churn Blockrep.Types.Voting rho)
-        (churn Blockrep.Types.Dynamic_voting rho)
-        (Markov.Chains.voting_availability ~n:5 ~rho))
-    [ 0.1; 0.3; 0.5 ];
+  List.iteri
+    (fun i rho ->
+      match (List.nth_opt avail (2 * i), List.nth_opt avail ((2 * i) + 1)) with
+      | Some static_a, Some dynamic_a ->
+          Format.printf "%8.2f %12.5f %12.5f %12.5f@." rho static_a dynamic_a
+            (Markov.Chains.voting_availability ~n:5 ~rho)
+      | _ -> ())
+    rhos;
   Format.printf
     "(dynamic wins at realistic rho and survives deeper failure sequences; at extreme churn@.";
   Format.printf
@@ -572,6 +598,90 @@ let repair_cost () =
   Format.printf "current majority group quarantined until the group re-expands (repaired < bitrot)@."
 
 (* ------------------------------------------------------------------ *)
+(* Sharded scaling: the multicore block campaign                       *)
+(* ------------------------------------------------------------------ *)
+
+type scaling_run = {
+  scaling_shards : int;
+  scaling_lanes : int;
+  scaling_parallel : bool;
+  scaling_wall_s : float;
+  scaling_identical : bool;
+  scaling_ops_ok : int;
+  scaling_messages : int;
+}
+
+let scaling_runs : scaling_run list ref = ref []
+
+let same_campaign (a : Workload.Experiment.campaign_sample) (b : Workload.Experiment.campaign_sample)
+    =
+  let same_hist x y =
+    let cx = Util.Stats.Histogram.counts x and cy = Util.Stats.Histogram.counts y in
+    Array.length cx = Array.length cy
+    && (let ok = ref true in
+        Array.iteri (fun i c -> if c <> cy.(i) then ok := false) cx;
+        !ok)
+    && Util.Stats.Histogram.total x = Util.Stats.Histogram.total y
+    && Util.Stats.Histogram.underflow x = Util.Stats.Histogram.underflow y
+    && Util.Stats.Histogram.overflow x = Util.Stats.Histogram.overflow y
+  in
+  a.issued = b.issued && a.read_ok = b.read_ok && a.read_failed = b.read_failed
+  && a.write_ok = b.write_ok && a.write_failed = b.write_failed
+  && a.total_messages = b.total_messages && a.total_bytes = b.total_bytes
+  && same_hist a.latency_hist b.latency_hist
+
+(* The headline tentpole measurement: one dynamic-voting campaign over a
+   large block space, run at --shards 1 and at the requested width.  The
+   merged counters/traffic/histograms must match bit-for-bit; only the
+   wall clock is allowed to move. *)
+let scaling_section () =
+  section (Printf.sprintf "Sharded scaling: dynamic-voting block campaign (--shards %d)" shards);
+  let n_blocks = if quick then 4_096 else 1_000_000 in
+  let groups = if quick then 8 else 32 in
+  let ops_per_group = if quick then 40 else 250 in
+  let campaign s =
+    Workload.Experiment.measure_campaign ~scheme:Blockrep.Types.Dynamic_voting ~n_sites:5 ~n_blocks
+      ~shards:s ~groups ~ops_per_group ()
+  in
+  let shard_counts = if shards = 1 then [ 1 ] else [ 1; shards ] in
+  let samples = List.map campaign shard_counts in
+  (match samples with
+  | [] -> ()
+  | base :: _ ->
+      scaling_runs :=
+        List.map
+          (fun (c : Workload.Experiment.campaign_sample) ->
+            {
+              scaling_shards = c.shards;
+              scaling_lanes = c.lanes_used;
+              scaling_parallel = c.parallel;
+              scaling_wall_s = c.wall_clock;
+              scaling_identical = same_campaign base c;
+              scaling_ops_ok = c.read_ok + c.write_ok;
+              scaling_messages = c.total_messages;
+            })
+          samples;
+      Format.printf "campaign: %d blocks in %d groups, %d ops/group, n = 5, dynamic voting@."
+        n_blocks groups ops_per_group;
+      Format.printf "%8s %6s %9s %10s %10s %12s %10s %10s@." "shards" "lanes" "parallel" "wall(s)"
+        "speedup" "ops-ok" "messages" "identical";
+      List.iter
+        (fun r ->
+          Format.printf "%8d %6d %9B %10.3f %9.2fx %12d %10d %10s@." r.scaling_shards
+            r.scaling_lanes r.scaling_parallel r.scaling_wall_s
+            (match !scaling_runs with
+            | b :: _ when r.scaling_wall_s > 0.0 -> b.scaling_wall_s /. r.scaling_wall_s
+            | _ -> 1.0)
+            r.scaling_ops_ok r.scaling_messages
+            (if r.scaling_identical then "yes" else "NO"))
+        !scaling_runs;
+      if not (List.for_all (fun r -> r.scaling_identical) !scaling_runs) then
+        failwith "bench: sharded campaign diverged from --shards 1 — determinism bug");
+  Format.printf "(domains available: %B; runtime recommends %d)@."
+    Sim.Domains_compat.parallel_available
+    (Sim.Domains_compat.recommended_domains ())
+
+(* ------------------------------------------------------------------ *)
 (* JSON results file                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -658,12 +768,36 @@ let write_json_results path =
       (fun (name, seconds) -> Json.Obj [ ("name", Json.Str name); ("wall_clock_s", Json.Num seconds) ])
       !section_times
   in
+  let scaling =
+    let base_wall =
+      match !scaling_runs with r :: _ -> r.scaling_wall_s | [] -> 0.0
+    in
+    List.map
+      (fun r ->
+        Json.Obj
+          [
+            ("shards", Json.Int r.scaling_shards);
+            ("lanes_used", Json.Int r.scaling_lanes);
+            ("parallel", Json.Bool r.scaling_parallel);
+            ("wall_clock_s", Json.Num r.scaling_wall_s);
+            ( "speedup_vs_shards1",
+              Json.Num (if r.scaling_wall_s > 0.0 then base_wall /. r.scaling_wall_s else 1.0) );
+            ("ops_ok", Json.Int r.scaling_ops_ok);
+            ("messages", Json.Int r.scaling_messages);
+            ("identical_to_shards1", Json.Bool r.scaling_identical);
+          ])
+      !scaling_runs
+  in
   let doc =
     Json.Obj
       [
         ("generator", Json.Str "bench/main.ml");
         ("quick", Json.Bool quick);
+        ("shards", Json.Int shards);
+        ("parallel_available", Json.Bool Sim.Domains_compat.parallel_available);
+        ("recommended_domains", Json.Int (Sim.Domains_compat.recommended_domains ()));
         ("sections", Json.Arr sections);
+        ("scaling", Json.Arr scaling);
         ("amortization", Json.Arr amortization);
         ("cache", Json.Arr caches);
         ("traffic_per_write_group", Json.Arr traffic);
@@ -783,6 +917,7 @@ let () =
   timed "amortization" amortization;
   timed "cache" cache_section;
   timed "repair_cost" repair_cost;
+  timed "scaling" scaling_section;
   timed "bechamel" (fun () ->
       section "Bechamel micro-benchmarks (simulated-protocol operation costs)";
       run_bechamel (op_tests () @ recovery_tests () @ analysis_tests () @ fs_tests ()));

@@ -306,6 +306,14 @@ let chaos_cmd =
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip schedule minimization of the first failure.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run the sweep's seeds on up to N parallel domains (OCaml 5; sequential fallback on \
+             4.14). Results are bit-identical to --shards 1.")
+  in
   let expect_violations_arg =
     Arg.(
       value & flag
@@ -328,8 +336,10 @@ let chaos_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the row as CSV.")
   in
   let run scheme sites seeds seed0 ops failures partitions total_failures media crash_writes bitrot
-      disk_replace drop read_threshold write_threshold no_shrink expect_violations dump_schedule
-      replay csv =
+      disk_replace drop read_threshold write_threshold no_shrink shards expect_violations
+      dump_schedule replay csv =
+    if shards <= 0 then `Error (false, "--shards must be positive")
+    else
     let env =
       if media then Check.Chaos.media_env ~seed:seed0 scheme
       else Check.Chaos.default_env ~seed:seed0 scheme
@@ -365,7 +375,7 @@ let chaos_cmd =
             else `Error (false, "replay verdict did not match expectation"))
     | None ->
         let seed_list = List.init seeds (fun i -> seed0 + i) in
-        let sweep = Check.Chaos.sweep ~shrink_failures:(not no_shrink) env ~seeds:seed_list in
+        let sweep = Check.Chaos.sweep ~shrink_failures:(not no_shrink) ~shards env ~seeds:seed_list in
         let label =
           Printf.sprintf "%s%s%s%s%s%s%s%s%s"
             (Blockrep.Types.scheme_to_string scheme)
@@ -432,7 +442,7 @@ let chaos_cmd =
         (const run $ scheme_arg $ sites_arg $ seeds_arg $ seed0_arg $ ops_arg $ failures_arg
        $ partitions_arg $ total_failures_arg $ media_arg $ crash_writes_arg $ bitrot_arg
        $ disk_replace_arg $ drop_arg $ read_threshold_arg $ write_threshold_arg $ no_shrink_arg
-       $ expect_violations_arg $ dump_schedule_arg $ replay_arg $ csv_arg))
+       $ shards_arg $ expect_violations_arg $ dump_schedule_arg $ replay_arg $ csv_arg))
 
 let scenario_cmd =
   let file =

@@ -585,33 +585,38 @@ type sweep_result = {
   shrunk : (schedule * outcome) option;
 }
 
-let sweep ?(shrink_failures = true) ?max_shrink_runs env ~seeds =
-  let first_failure = ref None in
-  let summaries =
-    List.map
-      (fun seed ->
+let sweep ?(shrink_failures = true) ?max_shrink_runs ?(shards = 1) env ~seeds =
+  (* Each seed's run builds its own cluster, schedule and PRNG streams
+     from [{env with seed}] alone, so seeds are the sweep's shard units:
+     [shards] picks only how many domains execute them, and the verdict
+     merge below walks the results in seed-list order either way. *)
+  let runs =
+    Sim.Shard_engine.map_list ~shards seeds (fun seed ->
         let o = run { env with seed } in
         let n_violations = List.length (violations o) in
-        if n_violations > 0 && !first_failure = None then first_failure := Some (seed, o);
-        {
-          run_seed = seed;
-          run_passed = n_violations = 0;
-          run_violations = n_violations;
-          run_ops_ok = o.ops_ok;
-          run_ops_failed = o.ops_failed;
-          run_faults = o.faults_injected;
-          run_storage_faults =
-            o.storage.Blockdev.Durable_store.torn_writes
-            + o.storage.Blockdev.Durable_store.bitrot_injected
-            + o.storage.Blockdev.Durable_store.disk_replacements;
-        })
-      seeds
+        ( {
+            run_seed = seed;
+            run_passed = n_violations = 0;
+            run_violations = n_violations;
+            run_ops_ok = o.ops_ok;
+            run_ops_failed = o.ops_failed;
+            run_faults = o.faults_injected;
+            run_storage_faults =
+              o.storage.Blockdev.Durable_store.torn_writes
+              + o.storage.Blockdev.Durable_store.bitrot_injected
+              + o.storage.Blockdev.Durable_store.disk_replacements;
+          },
+          o ))
+  in
+  let summaries = List.map fst runs in
+  let first_failure =
+    List.find_map (fun (s, o) -> if s.run_passed then None else Some (s.run_seed, o)) runs
   in
   let failing = List.filter_map (fun s -> if s.run_passed then None else Some s.run_seed) summaries in
   let shrunk =
-    match !first_failure with
+    match first_failure with
     | Some (seed, o) when shrink_failures ->
         Some (shrink ?max_runs:max_shrink_runs { env with seed } o.schedule)
     | _ -> None
   in
-  { sweep_env = env; summaries; failing; first_failure = !first_failure; shrunk }
+  { sweep_env = env; summaries; failing; first_failure; shrunk }

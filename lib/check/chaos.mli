@@ -210,6 +210,16 @@ type sweep_result = {
       (** minimized schedule of the first failing seed (when shrinking) *)
 }
 
-val sweep : ?shrink_failures:bool -> ?max_shrink_runs:int -> env -> seeds:int list -> sweep_result
+val sweep :
+  ?shrink_failures:bool ->
+  ?max_shrink_runs:int ->
+  ?shards:int ->
+  env ->
+  seeds:int list ->
+  sweep_result
 (** Run [{env with seed}] for every seed; shrink the first failure
-    (default on). *)
+    (default on).  [shards] (default 1) runs the seeds on up to that many
+    parallel domains (OCaml 5; sequential on 4.14): every run is
+    self-contained, results merge in seed-list order, and [first_failure]
+    is still the first failing seed of the {e list}, so the result is
+    bit-identical across shard counts. *)

@@ -95,36 +95,34 @@ let write t ~site ~block data callback =
         callback (Ok version)
     | Standard ->
         (* The broadcast carries our current W estimate (the receivers of
-           the previous write); the acks then tell us exactly who received
-           this one. *)
+           the previous write); the new W is fixed by who the update was
+           {e addressed} to, not by whose ack made it back in time. *)
         let expected = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available) in
+        (* Comatose peers belong in W too: their stores absorb the update
+           (see the Block_update handler), and leaving them out loses the
+           race where a write lands between a recovering site's
+           version-vector exchange and its becoming available — a later
+           total-failure recovery starting there could close over a set
+           that misses the newest copy and come back stale.  W must be the
+           send-time was-available set (plus absorbers), never the acker
+           set: an available peer whose ack is merely delayed past the
+           round timeout still absorbs the update, and dropping it from W
+           unsoundly shrinks every closure computed from this site.  Too
+           large is safe (closure recovery waits for more sites and takes
+           the newest copy among them); too small is a stale recovery. *)
+        let comatose_at_send = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose) in
         let rid =
           Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+              ignore (replies : (int * Wire.t) list);
               match outcome with
               | Runtime.Aborted -> callback (Error Types.Site_not_available)
               | Runtime.Complete | Runtime.Timeout ->
-                  let ackers =
-                    List.filter_map
-                      (function
-                        | from, Wire.Write_ack { block = b; _ } when b = block -> Some from
-                        | _ -> None)
-                      replies
-                  in
-                  (* Comatose peers belong in W too: their stores absorb the
-                     update (see the Block_update handler), and leaving them
-                     out loses the race where a write lands between a
-                     recovering site's version-vector exchange and its
-                     becoming available — the write would replace W and drop
-                     a site that is about to serve, so a later total-failure
-                     recovery starting there could close over {itself} and
-                     come back stale.  A member that fails before the update
-                     reaches it is harmless: closure recovery restores the
-                     newest copy in the closure, not any particular one. *)
-                  let comatose =
+                  let comatose_now =
                     Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose)
                   in
                   Runtime.set_w t.rt site
-                    (Int_set.union comatose (Int_set.add site (Int_set.of_list ackers)));
+                    (Int_set.add site
+                       (Int_set.union expected (Int_set.union comatose_at_send comatose_now)));
                   callback (Ok version))
         in
         Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
@@ -181,23 +179,21 @@ let write_batch t ~site writes callback =
         callback (Ok versions)
     | Standard ->
         let expected = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available) in
+        let comatose_at_send = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose) in
         let rid =
           Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+              ignore (replies : (int * Wire.t) list);
               match outcome with
               | Runtime.Aborted -> callback (Error Types.Site_not_available)
               | Runtime.Complete | Runtime.Timeout ->
-                  let ackers =
-                    List.filter_map
-                      (function from, Wire.Batch_ack _ -> Some from | _ -> None)
-                      replies
-                  in
-                  (* Same W rule as the single-block write: ackers plus
-                     comatose absorbers plus ourselves. *)
-                  let comatose =
+                  (* Same W rule as the single-block write: send-time
+                     addressees plus comatose absorbers plus ourselves. *)
+                  let comatose_now =
                     Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose)
                   in
                   Runtime.set_w t.rt site
-                    (Int_set.union comatose (Int_set.add site (Int_set.of_list ackers)));
+                    (Int_set.add site
+                       (Int_set.union expected (Int_set.union comatose_at_send comatose_now)));
                   callback (Ok versions))
         in
         Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site

@@ -9,8 +9,15 @@ type profile = {
 let pristine =
   { drop = 0.0; duplicate = 0.0; reorder = 0.0; jitter = Util.Dist.Constant 0.0; extra_delay = 0.0 }
 
+(* Constant 0.0 is the only jitter distribution that provably never
+   perturbs a delivery; anything else makes the profile non-pristine. *)
+let jitter_is_trivial = function Util.Dist.Constant 0.0 -> true | _ -> false
+
 let is_pristine p =
+  (* The jitter term was historically omitted, so a jitter-only profile
+     was classified pristine and silently injected nothing. *)
   p.drop = 0.0 && p.duplicate = 0.0 && p.reorder = 0.0 && p.extra_delay = 0.0
+  && jitter_is_trivial p.jitter
 
 let validate_profile p =
   let prob what x =
@@ -40,6 +47,7 @@ type counters = {
   mutable duplicates : int;
   mutable reorders : int;
   mutable delayed : int;
+  mutable jittered : int;
 }
 
 type t = {
@@ -57,7 +65,7 @@ let create ~rng profile =
         rng;
         default;
         links = Hashtbl.create 8;
-        counters = { drops = 0; duplicates = 0; reorders = 0; delayed = 0 };
+        counters = { drops = 0; duplicates = 0; reorders = 0; delayed = 0; jittered = 0 };
       }
 
 let of_seed ~seed profile = create ~rng:(Util.Prng.create seed) profile
@@ -97,17 +105,28 @@ let plan t ~from ~dst =
         end
         else 0.0
       in
-      let jitter_for u =
+      (* Jitter perturbs {e every} delivery of a non-trivial profile (it
+         used to fire only on a reorder, so a jitter-only profile was a
+         silent no-op); the reorder knob additionally defers the delivery
+         by a second, independent draw so later sends can overtake it. *)
+      let jitter_draw () =
+        if jitter_is_trivial p.jitter then 0.0
+        else begin
+          c.jittered <- c.jittered + 1;
+          Util.Dist.sample p.jitter t.rng
+        end
+      in
+      let reorder_kick u =
         if u < p.reorder then begin
           c.reorders <- c.reorders + 1;
           Util.Dist.sample p.jitter t.rng
         end
         else 0.0
       in
-      let first = base +. jitter_for u_reorder in
+      let first = base +. jitter_draw () +. reorder_kick u_reorder in
       if u_dup < p.duplicate then begin
         c.duplicates <- c.duplicates + 1;
-        [ first; base +. jitter_for (Util.Prng.float t.rng) ]
+        [ first; base +. jitter_draw () +. reorder_kick (Util.Prng.float t.rng) ]
       end
       else [ first ]
     end
@@ -117,19 +136,22 @@ let drops t = t.counters.drops
 let duplicates t = t.counters.duplicates
 let reorders t = t.counters.reorders
 let delayed t = t.counters.delayed
-let total_injected t = drops t + duplicates t + reorders t + delayed t
+let jittered t = t.counters.jittered
+let total_injected t = drops t + duplicates t + reorders t + delayed t + jittered t
 
 let reset_counters t =
   let c = t.counters in
   c.drops <- 0;
   c.duplicates <- 0;
   c.reorders <- 0;
-  c.delayed <- 0
+  c.delayed <- 0;
+  c.jittered <- 0
 
 let pp_profile ppf p =
   Format.fprintf ppf "faults(drop=%g, dup=%g, reorder=%g, jitter=%a, delay=%g)" p.drop p.duplicate
     p.reorder Util.Dist.pp p.jitter p.extra_delay
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>%a@,injected: %d drops, %d duplicates, %d reorders, %d delayed@]"
-    pp_profile t.default (drops t) (duplicates t) (reorders t) (delayed t)
+  Format.fprintf ppf
+    "@[<v>%a@,injected: %d drops, %d duplicates, %d reorders, %d delayed, %d jittered@]"
+    pp_profile t.default (drops t) (duplicates t) (reorders t) (delayed t) (jittered t)

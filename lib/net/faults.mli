@@ -9,8 +9,10 @@
       counters (transmissions are accounted at send time, as in Section 5 —
       a lossy wire does not refund the sender);
     - {b duplicate}: a second copy is delivered, with its own latency draw;
-    - {b reorder}: the delivery is deferred by an extra draw from the
-      [jitter] distribution, letting later sends overtake it;
+    - {b jitter}: a random extra latency drawn from the [jitter]
+      distribution on {e every} delivery of the link;
+    - {b reorder}: the delivery is additionally deferred by a second,
+      independent [jitter] draw, letting later sends overtake it;
     - {b extra_delay}: a deterministic added latency on every delivery.
 
     The default profile is {!pristine} (all knobs zero), and a network with
@@ -22,8 +24,8 @@
 type profile = {
   drop : float;  (** probability a delivery is lost, in [0, 1] *)
   duplicate : float;  (** probability a delivery is doubled *)
-  reorder : float;  (** probability a delivery gets extra jitter *)
-  jitter : Util.Dist.t;  (** extra delay drawn when a reorder fires *)
+  reorder : float;  (** probability of an extra deferring jitter draw *)
+  jitter : Util.Dist.t;  (** random extra delay, drawn on every delivery *)
   extra_delay : float;  (** deterministic extra latency, every delivery *)
 }
 
@@ -31,6 +33,8 @@ val pristine : profile
 (** All-zero knobs: provably no fault is ever injected. *)
 
 val is_pristine : profile -> bool
+(** Whether every knob — including the jitter distribution, which only
+    [Constant 0.0] makes trivial — is at its pristine value. *)
 
 val validate_profile : profile -> (profile, string) result
 (** Checks probabilities are in [0, 1], the jitter distribution is valid and
@@ -89,6 +93,9 @@ val reorders : t -> int
 
 val delayed : t -> int
 (** Deliveries that received the deterministic [extra_delay]. *)
+
+val jittered : t -> int
+(** Delivery copies that received a random [jitter] draw. *)
 
 val total_injected : t -> int
 

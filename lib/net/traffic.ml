@@ -42,6 +42,15 @@ let record t ?(bytes = 0) op cat k =
   t.cells.(i) <- t.cells.(i) + k;
   t.byte_cells.(i) <- t.byte_cells.(i) + bytes
 
+let accumulate ~into src =
+  (* Both tables have the same fixed geometry, so cell-wise addition is
+     the whole merge; used to fold per-shard traffic into a campaign
+     total in shard-id order. *)
+  for i = 0 to Array.length into.cells - 1 do
+    into.cells.(i) <- into.cells.(i) + src.cells.(i);
+    into.byte_cells.(i) <- into.byte_cells.(i) + src.byte_cells.(i)
+  done
+
 let total t = Array.fold_left ( + ) 0 t.cells
 let total_bytes t = Array.fold_left ( + ) 0 t.byte_cells
 

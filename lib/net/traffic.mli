@@ -20,6 +20,11 @@ val record : t -> ?bytes:int -> Message.operation -> Message.category -> int -> 
     notes a size-based comparison is "similar, though slightly less
     pronounced"; tracking both lets the harness reproduce that remark. *)
 
+val accumulate : into:t -> t -> unit
+(** [accumulate ~into src] adds every cell of [src] (counts and bytes)
+    into [into].  Merging per-shard tables in shard-id order yields the
+    same totals as a single unsharded run. *)
+
 val total : t -> int
 (** All transmissions since creation/reset. *)
 

@@ -13,15 +13,21 @@ type summary = {
   duplicates : int;
   reorders : int;
   delayed : int;
+  jittered : int;
   last_errors : (float * string) list;
 }
 
 let collect ?(label = "device") device =
   let d = Blockrep.Reliable_device.degradation device in
-  let drops, duplicates, reorders, delayed =
+  let drops, duplicates, reorders, delayed, jittered =
     match Blockrep.Cluster.faults (Blockrep.Reliable_device.cluster device) with
-    | None -> (0, 0, 0, 0)
-    | Some f -> (Net.Faults.drops f, Net.Faults.duplicates f, Net.Faults.reorders f, Net.Faults.delayed f)
+    | None -> (0, 0, 0, 0, 0)
+    | Some f ->
+        ( Net.Faults.drops f,
+          Net.Faults.duplicates f,
+          Net.Faults.reorders f,
+          Net.Faults.delayed f,
+          Net.Faults.jittered f )
   in
   {
     label;
@@ -38,18 +44,19 @@ let collect ?(label = "device") device =
     duplicates;
     reorders;
     delayed;
+    jittered;
     last_errors = d.last_errors;
   }
 
 let header =
-  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %8s %6s %6s %6s %5s %5s %5s %5s" "label" "requests"
+  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %8s %6s %6s %6s %5s %5s %5s %6s" "label" "requests"
     "attempts" "failover" "retries" "ok" "recover" "timeout" "gaveup" "reject" "drops" "dups"
-    "reord" "delay" ""
+    "reord" "delay" "jitter"
 
 let print_row ppf s =
-  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %8d %6d %6d %6d %5d %5d %5d" s.label s.requests
-    s.site_attempts s.failovers s.retries s.succeeded s.recovered s.timeouts s.gave_up s.rejected
-    s.drops s.duplicates s.reorders s.delayed
+  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %8d %6d %6d %6d %5d %5d %5d %6d" s.label
+    s.requests s.site_attempts s.failovers s.retries s.succeeded s.recovered s.timeouts s.gave_up
+    s.rejected s.drops s.duplicates s.reorders s.delayed s.jittered
 
 let print ppf ?(errors = false) rows =
   Format.fprintf ppf "@[<v>%s@," header;
@@ -65,7 +72,7 @@ let print ppf ?(errors = false) rows =
   Format.fprintf ppf "@]"
 
 let csv_rows rows =
-  "label,requests,site_attempts,failovers,retries,succeeded,recovered,timeouts,gave_up,rejected,drops,duplicates,reorders,delayed"
+  "label,requests,site_attempts,failovers,retries,succeeded,recovered,timeouts,gave_up,rejected,drops,duplicates,reorders,delayed,jittered"
   :: List.map
        (fun s ->
          String.concat ","
@@ -84,5 +91,6 @@ let csv_rows rows =
              string_of_int s.duplicates;
              string_of_int s.reorders;
              string_of_int s.delayed;
+             string_of_int s.jittered;
            ])
        rows

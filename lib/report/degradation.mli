@@ -22,6 +22,7 @@ type summary = {
   duplicates : int;
   reorders : int;
   delayed : int;
+  jittered : int;
   last_errors : (float * string) list;
 }
 

@@ -70,8 +70,11 @@ let filter_in_place h keep =
       incr j
     end
   done;
-  (* Overwrite the dropped tail so the array stops pinning dead elements. *)
-  if !j > 0 then Array.fill h.data !j (h.size - !j) h.data.(0);
+  (* Overwrite the dropped tail so the array stops pinning dead elements.
+     When the sweep removed everything there is no live element to fill
+     with, so release the whole array — leaving it in place would pin every
+     dropped element (and any closure it carries) until the next push. *)
+  if !j > 0 then Array.fill h.data !j (h.size - !j) h.data.(0) else h.data <- [||];
   h.size <- !j;
   for i = (h.size / 2) - 1 downto 0 do
     sift_down h i

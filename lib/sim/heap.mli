@@ -25,7 +25,10 @@ val clear : 'a t -> unit
 val filter_in_place : 'a t -> ('a -> bool) -> unit
 (** [filter_in_place h keep] drops every element for which [keep] is false
     and restores the heap invariant over the survivors, in O(n) — the
-    compaction primitive behind the engine's lazy event deletion. *)
+    compaction primitive behind the engine's lazy event deletion.  Dropped
+    elements are not retained by the backing array: after the call nothing
+    they reference is reachable from [h] (even when every element was
+    dropped). *)
 
 val to_list : 'a t -> 'a list
 (** Elements in unspecified order (heap order, not sorted); intended for

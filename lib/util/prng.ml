@@ -2,20 +2,33 @@ type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
-
-let copy g = { state = g.state }
-
-(* The SplitMix64 output function: two xor-shift-multiply rounds over the
-   incremented state. *)
-let bits64 g =
-  g.state <- Int64.add g.state golden_gamma;
-  let z = g.state in
+(* The SplitMix64 output function: two xor-shift-multiply rounds. *)
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* Stream version 2: the raw seed is pre-mixed through the output function
+   before becoming state.  Installing it raw meant seeds [s] and
+   [s + 0x9E3779B97F4A7C15] walked the same gamma lattice one step apart —
+   shifted copies of one stream, exactly the collision class an arithmetic
+   seed-derivation scheme (shard ids, seed sweeps) would hit. *)
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
 let split g = { state = bits64 g }
+
+let derive ~seed k =
+  (* The k-th derived seed of [seed]: element k of the pre-mixed root's
+     gamma lattice, finalized.  Distinct (seed, k) pairs land on distinct,
+     well-separated streams, so per-shard generators never collide with
+     each other or with the root. *)
+  Int64.to_int (mix64 (Int64.add (mix64 (Int64.of_int seed)) (Int64.mul (Int64.of_int k) golden_gamma)))
 
 let float g =
   (* 53 uniform bits scaled into [0,1). *)

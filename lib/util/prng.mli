@@ -13,7 +13,17 @@ type t
 
 val create : int -> t
 (** [create seed] returns a fresh generator.  Equal seeds yield equal
-    streams. *)
+    streams.  The seed is pre-mixed through the SplitMix64 output function
+    (stream version 2, see DESIGN.md): nearby seeds — in particular [s] and
+    [s + 0x9E3779B97F4A7C15] — yield unrelated streams rather than shifted
+    copies of the same one. *)
+
+val derive : seed:int -> int -> int
+(** [derive ~seed k] is the [k]-th derived seed of [seed]: a deterministic
+    mix of both values, suitable for giving shard lane [k] (or site [k],
+    replica [k], ...) its own stream.  Distinct [(seed, k)] pairs yield
+    distinct, statistically independent streams; [derive ~seed k] never
+    equals the stream of [create seed] itself. *)
 
 val copy : t -> t
 (** [copy g] is a generator with the same state as [g]; the two evolve

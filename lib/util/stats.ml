@@ -103,6 +103,23 @@ module Histogram = struct
       h.counts.(idx) <- h.counts.(idx) + 1
     end
 
+  let merge a b =
+    if a.lo <> b.lo || a.hi <> b.hi || Array.length a.counts <> Array.length b.counts then
+      invalid_arg "Stats.Histogram.merge: incompatible geometries";
+    let counts = Array.make (Array.length a.counts) 0 in
+    for i = 0 to Array.length counts - 1 do
+      counts.(i) <- a.counts.(i) + b.counts.(i)
+    done;
+    {
+      lo = a.lo;
+      hi = a.hi;
+      width = a.width;
+      counts;
+      total = a.total + b.total;
+      underflow = a.underflow + b.underflow;
+      overflow = a.overflow + b.overflow;
+    }
+
   let counts h = Array.copy h.counts
   let total h = h.total
   let underflow h = h.underflow

@@ -66,6 +66,14 @@ module Histogram : sig
 
   val create : lo:float -> hi:float -> bins:int -> t
   val add : t -> float -> unit
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh histogram holding both sample sets; bin
+      counts, totals and under/overflow add cell-wise.  Raises
+      [Invalid_argument] unless both share the same [lo]/[hi]/bin
+      geometry.  Merging per-shard histograms in shard-id order equals
+      the unsharded histogram exactly (integer addition commutes). *)
+
   val counts : t -> int array
 
   val total : t -> int

@@ -67,8 +67,22 @@ let test_plan_reorder_jitter () =
   let f =
     Faults.of_seed ~seed:5 (Faults.make_exn ~reorder:1.0 ~jitter:(Util.Dist.Constant 2.0) ())
   in
-  Alcotest.(check (list (float 1e-9))) "jitter added" [ 2.0 ] (Faults.plan f ~from:0 ~dst:1);
-  Alcotest.(check int) "reorders counted" 1 (Faults.reorders f)
+  (* Every delivery takes the base jitter draw; a reorder defers it by a
+     second, independent draw on top.  Constant 2.0 makes both exact. *)
+  Alcotest.(check (list (float 1e-9))) "jitter added" [ 4.0 ] (Faults.plan f ~from:0 ~dst:1);
+  Alcotest.(check int) "reorders counted" 1 (Faults.reorders f);
+  Alcotest.(check int) "jitter counted" 1 (Faults.jittered f)
+
+let test_plan_jitter_only () =
+  (* Regression: a jitter-only profile used to be classified pristine
+     (is_pristine ignored the jitter field), so it injected nothing. *)
+  let p = Faults.make_exn ~jitter:(Util.Dist.Constant 2.0) () in
+  Alcotest.(check bool) "jitter-only profile is not pristine" false (Faults.is_pristine p);
+  let f = Faults.of_seed ~seed:5 p in
+  Alcotest.(check (list (float 1e-9))) "delivery delayed by the draw" [ 2.0 ]
+    (Faults.plan f ~from:0 ~dst:1);
+  Alcotest.(check int) "jitter counted" 1 (Faults.jittered f);
+  Alcotest.(check int) "no reorder charged" 0 (Faults.reorders f)
 
 let test_per_link_override () =
   let f = Faults.of_seed ~seed:6 Faults.pristine in
@@ -119,6 +133,27 @@ let test_network_duplicates_deliver_twice () =
   Alcotest.(check int) "each receiver sees two copies" 4
     (Runtime.Transport.messages_delivered net - delivered0);
   Alcotest.(check int) "duplicates recorded" 2 (Faults.duplicates f)
+
+let test_network_jitter_only_perturbs_delivery () =
+  (* End-to-end regression for the is_pristine fix: a jitter-only profile
+     must actually slow deliveries down.  Two identical clusters run the
+     same voting write (its vote round waits on real round trips, unlike
+     the fire-and-forget copy-scheme update); the jittered one finishes
+     strictly later in virtual time — Constant 2.0 adds exactly 2.0 per
+     delivery, so the slowest vote round trip gains at least 2.0. *)
+  let finish_time fault_profile =
+    let c = make_cluster ~scheme:Types.Voting ?fault_profile () in
+    settle c;
+    let t0 = Sim.Engine.now (Cluster.engine c) in
+    ignore (Cluster.write_sync c ~site:0 ~block:0 (Block.of_string "slow"));
+    Sim.Engine.now (Cluster.engine c) -. t0
+  in
+  let clean = finish_time None in
+  let jittered = finish_time (Some (Faults.make_exn ~jitter:(Util.Dist.Constant 2.0) ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "jitter-only profile delays the round (%.3f vs %.3f)" jittered clean)
+    true
+    (jittered >= clean +. 2.0)
 
 let test_config_fault_profile_installs_injector () =
   let c = make_cluster ~fault_profile:(Faults.make_exn ~drop:0.5 ()) () in
@@ -421,6 +456,7 @@ let () =
           Alcotest.test_case "duplicate all" `Quick test_plan_duplicate_all;
           Alcotest.test_case "extra delay" `Quick test_plan_extra_delay;
           Alcotest.test_case "reorder jitter" `Quick test_plan_reorder_jitter;
+          Alcotest.test_case "jitter only" `Quick test_plan_jitter_only;
           Alcotest.test_case "per-link override" `Quick test_per_link_override;
         ] );
       ( "network",
@@ -428,6 +464,8 @@ let () =
           Alcotest.test_case "drop-all starves receivers" `Quick
             test_network_drop_all_starves_receivers;
           Alcotest.test_case "duplicates deliver twice" `Quick test_network_duplicates_deliver_twice;
+          Alcotest.test_case "jitter-only delays delivery" `Quick
+            test_network_jitter_only_perturbs_delivery;
           Alcotest.test_case "config wires the injector" `Quick
             test_config_fault_profile_installs_injector;
         ] );

@@ -1,0 +1,185 @@
+(* Tests for the sharded engine lanes: stable partition, per-lane seed
+   derivation, order-preserving parallel maps, and the twin-run guarantee
+   that execution width never changes results — an N-shard campaign or
+   chaos sweep is bit-identical to [--shards 1], on the OCaml 4.14
+   sequential fallback and on OCaml 5 domains alike. *)
+
+module Shard = Sim.Shard_engine
+module Chaos = Check.Chaos
+module Experiment = Workload.Experiment
+module Types = Blockrep.Types
+
+(* ------------------------------------------------------------------ *)
+(* Partition and seeds                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_of_block_stable () =
+  (* The partition is a pure function of the block id: independent of
+     shard count at execution time, and in range. *)
+  for block = 0 to 999 do
+    let s = Shard.shard_of_block ~shards:7 block in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 7);
+    Alcotest.(check int) "stable across calls" s (Shard.shard_of_block ~shards:7 block)
+  done
+
+let test_shard_of_block_spreads () =
+  (* A stable hash, not a modulus of the id: every shard of a small count
+     gets a healthy share of a contiguous block range. *)
+  let shards = 4 in
+  let counts = Array.make shards 0 in
+  for block = 0 to 4_095 do
+    let s = Shard.shard_of_block ~shards block in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      if c < 4_096 / shards / 2 then
+        Alcotest.failf "shard %d starved: %d of 4096 blocks" s c)
+    counts
+
+let test_lane_seeds_distinct () =
+  let seen = Hashtbl.create 64 in
+  for shard = 0 to 63 do
+    let s = Shard.lane_seed ~seed:41 ~shard in
+    (match Hashtbl.find_opt seen s with
+    | Some other -> Alcotest.failf "lanes %d and %d share seed %d" other shard s
+    | None -> ());
+    Hashtbl.replace seen s shard
+  done
+
+let test_lane_streams_not_shifts () =
+  (* The raw-seed regression: before pre-mixing, lane seeds were additive
+     in the SplitMix64 increment, so lane k's stream was lane 0's stream
+     shifted by k.  Derived lanes must not replay each other. *)
+  let stream shard n =
+    let g = Util.Prng.create (Shard.lane_seed ~seed:41 ~shard) in
+    List.init n (fun _ -> Util.Prng.bits64 g)
+  in
+  let lane0 = stream 0 24 in
+  let lane1 = stream 1 12 in
+  let rec is_prefix p l =
+    match (p, l) with
+    | [], _ -> true
+    | x :: p', y :: l' -> Int64.equal x y && is_prefix p' l'
+    | _ :: _, [] -> false
+  in
+  let rec occurs_in sub l =
+    is_prefix sub l || match l with [] -> false | _ :: tl -> occurs_in sub tl
+  in
+  Alcotest.(check bool) "lane 1 is not a shift of lane 0" false (occurs_in lane1 lane0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel maps                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_list_preserves_order () =
+  let xs = List.init 37 (fun i -> i) in
+  let doubled = Shard.map_list ~shards:4 xs (fun x -> 2 * x) in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> 2 * x) xs) doubled
+
+let test_map_list_matches_sequential () =
+  let xs = List.init 23 (fun i -> 100 + i) in
+  let f x = (x * 31) lxor (x lsr 2) in
+  Alcotest.(check (list int)) "same as shards:1" (Shard.map_list ~shards:1 xs f)
+    (Shard.map_list ~shards:8 xs f)
+
+let test_plan_lanes () =
+  let stats = Shard.plan_lanes ~shards:8 ~tasks:3 in
+  Alcotest.(check int) "lanes capped by tasks" 3 stats.Shard.lanes_used;
+  let stats1 = Shard.plan_lanes ~shards:1 ~tasks:100 in
+  Alcotest.(check int) "one shard, one lane" 1 stats1.Shard.lanes_used;
+  Alcotest.(check bool) "parallel only above one lane" false stats1.Shard.parallel
+
+let test_domains_compat_order () =
+  let results = Sim.Domains_compat.parallel_run ~lanes:5 (fun lane -> lane * lane) in
+  Alcotest.(check (array int)) "lane results in lane order" [| 0; 1; 4; 9; 16 |] results
+
+(* ------------------------------------------------------------------ *)
+(* Twin runs: execution width never changes results                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_stats name a b =
+  Alcotest.(check int) (name ^ " count") (Util.Stats.count a) (Util.Stats.count b);
+  Alcotest.(check (float 0.0)) (name ^ " mean") (Util.Stats.mean a) (Util.Stats.mean b)
+
+let test_campaign_bit_identical_across_shards () =
+  let run shards =
+    Experiment.measure_campaign ~scheme:Types.Dynamic_voting ~n_sites:3 ~n_blocks:512 ~shards
+      ~groups:6 ~ops_per_group:30 ()
+  in
+  let a = run 1 in
+  let b = run 4 in
+  Alcotest.(check int) "issued" a.Experiment.issued b.Experiment.issued;
+  Alcotest.(check int) "read_ok" a.Experiment.read_ok b.Experiment.read_ok;
+  Alcotest.(check int) "read_failed" a.Experiment.read_failed b.Experiment.read_failed;
+  Alcotest.(check int) "write_ok" a.Experiment.write_ok b.Experiment.write_ok;
+  Alcotest.(check int) "write_failed" a.Experiment.write_failed b.Experiment.write_failed;
+  check_stats "read latency" a.Experiment.read_latency b.Experiment.read_latency;
+  check_stats "write latency" a.Experiment.write_latency b.Experiment.write_latency;
+  Alcotest.(check (array int)) "latency histogram"
+    (Util.Stats.Histogram.counts a.Experiment.latency_hist)
+    (Util.Stats.Histogram.counts b.Experiment.latency_hist);
+  Alcotest.(check int) "messages" a.Experiment.total_messages b.Experiment.total_messages;
+  Alcotest.(check int) "bytes" a.Experiment.total_bytes b.Experiment.total_bytes;
+  Alcotest.(check int) "lanes actually used" 4 b.Experiment.lanes_used
+
+let test_campaign_shards_above_groups () =
+  (* More lanes than groups must clamp, not skew the merge. *)
+  let run shards =
+    Experiment.measure_campaign ~scheme:Types.Available_copy ~n_sites:3 ~n_blocks:128 ~shards
+      ~groups:3 ~ops_per_group:20 ()
+  in
+  let a = run 1 and b = run 16 in
+  Alcotest.(check int) "lanes clamped to groups" 3 b.Experiment.lanes_used;
+  Alcotest.(check int) "issued identical" a.Experiment.issued b.Experiment.issued;
+  Alcotest.(check int) "messages identical" a.Experiment.total_messages b.Experiment.total_messages
+
+let summary_list (sw : Chaos.sweep_result) =
+  List.map
+    (fun (s : Chaos.run_summary) ->
+      ( s.Chaos.run_seed,
+        s.Chaos.run_passed,
+        s.Chaos.run_violations,
+        s.Chaos.run_ops_ok,
+        s.Chaos.run_ops_failed,
+        s.Chaos.run_faults ))
+    sw.Chaos.summaries
+
+let test_sweep_bit_identical_across_shards () =
+  let env = Chaos.default_env Types.Available_copy in
+  let seeds = List.init 12 (fun i -> i + 1) in
+  let a = Chaos.sweep ~shrink_failures:false ~shards:1 env ~seeds in
+  let b = Chaos.sweep ~shrink_failures:false ~shards:3 env ~seeds in
+  Alcotest.(check (list (pair int (pair bool (pair int (pair int (pair int int)))))))
+    "per-seed summaries identical"
+    (List.map (fun (a, b, c, d, e, f) -> (a, (b, (c, (d, (e, f)))))) (summary_list a))
+    (List.map (fun (a, b, c, d, e, f) -> (a, (b, (c, (d, (e, f)))))) (summary_list b));
+  Alcotest.(check (list int)) "failing seeds identical" a.Chaos.failing b.Chaos.failing
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "stable in-range hash" `Quick test_shard_of_block_stable;
+          Alcotest.test_case "spreads blocks" `Quick test_shard_of_block_spreads;
+          Alcotest.test_case "lane seeds distinct" `Quick test_lane_seeds_distinct;
+          Alcotest.test_case "lane streams not shifts" `Quick test_lane_streams_not_shifts;
+        ] );
+      ( "maps",
+        [
+          Alcotest.test_case "map_list order" `Quick test_map_list_preserves_order;
+          Alcotest.test_case "map_list vs sequential" `Quick test_map_list_matches_sequential;
+          Alcotest.test_case "plan_lanes" `Quick test_plan_lanes;
+          Alcotest.test_case "domains_compat order" `Quick test_domains_compat_order;
+        ] );
+      ( "twin-runs",
+        [
+          Alcotest.test_case "campaign identical across shards" `Slow
+            test_campaign_bit_identical_across_shards;
+          Alcotest.test_case "campaign shards above groups" `Quick
+            test_campaign_shards_above_groups;
+          Alcotest.test_case "sweep identical across shards" `Slow
+            test_sweep_bit_identical_across_shards;
+        ] );
+    ]

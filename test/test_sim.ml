@@ -31,6 +31,45 @@ let test_heap_clear () =
   Sim.Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Sim.Heap.size h)
 
+let test_heap_filter () =
+  let h = int_heap () in
+  List.iter (Sim.Heap.push h) [ 5; 1; 4; 2; 3 ];
+  Sim.Heap.filter_in_place h (fun x -> x mod 2 = 1);
+  Alcotest.(check int) "survivors" 3 (Sim.Heap.size h);
+  let rec drain acc = match Sim.Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc in
+  Alcotest.(check (list int)) "odd survivors in order" [ 1; 3; 5 ] (drain [])
+
+let test_heap_filter_drops_references () =
+  (* Regression: filter_in_place compacted live elements but left the old
+     tail of the backing array populated, pinning dropped elements (and
+     everything their closures captured) against the GC. *)
+  let h = Sim.Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let dropped = ref [] in
+  for i = 1 to 64 do
+    let payload = Bytes.make 16 'x' in
+    if i > 32 then dropped := Weak.create 1 :: !dropped;
+    (match !dropped with
+    | w :: _ when i > 32 -> Weak.set w 0 (Some payload)
+    | _ -> ());
+    Sim.Heap.push h (i, payload)
+  done;
+  Sim.Heap.filter_in_place h (fun (i, _) -> i <= 32);
+  Alcotest.(check int) "survivors" 32 (Sim.Heap.size h);
+  Gc.full_major ();
+  List.iter
+    (fun w ->
+      if Weak.check w 0 then Alcotest.fail "dropped element still pinned by the heap's tail")
+    !dropped;
+  (* Dropping everything must release everything too. *)
+  let w = Weak.create 1 in
+  let payload = Bytes.make 16 'y' in
+  Weak.set w 0 (Some payload);
+  Sim.Heap.push h (0, payload);
+  Sim.Heap.filter_in_place h (fun _ -> false);
+  Alcotest.(check int) "emptied" 0 (Sim.Heap.size h);
+  Gc.full_major ();
+  if Weak.check w 0 then Alcotest.fail "emptied heap still pins its former contents"
+
 let test_heap_grows () =
   let h = int_heap () in
   for i = 1000 downto 1 do
@@ -341,6 +380,9 @@ let () =
           Alcotest.test_case "empty heap" `Quick test_heap_empty;
           Alcotest.test_case "peek" `Quick test_heap_peek;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "filter in place" `Quick test_heap_filter;
+          Alcotest.test_case "filter releases dropped elements" `Quick
+            test_heap_filter_drops_references;
           Alcotest.test_case "growth" `Quick test_heap_grows;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
         ] );

@@ -42,6 +42,38 @@ let test_prng_split_independent () =
   let parent_vals = List.init 10 (fun _ -> Util.Prng.bits64 parent) in
   Alcotest.(check bool) "child stream differs from parent" true (child_vals <> parent_vals)
 
+let test_prng_derive_distinct_and_deterministic () =
+  let seen = Hashtbl.create 256 in
+  for k = 0 to 127 do
+    let s = Util.Prng.derive ~seed:41 k in
+    Alcotest.(check int) "derive is a pure function" s (Util.Prng.derive ~seed:41 k);
+    (match Hashtbl.find_opt seen s with
+    | Some k' -> Alcotest.failf "derive collision: k=%d and k=%d both map to %d" k' k s
+    | None -> ());
+    Hashtbl.replace seen s k
+  done;
+  Alcotest.(check bool) "different roots, different derivations" true
+    (Util.Prng.derive ~seed:41 0 <> Util.Prng.derive ~seed:42 0)
+
+let test_prng_premix_decorrelates_derived_streams () =
+  (* Stream version 2 regression: with raw (un-premixed) seeding, the
+     k-th derived stream was the root stream shifted by k — every lane of
+     a sharded run replayed its neighbour.  No derived stream may appear
+     as a contiguous window of another. *)
+  let stream k n =
+    let g = Util.Prng.create (Util.Prng.derive ~seed:41 k) in
+    Array.init n (fun _ -> Util.Prng.bits64 g)
+  in
+  let a = stream 0 40 in
+  let b = stream 1 10 in
+  for off = 0 to Array.length a - Array.length b do
+    let matches = ref true in
+    for i = 0 to Array.length b - 1 do
+      if not (Int64.equal a.(off + i) b.(i)) then matches := false
+    done;
+    if !matches then Alcotest.failf "derived stream 1 replays stream 0 at offset %d" off
+  done
+
 let test_float_range () =
   let g = Util.Prng.create 3 in
   for _ = 1 to 10_000 do
@@ -294,6 +326,9 @@ let () =
           Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
           Alcotest.test_case "copy" `Quick test_prng_copy_independent;
           Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "derive distinct" `Quick test_prng_derive_distinct_and_deterministic;
+          Alcotest.test_case "premix decorrelates" `Quick
+            test_prng_premix_decorrelates_derived_streams;
           Alcotest.test_case "float range" `Quick test_float_range;
           Alcotest.test_case "float_pos positive" `Quick test_float_pos_never_zero;
           Alcotest.test_case "int bounds" `Quick test_int_bounds;
