@@ -57,6 +57,7 @@ module Json = struct
     | Num of float
     | Int of int
     | Bool of bool
+    | Null
 
   let escape s =
     let buf = Buffer.create (String.length s) in
@@ -79,6 +80,7 @@ module Json = struct
         else Buffer.add_string buf "null"
     | Int i -> Buffer.add_string buf (string_of_int i)
     | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Null -> Buffer.add_string buf "null"
     | Arr [] -> Buffer.add_string buf "[]"
     | Arr items ->
         let pad = String.make (indent + 2) ' ' in
@@ -598,6 +600,90 @@ let repair_cost () =
   Format.printf "current majority group quarantined until the group re-expands (repaired < bitrot)@."
 
 (* ------------------------------------------------------------------ *)
+(* Brown-out: goodput and tail latency vs offered load                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each row tags its sample with the offered-load multiple of the
+   saturation rate and the gray-slow site, if any. *)
+type brownout_row = {
+  bo_multiple : float;
+  bo_slow : (int * float) option;
+  bo_sample : Workload.Experiment.brownout_sample;
+}
+
+let brownout_rows : brownout_row list ref = ref []
+
+(* Overload and gray failure: open-loop Poisson arrivals against bounded
+   per-site work queues, with the client-side robustness stack (deadlines,
+   hedged reads with spillover, breakers, admission) toggled on and off
+   over the identical arrival stream.  Past saturation the off flavour
+   queues until latency is all queueing delay; the on flavour sheds and
+   spills instead.  The 2x comparison is asserted, not just printed: the
+   stack must buy both goodput AND tail latency or the bench fails. *)
+let brownout_section () =
+  section "Brown-out: goodput and p99 vs offered load (available-copy, n = 3, robustness on vs off)";
+  let horizon = if quick then 200.0 else 400.0 in
+  let sat = Workload.Experiment.saturation_rate () in
+  let run ~mult ~robustness ?slow () =
+    {
+      bo_multiple = mult;
+      bo_slow = slow;
+      bo_sample =
+        Workload.Experiment.measure_brownout ~scheme:Blockrep.Types.Available_copy ~n_sites:3
+          ~offered_rate:(mult *. sat) ~robustness ?slow ~horizon ();
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun mult -> [ run ~mult ~robustness:false (); run ~mult ~robustness:true () ])
+      [ 0.5; 1.0; 2.0; 3.0 ]
+    @ [
+        (* gray failure: the coordinator site serves everything 10x slow *)
+        run ~mult:2.0 ~slow:(0, 10.0) ~robustness:false ();
+        run ~mult:2.0 ~slow:(0, 10.0) ~robustness:true ();
+      ]
+  in
+  brownout_rows := rows;
+  Format.printf "saturation ~ %.1f ops/s at one site under the default service model@." sat;
+  Format.printf "%6s %6s %7s %7s %6s %5s %6s %6s %8s %7s %7s %7s %6s %6s@." "load" "slow"
+    "robust" "issued" "ok" "t/o" "reject" "shed" "goodput" "p50" "p99" "hedged" "wins" "trips";
+  List.iter
+    (fun { bo_multiple; bo_slow; bo_sample = s } ->
+      Format.printf "%5.1fx %6s %7B %7d %6d %5d %6d %6d %8.2f %7.3f %7.3f %7d %6d %6d@."
+        bo_multiple
+        (match bo_slow with Some (site, f) -> Printf.sprintf "%d@%gx" site f | None -> "-")
+        s.robustness_on s.issued s.succeeded s.timeouts s.rejected s.shed s.goodput s.latency_p50
+        s.latency_p99 s.hedged s.hedge_wins s.breaker_trips)
+    rows;
+  Format.printf "goodput = successful ops per virtual second of the arrival window; latencies@.";
+  Format.printf "are successful-op response times.  Robustness on = deadlines + hedged reads@.";
+  Format.printf "(with full-queue spillover to a peer) + circuit breakers + admission control.@.";
+  List.iter
+    (fun { bo_multiple; bo_slow; bo_sample = s } ->
+      if not s.conserved then
+        failwith
+          (Printf.sprintf
+             "bench: brown-out counters do not reconcile at %.1fx (slow=%b robust=%b)" bo_multiple
+             (bo_slow <> None) s.robustness_on))
+    rows;
+  let sample ~mult ~slow ~robust =
+    List.find
+      (fun r -> r.bo_multiple = mult && r.bo_slow <> None = slow && r.bo_sample.robustness_on = robust)
+      rows
+  in
+  List.iter
+    (fun (mult, slow) ->
+      let off = (sample ~mult ~slow ~robust:false).bo_sample in
+      let on = (sample ~mult ~slow ~robust:true).bo_sample in
+      if not (on.goodput > off.goodput && on.latency_p99 < off.latency_p99) then
+        failwith
+          (Printf.sprintf
+             "bench: robustness stack not strictly better at %.1fx saturation (slow=%b): goodput \
+              %.3f vs %.3f, p99 %.3f vs %.3f"
+             mult slow on.goodput off.goodput on.latency_p99 off.latency_p99))
+    [ (2.0, false); (3.0, false); (2.0, true) ]
+
+(* ------------------------------------------------------------------ *)
 (* Sharded scaling: the multicore block campaign                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -763,6 +849,36 @@ let write_json_results path =
           ])
       !repair_samples
   in
+  let brownout =
+    List.map
+      (fun { bo_multiple; bo_slow; bo_sample = s } ->
+        Json.Obj
+          [
+            ("scheme", Json.Str (scheme_tag s.scheme));
+            ("n_sites", Json.Int s.n_sites);
+            ("offered_multiple", Json.Num bo_multiple);
+            ("offered_rate", Json.Num s.offered_rate);
+            ("slow_site", match bo_slow with Some (site, _) -> Json.Int site | None -> Json.Null);
+            ("slow_factor", match bo_slow with Some (_, f) -> Json.Num f | None -> Json.Null);
+            ("robustness", Json.Bool s.robustness_on);
+            ("horizon", Json.Num s.horizon);
+            ("issued", Json.Int s.issued);
+            ("succeeded", Json.Int s.succeeded);
+            ("timeouts", Json.Int s.timeouts);
+            ("gave_up", Json.Int s.gave_up);
+            ("rejected", Json.Int s.rejected);
+            ("shed", Json.Int s.shed);
+            ("goodput", Json.Num s.goodput);
+            ("latency_p50", Json.Num s.latency_p50);
+            ("latency_p99", Json.Num s.latency_p99);
+            ("hedged", Json.Int s.hedged);
+            ("hedge_wins", Json.Int s.hedge_wins);
+            ("breaker_trips", Json.Int s.breaker_trips);
+            ("messages_shed", Json.Int s.messages_shed);
+            ("conserved", Json.Bool s.conserved);
+          ])
+      !brownout_rows
+  in
   let sections =
     List.rev_map
       (fun (name, seconds) -> Json.Obj [ ("name", Json.Str name); ("wall_clock_s", Json.Num seconds) ])
@@ -802,6 +918,7 @@ let write_json_results path =
         ("cache", Json.Arr caches);
         ("traffic_per_write_group", Json.Arr traffic);
         ("repair_cost", Json.Arr repair);
+        ("brownout", Json.Arr brownout);
       ]
   in
   let oc = open_out path in
@@ -917,6 +1034,7 @@ let () =
   timed "amortization" amortization;
   timed "cache" cache_section;
   timed "repair_cost" repair_cost;
+  timed "brownout" brownout_section;
   timed "scaling" scaling_section;
   timed "bechamel" (fun () ->
       section "Bechamel micro-benchmarks (simulated-protocol operation costs)";

@@ -12,6 +12,9 @@ type event =
   | Crash_torn of int
   | Bitrot of int * int
   | Disk_replace of int
+  | Slow_site of int * float
+  | Burst of int
+  | Queue_flood of int * int
 
 type schedule = (float * event) list
 
@@ -46,6 +49,18 @@ type env = {
   disk_replace : bool;
   disk_replace_rate : float;
   media_down_mean : float;
+  service : Net.Service_model.t option;
+  robustness : Blockrep.Robustness.t;
+  slow_sites : bool;
+  slow_rate : float;
+  slow_factor : float;
+  slow_mean : float;
+  bursts : bool;
+  burst_rate : float;
+  burst_ops : int;
+  queue_floods : bool;
+  flood_rate : float;
+  flood_count : int;
 }
 
 (* The group-commit fast path under chaos: client writes are absorbed by
@@ -107,6 +122,18 @@ let default_env ?(seed = 1) scheme =
     disk_replace = false;
     disk_replace_rate = 0.005;
     media_down_mean = 6.0;
+    service = None;
+    robustness = Blockrep.Robustness.off;
+    slow_sites = false;
+    slow_rate = 0.02;
+    slow_factor = 10.0;
+    slow_mean = 12.0;
+    bursts = false;
+    burst_rate = 0.015;
+    burst_ops = 15;
+    queue_floods = false;
+    flood_rate = 0.015;
+    flood_count = 48;
   }
 
 let media_env ?seed scheme =
@@ -120,6 +147,33 @@ let media_env ?seed scheme =
   | Types.Available_copy | Types.Naive_available_copy ->
       { base with crash_writes = true; bitrot = true; disk_replace = true }
   | Types.Voting | Types.Dynamic_voting -> { base with bitrot = true }
+
+let overload_env ?seed scheme =
+  (* The overload + gray-failure envelope: every site runs the calibrated
+     service model and the client stack has deadlines, hedged reads,
+     breakers and admission on.  Slow sites, client bursts and queue
+     floods never take a site down or lose an acknowledged message, so
+     they are inside {e every} scheme's correctness envelope (including
+     voting, whose envelope excludes site failures) — the oracle must stay
+     silent while p99 degrades. *)
+  let base = default_env ?seed scheme in
+  {
+    base with
+    failures = false;
+    total_failures = false;
+    service = Some Net.Service_model.default;
+    robustness =
+      {
+        Blockrep.Robustness.deadlines = true;
+        op_budget = None;
+        hedge = Some { Blockrep.Robustness.quantile = 0.9; floor = 1.0 };
+        breaker = Some { Blockrep.Robustness.threshold = 5; cooldown = 30.0 };
+        admission = Some 64;
+      };
+    slow_sites = true;
+    bursts = true;
+    queue_floods = true;
+  }
 
 (* --- schedules --- *)
 
@@ -209,6 +263,38 @@ let disk_replace_events env rng =
   done;
   List.rev !events
 
+let slow_site_events env rng =
+  (* Gray failure: a random site turns [slow_factor]x slow for an
+     exponential episode, then recovers to full speed (factor 1.0). *)
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.slow_rate)) in
+  while !t <= env.horizon do
+    let site = Prng.int rng env.n_sites in
+    events := (!t, Slow_site (site, env.slow_factor)) :: !events;
+    let recover_t = !t +. exp_sample rng env.slow_mean in
+    if recover_t <= env.horizon then events := (recover_t, Slow_site (site, 1.0)) :: !events;
+    t := recover_t +. exp_sample rng (1.0 /. env.slow_rate)
+  done;
+  List.rev !events
+
+let burst_events env rng =
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.burst_rate)) in
+  while !t <= env.horizon do
+    events := (!t, Burst env.burst_ops) :: !events;
+    t := !t +. exp_sample rng (1.0 /. env.burst_rate)
+  done;
+  List.rev !events
+
+let queue_flood_events env rng =
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.flood_rate)) in
+  while !t <= env.horizon do
+    events := (!t, Queue_flood (Prng.int rng env.n_sites, env.flood_count)) :: !events;
+    t := !t +. exp_sample rng (1.0 /. env.flood_rate)
+  done;
+  List.rev !events
+
 let generate_schedule env =
   let events = ref [] in
   if env.failures then begin
@@ -227,6 +313,11 @@ let generate_schedule env =
   if env.bitrot then events := !events @ bitrot_events env (Prng.create (env.seed lxor 0x726f74));
   if env.disk_replace then
     events := !events @ disk_replace_events env (Prng.create (env.seed lxor 0x7265706c));
+  if env.slow_sites then
+    events := !events @ slow_site_events env (Prng.create (env.seed lxor 0x736c6f77));
+  if env.bursts then events := !events @ burst_events env (Prng.create (env.seed lxor 0x62757273));
+  if env.queue_floods then
+    events := !events @ queue_flood_events env (Prng.create (env.seed lxor 0x666c6f64));
   List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) !events
 
 (* --- serialization --- *)
@@ -243,6 +334,9 @@ let pp_event ppf (time, ev) =
   | Crash_torn s -> Format.fprintf ppf "@%.4f crash-torn %d" time s
   | Bitrot (s, b) -> Format.fprintf ppf "@%.4f bitrot %d %d" time s b
   | Disk_replace s -> Format.fprintf ppf "@%.4f disk-replace %d" time s
+  | Slow_site (s, f) -> Format.fprintf ppf "@%.4f slow-site %d %.4f" time s f
+  | Burst n -> Format.fprintf ppf "@%.4f burst %d" time n
+  | Queue_flood (s, n) -> Format.fprintf ppf "@%.4f queue-flood %d %d" time s n
 
 let pp_schedule ppf schedule =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf schedule
@@ -279,6 +373,16 @@ let schedule_of_string text =
                   match int_of_string_opt s with
                   | Some s -> Ok (Some (t, Disk_replace s))
                   | None -> fail ())
+              | [ "slow-site"; s; f ] -> (
+                  match (int_of_string_opt s, float_of_string_opt f) with
+                  | Some s, Some f -> Ok (Some (t, Slow_site (s, f)))
+                  | _ -> fail ())
+              | [ "burst"; n ] -> (
+                  match int_of_string_opt n with Some n -> Ok (Some (t, Burst n)) | None -> fail ())
+              | [ "queue-flood"; s; n ] -> (
+                  match (int_of_string_opt s, int_of_string_opt n) with
+                  | Some s, Some n -> Ok (Some (t, Queue_flood (s, n)))
+                  | _ -> fail ())
               | "partition" :: groups -> (
                   let rec split acc cur = function
                     | [] -> List.rev (List.rev cur :: acc)
@@ -339,7 +443,8 @@ let cluster_of_env env =
   in
   Cluster.create
     (Blockrep.Config.make_exn ~scheme:env.scheme ~n_sites:env.n_sites ~n_blocks:env.n_blocks
-       ?quorum ~seed:env.seed ~fault_profile:env.faults ())
+       ?quorum ~seed:env.seed ~fault_profile:env.faults ?service:env.service
+       ~robustness:env.robustness ())
 
 (* Maskability guards for media faults.  The paper's disks are fail-stop;
    a latent fault that destroys the {e only} current copy of a block is
@@ -390,6 +495,9 @@ let apply_event cluster = function
            && all_covered (b + 1))
       in
       if all_covered 0 then Cluster.replace_disk cluster s
+  | Slow_site (s, f) -> Cluster.set_rate_factor cluster s f
+  | Queue_flood (s, n) -> Cluster.flood_site cluster s ~count:n
+  | Burst _ -> () (* handled by the workload loop, not the cluster *)
 
 let run_against env ~cluster ~schedule =
   let engine = Cluster.engine cluster in
@@ -435,6 +543,9 @@ let run_against env ~cluster ~schedule =
         if not !in_op then ignore (Wb_cache.flush c : bool)
   in
   let now0 = Sim.Engine.now engine in
+  (* Bursts ask the workload loop to skip its think time for the next [n]
+     operations — closed-loop arrival pressure, no cluster state touched. *)
+  let burst_credit = ref 0 in
   let handles =
     List.filter_map
       (fun (time, ev) ->
@@ -447,7 +558,8 @@ let run_against env ~cluster ~schedule =
                     cache, so a flush already in flight is safe). *)
                  (match ev with
                  | Fail _ | Partition _ | Crash_torn _ | Disk_replace _ -> flush_cache ()
-                 | Repair _ | Heal | Bitrot _ -> ());
+                 | Repair _ | Heal | Bitrot _ | Slow_site _ | Burst _ | Queue_flood _ -> ());
+                 (match ev with Burst n -> burst_credit := !burst_credit + n | _ -> ());
                  apply_event cluster ev)))
       schedule
   in
@@ -461,7 +573,8 @@ let run_against env ~cluster ~schedule =
   in
   let ops_ok = ref 0 and ops_failed = ref 0 in
   for _ = 1 to env.ops do
-    Cluster.run_until cluster (Sim.Engine.now engine +. exp_sample gap_rng env.mean_gap);
+    if !burst_credit > 0 then decr burst_credit
+    else Cluster.run_until cluster (Sim.Engine.now engine +. exp_sample gap_rng env.mean_gap);
     in_op := true;
     (match Workload.Access_gen.next gen with
     | Workload.Access_gen.Read block -> (

@@ -53,6 +53,17 @@ type event =
       (** swap the site's medium for a blank one (fails the site).
           Applied only when every block it holds is covered by a verified
           peer copy, same reasoning as bitrot *)
+  | Slow_site of int * float
+      (** (site, rate factor): gray failure — the site's service times are
+          scaled by the factor from now on (1.0 restores full speed).  The
+          site stays up and still answers; no-op without a service model *)
+  | Burst of int
+      (** the workload loop issues its next [n] operations back-to-back
+          (no think time): closed-loop arrival pressure *)
+  | Queue_flood of int * int
+      (** (site, count): inject [count] junk jobs into the site's work
+          queue ahead of legitimate traffic; no-op without a service
+          model *)
 
 type schedule = (float * event) list
 (** Timed events, ascending. *)
@@ -103,6 +114,22 @@ type env = {
   media_down_mean : float;
       (** mean outage after a crash-torn write or a disk replacement,
           before the paired repair *)
+  service : Net.Service_model.t option;
+      (** per-site service model for the run's cluster (default [None]:
+          infinitely fast sites, bit-identical to the historical harness) *)
+  robustness : Blockrep.Robustness.t;
+      (** client-side robustness stack for the run's cluster (default
+          {!Blockrep.Robustness.off}) *)
+  slow_sites : bool;  (** seeded {!Slow_site} episodes (default off) *)
+  slow_rate : float;
+  slow_factor : float;  (** degradation factor of a slow episode *)
+  slow_mean : float;  (** mean episode duration *)
+  bursts : bool;  (** seeded {!Burst} process (default off) *)
+  burst_rate : float;
+  burst_ops : int;  (** operations issued back-to-back per burst *)
+  queue_floods : bool;  (** seeded {!Queue_flood} process (default off) *)
+  flood_rate : float;
+  flood_count : int;  (** junk jobs injected per flood *)
 }
 
 val default_env : ?seed:int -> Blockrep.Types.scheme -> env
@@ -118,6 +145,16 @@ val media_env : ?seed:int -> Blockrep.Types.scheme -> env
     writes, bitrot and disk replacement; the voting flavours get bitrot
     only (torn crashes and replacement take a site down, and any site
     failure is already outside the one-round-write voting envelope). *)
+
+val overload_env : ?seed:int -> Blockrep.Types.scheme -> env
+(** The {e overload + gray-failure} envelope, inside which every scheme —
+    voting included — must stay violation-free: all sites run
+    {!Net.Service_model.default}, the client stack has deadlines, hedged
+    reads, circuit breakers and admission control enabled, and the
+    schedule carries slow-site episodes, client bursts and queue floods.
+    None of these events takes a site down or destroys an acknowledged
+    message, so correctness must hold while tail latency degrades.  Site
+    failures and partitions are off. *)
 
 val supported_faults : Net.Faults.profile
 (** duplicate 0.05, reorder 0.05 with jitter ~ U(0,1), extra delay 0.1 —

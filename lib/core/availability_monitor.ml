@@ -40,6 +40,9 @@ let record t value =
     Util.Stats.Timed.update t.acc ~at:now ~value:(if value then 1.0 else 0.0)
   end
 
+let current_outage t =
+  Option.map (fun since -> Sim.Engine.now t.engine -. since) t.down_since
+
 let availability t = Util.Stats.Timed.average t.acc ~upto:(Sim.Engine.now t.engine)
 let time_observed t = Sim.Engine.now t.engine -. t.start
 let transitions t = t.transitions

@@ -24,6 +24,13 @@ val transitions : t -> int
 val outages : t -> int
 (** Number of up→down transitions observed. *)
 
+val current_outage : t -> float option
+(** Elapsed duration of the outage in progress at the engine's current
+    time, or [None] when the system is up.  An outage still in progress at
+    the end of a measurement run is {e truncated}: it is absent from
+    {!outage_durations} and would silently bias MTTR low if ignored —
+    report it alongside. *)
+
 val outage_durations : t -> Util.Stats.t
 (** Durations of completed outages (an outage still in progress is not
     included): the replicated system's observed repair-time distribution,

@@ -22,6 +22,13 @@ type t = {
   protocol : protocol;
   monitor : Availability_monitor.t;
   mutable observers : (Observe.event -> unit) list;
+  (* Robustness bookkeeping; all zero / None when the features are off. *)
+  mutable client_shed : int;
+  mutable hedged : int;
+  mutable hedge_wins : int;
+  read_lat : Util.Stats.Histogram.t option;
+      (** completed-read latencies, allocated only when hedging is
+          configured — its quantiles set the hedge delay *)
 }
 
 let system_available_rt protocol =
@@ -40,7 +47,18 @@ let create (config : Config.t) =
     | Types.Dynamic_voting -> Dynamic_p (Dynamic_voting.create rt)
   in
   let monitor = Availability_monitor.create (Runtime.engine rt) ~initially:true in
-  let t = { rt; protocol; monitor; observers = [] } in
+  let read_lat =
+    match config.robustness.Robustness.hedge with
+    | None -> None
+    | Some _ ->
+        (* Latencies past op_timeout land in the overflow counter; the
+           quantile is over in-range samples, which is exactly the
+           population a useful hedge delay comes from. *)
+        Some (Util.Stats.Histogram.create ~lo:0.0 ~hi:config.op_timeout ~bins:64)
+  in
+  let t =
+    { rt; protocol; monitor; observers = []; client_shed = 0; hedged = 0; hedge_wins = 0; read_lat }
+  in
   let engine = Runtime.engine rt in
   Runtime.on_state_change rt (fun _ _ ->
       Availability_monitor.record monitor (system_available_rt protocol);
@@ -174,65 +192,196 @@ let check_batch t blocks =
   if List.length (List.sort_uniq Int.compare blocks) <> List.length blocks then
     invalid_arg "Cluster: batch blocks must be distinct"
 
-let read t ~site ~block callback =
+(* Admission at the cluster boundary: with a service model installed,
+   every client operation enters its coordinator site's bounded work queue
+   and pays the seeded per-client service cost before the protocol runs; a
+   full queue rejects the operation immediately with [Overloaded] instead
+   of letting it pile onto a site that cannot keep up.  Without a service
+   model ([`Direct]) the thunk runs synchronously — the exact legacy
+   path. *)
+let enter t ~site ~fail thunk =
+  match Runtime.Transport.submit_client (Runtime.net t.rt) ~site thunk with
+  | `Direct -> thunk ()
+  | `Queued -> ()
+  | `Shed ->
+      t.client_shed <- t.client_shed + 1;
+      fail Types.Overloaded
+
+(* Feed the hedge-delay histogram with every completed read's latency
+   (queueing included — the observer clock starts at submission). *)
+let with_read_latency t callback =
+  match t.read_lat with
+  | None -> callback
+  | Some hist ->
+      let invoked = Sim.Engine.now (engine t) in
+      fun r ->
+        Util.Stats.Histogram.add hist (Sim.Engine.now (engine t) -. invoked);
+        callback r
+
+let hedge_delay t (h : Robustness.hedge) =
+  match t.read_lat with
+  | Some hist when Util.Stats.Histogram.in_range hist >= 20 ->
+      let q = Util.Stats.Histogram.quantile hist h.Robustness.quantile in
+      if Float.is_nan q then h.Robustness.floor else Float.max h.Robustness.floor q
+  | Some _ | None -> h.Robustness.floor
+
+(* Second coordinator for a hedged read: the lowest-id available site other
+   than the primary that the primary's breakers still trust. *)
+let hedge_peer t ~site =
+  let sites = Runtime.sites t.rt in
+  let n = Array.length sites in
+  let rec go i =
+    if i >= n then None
+    else if
+      i <> site
+      && sites.(i).Runtime.state = Types.Available
+      && Runtime.breaker_allows t.rt ~coordinator:site ~peer:i
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let protocol_read t ?deadline ~site ~block callback =
+  match t.protocol with
+  | Voting_p v -> Voting.read v ?deadline ~site ~block callback
+  | Copy_p c -> Copy_protocol.read c ?deadline ~site ~block callback
+  | Dynamic_p d -> Dynamic_voting.read d ?deadline ~site ~block callback
+
+let read t ?deadline ~site ~block callback =
   check_block t block;
   let callback = observed_read t ~site ~block callback in
-  match t.protocol with
-  | Voting_p v -> Voting.read v ~site ~block callback
-  | Copy_p c -> Copy_protocol.read c ~site ~block callback
-  | Dynamic_p d -> Dynamic_voting.read d ~site ~block callback
+  let callback = with_read_latency t callback in
+  match (config t).robustness.Robustness.hedge with
+  | None -> enter t ~site ~fail:(fun e -> callback (Error e)) (fun () ->
+        protocol_read t ?deadline ~site ~block callback)
+  | Some h ->
+      (* Hedged read: race a second copy of the read at another coordinator
+         after the configured latency quantile.  The hedge rides the peer's
+         own entry queue (that load is real), and its result only counts if
+         its version is at or above what the primary site already stores —
+         a hedge may reduce tail latency, never freshness.  First answer
+         wins; hedge failures are ignored (the primary's bounded rounds
+         always settle the operation). *)
+      let settled = ref false in
+      let finish r =
+        if not !settled then begin
+          settled := true;
+          callback r
+        end
+      in
+      (* A hedge read at [peer]: counts only if its version is at or above
+         what the primary site already stores (the single client writes
+         through the primary, so its store holds the newest committed
+         version even when a peer missed a shed update) — a hedge may
+         reduce tail latency, never freshness.  [miss] decides what a
+         stale answer or an error means: nothing for a timed hedge (the
+         primary's bounded rounds settle the operation), surfaced for an
+         admission spillover (there is no primary to fall back on). *)
+      let hedge_read ~peer ~miss =
+        t.hedged <- t.hedged + 1;
+        let version_floor =
+          Blockdev.Store.version (Runtime.site t.rt site).Runtime.store block
+        in
+        protocol_read t ?deadline ~site:peer ~block (function
+          | Ok (data, version) when version >= version_floor ->
+              if not !settled then begin
+                t.hedge_wins <- t.hedge_wins + 1;
+                finish (Ok (data, version))
+              end
+          | (Ok _ | Error _) as r -> miss r)
+      in
+      let submit_at peer work ~shed =
+        match Runtime.Transport.submit_client (Runtime.net t.rt) ~site:peer work with
+        | `Direct -> work ()
+        | `Queued -> ()
+        | `Shed -> shed ()
+      in
+      let shed_for_real () =
+        t.client_shed <- t.client_shed + 1;
+        finish (Error Types.Overloaded)
+      in
+      let primary () = protocol_read t ?deadline ~site ~block finish in
+      (match Runtime.Transport.submit_client (Runtime.net t.rt) ~site primary with
+      | `Direct -> primary ()
+      | `Queued -> ()
+      | `Shed -> (
+          (* Admission spillover: the primary's queue is full, so divert
+             the read to the hedge peer right away instead of failing it —
+             overflow capacity from a site the breakers still trust.  If
+             no peer can take it either, the read is shed for real. *)
+          match hedge_peer t ~site with
+          | None -> shed_for_real ()
+          | Some peer ->
+              submit_at peer ~shed:shed_for_real (fun () ->
+                  hedge_read ~peer ~miss:(function
+                    | Ok _ -> shed_for_real ()
+                    | Error _ as e -> finish e))));
+      if not !settled then
+        ignore
+          (Sim.Engine.schedule (engine t) ~delay:(hedge_delay t h) (fun () ->
+               if not !settled then
+                 match hedge_peer t ~site with
+                 | None -> ()
+                 | Some peer ->
+                     submit_at peer
+                       ~shed:(fun () -> ())
+                       (fun () -> hedge_read ~peer ~miss:(fun _ -> ())))
+            : Sim.Engine.handle)
 
-let write t ~site ~block data callback =
+let write t ?deadline ~site ~block data callback =
   check_block t block;
   let callback = observed_write t ~site ~block ~data callback in
-  match t.protocol with
-  | Voting_p v -> Voting.write v ~site ~block data callback
-  | Copy_p c -> Copy_protocol.write c ~site ~block data callback
-  | Dynamic_p d -> Dynamic_voting.write d ~site ~block data callback
+  enter t ~site ~fail:(fun e -> callback (Error e)) (fun () ->
+      match t.protocol with
+      | Voting_p v -> Voting.write v ?deadline ~site ~block data callback
+      | Copy_p c -> Copy_protocol.write c ?deadline ~site ~block data callback
+      | Dynamic_p d -> Dynamic_voting.write d ?deadline ~site ~block data callback)
 
 (* A batch of one takes the single-block path exactly — same wire
    messages, same observer events — so defaults are bit-identical to the
    unbatched cluster.  Dynamic voting keeps per-block update groups that
    a shared vote round cannot carry, so it falls back to chaining the
    single-block operations (no amortization, full correctness). *)
-let read_blocks t ~site ~blocks callback =
+let read_blocks t ?deadline ~site ~blocks callback =
   check_batch t blocks;
   match blocks with
-  | [ block ] -> read t ~site ~block (fun r -> callback (Result.map (fun x -> [ x ]) r))
-  | _ -> (
+  | [ block ] -> read t ?deadline ~site ~block (fun r -> callback (Result.map (fun x -> [ x ]) r))
+  | _ ->
       let callback = observed_read_blocks t ~site ~blocks callback in
-      match t.protocol with
-      | Voting_p v -> Voting.read_batch v ~site ~blocks callback
-      | Copy_p c -> Copy_protocol.read_batch c ~site ~blocks callback
-      | Dynamic_p d ->
-          let rec chain acc = function
-            | [] -> callback (Ok (List.rev acc))
-            | b :: rest ->
-                Dynamic_voting.read d ~site ~block:b (function
-                  | Ok r -> chain (r :: acc) rest
-                  | Error e -> callback (Error e))
-          in
-          chain [] blocks)
+      enter t ~site ~fail:(fun e -> callback (Error e)) (fun () ->
+          match t.protocol with
+          | Voting_p v -> Voting.read_batch v ?deadline ~site ~blocks callback
+          | Copy_p c -> Copy_protocol.read_batch c ?deadline ~site ~blocks callback
+          | Dynamic_p d ->
+              let rec chain acc = function
+                | [] -> callback (Ok (List.rev acc))
+                | b :: rest ->
+                    Dynamic_voting.read d ?deadline ~site ~block:b (function
+                      | Ok r -> chain (r :: acc) rest
+                      | Error e -> callback (Error e))
+              in
+              chain [] blocks)
 
-let write_blocks t ~site writes callback =
+let write_blocks t ?deadline ~site writes callback =
   check_batch t (List.map fst writes);
   match writes with
   | [ (block, data) ] ->
-      write t ~site ~block data (fun r -> callback (Result.map (fun v -> [ v ]) r))
-  | _ -> (
+      write t ?deadline ~site ~block data (fun r -> callback (Result.map (fun v -> [ v ]) r))
+  | _ ->
       let callback = observed_write_blocks t ~site ~writes callback in
-      match t.protocol with
-      | Voting_p v -> Voting.write_batch v ~site writes callback
-      | Copy_p c -> Copy_protocol.write_batch c ~site writes callback
-      | Dynamic_p d ->
-          let rec chain acc = function
-            | [] -> callback (Ok (List.rev acc))
-            | (b, data) :: rest ->
-                Dynamic_voting.write d ~site ~block:b data (function
-                  | Ok v -> chain (v :: acc) rest
-                  | Error e -> callback (Error e))
-          in
-          chain [] writes)
+      enter t ~site ~fail:(fun e -> callback (Error e)) (fun () ->
+          match t.protocol with
+          | Voting_p v -> Voting.write_batch v ?deadline ~site writes callback
+          | Copy_p c -> Copy_protocol.write_batch c ?deadline ~site writes callback
+          | Dynamic_p d ->
+              let rec chain acc = function
+                | [] -> callback (Ok (List.rev acc))
+                | (b, data) :: rest ->
+                    Dynamic_voting.write d ?deadline ~site ~block:b data (function
+                      | Ok v -> chain (v :: acc) rest
+                      | Error e -> callback (Error e))
+              in
+              chain [] writes)
 
 (* Drive the engine until the callback lands.  Operations always settle in
    bounded virtual time (rounds carry timeouts), so the loop terminates even
@@ -253,18 +402,29 @@ let run_sync t issue =
   in
   drive ()
 
-let read_sync t ~site ~block = run_sync t (fun k -> read t ~site ~block k)
-let write_sync t ~site ~block data = run_sync t (fun k -> write t ~site ~block data k)
-let read_blocks_sync t ~site ~blocks = run_sync t (fun k -> read_blocks t ~site ~blocks k)
-let write_blocks_sync t ~site writes = run_sync t (fun k -> write_blocks t ~site writes k)
+let read_sync ?deadline t ~site ~block = run_sync t (fun k -> read t ?deadline ~site ~block k)
+
+let write_sync ?deadline t ~site ~block data =
+  run_sync t (fun k -> write t ?deadline ~site ~block data k)
+
+let read_blocks_sync ?deadline t ~site ~blocks =
+  run_sync t (fun k -> read_blocks t ?deadline ~site ~blocks k)
+
+let write_blocks_sync ?deadline t ~site writes =
+  run_sync t (fun k -> write_blocks t ?deadline ~site writes k)
 
 (* Retry-aware synchronous operations: quorum and copy operations survive
-   transient message loss instead of failing on the first lossy round. *)
-let read_sync_retry t ~policy ~stats ~site ~block =
-  Retry.run policy ~engine:(engine t) ~stats (fun ~attempt:_ -> read_sync t ~site ~block)
+   transient message loss instead of failing on the first lossy round.
+   The deadline spans the whole retried operation — once it passes, the
+   per-attempt entry guards fail fast and the policy's own deadline check
+   stops the loop. *)
+let read_sync_retry ?deadline ?rng t ~policy ~stats ~site ~block =
+  Retry.run policy ~engine:(engine t) ~stats ?rng (fun ~attempt:_ ->
+      read_sync ?deadline t ~site ~block)
 
-let write_sync_retry t ~policy ~stats ~site ~block data =
-  Retry.run policy ~engine:(engine t) ~stats (fun ~attempt:_ -> write_sync t ~site ~block data)
+let write_sync_retry ?deadline ?rng t ~policy ~stats ~site ~block data =
+  Retry.run policy ~engine:(engine t) ~stats ?rng (fun ~attempt:_ ->
+      write_sync ?deadline t ~site ~block data)
 
 let faults t = Runtime.Transport.faults (Runtime.net t.rt)
 
@@ -329,6 +489,30 @@ let storage_counters t =
     (fun (s : Runtime.site) -> Durable.accumulate_counters acc (Durable.counters s.durable))
     (Runtime.sites t.rt);
   acc
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: overload control and gray-failure injection             *)
+(* ------------------------------------------------------------------ *)
+
+let client_shed t = t.client_shed
+let hedged t = t.hedged
+let hedge_wins t = t.hedge_wins
+let breaker_trips t = Runtime.breaker_trips t.rt
+let messages_shed t = Runtime.Transport.total_shed (Runtime.net t.rt)
+
+let server t i =
+  check_site t i;
+  Runtime.server t.rt i
+
+let set_rate_factor t i f =
+  check_site t i;
+  Runtime.Transport.set_rate_factor (Runtime.net t.rt) i f
+
+let flood_site t i ~count =
+  check_site t i;
+  Runtime.Transport.flood_site (Runtime.net t.rt) i ~count
+
+let read_latency t = t.read_lat
 
 let site_state t i = (Runtime.site t.rt i).state
 let site_versions t i = Blockdev.Store.versions (Runtime.site t.rt i).store

@@ -56,16 +56,37 @@ val add_observer : t -> (Observe.event -> unit) -> unit
 
 (** {1 Block access} *)
 
-val read : t -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
-val write :
-  t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t -> (Types.write_result -> unit) -> unit
+val read :
+  t -> ?deadline:float -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
+(** With a service model configured the operation first rides the
+    coordinator site's bounded work queue (admission): a full queue fails
+    it immediately with [Overloaded].  With hedging configured
+    ([Config.robustness.hedge]) a second copy of the read races at another
+    available site after the configured latency quantile; the first answer
+    wins, and a hedge answer only counts when its version is at or above
+    what the primary site already stores.  Hedging also turns a full
+    primary queue into spillover rather than rejection: the read is
+    diverted to the hedge site immediately and fails with [Overloaded]
+    only when no breaker-trusted peer can take it either.  [deadline]
+    (absolute virtual time) propagates into every protocol round the
+    operation opens. *)
 
-val read_sync : t -> site:int -> block:Blockdev.Block.id -> Types.read_result
+val write :
+  t ->
+  ?deadline:float ->
+  site:int ->
+  block:Blockdev.Block.id ->
+  Blockdev.Block.t ->
+  (Types.write_result -> unit) ->
+  unit
+
+val read_sync : ?deadline:float -> t -> site:int -> block:Blockdev.Block.id -> Types.read_result
 (** Issue the read and run the engine until it settles.  Other pending
     simulation events up to that moment run too (this is a simulation,
     time passes). *)
 
-val write_sync : t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
+val write_sync :
+  ?deadline:float -> t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t -> Types.write_result
 
 (** {1 Group commit}
 
@@ -81,20 +102,34 @@ val write_sync : t -> site:int -> block:Blockdev.Block.id -> Blockdev.Block.t ->
     of the group. *)
 
 val read_blocks :
-  t -> site:int -> blocks:Blockdev.Block.id list -> (Types.batch_read_result -> unit) -> unit
+  t ->
+  ?deadline:float ->
+  site:int ->
+  blocks:Blockdev.Block.id list ->
+  (Types.batch_read_result -> unit) ->
+  unit
 
 val write_blocks :
   t ->
+  ?deadline:float ->
   site:int ->
   (Blockdev.Block.id * Blockdev.Block.t) list ->
   (Types.batch_write_result -> unit) ->
   unit
 
-val read_blocks_sync : t -> site:int -> blocks:Blockdev.Block.id list -> Types.batch_read_result
+val read_blocks_sync :
+  ?deadline:float -> t -> site:int -> blocks:Blockdev.Block.id list -> Types.batch_read_result
+
 val write_blocks_sync :
-  t -> site:int -> (Blockdev.Block.id * Blockdev.Block.t) list -> Types.batch_write_result
+  ?deadline:float ->
+  t ->
+  site:int ->
+  (Blockdev.Block.id * Blockdev.Block.t) list ->
+  Types.batch_write_result
 
 val read_sync_retry :
+  ?deadline:float ->
+  ?rng:Random.State.t ->
   t ->
   policy:Retry.policy ->
   stats:Retry.stats ->
@@ -103,9 +138,13 @@ val read_sync_retry :
   Types.read_result
 (** {!read_sync} wrapped in bounded retries with backoff (see {!Retry}):
     under injected message loss a quorum round that loses a vote is retried
-    after a backoff instead of surfacing its first transient error. *)
+    after a backoff instead of surfacing its first transient error.
+    [rng] drives decorrelated jitter (mandatory when the policy asks for
+    it); [deadline] spans the whole retried operation. *)
 
 val write_sync_retry :
+  ?deadline:float ->
+  ?rng:Random.State.t ->
   t ->
   policy:Retry.policy ->
   stats:Retry.stats ->
@@ -168,6 +207,44 @@ val last_scrub : t -> int -> Blockdev.Durable_store.scrub_report option
 
 val storage_counters : t -> Blockdev.Durable_store.counters
 (** Fresh record summing every site's storage-fault counters. *)
+
+(** {1 Overload and gray failure}
+
+    Counters and knobs of the robustness stack.  All of them read zero /
+    do nothing unless the config installed a service model or enabled the
+    corresponding feature. *)
+
+val client_shed : t -> int
+(** Client operations rejected at admission (full entry queue). *)
+
+val hedged : t -> int
+(** Reads that issued a hedge at a second coordinator. *)
+
+val hedge_wins : t -> int
+(** Hedged reads whose hedge answered first (with an acceptable version). *)
+
+val breaker_trips : t -> int
+(** Closed-to-open circuit-breaker transitions, summed over all
+    coordinator/peer pairs. *)
+
+val messages_shed : t -> int
+(** Protocol messages dropped at full per-site work queues (distinct from
+    {!client_shed}, which counts whole client operations). *)
+
+val server : t -> int -> Sim.Server.t option
+(** Site [i]'s work queue, when a service model is installed. *)
+
+val set_rate_factor : t -> int -> float -> unit
+(** Gray failure: scale site [i]'s service times by the factor (e.g. 10.0
+    = a 10x-slow site that is still up and still answers). *)
+
+val flood_site : t -> int -> count:int -> unit
+(** Burst-inject [count] queue jobs at site [i] (chaos: queue pressure
+    without wire traffic). *)
+
+val read_latency : t -> Util.Stats.Histogram.t option
+(** The completed-read latency histogram behind the hedge delay, when
+    hedging is configured. *)
 
 val site_state : t -> int -> Types.site_state
 val site_versions : t -> int -> Blockdev.Version_vector.t

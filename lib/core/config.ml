@@ -10,11 +10,13 @@ type t = {
   track_liveness : bool;
   seed : int;
   fault_profile : Net.Faults.profile;
+  service : Net.Service_model.t option;
+  robustness : Robustness.t;
 }
 
 let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
     ?(latency = Util.Dist.Constant 0.5) ?op_timeout ?quorum ?(witnesses = []) ?(track_liveness = false)
-    ?(seed = 42) ?(fault_profile = Net.Faults.pristine) () =
+    ?(seed = 42) ?(fault_profile = Net.Faults.pristine) ?service ?(robustness = Robustness.off) () =
   if n_sites < 1 then Error "need at least one site"
   else if n_blocks < 1 then Error "need at least one block"
   else begin
@@ -37,30 +39,46 @@ let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
           else begin
             match Net.Faults.validate_profile fault_profile with
             | Error e -> Error ("bad fault profile: " ^ e)
-            | Ok fault_profile ->
-                Ok
-                  {
-                    scheme;
-                    n_sites;
-                    n_blocks;
-                    net_mode;
-                    latency;
-                    op_timeout;
-                    quorum;
-                    witnesses = witness_set;
-                    track_liveness;
-                    seed;
-                    fault_profile;
-                  }
+            | Ok fault_profile -> (
+                let service_ok =
+                  match service with
+                  | None -> Ok None
+                  | Some m -> (
+                      match Net.Service_model.validate m with
+                      | Ok m -> Ok (Some m)
+                      | Error e -> Error ("bad service model: " ^ e))
+                in
+                match service_ok with
+                | Error e -> Error e
+                | Ok service -> (
+                    match Robustness.validate robustness with
+                    | Error e -> Error ("bad robustness config: " ^ e)
+                    | Ok robustness ->
+                        Ok
+                          {
+                            scheme;
+                            n_sites;
+                            n_blocks;
+                            net_mode;
+                            latency;
+                            op_timeout;
+                            quorum;
+                            witnesses = witness_set;
+                            track_liveness;
+                            seed;
+                            fault_profile;
+                            service;
+                            robustness;
+                          }))
           end
         end
   end
 
 let make_exn ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
-    ?track_liveness ?seed ?fault_profile () =
+    ?track_liveness ?seed ?fault_profile ?service ?robustness () =
   match
     make ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
-      ?track_liveness ?seed ?fault_profile ()
+      ?track_liveness ?seed ?fault_profile ?service ?robustness ()
   with
   | Ok t -> t
   | Error msg -> invalid_arg ("Config.make: " ^ msg)

@@ -29,6 +29,14 @@ type t = private {
           overridden): with the pristine profile no injector is installed
           at all, so the cluster is bit-identical to one built before the
           fault layer existed *)
+  service : Net.Service_model.t option;
+      (** per-site service model: [None] (the default) keeps sites
+          infinitely fast, exactly the paper's environment; [Some m] puts
+          a bounded work queue in front of every site (see
+          {!Net.Service_model}), enabling overload and gray failure *)
+  robustness : Robustness.t;
+      (** client-side robustness stack (deadlines, hedged reads, circuit
+          breakers, admission control); {!Robustness.off} by default *)
 }
 
 val make :
@@ -43,11 +51,14 @@ val make :
   ?track_liveness:bool ->
   ?seed:int ->
   ?fault_profile:Net.Faults.profile ->
+  ?service:Net.Service_model.t ->
+  ?robustness:Robustness.t ->
   unit ->
   (t, string) result
 (** Defaults: 64 blocks, multicast, constant latency 0.5 time units,
     timeout 8 latencies, majority quorum, no witnesses,
-    [track_liveness = false], seed 42, pristine fault profile. *)
+    [track_liveness = false], seed 42, pristine fault profile, no service
+    model, robustness off. *)
 
 val make_exn :
   scheme:Types.scheme ->
@@ -61,6 +72,8 @@ val make_exn :
   ?track_liveness:bool ->
   ?seed:int ->
   ?fault_profile:Net.Faults.profile ->
+  ?service:Net.Service_model.t ->
+  ?robustness:Robustness.t ->
   unit ->
   t
 (** Like {!make}; raises [Invalid_argument] instead. *)

@@ -29,7 +29,7 @@ let absorb (s : Runtime.site) block version data =
    garbage.  Only a verified copy at or above the local stored version may
    heal the quarantine — the intact version number is a floor below which
    this disk must not regress — so a repaired read can never be stale. *)
-let read_repair t ~site ~block callback =
+let read_repair t ?deadline ~site ~block callback =
   let s = Runtime.site t.rt site in
   let floor_version = Store.version s.store block in
   if Int_set.is_empty (Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available))
@@ -41,10 +41,12 @@ let read_repair t ~site ~block callback =
       callback (Ok (Blockdev.Block.zero, 0))
     end
     else callback (Error Types.Current_copy_unreachable)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else begin
     let expected = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available) in
     let rid =
-      Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+      Runtime.begin_round ?deadline t.rt ~coordinator:site ~expected
+        ~on_complete:(fun outcome replies ->
           match outcome with
           | Runtime.Aborted -> callback (Error Types.Site_not_available)
           | Runtime.Complete | Runtime.Timeout -> (
@@ -73,16 +75,27 @@ let read_repair t ~site ~block callback =
       expected
   end
 
-let read t ~site ~block callback =
+let read t ?deadline ~site ~block callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
   else if Durable.checksum_ok s.durable block then
+    (* Serving locally issues no sub-request, so an expired deadline does
+       not block it — the caller classifies lateness. *)
     callback (Ok (Store.read s.store block, Store.version s.store block))
-  else read_repair t ~site ~block callback
+  else read_repair t ?deadline ~site ~block callback
 
-let write t ~site ~block data callback =
+(* Breaker-pruned awaited set for a Standard ack round.  The update
+   multicast still reaches every addressee, and W is always computed from
+   the {e full} addressee set (plus comatose absorbers) — the pruning only
+   stops the coordinator waiting on a suspected-slow peer's ack, it can
+   never shrink W below the send-time was-available set. *)
+let awaited_of t ~site expected =
+  Int_set.filter (fun peer -> Runtime.breaker_allows t.rt ~coordinator:site ~peer) expected
+
+let write t ?deadline ~site ~block data callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else begin
     let version = Store.version s.store block + 1 in
     Durable.write s.durable block data ~version;
@@ -112,7 +125,8 @@ let write t ~site ~block data callback =
            the newest copy among them); too small is a stale recovery. *)
         let comatose_at_send = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose) in
         let rid =
-          Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+          Runtime.begin_round ?deadline t.rt ~coordinator:site ~expected:(awaited_of t ~site expected)
+            ~on_complete:(fun outcome replies ->
               ignore (replies : (int * Wire.t) list);
               match outcome with
               | Runtime.Aborted -> callback (Error Types.Site_not_available)
@@ -136,7 +150,7 @@ let write t ~site ~block data callback =
 (* Copy-scheme reads are local, so batching them saves nothing on the
    wire; the batched form exists so the cache and driver layers can use
    one calling convention across schemes. *)
-let read_batch t ~site ~blocks callback =
+let read_batch t ?deadline ~site ~blocks callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
   else
@@ -149,7 +163,7 @@ let read_batch t ~site ~blocks callback =
       | b :: rest ->
           if Durable.checksum_ok s.durable b then heal rest
           else
-            read_repair t ~site ~block:b (function
+            read_repair t ?deadline ~site ~block:b (function
               | Ok _ -> heal rest
               | Error e -> callback (Error e))
     in
@@ -159,9 +173,10 @@ let read_batch t ~site ~blocks callback =
    update multicast, and (Standard) one ack per peer covers the whole
    batch, so a k-block group costs the same number of transmissions as
    a single write. *)
-let write_batch t ~site writes callback =
+let write_batch t ?deadline ~site writes callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else begin
     let payloads =
       List.map
@@ -181,7 +196,8 @@ let write_batch t ~site writes callback =
         let expected = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Available) in
         let comatose_at_send = Runtime.peers_matching t.rt site (fun p -> p.state = Types.Comatose) in
         let rid =
-          Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+          Runtime.begin_round ?deadline t.rt ~coordinator:site ~expected:(awaited_of t ~site expected)
+            ~on_complete:(fun outcome replies ->
               ignore (replies : (int * Wire.t) list);
               match outcome with
               | Runtime.Aborted -> callback (Error Types.Site_not_available)

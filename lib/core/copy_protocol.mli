@@ -34,18 +34,30 @@ val create : Runtime.t -> variant -> t
 
 val variant : t -> variant
 
-val read : t -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
+val read :
+  t -> ?deadline:float -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
 (** Local read at an available site; no network traffic.  Fails with
-    [Site_not_available] at a failed or comatose site. *)
+    [Site_not_available] at a failed or comatose site.
+
+    [deadline] (absolute virtual time) only matters on the peer
+    read-repair path a quarantined local copy takes: the repair round
+    stops waiting at the deadline and is not issued at all once it has
+    passed.  A healthy local serve ignores it (no sub-request is sent). *)
 
 val write :
   t ->
+  ?deadline:float ->
   site:int ->
   block:Blockdev.Block.id ->
   Blockdev.Block.t ->
   (Types.write_result -> unit) ->
   unit
-(** Write to all available copies. *)
+(** Write to all available copies.  [deadline] clamps the Standard ack
+    round and refuses the operation outright (before the local write) once
+    expired.  The ack round also routes around breaker-open peers: they
+    still receive the update multicast and still enter W — only the
+    waiting is skipped, so W never shrinks below the send-time
+    was-available set. *)
 
 (** {1 Group commit}
 
@@ -58,6 +70,7 @@ val write :
 
 val read_batch :
   t ->
+  ?deadline:float ->
   site:int ->
   blocks:Blockdev.Block.id list ->
   (Types.batch_read_result -> unit) ->
@@ -65,6 +78,7 @@ val read_batch :
 
 val write_batch :
   t ->
+  ?deadline:float ->
   site:int ->
   (Blockdev.Block.id * Blockdev.Block.t) list ->
   (Types.batch_write_result -> unit) ->

@@ -14,6 +14,10 @@ type t = {
   home : int;
   policy : Retry.policy;
   settle : float;
+  rng : Random.State.t option;  (** drives decorrelated retry jitter *)
+  budget : float option;
+      (** per-operation virtual-time budget; each request's absolute
+          deadline is [now + budget], propagated end-to-end *)
   stats : Retry.stats;
   mutable requests : int;
   mutable batch_requests : int;
@@ -25,7 +29,7 @@ type t = {
   mutable observers : (op_view -> unit) list;
 }
 
-let create ?(home = 0) ?policy ?settle cluster =
+let create ?(home = 0) ?policy ?settle ?rng cluster =
   if home < 0 || home >= Cluster.n_sites cluster then invalid_arg "Driver_stub.create: bad home site";
   let policy =
     match policy with
@@ -35,6 +39,21 @@ let create ?(home = 0) ?policy ?settle cluster =
   (match Retry.validate policy with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Driver_stub.create: bad retry policy: " ^ e));
+  (* Surface the Decorrelated-without-rng mistake at construction, not on
+     the first forwarded request deep inside a simulation run. *)
+  (match (policy.Retry.jitter, rng) with
+  | Retry.Decorrelated, None ->
+      invalid_arg "Driver_stub.create: policy jitter = Decorrelated requires ~rng"
+  | Retry.Decorrelated, Some _ | Retry.No_jitter, _ -> ());
+  let robustness = (Cluster.config cluster).Config.robustness in
+  let budget =
+    if not robustness.Robustness.deadlines then None
+    else
+      (* An explicit op budget, or the retry policy's own deadline — the
+         point past which the stub would abandon the operation anyway, so
+         sub-requests beyond it are provably useless. *)
+      Some (Option.value robustness.Robustness.op_budget ~default:policy.Retry.deadline)
+  in
   let settle =
     match settle with
     | None -> (Cluster.config cluster).Config.op_timeout
@@ -47,6 +66,8 @@ let create ?(home = 0) ?policy ?settle cluster =
     home;
     policy;
     settle;
+    rng;
+    budget;
     stats = Retry.create_stats ();
     requests = 0;
     batch_requests = 0;
@@ -59,6 +80,7 @@ let create ?(home = 0) ?policy ?settle cluster =
   }
 
 let home t = t.home
+let deadline_budget t = t.budget
 let requests t = t.requests
 let batch_requests t = t.batch_requests
 let batched_blocks t = t.batched_blocks
@@ -106,11 +128,20 @@ let rotation t attempt =
   go 0 t.home
 
 (* A full failed rotation may still be transient (messages lost to the
-   wire, a repair in flight), so the bounded-backoff layer wraps it. *)
+   wire, a repair in flight), so the bounded-backoff layer wraps it.  With
+   deadlines enabled the absolute deadline is fixed here, at the top of
+   the operation, and flows through every rotation, retry and protocol
+   round below; once it passes, no further rotation is attempted. *)
 let forward t attempt =
   t.requests <- t.requests + 1;
-  Retry.run t.policy ~engine:(Cluster.engine t.cluster) ~stats:t.stats (fun ~attempt:_ ->
-      rotation t attempt)
+  let engine = Cluster.engine t.cluster in
+  let deadline = Option.map (fun b -> Sim.Engine.now engine +. b) t.budget in
+  let retryable reason =
+    Retry.transient reason
+    && (match deadline with None -> true | Some d -> Sim.Engine.now engine < d)
+  in
+  Retry.run t.policy ~engine ~stats:t.stats ?rng:t.rng ~retryable (fun ~attempt:_ ->
+      rotation t (attempt ~deadline))
 
 let notify t view = List.iter (fun f -> f view) t.observers
 
@@ -121,7 +152,7 @@ let has_observers t = match t.observers with [] -> false | _ :: _ -> true
 let read_block t block =
   let engine = Cluster.engine t.cluster in
   let invoked = Sim.Engine.now engine in
-  let result = forward t (fun site -> Cluster.read_sync t.cluster ~site ~block) in
+  let result = forward t (fun ~deadline site -> Cluster.read_sync ?deadline t.cluster ~site ~block) in
   if has_observers t then begin
     let responded = Sim.Engine.now engine in
     let view =
@@ -140,7 +171,7 @@ let read_block t block =
 let write_block t block data =
   let engine = Cluster.engine t.cluster in
   let invoked = Sim.Engine.now engine in
-  let result = forward t (fun site -> Cluster.write_sync t.cluster ~site ~block data) in
+  let result = forward t (fun ~deadline site -> Cluster.write_sync ?deadline t.cluster ~site ~block data) in
   if has_observers t then begin
     let responded = Sim.Engine.now engine in
     let view =
@@ -205,7 +236,7 @@ let read_blocks t blocks =
   let invoked = Sim.Engine.now (Cluster.engine t.cluster) in
   t.batch_requests <- t.batch_requests + 1;
   t.batched_blocks <- t.batched_blocks + List.length blocks;
-  let result = forward t (fun site -> Cluster.read_blocks_sync t.cluster ~site ~blocks) in
+  let result = forward t (fun ~deadline site -> Cluster.read_blocks_sync ?deadline t.cluster ~site ~blocks) in
   notify_batch_reads t ~invoked blocks result;
   result
 
@@ -213,6 +244,6 @@ let write_blocks t writes =
   let invoked = Sim.Engine.now (Cluster.engine t.cluster) in
   t.batch_requests <- t.batch_requests + 1;
   t.batched_blocks <- t.batched_blocks + List.length writes;
-  let result = forward t (fun site -> Cluster.write_blocks_sync t.cluster ~site writes) in
+  let result = forward t (fun ~deadline site -> Cluster.write_blocks_sync ?deadline t.cluster ~site writes) in
   notify_batch_writes t ~invoked writes result;
   result

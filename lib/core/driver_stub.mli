@@ -26,13 +26,25 @@
 
 type t
 
-val create : ?home:int -> ?policy:Retry.policy -> ?settle:float -> Cluster.t -> t
-(** [create ?home ?policy ?settle cluster] forwards requests to site [home]
-    (default 0).  [policy] defaults to {!Retry.default_policy} scaled by
-    the cluster's [op_timeout]; pass {!Retry.no_retry} for the paper's
-    original fail-fast behaviour.  [settle] (default the cluster's
+val create :
+  ?home:int -> ?policy:Retry.policy -> ?settle:float -> ?rng:Random.State.t -> Cluster.t -> t
+(** [create ?home ?policy ?settle ?rng cluster] forwards requests to site
+    [home] (default 0).  [policy] defaults to {!Retry.default_policy}
+    scaled by the cluster's [op_timeout]; pass {!Retry.no_retry} for the
+    paper's original fail-fast behaviour.  [settle] (default the cluster's
     [op_timeout]; [0.0] disables) is the virtual-time drain imposed before
-    switching service between available sites. *)
+    switching service between available sites.  [rng] drives decorrelated
+    retry jitter; a [Decorrelated] policy without one is rejected here
+    ([Invalid_argument]) rather than on the first forwarded request.
+
+    With [Config.robustness.deadlines] enabled, every request is given an
+    absolute deadline of now plus [Config.robustness.op_budget] (default:
+    the retry policy's own deadline), propagated through failover,
+    retries and every protocol round — see {!deadline_budget}. *)
+
+val deadline_budget : t -> float option
+(** The per-operation virtual-time budget, when deadline propagation is
+    enabled in the cluster's robustness config. *)
 
 val home : t -> int
 (** The configured home site; requests always probe it first. *)

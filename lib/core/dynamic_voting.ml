@@ -48,10 +48,29 @@ let quorum_check votes =
   let last_group = List.fold_left (fun acc (_, _, g) -> Int.max acc g) 0 holders in
   if 2 * List.length holders > last_group then Some (holders, top_version) else None
 
-let collect_votes t ~site ~block ~purpose ~k =
-  let expected = Runtime.up_peers t.rt site in
+(* Route around breaker-open peers in the vote round — conservatively:
+   group membership is unknown until the votes land, so a peer may only be
+   dropped from the awaited set while the survivors plus the coordinator
+   still form a strict majority of the {e full} site set, the largest
+   group any block can record.  The multicast still reaches dropped peers
+   and their votes are tallied if they arrive; safety rests on the quorum
+   test over received votes, never on the pruning. *)
+let prune_suspects t ~site expected =
+  let n = Runtime.n_sites t.rt in
+  List.fold_left
+    (fun kept peer ->
+      if Runtime.breaker_allows t.rt ~coordinator:site ~peer then kept
+      else
+        let kept' = Int_set.remove peer kept in
+        if 2 * (Int_set.cardinal kept' + 1) > n then kept' else kept)
+    expected
+    (List.rev (Int_set.elements expected))
+
+let collect_votes ?deadline t ~site ~block ~purpose ~k =
+  let expected = prune_suspects t ~site (Runtime.up_peers t.rt site) in
   let rid =
-    Runtime.begin_round t.rt ~coordinator:site ~expected ~on_complete:(fun outcome replies ->
+    Runtime.begin_round ?deadline t.rt ~coordinator:site ~expected
+      ~on_complete:(fun outcome replies ->
         match outcome with
         | Runtime.Aborted -> k None
         | Runtime.Complete | Runtime.Timeout ->
@@ -75,27 +94,35 @@ let apply_update t site block data ~version ~group =
    still propagating (only the writer holds the top version for one
    latency).  Operations therefore retry once after the wires quiet
    down before reporting No_quorum. *)
-let with_retry t ~site attempt callback =
+let with_retry t ?deadline ~site attempt callback =
   let retried = ref false in
   let rec go () =
     attempt (function
       | Error Types.No_quorum when not !retried ->
           retried := true;
-          ignore
-            (Sim.Engine.schedule (Runtime.engine t.rt)
-               ~delay:(Runtime.config t.rt).Config.op_timeout (fun () ->
-                 if (Runtime.site t.rt site).Runtime.state = Types.Available then go ()
-                 else callback (Error Types.Site_not_available))
-              : Sim.Engine.handle)
+          let delay = (Runtime.config t.rt).Config.op_timeout in
+          (* A retry that would start past the operation's deadline is not
+             scheduled at all: the budget is already spent. *)
+          if
+            Runtime.past_deadline t.rt
+              (Option.map (fun d -> d -. delay) deadline)
+          then callback (Error Types.Timed_out)
+          else
+            ignore
+              (Sim.Engine.schedule (Runtime.engine t.rt) ~delay (fun () ->
+                   if (Runtime.site t.rt site).Runtime.state = Types.Available then go ()
+                   else callback (Error Types.Site_not_available))
+                : Sim.Engine.handle)
       | result -> callback result)
   in
   go ()
 
-let read_attempt t ~site ~block callback =
+let read_attempt t ?deadline ~site ~block callback =
   let s = Runtime.site t.rt site in
   if s.Runtime.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else
-    collect_votes t ~site ~block ~purpose:Net.Message.Read ~k:(function
+    collect_votes ?deadline t ~site ~block ~purpose:Net.Message.Read ~k:(function
       | None -> callback (Error Types.Site_not_available)
       | Some votes -> (
           match quorum_check votes with
@@ -113,6 +140,10 @@ let read_attempt t ~site ~block callback =
                     callback (Ok (Blockdev.Block.zero, 0))
                   end
                   else callback (Error Types.Current_copy_unreachable)
+              | _ when Runtime.past_deadline t.rt deadline ->
+                  (* The votes consumed the budget; the pull cannot meet
+                     it, so it is not issued. *)
+                  callback (Error Types.Timed_out)
               | _ ->
               begin
                 (* Pull from the lowest-id current holder (deterministic). *)
@@ -121,7 +152,8 @@ let read_attempt t ~site ~block callback =
                     (List.filter (fun (i, _, _) -> i <> site) holders)
                 in
                 let rid =
-                  Runtime.begin_round t.rt ~coordinator:site ~expected:(Int_set.singleton source)
+                  Runtime.begin_round ?deadline t.rt ~coordinator:site
+                    ~expected:(Int_set.singleton source)
                     ~on_complete:(fun outcome replies ->
                       if not (coordinator_alive t site) then callback (Error Types.Site_not_available)
                       else
@@ -160,13 +192,15 @@ let read_attempt t ~site ~block callback =
                   (Wire.Block_request { rid; block })
               end)))
 
-let read t ~site ~block callback = with_retry t ~site (fun k -> read_attempt t ~site ~block k) callback
+let read t ?deadline ~site ~block callback =
+  with_retry t ?deadline ~site (fun k -> read_attempt t ?deadline ~site ~block k) callback
 
-let write_attempt t ~site ~block data callback =
+let write_attempt t ?deadline ~site ~block data callback =
   let s = Runtime.site t.rt site in
   if s.Runtime.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else
-    collect_votes t ~site ~block ~purpose:Net.Message.Write ~k:(function
+    collect_votes ?deadline t ~site ~block ~purpose:Net.Message.Write ~k:(function
       | None -> callback (Error Types.Site_not_available)
       | Some votes -> (
           match quorum_check votes with
@@ -185,8 +219,13 @@ let write_attempt t ~site ~block data callback =
                  group forever: collect acknowledgements and, when someone
                  died in flight, publish the group that really formed. *)
               let expected = Int_set.remove site tentative in
+              (* The ack round is deliberately NOT breaker-pruned: the
+                 ackers determine the final group, and not waiting for a
+                 live member would shrink the published group for a reason
+                 unrelated to who applied the write.  The deadline still
+                 clamps the wait. *)
               let rid =
-                Runtime.begin_round t.rt ~coordinator:site ~expected
+                Runtime.begin_round ?deadline t.rt ~coordinator:site ~expected
                   ~on_complete:(fun outcome replies ->
                     match outcome with
                     | Runtime.Aborted -> callback (Error Types.Site_not_available)
@@ -209,8 +248,8 @@ let write_attempt t ~site ~block data callback =
               Runtime.broadcast t.rt ~op:Net.Message.Write ~from:site
                 (Wire.Block_update { rid = Some rid; block; version; data; carried_w = tentative })))
 
-let write t ~site ~block data callback =
-  with_retry t ~site (fun k -> write_attempt t ~site ~block data k) callback
+let write t ?deadline ~site ~block data callback =
+  with_retry t ?deadline ~site (fun k -> write_attempt t ?deadline ~site ~block data k) callback
 
 let handle t (s : Runtime.site) ~from msg =
   match msg with

@@ -29,12 +29,18 @@ val create : Runtime.t -> t
 (** Installs the protocol's message handler.  Every block's initial group
     is the full site set (everyone holds version 0). *)
 
-val read : t -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
+val read :
+  t -> ?deadline:float -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
 (** Serve a read under a last-group majority; pulls the current copy if
-    the local one is stale.  Reads do not adjust groups. *)
+    the local one is stale.  Reads do not adjust groups.
+
+    [deadline] (absolute virtual time) propagates into the vote and pull
+    rounds, suppresses the internal No_quorum retry once expired, and
+    makes an expired entry fail [Timed_out] without issuing anything. *)
 
 val write :
   t ->
+  ?deadline:float ->
   site:int ->
   block:Blockdev.Block.id ->
   Blockdev.Block.t ->

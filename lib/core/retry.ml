@@ -108,6 +108,12 @@ let transient (_ : Types.failure_reason) = true
 
 let run policy ~engine ~stats ?rng ?(retryable = transient) f =
   (match validate policy with Ok _ -> () | Error e -> invalid_arg ("Retry.run: " ^ e));
+  (* A decorrelated-jitter policy without an rng used to fall back silently
+     to the deterministic schedule — callers believed their retriers were
+     spread apart when they were colliding.  Refuse the combination. *)
+  (match (policy.jitter, rng) with
+  | Decorrelated, None -> invalid_arg "Retry.run: jitter = Decorrelated requires ~rng"
+  | Decorrelated, Some _ | No_jitter, _ -> ());
   let start = Sim.Engine.now engine in
   stats.operations <- stats.operations + 1;
   let rec go attempt ~prev_delay =
@@ -131,6 +137,8 @@ let run policy ~engine ~stats ?rng ?(retryable = transient) f =
           let delay =
             match (policy.jitter, rng) with
             | Decorrelated, Some rng -> backoff_jittered policy ~rng ~prev:prev_delay
+            (* Decorrelated-without-rng was rejected at entry, so this arm
+               only ever fires for No_jitter. *)
             | Decorrelated, None | No_jitter, _ -> backoff policy ~attempt
           in
           let now = Sim.Engine.now engine in

@@ -21,8 +21,10 @@ type jitter =
           [[base_delay, 3 * previous delay]], clamped to the policy's
           [[base_delay, max_delay]] envelope.  Spreads simultaneous
           retriers apart so they stop colliding on the same quorum round.
-          Needs the caller to pass [?rng] to {!run}; without one the
-          deterministic schedule is used. *)
+          Requires the caller to pass [?rng] to {!run}: the combination
+          without one is rejected ([Invalid_argument]) rather than
+          silently degrading to the deterministic schedule, which would
+          let supposedly-decorrelated retriers collide. *)
 
 type policy = {
   max_attempts : int;  (** total tries, including the first (>= 1) *)
@@ -115,7 +117,8 @@ val run :
 (** [run policy ~engine ~stats f] calls [f ~attempt:1], and on a retryable
     error backs off (driving [engine] forward by the delay) and tries
     again, up to the policy's attempt and deadline bounds.  Returns the
-    first success or the last error.  With [jitter = Decorrelated] and an
-    [rng], delays follow the decorrelated-jitter chain; otherwise the
-    deterministic schedule (so existing callers are bit-identical).
-    Raises [Invalid_argument] on an invalid policy. *)
+    first success or the last error.  With [jitter = Decorrelated],
+    delays follow the decorrelated-jitter chain seeded by the mandatory
+    [rng] — omitting it raises [Invalid_argument] (it used to fall back
+    silently to the deterministic schedule).  Raises [Invalid_argument]
+    on an invalid policy. *)

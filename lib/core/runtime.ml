@@ -38,6 +38,11 @@ type t = {
   rounds : (int, round) Hashtbl.t;
   mutable listeners : (int -> Types.site_state -> unit) list;
   mutable dispatch : site -> from:int -> Wire.t -> unit;
+  (* breakers.(coordinator).(peer): that coordinator's view of the peer.
+     Allocated only when the robustness config asks for breakers, so the
+     default path carries no per-round bookkeeping at all. *)
+  breakers : Breaker.t array array option;
+  mutable round_probes : (coordinator:int -> deadline:float option -> expected:Types.Int_set.t -> unit) list;
 }
 
 let create (config : Config.t) =
@@ -54,6 +59,20 @@ let create (config : Config.t) =
   let net =
     Transport.create ?faults engine ~mode:config.net_mode ~latency:config.latency
       ~rng:(Util.Prng.split rng) ~n_sites:config.n_sites
+  in
+  (* Service costs draw from their own seeded stream: installing the model
+     must not perturb the latency or workload draws of the same seed. *)
+  (match config.service with
+  | None -> ()
+  | Some model ->
+      Transport.install_service net model ~rng:(Util.Prng.create (config.seed lxor 0x73657276)));
+  let breakers =
+    match config.robustness.Robustness.breaker with
+    | None -> None
+    | Some { Robustness.threshold; cooldown } ->
+        Some
+          (Array.init config.n_sites (fun _ ->
+               Array.init config.n_sites (fun _ -> Breaker.create engine ~threshold ~cooldown)))
   in
   let make_site id =
     let durable = Blockdev.Durable_store.create ~capacity:config.n_blocks in
@@ -82,6 +101,8 @@ let create (config : Config.t) =
       rounds = Hashtbl.create 64;
       listeners = [];
       dispatch = (fun _ ~from:_ _ -> ());
+      breakers;
+      round_probes = [];
     }
   in
   Array.iter
@@ -135,23 +156,68 @@ let finish_round t rid outcome =
       (match round.timeout_handle with
       | Some h -> Sim.Engine.cancel t.engine h
       | None -> ());
+      (* Feed the coordinator's breakers before on_complete so a retry
+         issued inside the callback already routes around the silence.
+         Answering counts as proof of life even in a round that timed out
+         on someone else; an aborted round (coordinator death) says
+         nothing about the peers. *)
+      (match t.breakers with
+      | None -> ()
+      | Some m -> (
+          match outcome with
+          | Aborted -> ()
+          | Complete | Timeout ->
+              let mine = m.(round.coordinator) in
+              Int_set.iter
+                (fun p -> if p <> round.coordinator then Breaker.record_success mine.(p))
+                round.answered;
+              if outcome = Timeout then
+                Int_set.iter
+                  (fun p ->
+                    if p <> round.coordinator && not (Int_set.mem p round.answered) then
+                      Breaker.record_failure mine.(p))
+                  round.expected));
       round.on_complete outcome (List.rev round.replies)
 
-let begin_round t ~coordinator ~expected ~on_complete =
+let past_deadline t deadline =
+  match deadline with None -> false | Some d -> Sim.Engine.now t.engine >= d
+
+let on_round_start t f = t.round_probes <- f :: t.round_probes
+
+let begin_round ?deadline t ~coordinator ~expected ~on_complete =
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
+  List.iter (fun f -> f ~coordinator ~deadline ~expected) t.round_probes;
   let round =
     { coordinator; expected; replies = []; answered = Int_set.empty; timeout_handle = None; on_complete }
   in
   Hashtbl.replace t.rounds rid round;
-  if Int_set.is_empty expected then
+  if past_deadline t deadline then
+    (* Callers guard round-opening points with {!past_deadline}, so this is
+       the backstop: a round that cannot meet its budget times out on the
+       next tick instead of waiting out op_timeout.  (Requests, if any were
+       sent, are already moot — their replies would land after the
+       deadline.) *)
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:0.0 (fun () -> finish_round t rid Timeout)
+        : Sim.Engine.handle)
+  else if Int_set.is_empty expected then
     (* Complete on the next engine tick so callers can finish setting up. *)
     ignore
       (Sim.Engine.schedule t.engine ~delay:0.0 (fun () -> finish_round t rid Complete)
         : Sim.Engine.handle)
-  else
+  else begin
+    (* A deadline clamps the round's patience: waiting longer than the
+       budget allows could only produce replies the operation can no
+       longer use. *)
+    let wait =
+      match deadline with
+      | None -> t.config.op_timeout
+      | Some d -> Float.min t.config.op_timeout (d -. Sim.Engine.now t.engine)
+    in
     round.timeout_handle <-
-      Some (Sim.Engine.schedule t.engine ~delay:t.config.op_timeout (fun () -> finish_round t rid Timeout));
+      Some (Sim.Engine.schedule t.engine ~delay:wait (fun () -> finish_round t rid Timeout))
+  end;
   rid
 
 let reply t ~rid ~from payload =
@@ -217,3 +283,27 @@ let up_peers t i =
 
 let peers_matching t i pred =
   Int_set.filter (fun j -> pred t.sites.(j)) (up_peers t i)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let server t i =
+  if i < 0 || i >= n_sites t then invalid_arg "Runtime.server: bad site id";
+  Transport.server t.net i
+
+let breaker t ~coordinator ~peer =
+  if coordinator < 0 || coordinator >= n_sites t || peer < 0 || peer >= n_sites t then
+    invalid_arg "Runtime.breaker: bad site id";
+  Option.map (fun m -> m.(coordinator).(peer)) t.breakers
+
+let breaker_allows t ~coordinator ~peer =
+  match breaker t ~coordinator ~peer with None -> true | Some b -> Breaker.allows b
+
+let breaker_trips t =
+  match t.breakers with
+  | None -> 0
+  | Some m ->
+      Array.fold_left
+        (fun acc row -> Array.fold_left (fun acc b -> acc + Breaker.trips b) acc row)
+        0 m

@@ -77,6 +77,7 @@ val cache_info : t -> int -> Wire.site_info -> unit
 (** {1 Rounds} *)
 
 val begin_round :
+  ?deadline:float ->
   t ->
   coordinator:int ->
   expected:Types.Int_set.t ->
@@ -84,7 +85,25 @@ val begin_round :
   int
 (** Open a round and return its rid.  Completion fires asynchronously (via
     the engine) even when [expected] is empty.  The reply list is in arrival
-    order. *)
+    order.
+
+    [deadline] (absolute virtual time) clamps the round's timeout to
+    [min op_timeout (deadline - now)]: replies landing after the budget
+    would be useless, so the round gives up exactly when the operation
+    must.  An already-expired deadline times the round out on the next
+    tick — callers should guard with {!past_deadline} and not send at
+    all, which the round-start probes let tests enforce. *)
+
+val past_deadline : t -> float option -> bool
+(** [past_deadline t (Some d)] iff the clock reached [d].  [None] never
+    expires. *)
+
+val on_round_start :
+  t -> (coordinator:int -> deadline:float option -> expected:Types.Int_set.t -> unit) -> unit
+(** Subscribe to round openings (test instrumentation: the deadline
+    property test asserts no round with a deadline ever opens at or past
+    it).  Probes fire synchronously inside {!begin_round}, before any
+    request is sent. *)
 
 val reply : t -> rid:int -> from:int -> Wire.t -> unit
 (** Record a reply for a round; ignored when the round is gone (late reply
@@ -125,3 +144,24 @@ val up_peers : t -> int -> Types.Int_set.t
 val peers_matching : t -> int -> (site -> bool) -> Types.Int_set.t
 (** Up, reachable peers additionally satisfying a predicate on their site
     record (e.g. protocol state availability). *)
+
+(** {1 Robustness plumbing}
+
+    All of it dormant unless the config enables the corresponding feature:
+    without a service model {!server} is [None] everywhere, without a
+    breaker config {!breaker} is [None] and {!breaker_allows} always
+    [true]. *)
+
+val server : t -> int -> Sim.Server.t option
+(** Site [i]'s work queue, when the config installed a service model. *)
+
+val breaker : t -> coordinator:int -> peer:int -> Breaker.t option
+(** [coordinator]'s breaker for [peer], when breakers are configured. *)
+
+val breaker_allows : t -> coordinator:int -> peer:int -> bool
+(** Whether the coordinator should currently send to the peer; [true]
+    when breakers are off.  Advisory — call sites must keep the scheme's
+    safety rule satisfied regardless. *)
+
+val breaker_trips : t -> int
+(** Total closed-to-open transitions across all coordinator/peer pairs. *)

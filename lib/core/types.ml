@@ -21,13 +21,14 @@ let all_schemes = [ Voting; Available_copy; Naive_available_copy; Dynamic_voting
 
 let pp_scheme ppf s = Format.pp_print_string ppf (scheme_to_string s)
 
-type failure_reason = No_quorum | Site_not_available | Timed_out | Current_copy_unreachable
+type failure_reason = No_quorum | Site_not_available | Timed_out | Current_copy_unreachable | Overloaded
 
 let failure_reason_to_string = function
   | No_quorum -> "no quorum"
   | Site_not_available -> "local site not available"
   | Timed_out -> "timed out"
   | Current_copy_unreachable -> "no reachable data site holds the current version"
+  | Overloaded -> "overloaded: admission refused or queue full"
 
 type read_result = (Blockdev.Block.t * int, failure_reason) result
 type write_result = (int, failure_reason) result

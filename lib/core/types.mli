@@ -30,6 +30,10 @@ type failure_reason =
   | Current_copy_unreachable
       (** witness voting: a quorum exists and names the current version,
           but no reachable data site holds it *)
+  | Overloaded
+      (** shed rather than served: the site's work queue was full or the
+          device's admission limit was reached — a fast, explicit refusal
+          so callers back off instead of waiting out a timeout *)
 
 val failure_reason_to_string : failure_reason -> string
 

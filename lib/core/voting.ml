@@ -44,10 +44,40 @@ let best_vote self votes =
 
 let coordinator_alive t site_id = (Runtime.site t.rt site_id).state = Types.Available
 
-let collect_votes t ~site_id ~block ~purpose ~k =
-  let expected = Runtime.up_peers t.rt site_id in
+(* Route around suspected-slow peers: drop breaker-open peers from the
+   awaited set — highest id first, deterministically — but only while the
+   weight still awaited (survivors plus the coordinator) meets the
+   operation's quorum rule, so pruning can never turn a quorum that would
+   form into a refusal.  The vote multicast still reaches dropped peers
+   and a vote that arrives anyway is tallied; only the waiting stops.
+   Safety never rests on the pruning being right: the quorum test runs on
+   the votes actually received. *)
+let prune_suspects t ~site_id ~quorum_met expected =
+  let weight_with set =
+    Quorum.weight t.quorum site_id
+    + Int_set.fold (fun i acc -> acc + Quorum.weight t.quorum i) set 0
+  in
+  List.fold_left
+    (fun kept peer ->
+      if Runtime.breaker_allows t.rt ~coordinator:site_id ~peer then kept
+      else
+        let kept' = Int_set.remove peer kept in
+        if quorum_met (weight_with kept') then kept' else kept)
+    expected
+    (List.rev (Int_set.elements expected))
+
+let quorum_met_for t purpose =
+  match purpose with
+  | Net.Message.Write -> Quorum.write_quorum_met t.quorum
+  | Net.Message.Read | Net.Message.Recovery | Net.Message.Repair -> Quorum.read_quorum_met t.quorum
+
+let collect_votes ?deadline t ~site_id ~block ~purpose ~k =
+  let expected =
+    prune_suspects t ~site_id ~quorum_met:(quorum_met_for t purpose) (Runtime.up_peers t.rt site_id)
+  in
   let rid =
-    Runtime.begin_round t.rt ~coordinator:site_id ~expected ~on_complete:(fun outcome replies ->
+    Runtime.begin_round ?deadline t.rt ~coordinator:site_id ~expected
+      ~on_complete:(fun outcome replies ->
         match outcome with
         | Runtime.Aborted -> k None
         | Runtime.Complete | Runtime.Timeout ->
@@ -63,10 +93,10 @@ let collect_votes t ~site_id ~block ~purpose ~k =
    when the local site stores data (lazy per-block recovery).  The source
    promised [min_version] in its vote; a transfer below that means its copy
    rotted between vote and transfer, and must not be served as current. *)
-let pull_and_serve t ~site ~block ~source ~min_version callback =
+let pull_and_serve t ?deadline ~site ~block ~source ~min_version callback =
   let s = Runtime.site t.rt site in
   let rid =
-    Runtime.begin_round t.rt ~coordinator:site ~expected:(Int_set.singleton source)
+    Runtime.begin_round ?deadline t.rt ~coordinator:site ~expected:(Int_set.singleton source)
       ~on_complete:(fun outcome replies ->
         if not (coordinator_alive t site) then callback (Error Types.Site_not_available)
         else
@@ -100,10 +130,13 @@ let pull_and_serve t ~site ~block ~source ~min_version callback =
 (* ------------------------------------------------------------------ *)
 
 (* Per-site batched votes: (site, (block, version) assoc, weight). *)
-let collect_batch_votes t ~site_id ~blocks ~purpose ~k =
-  let expected = Runtime.up_peers t.rt site_id in
+let collect_batch_votes ?deadline t ~site_id ~blocks ~purpose ~k =
+  let expected =
+    prune_suspects t ~site_id ~quorum_met:(quorum_met_for t purpose) (Runtime.up_peers t.rt site_id)
+  in
   let rid =
-    Runtime.begin_round t.rt ~coordinator:site_id ~expected ~on_complete:(fun outcome replies ->
+    Runtime.begin_round ?deadline t.rt ~coordinator:site_id ~expected
+      ~on_complete:(fun outcome replies ->
         match outcome with
         | Runtime.Aborted -> k None
         | Runtime.Complete | Runtime.Timeout ->
@@ -152,12 +185,13 @@ let batch_best_data_site t self votes block =
             | None -> Some (site, v)))
     None votes
 
-let write_batch t ~site writes callback =
+let write_batch t ?deadline ~site writes callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else
     let blocks = List.map fst writes in
-    collect_batch_votes t ~site_id:site ~blocks ~purpose:Net.Message.Write ~k:(function
+    collect_batch_votes ?deadline t ~site_id:site ~blocks ~purpose:Net.Message.Write ~k:(function
       | None -> callback (Error Types.Site_not_available)
       | Some votes ->
           let weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 votes in
@@ -181,11 +215,12 @@ let write_batch t ~site writes callback =
 (* Pull every block the local site cannot serve, grouped into one
    batch-request per distinct source site; assemble the full result in the
    caller's block order once the last source answers. *)
-let read_batch t ~site ~blocks callback =
+let read_batch t ?deadline ~site ~blocks callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else
-    collect_batch_votes t ~site_id:site ~blocks ~purpose:Net.Message.Read ~k:(function
+    collect_batch_votes ?deadline t ~site_id:site ~blocks ~purpose:Net.Message.Read ~k:(function
       | None -> callback (Error Types.Site_not_available)
       | Some votes ->
           let weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 votes in
@@ -248,6 +283,10 @@ let read_batch t ~site ~blocks callback =
                           blocks))
                 in
                 if pulls = [] then assemble ()
+                else if Runtime.past_deadline t.rt deadline then
+                  (* The votes consumed the whole budget; the pulls cannot
+                     meet it, so issue none. *)
+                  callback (Error Types.Timed_out)
                 else begin
                   (* One batch-request per distinct source; remember the
                      version each block's source promised in its vote. *)
@@ -273,7 +312,7 @@ let read_batch t ~site ~blocks callback =
                   List.iter
                     (fun (source, sblocks) ->
                       let rid =
-                        Runtime.begin_round t.rt ~coordinator:site
+                        Runtime.begin_round ?deadline t.rt ~coordinator:site
                           ~expected:(Int_set.singleton source)
                           ~on_complete:(fun outcome replies ->
                             if not (coordinator_alive t site) then begin
@@ -316,11 +355,12 @@ let read_batch t ~site ~blocks callback =
                 end
           end)
 
-let read t ~site ~block callback =
+let read t ?deadline ~site ~block callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else
-    collect_votes t ~site_id:site ~block ~purpose:Net.Message.Read ~k:(function
+    collect_votes ?deadline t ~site_id:site ~block ~purpose:Net.Message.Read ~k:(function
       | None -> callback (Error Types.Site_not_available)
       | Some votes ->
           let weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 votes in
@@ -343,8 +383,11 @@ let read t ~site ~block callback =
                       callback (Ok (data, local_version))
                   | Some _ | None ->
                       if best_data_site <> site then
-                        pull_and_serve t ~site ~block ~source:best_data_site
-                          ~min_version:best_data_version callback
+                        if Runtime.past_deadline t.rt deadline then
+                          callback (Error Types.Timed_out)
+                        else
+                          pull_and_serve t ?deadline ~site ~block ~source:best_data_site
+                            ~min_version:best_data_version callback
                       else begin
                         (* The local copy won the vote tie but cannot serve:
                            it is quarantined at effective version 0 (so every
@@ -357,11 +400,12 @@ let read t ~site ~block callback =
                 end)
           end)
 
-let write t ~site ~block data callback =
+let write t ?deadline ~site ~block data callback =
   let s = Runtime.site t.rt site in
   if s.state <> Types.Available then callback (Error Types.Site_not_available)
+  else if Runtime.past_deadline t.rt deadline then callback (Error Types.Timed_out)
   else
-    collect_votes t ~site_id:site ~block ~purpose:Net.Message.Write ~k:(function
+    collect_votes ?deadline t ~site_id:site ~block ~purpose:Net.Message.Write ~k:(function
       | None -> callback (Error Types.Site_not_available)
       | Some votes ->
           let weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 votes in

@@ -19,12 +19,19 @@ val create : Runtime.t -> t
 (** Builds the protocol over a runtime and installs its message handler. *)
 
 val read :
-  t -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
+  t -> ?deadline:float -> site:int -> block:Blockdev.Block.id -> (Types.read_result -> unit) -> unit
 (** Figure 3.  The callback fires (via the engine) with the block contents,
-    or [No_quorum] / [Site_not_available] / [Timed_out]. *)
+    or [No_quorum] / [Site_not_available] / [Timed_out].
+
+    [deadline] (absolute virtual time) propagates into every round the
+    operation opens: rounds stop waiting at the deadline, and follow-up
+    sub-requests (the block pull after the votes) are not issued at all
+    once it has passed — the operation fails [Timed_out] instead.  Same
+    contract on every operation below. *)
 
 val write :
   t ->
+  ?deadline:float ->
   site:int ->
   block:Blockdev.Block.id ->
   Blockdev.Block.t ->
@@ -44,7 +51,12 @@ val write :
     semantically identical to the single-block operation. *)
 
 val read_batch :
-  t -> site:int -> blocks:Blockdev.Block.id list -> (Types.batch_read_result -> unit) -> unit
+  t ->
+  ?deadline:float ->
+  site:int ->
+  blocks:Blockdev.Block.id list ->
+  (Types.batch_read_result -> unit) ->
+  unit
 (** One vote round for all [blocks]; blocks whose current copy the local
     site holds are served locally, the rest are pulled with one
     batch-request per distinct source site.  Results are in the order of
@@ -53,6 +65,7 @@ val read_batch :
 
 val write_batch :
   t ->
+  ?deadline:float ->
   site:int ->
   (Blockdev.Block.id * Blockdev.Block.t) list ->
   (Types.batch_write_result -> unit) ->

@@ -24,6 +24,12 @@ module Make (P : PAYLOAD) = struct
     group : int array;
     mutable delivered : int;
     mutable faults : Faults.t option;
+    (* Service model: when installed, every delivery and client admission
+       goes through the destination site's bounded queue.  [None] (the
+       default) is the exact legacy zero-cost path — no queue, no extra
+       rng draws, bit-identical behaviour. *)
+    mutable service : (Service_model.t * Util.Prng.t) option;
+    servers : Sim.Server.t option array;
   }
 
   let create ?faults engine ~mode ~latency ~rng ~n_sites =
@@ -40,6 +46,8 @@ module Make (P : PAYLOAD) = struct
       group = Array.make n_sites 0;
       delivered = 0;
       faults;
+      service = None;
+      servers = Array.make n_sites None;
     }
 
   let engine t = t.engine
@@ -52,13 +60,55 @@ module Make (P : PAYLOAD) = struct
   let check_site t id name =
     if id < 0 || id >= t.n_sites then invalid_arg (Printf.sprintf "Network.%s: bad site %d" name id)
 
+  let install_service t model ~rng =
+    (match Service_model.validate model with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("Network.install_service: " ^ e));
+    t.service <- Some (model, rng);
+    for i = 0 to t.n_sites - 1 do
+      t.servers.(i) <- Some (Sim.Server.create t.engine ~capacity:model.Service_model.queue_capacity)
+    done
+
+  let service t = Option.map fst t.service
+
+  let server t id =
+    check_site t id "server";
+    t.servers.(id)
+
+  let set_rate_factor t id factor =
+    check_site t id "set_rate_factor";
+    match t.servers.(id) with Some srv -> Sim.Server.set_rate_factor srv factor | None -> ()
+
+  let flood_site t id ~count =
+    check_site t id "flood_site";
+    match (t.servers.(id), t.service) with
+    | Some srv, Some (model, rng) ->
+        Sim.Server.flood srv ~count ~cost:(Service_model.cost_of model Message.Block_request rng)
+    | _ -> ()
+
+  let submit_client t ~site work =
+    check_site t site "submit_client";
+    match (t.service, t.servers.(site)) with
+    | Some (model, rng), Some srv ->
+        let cost = Service_model.client_cost model rng in
+        if Sim.Server.submit srv ~cost work then `Queued else `Shed
+    | _ -> `Direct
+
+  let total_shed t =
+    Array.fold_left
+      (fun acc srv -> match srv with Some s -> acc + Sim.Server.shed s | None -> acc)
+      0 t.servers
+
   let register t ~id handler =
     check_site t id "register";
     t.handlers.(id) <- Some handler
 
   let set_up t id up =
     check_site t id "set_up";
-    t.up.(id) <- up
+    t.up.(id) <- up;
+    (* Fail-stop kills the site's processor with the site: everything
+       queued (and the job in service) dies unserved. *)
+    if not up then match t.servers.(id) with Some srv -> Sim.Server.clear srv | None -> ()
 
   let is_up t id =
     check_site t id "is_up";
@@ -94,14 +144,28 @@ module Make (P : PAYLOAD) = struct
      path runs unchanged (the default-off no-op guarantee). *)
   let schedule_delivery t ~from ~dst payload ~extra =
     let delay = Util.Dist.sample t.latency t.rng +. extra in
+    let handle_now () =
+      match t.handlers.(dst) with
+      | Some handler ->
+          t.delivered <- t.delivered + 1;
+          handler ~from payload
+      | None -> ()
+    in
     ignore
       (Sim.Engine.schedule t.engine ~delay (fun () ->
            if t.up.(dst) && reachable t from dst then
-             match t.handlers.(dst) with
-             | Some handler ->
-                 t.delivered <- t.delivered + 1;
-                 handler ~from payload
-             | None -> ())
+             match (t.service, t.servers.(dst)) with
+             | None, _ | _, None -> handle_now ()
+             | Some (model, rng), Some srv ->
+                 (* The message reached the NIC; whether the processor gets
+                    to it is the queue's call.  The cost draw happens at
+                    arrival (deterministic in arrival order); a full queue
+                    sheds the message — counted at the server — and the
+                    sender's round times out as if it were lost.  The job
+                    re-checks liveness at service time: a failure while the
+                    message waited clears the queue, but belt-and-braces. *)
+                 let cost = Service_model.cost_of model (P.category payload) rng in
+                 ignore (Sim.Server.submit srv ~cost (fun () -> if t.up.(dst) then handle_now ()) : bool))
         : Sim.Engine.handle)
 
   let deliver t ~from ~dst payload =

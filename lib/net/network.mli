@@ -60,6 +60,40 @@ module Make (P : PAYLOAD) : sig
       from now on.  Transmission accounting is never affected — Section 5
       charges the send, not the arrival. *)
 
+  val install_service : t -> Service_model.t -> rng:Util.Prng.t -> unit
+  (** Put a bounded single-server queue ({!Sim.Server}) in front of every
+      site: deliveries then occupy the destination's processor for a draw
+      from the payload category's service distribution, and a full queue
+      sheds the message (the sender sees silence, as with loss).  [rng]
+      must be a stream of its own — service sampling never touches the
+      latency stream, so enabling the model leaves message timing draws
+      unchanged.  Without this call the legacy instant-service path runs
+      byte-identically. *)
+
+  val service : t -> Service_model.t option
+
+  val server : t -> int -> Sim.Server.t option
+  (** Site [id]'s work queue, when a service model is installed — for
+      per-site depth/latency/shed reporting and chaos instrumentation. *)
+
+  val set_rate_factor : t -> int -> float -> unit
+  (** Degrade (or heal) one site's processor: multiplies every service
+      time drawn from now on (10.0 = the canonical gray failure).  No-op
+      without a service model. *)
+
+  val flood_site : t -> int -> count:int -> unit
+  (** Stuff [count] no-op jobs into a site's queue (the [queue-flood]
+      chaos event); overflow sheds.  No-op without a service model. *)
+
+  val submit_client : t -> site:int -> (unit -> unit) -> [ `Direct | `Queued | `Shed ]
+  (** Admit one client operation at a site.  [`Direct]: no service model —
+      the caller must run the work itself, synchronously (legacy path).
+      [`Queued]: accepted; the work fires when the processor reaches it.
+      [`Shed]: queue full, work refused and never run. *)
+
+  val total_shed : t -> int
+  (** Jobs shed across all site queues (messages and client admissions). *)
+
   val register : t -> id:int -> (from:int -> P.t -> unit) -> unit
   (** [register t ~id handler] installs the receive handler of site [id];
       replaces any previous handler. *)

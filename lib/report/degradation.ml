@@ -1,3 +1,13 @@
+type site_load = {
+  site : int;
+  served : int;
+  queue_shed : int;
+  depth_p50 : float;
+  depth_p99 : float;
+  sojourn_mean : float;
+  sojourn_max : float;
+}
+
 type summary = {
   label : string;
   requests : int;
@@ -9,18 +19,46 @@ type summary = {
   timeouts : int;
   gave_up : int;
   rejected : int;
+  shed : int;
+  hedged : int;
+  hedge_wins : int;
+  breaker_trips : int;
+  messages_shed : int;
   drops : int;
   duplicates : int;
   reorders : int;
   delayed : int;
   jittered : int;
+  sites : site_load list;
   last_errors : (float * string) list;
 }
 
+let site_loads cluster =
+  let n = Blockrep.Cluster.n_sites cluster in
+  List.filter_map
+    (fun site ->
+      match Blockrep.Cluster.server cluster site with
+      | None -> None
+      | Some srv ->
+          let depth = Sim.Server.depth_histogram srv in
+          let sojourn = Sim.Server.sojourn srv in
+          Some
+            {
+              site;
+              served = Sim.Server.served srv;
+              queue_shed = Sim.Server.shed srv;
+              depth_p50 = Util.Stats.Histogram.quantile depth 0.5;
+              depth_p99 = Util.Stats.Histogram.quantile depth 0.99;
+              sojourn_mean = Util.Stats.mean sojourn;
+              sojourn_max = Util.Stats.max_value sojourn;
+            })
+    (List.init n Fun.id)
+
 let collect ?(label = "device") device =
   let d = Blockrep.Reliable_device.degradation device in
+  let cluster = Blockrep.Reliable_device.cluster device in
   let drops, duplicates, reorders, delayed, jittered =
-    match Blockrep.Cluster.faults (Blockrep.Reliable_device.cluster device) with
+    match Blockrep.Cluster.faults cluster with
     | None -> (0, 0, 0, 0, 0)
     | Some f ->
         ( Net.Faults.drops f,
@@ -40,23 +78,38 @@ let collect ?(label = "device") device =
     timeouts = d.timeouts;
     gave_up = d.gave_up;
     rejected = d.rejected;
+    shed = d.shed;
+    hedged = d.hedged;
+    hedge_wins = d.hedge_wins;
+    breaker_trips = d.breaker_trips;
+    messages_shed = d.messages_shed;
     drops;
     duplicates;
     reorders;
     delayed;
     jittered;
+    sites = site_loads cluster;
     last_errors = d.last_errors;
   }
 
 let header =
-  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %8s %6s %6s %6s %5s %5s %5s %6s" "label" "requests"
-    "attempts" "failover" "retries" "ok" "recover" "timeout" "gaveup" "reject" "drops" "dups"
-    "reord" "delay" "jitter"
+  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %8s %6s %6s %5s %6s %6s %5s %7s %6s %5s %5s %5s %6s"
+    "label" "requests" "attempts" "failover" "retries" "ok" "recover" "timeout" "gaveup" "reject"
+    "shed" "hedged" "hwins" "trips" "msgshed" "drops" "dups" "reord" "delay" "jitter"
 
 let print_row ppf s =
-  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %8d %6d %6d %6d %5d %5d %5d %6d" s.label
-    s.requests s.site_attempts s.failovers s.retries s.succeeded s.recovered s.timeouts s.gave_up
-    s.rejected s.drops s.duplicates s.reorders s.delayed s.jittered
+  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %8d %6d %6d %5d %6d %6d %5d %7d %6d %5d %5d %5d %6d"
+    s.label s.requests s.site_attempts s.failovers s.retries s.succeeded s.recovered s.timeouts
+    s.gave_up s.rejected s.shed s.hedged s.hedge_wins s.breaker_trips s.messages_shed s.drops
+    s.duplicates s.reorders s.delayed s.jittered
+
+(* nan quantiles/means (no samples yet) print as a dash, not "nan". *)
+let pf v = if Float.is_nan v then "-" else Printf.sprintf "%.3f" v
+
+let print_site_row ppf l =
+  Format.fprintf ppf "    site %-3d %8d served %6d shed  depth p50/p99 %s/%s  sojourn mean/max %s/%s"
+    l.site l.served l.queue_shed (pf l.depth_p50) (pf l.depth_p99) (pf l.sojourn_mean)
+    (pf l.sojourn_max)
 
 let print ppf ?(errors = false) rows =
   Format.fprintf ppf "@[<v>%s@," header;
@@ -64,6 +117,11 @@ let print ppf ?(errors = false) rows =
     (fun s ->
       print_row ppf s;
       Format.fprintf ppf "@,";
+      List.iter
+        (fun l ->
+          print_site_row ppf l;
+          Format.fprintf ppf "@,")
+        s.sites;
       if errors then
         List.iter
           (fun (at, msg) -> Format.fprintf ppf "    t=%-10.3f %s@," at msg)
@@ -72,7 +130,8 @@ let print ppf ?(errors = false) rows =
   Format.fprintf ppf "@]"
 
 let csv_rows rows =
-  "label,requests,site_attempts,failovers,retries,succeeded,recovered,timeouts,gave_up,rejected,drops,duplicates,reorders,delayed,jittered"
+  "label,requests,site_attempts,failovers,retries,succeeded,recovered,timeouts,gave_up,rejected,\
+   shed,hedged,hedge_wins,breaker_trips,messages_shed,drops,duplicates,reorders,delayed,jittered"
   :: List.map
        (fun s ->
          String.concat ","
@@ -87,10 +146,35 @@ let csv_rows rows =
              string_of_int s.timeouts;
              string_of_int s.gave_up;
              string_of_int s.rejected;
+             string_of_int s.shed;
+             string_of_int s.hedged;
+             string_of_int s.hedge_wins;
+             string_of_int s.breaker_trips;
+             string_of_int s.messages_shed;
              string_of_int s.drops;
              string_of_int s.duplicates;
              string_of_int s.reorders;
              string_of_int s.delayed;
              string_of_int s.jittered;
            ])
+       rows
+
+let site_csv_rows rows =
+  "label,site,served,queue_shed,depth_p50,depth_p99,sojourn_mean,sojourn_max"
+  :: List.concat_map
+       (fun s ->
+         List.map
+           (fun l ->
+             String.concat ","
+               [
+                 s.label;
+                 string_of_int l.site;
+                 string_of_int l.served;
+                 string_of_int l.queue_shed;
+                 Printf.sprintf "%.6f" l.depth_p50;
+                 Printf.sprintf "%.6f" l.depth_p99;
+                 Printf.sprintf "%.6f" l.sojourn_mean;
+                 Printf.sprintf "%.6f" l.sojourn_max;
+               ])
+           s.sites)
        rows

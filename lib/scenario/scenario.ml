@@ -6,6 +6,9 @@ type action =
   | Crash_torn of int
   | Bitrot of int * int
   | Disk_replace of int
+  | Slow_site of int * float
+  | Burst of int * int
+  | Queue_flood of int * int
   | Write of int * int * string
   | Read of int * int
   | Expect_read of int * int * string
@@ -29,6 +32,7 @@ type header = {
   mutable track_liveness : bool;
   mutable horizon : float option;
   mutable faults : Net.Faults.profile;
+  mutable service : bool;
 }
 
 type t = { header : header; events : event list }
@@ -61,6 +65,7 @@ let fresh_header () =
     track_liveness = false;
     horizon = None;
     faults = Net.Faults.pristine;
+    service = false;
   }
 
 let scheme_of_string = function
@@ -122,6 +127,18 @@ let parse_action ~line words =
   | [ "disk-replace"; s ] ->
       let* s = parse_int ~line "site" s in
       Ok (Disk_replace s)
+  | [ "slow-site"; s; f ] ->
+      let* s = parse_int ~line "site" s in
+      let* f = parse_float ~line "rate factor" f in
+      Ok (Slow_site (s, f))
+  | [ "burst"; s; n ] ->
+      let* s = parse_int ~line "site" s in
+      let* n = parse_int ~line "burst size" n in
+      Ok (Burst (s, n))
+  | [ "queue-flood"; s; n ] ->
+      let* s = parse_int ~line "site" s in
+      let* n = parse_int ~line "flood count" n in
+      Ok (Queue_flood (s, n))
   | [ "write"; s; b; payload ] ->
       let* s = parse_int ~line "site" s in
       let* b = parse_int ~line "block" b in
@@ -222,6 +239,12 @@ let parse_header_line header ~line words =
       let* x = parse_float ~line "fault-delay" x in
       header.faults <- { header.faults with Net.Faults.extra_delay = x };
       Ok ()
+  | [ "service-model"; b ] -> (
+      match bool_of_string_opt b with
+      | Some b ->
+          header.service <- b;
+          Ok ()
+      | None -> Error (Printf.sprintf "line %d: service-model wants true/false" line))
   | key :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" line key)
   | [] -> Ok ()
 
@@ -282,7 +305,9 @@ let run t =
     Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks:h.blocks
       ?latency:(Option.map (fun x -> Util.Dist.Constant x) h.latency)
       ~witnesses:h.witnesses ~track_liveness:h.track_liveness ~seed:h.seed
-      ~fault_profile:h.faults ()
+      ~fault_profile:h.faults
+      ?service:(if h.service then Some Net.Service_model.default else None)
+      ()
   in
   let cluster = Blockrep.Cluster.create config in
   let engine = Blockrep.Cluster.engine cluster in
@@ -306,6 +331,15 @@ let run t =
         Blockrep.Cluster.fail_site cluster s
     | Bitrot (site, block) -> Blockrep.Cluster.inject_bitrot cluster ~site ~block
     | Disk_replace s -> Blockrep.Cluster.replace_disk cluster s
+    | Slow_site (s, f) -> Blockrep.Cluster.set_rate_factor cluster s f
+    | Burst (site, n) ->
+        (* Arrival pressure: [n] back-to-back client reads of block 0 at
+           the site, answers discarded — with a service model installed
+           they pile into the site's entry queue. *)
+        for _ = 1 to n do
+          Blockrep.Cluster.read cluster ~site ~block:0 (fun _ -> ())
+        done
+    | Queue_flood (s, n) -> Blockrep.Cluster.flood_site cluster s ~count:n
     | Write (site, block, payload) ->
         Blockrep.Cluster.write cluster ~site ~block (Blockdev.Block.of_string payload) (function
           | Ok _ -> ()

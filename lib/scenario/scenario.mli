@@ -22,6 +22,9 @@
     fault-reorder 0.1
     fault-jitter 2.0        #   ...extra delay ~ Uniform(0, jitter) on reorder
     fault-delay 0.25        #   deterministic extra latency per delivery
+    service-model true      # optional: bounded per-site work queues with
+                            #   the default service-time profile (needed
+                            #   for slow-site / queue-flood to take effect)
 
     # timed events
     @10   fail 1
@@ -36,6 +39,10 @@
     @45   bitrot 2 3                # silently rot site 2's copy of block 3
     @50   disk-replace 1            # swap site 1's disk for a blank one
                                     # (fails the site; repair rebuilds it)
+    @60   slow-site 1 10            # gray failure: site 1 serves 10x slow
+    @70   slow-site 1 1             # ...and recovers to full speed
+    @75   burst 0 30                # 30 back-to-back client reads at site 0
+    @80   queue-flood 2 48          # 48 junk jobs into site 2's work queue
     @90   expect-state 1 available
     @95   expect-available true
     @99   expect-consistent       # available stores agree

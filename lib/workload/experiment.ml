@@ -6,6 +6,7 @@ type availability_sample = {
   availability : float;
   failures : int;
   repairs : int;
+  truncated_outage : float option;
 }
 
 let measure_availability ~scheme ~n_sites ~rho ?(horizon = 50_000.0) ?(seed = 7) ?(track_liveness = true)
@@ -24,14 +25,18 @@ let measure_availability ~scheme ~n_sites ~rho ?(horizon = 50_000.0) ?(seed = 7)
   let gen = Failure_gen.attach cluster ~rng:(Util.Prng.create (seed + 1)) ~lambda:rho_eff ~mu:1.0 in
   Blockrep.Cluster.run_until cluster horizon;
   Failure_gen.stop gen;
+  let monitor = Blockrep.Cluster.monitor cluster in
   {
     scheme;
     n_sites;
     rho;
     horizon;
-    availability = Blockrep.Availability_monitor.availability (Blockrep.Cluster.monitor cluster);
+    availability = Blockrep.Availability_monitor.availability monitor;
     failures = Failure_gen.failures_injected gen;
     repairs = Failure_gen.repairs_injected gen;
+    (* An outage still open at the horizon is excluded from the completed
+       outage-duration stats; surfacing it keeps MTTR readers honest. *)
+    truncated_outage = Blockrep.Availability_monitor.current_outage monitor;
   }
 
 type traffic_sample = {
@@ -381,4 +386,126 @@ let measure_degradation ~scheme ~n_sites ~fault_profile ?(reads_per_write = 2.0)
     timeouts = d.Blockrep.Reliable_device.timeouts;
     gave_up = d.Blockrep.Reliable_device.gave_up;
     faults_injected = d.Blockrep.Reliable_device.faults_injected;
+  }
+
+type brownout_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  offered_rate : float;
+  robustness_on : bool;
+  horizon : float;
+  issued : int;
+  succeeded : int;
+  timeouts : int;
+  gave_up : int;
+  rejected : int;
+  shed : int;
+  goodput : float;
+  latency_p50 : float;
+  latency_p99 : float;
+  hedged : int;
+  hedge_wins : int;
+  breaker_trips : int;
+  messages_shed : int;
+  conserved : bool;
+}
+
+let saturation_rate () = 1.0 /. Net.Service_model.mean_client_cost Net.Service_model.default
+
+let brownout_robustness ~op_timeout =
+  {
+    Blockrep.Robustness.deadlines = true;
+    op_budget = Some (2.0 *. op_timeout);
+    hedge = Some { Blockrep.Robustness.quantile = 0.9; floor = 1.0 };
+    breaker = Some { Blockrep.Robustness.threshold = 5; cooldown = 5.0 *. op_timeout };
+    (* Looser than the 64-slot site queue on purpose: with hedge spillover a
+       read shed at the home's full entry queue is served at an idle peer, so
+       throttling ops before they reach the cluster would only waste that
+       overflow capacity. *)
+    admission = Some 96;
+  }
+
+(* Open-loop brown-out: Poisson arrivals at [offered_rate] ops per virtual
+   second hit the async device path for [horizon] virtual seconds, with
+   every site behind the default service model — so past the saturation
+   rate the entry queues fill and something must give.  The robustness-on
+   flavour fails ops fast (admission shed, deadline timeouts) and routes
+   reads around slowness (hedges, breakers); the off flavour lets them
+   queue and stall.  Goodput counts completed-successful operations per
+   virtual second of the arrival window; latencies are successful-op
+   response times. *)
+let measure_brownout ~scheme ~n_sites ~offered_rate ~robustness ?slow
+    ?(reads_per_write = 2.0) ?(horizon = 400.0) ?(seed = 29) () =
+  if offered_rate <= 0.0 then invalid_arg "Experiment.measure_brownout: offered_rate must be positive";
+  if horizon <= 0.0 then invalid_arg "Experiment.measure_brownout: horizon must be positive";
+  let n_blocks = 16 in
+  let config =
+    Blockrep.Config.make_exn ~scheme ~n_sites ~n_blocks ~seed
+      ~service:Net.Service_model.default
+      ~robustness:
+        (if robustness then brownout_robustness ~op_timeout:4.0 else Blockrep.Robustness.off)
+      ()
+  in
+  let device = Blockrep.Reliable_device.of_config config in
+  let cluster = Blockrep.Reliable_device.cluster device in
+  let engine = Blockrep.Cluster.engine cluster in
+  (match slow with
+  | Some (site, factor) -> Blockrep.Cluster.set_rate_factor cluster site factor
+  | None -> ());
+  let gen =
+    Access_gen.create ~rng:(Util.Prng.create (seed + 1)) ~n_blocks ~reads_per_write ()
+  in
+  let hist = Util.Stats.Histogram.create ~lo:0.0 ~hi:32.0 ~bins:256 in
+  let issued = ref 0 in
+  let record_latency start = Util.Stats.Histogram.add hist (Sim.Engine.now engine -. start) in
+  let issue () =
+    incr issued;
+    let start = Sim.Engine.now engine in
+    match Access_gen.next gen with
+    | Access_gen.Read block ->
+        Blockrep.Reliable_device.read_block_async device block (function
+          | Ok _ -> record_latency start
+          | Error _ -> ())
+    | Access_gen.Write (block, data) ->
+        Blockrep.Reliable_device.write_block_async device block data (function
+          | Ok _ -> record_latency start
+          | Error _ -> ())
+  in
+  (* Pre-schedule the whole Poisson arrival process so the client stream
+     is identical whatever the cluster does with it. *)
+  let arr_rng = Util.Prng.create (seed lxor 0x61727276) in
+  let t = ref 0.0 in
+  let exp_gap () = -.(1.0 /. offered_rate) *. log (Util.Prng.float_pos arr_rng) in
+  t := !t +. exp_gap ();
+  while !t <= horizon do
+    ignore (Sim.Engine.schedule_at engine ~time:!t issue : Sim.Engine.handle);
+    t := !t +. exp_gap ()
+  done;
+  Blockrep.Cluster.run_until cluster horizon;
+  (* Drain: every in-flight operation settles (no site ever fails here). *)
+  Blockrep.Cluster.settle cluster;
+  let d = Blockrep.Reliable_device.degradation device in
+  {
+    scheme;
+    n_sites;
+    offered_rate;
+    robustness_on = robustness;
+    horizon;
+    issued = !issued;
+    succeeded = d.Blockrep.Reliable_device.succeeded;
+    timeouts = d.Blockrep.Reliable_device.timeouts;
+    gave_up = d.Blockrep.Reliable_device.gave_up;
+    rejected = d.Blockrep.Reliable_device.rejected;
+    shed = d.Blockrep.Reliable_device.shed;
+    goodput = float_of_int d.Blockrep.Reliable_device.succeeded /. horizon;
+    latency_p50 = Util.Stats.Histogram.quantile hist 0.5;
+    latency_p99 = Util.Stats.Histogram.quantile hist 0.99;
+    hedged = d.Blockrep.Reliable_device.hedged;
+    hedge_wins = d.Blockrep.Reliable_device.hedge_wins;
+    breaker_trips = d.Blockrep.Reliable_device.breaker_trips;
+    messages_shed = d.Blockrep.Reliable_device.messages_shed;
+    conserved =
+      Blockrep.Reliable_device.degradation_conserved d
+      && Blockrep.Reliable_device.in_flight device = 0
+      && d.Blockrep.Reliable_device.requests = !issued;
   }

@@ -12,6 +12,10 @@ type availability_sample = {
   availability : float;  (** time-weighted, from the cluster monitor *)
   failures : int;
   repairs : int;
+  truncated_outage : float option;
+      (** elapsed duration of an outage still open at the horizon — absent
+          from the monitor's completed outage-duration stats, so it must
+          be reported or MTTR reads biased low *)
 }
 
 val measure_availability :
@@ -198,3 +202,56 @@ val measure_degradation :
     over a lossy network and report how the bounded-retry layer coped — the
     simulation counterpart of the robustness question Sections 4–5 leave
     open by assuming reliable delivery. *)
+
+type brownout_sample = {
+  scheme : Blockrep.Types.scheme;
+  n_sites : int;
+  offered_rate : float;  (** Poisson arrival rate, ops per virtual second *)
+  robustness_on : bool;
+  horizon : float;  (** arrival window length *)
+  issued : int;
+  succeeded : int;
+  timeouts : int;  (** deadline expiries ([Timed_out]) *)
+  gave_up : int;  (** other terminal failures *)
+  rejected : int;  (** [Overloaded] from full site entry queues *)
+  shed : int;  (** refused at the device admission gate *)
+  goodput : float;  (** successful operations per virtual second *)
+  latency_p50 : float;  (** successful-operation response time quantiles *)
+  latency_p99 : float;
+  hedged : int;
+  hedge_wins : int;
+  breaker_trips : int;
+  messages_shed : int;
+  conserved : bool;
+      (** counter conservation held after the drain:
+          [issued = succeeded + timeouts + gave_up + rejected + shed]
+          with nothing left in flight *)
+}
+
+val saturation_rate : unit -> float
+(** Reference saturation arrival rate of one site under the default
+    service model (reciprocal mean client admission cost) — size brown-out
+    offered loads as multiples of this. *)
+
+val measure_brownout :
+  scheme:Blockrep.Types.scheme ->
+  n_sites:int ->
+  offered_rate:float ->
+  robustness:bool ->
+  ?slow:int * float ->
+  ?reads_per_write:float ->
+  ?horizon:float ->
+  ?seed:int ->
+  unit ->
+  brownout_sample
+(** Open-loop brown-out: Poisson arrivals at [offered_rate] hit the async
+    device path for [horizon] virtual seconds (default 400) with every
+    site behind {!Net.Service_model.default}, then the system drains.
+    [robustness] toggles the whole client-side stack (deadlines at twice
+    the op budget, hedged reads with full-queue spillover, circuit
+    breakers, admission control at 96 in-flight ops)
+    against {!Blockrep.Robustness.off}; the arrival stream is identical
+    either way.  [slow] optionally makes one site gray-slow for the whole
+    run, e.g. [(1, 10.0)].  Past saturation the robustness-on flavour
+    sheds and deadline-fails work fast, keeping goodput and tail latency
+    of the survivors; the off flavour lets queues stall everything. *)
