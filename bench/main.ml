@@ -318,6 +318,35 @@ let latency_table () =
         (Blockrep.Types.scheme_to_string scheme)
         (Workload.Runner.mean_read_latency r)
         (Workload.Runner.mean_write_latency r))
+    Blockrep.Types.all_schemes;
+  (* The durable layer's journal commits are sync-write points; charging
+     them the Mingardi-Vieira device-class latencies shows how much of
+     the write path a real fsync would dominate at each class. *)
+  Format.printf
+    "@.mean write latency by journal sync profile (fsync charged per commit, simulated ms)@.";
+  Format.printf "%-22s %12s %12s %12s %12s@." "scheme" "none" "hdd" "ssd" "nvme";
+  List.iter
+    (fun scheme ->
+      let write_latency sync_profile =
+        let c =
+          Blockrep.Cluster.create
+            (Blockrep.Config.make_exn ~scheme ~n_sites:5 ~n_blocks:16
+               ~latency:(Util.Dist.Constant 0.5) ?sync_profile ~seed:71 ())
+        in
+        let gen =
+          Workload.Access_gen.create ~rng:(Util.Prng.create 73) ~n_blocks:16 ~reads_per_write:2.5 ()
+        in
+        let r =
+          Workload.Runner.run_closed_loop c gen ~site:0 ~ops:(if quick then 100 else 500)
+        in
+        Workload.Runner.mean_write_latency r
+      in
+      Format.printf "%-22s %12.3f %12.3f %12.3f %12.3f@."
+        (Blockrep.Types.scheme_to_string scheme)
+        (write_latency None)
+        (write_latency (Some Blockdev.Sync_cost.Hdd))
+        (write_latency (Some Blockdev.Sync_cost.Ssd))
+        (write_latency (Some Blockdev.Sync_cost.Nvme)))
     Blockrep.Types.all_schemes
 
 (* Extension (the paper's reference [10] family): voting with witnesses —
@@ -768,6 +797,118 @@ let scaling_section () =
     (Sim.Domains_compat.recommended_domains ())
 
 (* ------------------------------------------------------------------ *)
+(* Codec: frame encode/decode cost and bytes on the wire               *)
+(* ------------------------------------------------------------------ *)
+
+type codec_row = {
+  codec_label : string;
+  codec_bytes : int;
+  codec_encode_ns : float;
+  codec_decode_ns : float;
+}
+
+let codec_rows : codec_row list ref = ref []
+let codec_batch = ref (0, 0) (* (single Block_update frame bytes, Batch_update x16 frame bytes) *)
+
+(* Micro-benchmark the zero-copy frame codec directly: ns/op to encode
+   and decode one representative message per wire category, the exact
+   frame size Net.Traffic now charges, and the batching payoff — one
+   Batch_update carrying 16 blocks against 16 single-block frames. *)
+let codec_section () =
+  section "Codec: binary frame encode/decode cost and bytes per block";
+  let module W = Blockrep.Wire in
+  let set = Blockrep.Types.int_set_of_list in
+  let vv l =
+    let v = Blockdev.Version_vector.create (List.length l) in
+    List.iteri (fun i x -> Blockdev.Version_vector.set v i x) l;
+    v
+  in
+  let info =
+    {
+      W.origin = 2;
+      state = Blockrep.Types.Available;
+      versions = vv [ 3; 0; 7; 1 ];
+      was_available = set [ 0; 2; 3 ];
+    }
+  in
+  let block c = Blockdev.Block.of_string (String.make 8 c) in
+  let writes n = List.init n (fun i -> (i, i + 1, block (Char.chr (Char.code 'a' + (i mod 26))))) in
+  let samples =
+    [
+      ("vote-request", W.Vote_request { rid = 1; block = 5; purpose = Net.Message.Write });
+      ("vote-reply", W.Vote_reply { rid = 1; block = 5; version = 9; weight = 2; group_size = 4 });
+      ( "block-update",
+        W.Block_update
+          { rid = Some 2; block = 0; version = 3; data = block 'd'; carried_w = set [ 0; 1; 3 ] } );
+      ("write-ack", W.Write_ack { rid = 2; block = 0 });
+      ("block-request", W.Block_request { rid = 3; block = 7 });
+      ("block-transfer", W.Block_transfer { rid = 3; block = 7; version = 4; data = block 'x' });
+      ("recovery-probe", W.Recovery_probe { rid = 4; info });
+      ("recovery-reply", W.Recovery_reply { rid = 4; info });
+      ("vv-send", W.Vv_send { rid = 5; versions = vv [ 1; 2; 0; 0 ]; w_of_sender = set [ 1 ] });
+      ( "vv-reply",
+        W.Vv_reply
+          {
+            rid = 5;
+            versions = vv [ 2; 2; 1; 0 ];
+            updates = [ (0, 2, block 'a'); (2, 1, block 'b') ];
+            w_of_source = set [ 0; 1; 2 ];
+          } );
+      ("group-fix", W.Group_fix { block = 3; version = 6; group = set [ 0; 2 ] });
+      ( "batch-update-16",
+        W.Batch_update { rid = Some 7; writes = writes 16; carried_w = set [ 1; 2 ] } );
+    ]
+  in
+  let iters = if quick then 2_000 else 50_000 in
+  let ns_per f =
+    for _ = 1 to 100 do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let rows =
+    List.map
+      (fun (label, m) ->
+        let encoded = W.encode m in
+        (match W.decode encoded with
+        | Ok _ -> ()
+        | Error e -> failwith ("bench: codec round-trip failed for " ^ label ^ ": " ^ W.decode_error_to_string e));
+        {
+          codec_label = label;
+          codec_bytes = Bytes.length encoded;
+          codec_encode_ns = ns_per (fun () -> W.encode m);
+          codec_decode_ns = ns_per (fun () -> W.decode encoded);
+        })
+      samples
+  in
+  codec_rows := rows;
+  let single =
+    Bytes.length
+      (W.encode
+         (W.Block_update
+            { rid = Some 1; block = 0; version = 1; data = block 's'; carried_w = set [ 0; 1 ] }))
+  in
+  let batch16 =
+    Bytes.length (W.encode (W.Batch_update { rid = Some 1; writes = writes 16; carried_w = set [ 0; 1 ] }))
+  in
+  codec_batch := (single, batch16);
+  Format.printf "%-18s %8s %14s %14s@." "message" "bytes" "encode ns/op" "decode ns/op";
+  List.iter
+    (fun r ->
+      Format.printf "%-18s %8d %14.1f %14.1f@." r.codec_label r.codec_bytes r.codec_encode_ns
+        r.codec_decode_ns)
+    rows;
+  Format.printf
+    "bytes/block: one Block_update frame = %d; one Batch_update x16 frame = %d (%.1f per block, %.2fx the unbatched frames)@."
+    single batch16
+    (float_of_int batch16 /. 16.0)
+    (float_of_int batch16 /. (16.0 *. float_of_int single))
+
+(* ------------------------------------------------------------------ *)
 (* JSON results file                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -904,6 +1045,27 @@ let write_json_results path =
           ])
       !scaling_runs
   in
+  let codec =
+    let single, batch16 = !codec_batch in
+    Json.Obj
+      [
+        ( "messages",
+          Json.Arr
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str r.codec_label);
+                     ("frame_bytes", Json.Int r.codec_bytes);
+                     ("encode_ns_per_op", Json.Num r.codec_encode_ns);
+                     ("decode_ns_per_op", Json.Num r.codec_decode_ns);
+                   ])
+               !codec_rows) );
+        ("single_frame_bytes", Json.Int single);
+        ("batch16_frame_bytes", Json.Int batch16);
+        ("batch16_bytes_per_block", Json.Num (float_of_int batch16 /. 16.0));
+      ]
+  in
   let doc =
     Json.Obj
       [
@@ -913,6 +1075,7 @@ let write_json_results path =
         ("parallel_available", Json.Bool Sim.Domains_compat.parallel_available);
         ("recommended_domains", Json.Int (Sim.Domains_compat.recommended_domains ()));
         ("sections", Json.Arr sections);
+        ("codec", codec);
         ("scaling", Json.Arr scaling);
         ("amortization", Json.Arr amortization);
         ("cache", Json.Arr caches);
@@ -1031,6 +1194,7 @@ let () =
   timed "latency_table" latency_table;
   timed "extension_witnesses" extension_witnesses;
   timed "extension_dynamic_voting" extension_dynamic_voting;
+  timed "codec" codec_section;
   timed "amortization" amortization;
   timed "cache" cache_section;
   timed "repair_cost" repair_cost;

@@ -11,6 +11,7 @@ type counters = {
   mutable scrub_quarantined : int;
   mutable scrub_meta_reset : int;
   mutable disk_replacements : int;
+  mutable journal_commits : int;
 }
 
 let zero_counters () =
@@ -25,6 +26,7 @@ let zero_counters () =
     scrub_quarantined = 0;
     scrub_meta_reset = 0;
     disk_replacements = 0;
+    journal_commits = 0;
   }
 
 let accumulate_counters acc c =
@@ -37,7 +39,8 @@ let accumulate_counters acc c =
   acc.scrub_discarded <- acc.scrub_discarded + c.scrub_discarded;
   acc.scrub_quarantined <- acc.scrub_quarantined + c.scrub_quarantined;
   acc.scrub_meta_reset <- acc.scrub_meta_reset + c.scrub_meta_reset;
-  acc.disk_replacements <- acc.disk_replacements + c.disk_replacements
+  acc.disk_replacements <- acc.disk_replacements + c.disk_replacements;
+  acc.journal_commits <- acc.journal_commits + c.journal_commits
 
 type scrub_report = {
   replayed : int;
@@ -56,36 +59,116 @@ type intention =
     }
   | Meta of { key : string; value : int list; prev : int list option }
 
-type slot = { intention : intention; mutable committed : bool }
+(* The journal is real bytes: one checksummed {!Codec.Frame} holding the
+   serialized intention, followed by a single commit byte (0x00 pending,
+   0x01 committed) — the commit phase is one byte flip, like flipping a
+   sector's commit mark.  The scrub's replay/discard verdict comes from
+   actually decoding these bytes: a torn append physically truncates the
+   record so its frame CRC no longer validates, and decode failure IS
+   the discard path — no modeled flag stands in for the arithmetic. *)
+
+module B = Codec.Buf
 
 type t = {
   store : Store.t;
-  sums : int array;
+  bf : Block_file.t;
   meta : (string, int list) Hashtbl.t;
   meta_defaults : (string, int list) Hashtbl.t;
-  mutable journal : slot option;
+  mutable journal : Bytes.t option;
   mutable armed : tear option;
   mutable torn_meta : string option;
   mutable last_scrub : scrub_report option;
   counters : counters;
 }
 
-(* FNV-1a over the contents, mixed with the version: a checksum is valid
-   only for the (contents, version) pair it was computed over, so a stale
-   re-blessing of rotten bytes cannot masquerade as the current version. *)
-let checksum data ~version =
-  let h = ref 0x811c9dc5 in
-  String.iter
-    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
-    (Block.to_string data);
-  !h lxor (version * 0x9e3779b land 0x3FFFFFFF)
+let put_int_list w l =
+  B.varint w (List.length l);
+  List.iter (fun x -> B.varint w x) l
+
+let encode_intention intent =
+  let payload w =
+    match intent with
+    | Data { block; version; data; prev_version; prev_data } ->
+        B.u8 w 1;
+        B.varint w block;
+        B.varint w version;
+        B.raw_string w (Block.to_string data);
+        B.varint w prev_version;
+        B.raw_string w (Block.to_string prev_data)
+    | Meta { key; value; prev } -> (
+        B.u8 w 2;
+        B.string w key;
+        put_int_list w value;
+        match prev with
+        | None -> B.u8 w 0
+        | Some p ->
+            B.u8 w 1;
+            put_int_list w p)
+  in
+  let frame = Codec.Frame.encode ~payload in
+  let j = Bytes.create (Bytes.length frame + 1) in
+  Bytes.blit frame 0 j 0 (Bytes.length frame);
+  Bytes.set j (Bytes.length frame) '\000';
+  j
+
+let commit_journal t j =
+  Bytes.set j (Bytes.length j - 1) '\001';
+  t.counters.journal_commits <- t.counters.journal_commits + 1
+
+(* Physically tear a journal record: keep only a prefix of the frame, as
+   a crash mid-append would.  The truncated record cannot pass frame
+   validation, so [decode_journal] — and therefore the scrub — sees an
+   unreadable intention. *)
+let tear_journal_bytes j = Bytes.sub j 0 (Bytes.length j / 2)
+
+let get_int_list r =
+  let n = B.r_varint r in
+  if n < 0 || n > B.remaining r then raise (B.Bad "int-list length exceeds record");
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (B.r_varint r :: acc) in
+  go n []
+
+(* [None] when the record is unreadable (torn append): bad frame CRC,
+   truncation, or payload garbage.  Otherwise the intention and whether
+   the commit byte was set. *)
+let decode_journal j =
+  let n = Bytes.length j in
+  if n < 1 then None
+  else
+    match Codec.Frame.decode_sub j ~pos:0 ~len:(n - 1) with
+    | Error _ -> None
+    | Ok r -> (
+        match
+          (match B.r_u8 r with
+          | 1 ->
+              let block = B.r_varint r in
+              let version = B.r_varint r in
+              let data = Block.of_string (B.r_raw_string r Block.size) in
+              let prev_version = B.r_varint r in
+              let prev_data = Block.of_string (B.r_raw_string r Block.size) in
+              Some (Data { block; version; data; prev_version; prev_data })
+          | 2 ->
+              let key = B.r_string r in
+              let value = get_int_list r in
+              let prev =
+                match B.r_u8 r with
+                | 0 -> None
+                | 1 -> Some (get_int_list r)
+                | _ -> raise (B.Bad "bad option byte")
+              in
+              Some (Meta { key; value; prev })
+          | _ -> None)
+        with
+        | Some intent when B.at_end r ->
+            Some (intent, Bytes.get j (n - 1) = '\001')
+        | Some _ | None -> None
+        | exception B.Short -> None
+        | exception B.Bad _ -> None)
 
 let create ~capacity =
   let store = Store.create ~capacity in
-  let zero_sum = checksum Block.zero ~version:0 in
   {
     store;
-    sums = Array.make capacity zero_sum;
+    bf = Store.block_file store;
     meta = Hashtbl.create 7;
     meta_defaults = Hashtbl.create 7;
     journal = None;
@@ -100,8 +183,10 @@ let capacity t = Store.capacity t.store
 let counters t = t.counters
 let last_scrub t = t.last_scrub
 
-let checksum_ok t k =
-  t.sums.(k) = checksum (Store.read t.store k) ~version:(Store.version t.store k)
+(* The checksum lives in the block-file index: CRC-32 over the payload
+   bytes in the image, mixed with the version, sealed only at this
+   layer's commit points (see the sealing discipline in block_file.mli). *)
+let checksum_ok t k = Block_file.checksum_ok t.bf k
 
 let effective_version t k = if checksum_ok t k then Store.version t.store k else 0
 
@@ -115,8 +200,7 @@ let effective_versions t =
 let read_verified t k =
   if checksum_ok t k then Some (Store.read t.store k, Store.version t.store k) else None
 
-let bless t k =
-  t.sums.(k) <- checksum (Store.read t.store k) ~version:(Store.version t.store k)
+let bless t k = Block_file.seal t.bf k
 
 let write t k data ~version =
   let stored = Store.version t.store k in
@@ -134,29 +218,19 @@ let write t k data ~version =
   end
   else begin
     let was_corrupt = not (checksum_ok t k) in
-    let slot =
-      {
-        intention =
-          Data
-            {
-              block = k;
-              version;
-              data;
-              prev_version = stored;
-              prev_data = Store.read t.store k;
-            };
-        committed = false;
-      }
-    in
     (* Two-phase intention record: append, commit, then apply in place.  A
        crash tears at most one of these phases (see {!crash}); the scrub
        replays a committed-but-torn apply and discards an uncommitted
        append, so the block write and its version update are atomic as a
        pair. *)
-    t.journal <- Some slot;
-    slot.committed <- true;
+    let j =
+      encode_intention
+        (Data { block = k; version; data; prev_version = stored; prev_data = Store.read t.store k })
+    in
+    t.journal <- Some j;
+    commit_journal t j;
     Store.write t.store k data ~version;
-    t.sums.(k) <- checksum data ~version;
+    Block_file.seal t.bf k;
     if was_corrupt then t.counters.repaired_blocks <- t.counters.repaired_blocks + 1
   end
 
@@ -167,7 +241,7 @@ let apply_updates t updates =
       let corrupt = not (checksum_ok t k) in
       if ver > stored || (corrupt && ver = stored) then begin
         Store.write t.store k data ~version:ver;
-        t.sums.(k) <- checksum data ~version:ver;
+        Block_file.seal t.bf k;
         if corrupt then t.counters.repaired_blocks <- t.counters.repaired_blocks + 1
       end
       else if corrupt && ver < stored then
@@ -178,11 +252,9 @@ let verified_blocks_newer_than t v =
   List.filter (fun (k, _, _) -> checksum_ok t k) (Store.blocks_newer_than t.store v)
 
 let set_meta t key value =
-  let slot =
-    { intention = Meta { key; value; prev = Hashtbl.find_opt t.meta key }; committed = false }
-  in
-  t.journal <- Some slot;
-  slot.committed <- true;
+  let j = encode_intention (Meta { key; value; prev = Hashtbl.find_opt t.meta key }) in
+  t.journal <- Some j;
+  commit_journal t j;
   Hashtbl.replace t.meta key value
 
 let get_meta t key = Hashtbl.find_opt t.meta key
@@ -191,18 +263,18 @@ let set_meta_default t key value =
   Hashtbl.replace t.meta_defaults key value;
   if not (Hashtbl.mem t.meta key) then Hashtbl.replace t.meta key value
 
-(* Deterministic in-place scramble of the stored bytes of block [k].  The
-   version metadata is left intact — sector decay and torn sector writes
-   corrupt data bytes, not the separately journaled version table — so the
-   checksum no longer matches and the block is quarantined. *)
+(* Deterministic in-place scramble of the stored image bytes of block
+   [k].  The version metadata is left intact — sector decay and torn
+   sector writes corrupt data bytes, not the separately journaled
+   version table — so the index checksum no longer matches and the
+   block is quarantined.  A single CRC-32 input flip always changes the
+   digest; the second flip only fires when the first undid a previous
+   injection at the same (block, version) position. *)
 let corrupt_in_place t k =
   let v = Store.version t.store k in
-  let data = Store.read t.store k in
-  let flip d i mask = Block.set d i (Char.chr (Char.code (Block.get d i) lxor mask)) in
   let pos = (k * 131 + v * 31) mod Block.size in
-  let d = ref (flip data pos 0xA5) in
-  if checksum !d ~version:v = t.sums.(k) then d := flip !d ((pos + 1) mod Block.size) 0x3C;
-  Store.write t.store k !d ~version:v
+  Block_file.flip_byte t.bf k ~pos ~mask:0xA5;
+  if checksum_ok t k then Block_file.flip_byte t.bf k ~pos:((pos + 1) mod Block.size) ~mask:0x3C
 
 let inject_bitrot t k =
   corrupt_in_place t k;
@@ -211,31 +283,48 @@ let inject_bitrot t k =
 let arm_torn_write ?(mode = Torn_apply) t = t.armed <- Some mode
 let armed t = t.armed
 
+(* A torn in-place apply, byte-accurately: the prefix of the new payload
+   reached the platter, the suffix still holds pre-image bytes.  The
+   tear point is seeded by (block, version); when new and old agree
+   across the tear (so the sealed checksum would still validate), fall
+   back to a byte scramble — the sector was damaged either way. *)
+let tear_apply t block version prev_data =
+  let tear = 1 + ((block * 131 + version * 31) mod (Block.size - 1)) in
+  Block_file.blit_suffix t.bf block ~from:tear (Block.to_string prev_data);
+  if checksum_ok t block then corrupt_in_place t block
+
 let crash t =
   (match (t.armed, t.journal) with
-  | Some Torn_apply, Some { intention = Data { block; _ }; committed = true } ->
-      (* Journal committed, but the in-place apply was torn: garbage bytes
-         on the platter under an intact version number. *)
-      corrupt_in_place t block;
-      t.counters.torn_writes <- t.counters.torn_writes + 1
-  | Some Torn_apply, Some { intention = Meta { key; _ }; committed = true } ->
-      t.torn_meta <- Some key;
-      t.counters.torn_writes <- t.counters.torn_writes + 1
-  | Some Torn_journal, Some slot ->
+  | Some Torn_apply, Some j -> (
+      match decode_journal j with
+      | Some (Data { block; version; prev_data; _ }, true) ->
+          (* Journal committed, but the in-place apply was torn: stale
+             pre-image bytes under an intact version number. *)
+          tear_apply t block version prev_data;
+          t.counters.torn_writes <- t.counters.torn_writes + 1
+      | Some (Meta { key; _ }, true) ->
+          t.torn_meta <- Some key;
+          t.counters.torn_writes <- t.counters.torn_writes + 1
+      | _ -> ())
+  | Some Torn_journal, Some j -> (
       (* The journal append itself was torn: the intention never became
          durable, so the apply never reached the platter either.  Restore
-         the pre-image; the scrub will discard the half-written record. *)
-      slot.committed <- false;
-      (match slot.intention with
-      | Data { block; prev_version; prev_data; _ } ->
+         the pre-image and physically truncate the record; the scrub will
+         fail to decode it and discard. *)
+      match decode_journal j with
+      | Some (Data { block; prev_version; prev_data; _ }, _) ->
           Store.demote t.store block;
           Store.write t.store block prev_data ~version:prev_version;
-          t.sums.(block) <- checksum prev_data ~version:prev_version
-      | Meta { key; prev; _ } -> (
-          match prev with
+          Block_file.seal t.bf block;
+          t.journal <- Some (tear_journal_bytes j);
+          t.counters.torn_writes <- t.counters.torn_writes + 1
+      | Some (Meta { key; prev; _ }, _) ->
+          (match prev with
           | Some v -> Hashtbl.replace t.meta key v
-          | None -> Hashtbl.remove t.meta key));
-      t.counters.torn_writes <- t.counters.torn_writes + 1
+          | None -> Hashtbl.remove t.meta key);
+          t.journal <- Some (tear_journal_bytes j);
+          t.counters.torn_writes <- t.counters.torn_writes + 1
+      | None -> ())
   | _ -> ());
   t.armed <- None
 
@@ -243,14 +332,19 @@ let scrub t =
   t.counters.scrub_runs <- t.counters.scrub_runs + 1;
   let replayed = ref 0 and discarded = ref 0 in
   (match t.journal with
-  | Some { intention = Data { block; version; data; _ }; committed = true }
-    when Store.version t.store block = version && not (checksum_ok t block) ->
-      (* Committed intention whose apply was torn: replay it exactly. *)
-      Store.write t.store block data ~version;
-      t.sums.(block) <- checksum data ~version;
-      incr replayed
-  | Some { committed = false; _ } -> incr discarded
-  | _ -> ());
+  | Some j -> (
+      match decode_journal j with
+      | Some (Data { block; version; data; _ }, true)
+        when Store.version t.store block = version && not (checksum_ok t block) ->
+          (* Committed intention whose apply was torn: replay it exactly. *)
+          Store.write t.store block data ~version;
+          Block_file.seal t.bf block;
+          incr replayed
+      | Some (_, false) | None ->
+          (* Uncommitted or unreadable (torn append): drop it. *)
+          incr discarded
+      | Some _ -> ())
+  | None -> ());
   t.journal <- None;
   let meta_reset =
     match t.torn_meta with
@@ -277,11 +371,7 @@ let scrub t =
   report
 
 let replace_disk t =
-  let zero_sum = checksum Block.zero ~version:0 in
-  for k = 0 to capacity t - 1 do
-    Store.demote t.store k;
-    t.sums.(k) <- zero_sum
-  done;
+  Block_file.reset t.bf;
   Hashtbl.reset t.meta;
   (Hashtbl.iter (fun k v -> Hashtbl.replace t.meta k v) t.meta_defaults
   [@lint.allow "hashtbl-order"

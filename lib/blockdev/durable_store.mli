@@ -3,13 +3,17 @@
     {!Store} is an ideal disk.  This layer wraps it with the honest model
     the protocols must actually survive:
 
-    - {b per-block checksums} over the (contents, version) pair, so rotten
-      or torn bytes are detected instead of served;
+    - {b per-block CRC-32 checksums} over the (payload bytes, version)
+      pair, kept in the {!Block_file} index and sealed only at this
+      layer's commit points, so rotten or torn bytes are detected
+      instead of served;
     - {b a two-phase intention journal} making a block write and its
-      version update crash-atomic as a pair: the intention is appended and
-      committed before the in-place apply, so a crash tears at most one
-      phase and the recovery {!scrub} either replays a committed intention
-      or discards an uncommitted one;
+      version update crash-atomic as a pair: the intention is serialized
+      through the {!Codec} into a checksummed byte record, appended and
+      committed (one commit-byte flip) before the in-place apply, so a
+      crash tears at most one phase and the recovery {!scrub} — by
+      actually decoding the record — either replays a committed
+      intention or discards an unreadable/uncommitted one;
     - {b journaled metadata} ([set_meta]) for the crash-critical protocol
       state that nominally "lives on disk" — was-available sets, dynamic
       voting groups — with registered defaults to fall back to when a torn
@@ -62,6 +66,9 @@ type counters = {
   mutable scrub_quarantined : int;
   mutable scrub_meta_reset : int;
   mutable disk_replacements : int;
+  mutable journal_commits : int;
+      (** intention records committed — the sync-write (fsync) points a
+          real journal would pay for; see {!Sync_cost} *)
 }
 
 val zero_counters : unit -> counters
@@ -141,9 +148,10 @@ val crash : t -> unit
     paper assumes.  Idempotent once disarmed. *)
 
 val inject_bitrot : t -> Block.id -> unit
-(** Latent sector error: deterministically flip stored data bytes of one
-    block, leaving its version intact.  The corruption is silent until a
-    checksum verification looks at the block. *)
+(** Latent sector error: deterministically flip an actual byte of the
+    block's region in the backing image, leaving its version intact.
+    The corruption is silent until a checksum verification runs the
+    real CRC over the damaged bytes. *)
 
 val replace_disk : t -> unit
 (** The medium was swapped: every block returns to verified (zero,

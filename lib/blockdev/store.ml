@@ -1,33 +1,44 @@
-type t = { blocks : Block.t array; versions : int array }
+(* The version-aware store, rebased on the {!Block_file} byte image:
+   payloads are real bytes in a flat file-format image, not in-heap
+   values.  The API (and its version-regression contract) is unchanged;
+   checksums are the durable layer's business — note that [write] here
+   deliberately leaves the block-file index checksum stale (see the
+   sealing discipline in block_file.mli), which is what lets
+   [Durable_store] detect writes that bypassed its journal. *)
+
+type t = { bf : Block_file.t }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Store.create: capacity must be positive";
-  { blocks = Array.make capacity Block.zero; versions = Array.make capacity 0 }
+  { bf = Block_file.create ~capacity }
 
-let capacity t = Array.length t.blocks
+let block_file t = t.bf
+let capacity t = Block_file.capacity t.bf
 
 let check t k name =
   if k < 0 || k >= capacity t then invalid_arg (Printf.sprintf "Store.%s: block %d out of range" name k)
 
 let read t k =
   check t k "read";
-  t.blocks.(k)
+  Block_file.read t.bf k
 
 let version t k =
   check t k "version";
-  t.versions.(k)
+  Block_file.version t.bf k
 
 let write t k b ~version =
   check t k "write";
-  if version < t.versions.(k) then
+  let stored = Block_file.version t.bf k in
+  if version < stored then
     invalid_arg
-      (Printf.sprintf "Store.write: version regression on block %d (%d < %d)" k version t.versions.(k));
-  t.blocks.(k) <- b;
-  t.versions.(k) <- version
+      (Printf.sprintf "Store.write: version regression on block %d (%d < %d)" k version stored);
+  Block_file.write t.bf k b ~version
 
 let versions t =
   let v = Version_vector.create (capacity t) in
-  Array.iteri (fun k ver -> Version_vector.set v k ver) t.versions;
+  for k = 0 to capacity t - 1 do
+    Version_vector.set v k (Block_file.version t.bf k)
+  done;
   v
 
 let blocks_newer_than t v =
@@ -37,8 +48,8 @@ let blocks_newer_than t v =
     if k < 0 then acc
     else
       let acc =
-        if t.versions.(k) > Version_vector.get v k then (k, t.versions.(k), t.blocks.(k)) :: acc
-        else acc
+        let ver = Block_file.version t.bf k in
+        if ver > Version_vector.get v k then (k, ver, Block_file.read t.bf k) :: acc else acc
       in
       collect (k - 1) acc
   in
@@ -48,18 +59,19 @@ let apply_updates t updates =
   List.iter
     (fun (k, ver, b) ->
       check t k "apply_updates";
-      if ver > t.versions.(k) then begin
-        t.blocks.(k) <- b;
-        t.versions.(k) <- ver
-      end)
+      if ver > Block_file.version t.bf k then Block_file.write t.bf k b ~version:ver)
     updates
 
 let demote t k =
   check t k "demote";
-  t.blocks.(k) <- Block.zero;
-  t.versions.(k) <- 0
+  Block_file.demote t.bf k
 
 let equal_contents a b =
   capacity a = capacity b
-  && a.versions = b.versions
-  && Array.for_all2 Block.equal a.blocks b.blocks
+  && (let rec go k =
+        k >= capacity a
+        || (Block_file.version a.bf k = Block_file.version b.bf k
+           && Block_file.block_equal a.bf k b.bf k
+           && go (k + 1))
+      in
+      go 0)

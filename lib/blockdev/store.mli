@@ -10,7 +10,14 @@
     read back.  {!Durable_store} wraps it with the honest model — torn
     writes at crash boundaries, latent sector errors, whole-disk
     replacement — and the checksums and intention journal that let the
-    protocols defend against them. *)
+    protocols defend against them.
+
+    Physically the store is a {!Block_file}: payloads are real bytes in a
+    flat image with an (offset, length, version, checksum) index, which
+    is what makes the durable layer's media faults byte-accurate.  A
+    write through this API updates payload and version but deliberately
+    leaves the index checksum stale (the durable layer seals it at its
+    commit points), so writes that bypass the journal are detectable. *)
 
 type t
 
@@ -53,3 +60,8 @@ val demote : t -> Block.id -> unit
 val equal_contents : t -> t -> bool
 (** Same capacity, versions and contents everywhere — the consistency
     predicate tests assert between available sites. *)
+
+val block_file : t -> Block_file.t
+(** The backing block file.  For the durable layer (checksum sealing,
+    byte-level fault injection) and diagnostics; protocol code never
+    touches it. *)

@@ -1,0 +1,32 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   The digest is kept as a non-negative OCaml [int] (fits in 32 bits) so
+   it can be stored in plain int arrays and compared with [=] without
+   boxing.  The table is computed once at module initialisation; lookups
+   are pure array reads, so digesting is deterministic and domain-safe. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let update crc byte =
+  table.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+let digest_sub buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc.digest_sub: region out of bounds";
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let digest_bytes buf = digest_sub buf ~pos:0 ~len:(Bytes.length buf)
+
+let digest_string s = digest_bytes (Bytes.unsafe_of_string s)

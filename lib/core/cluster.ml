@@ -128,6 +128,29 @@ let observed_write t ~site ~block ~data callback =
         List.iter (fun f -> f event) t.observers;
         callback result
 
+(* Stable-storage sync cost: a successful client-visible write means the
+   coordinator's journal commit (its fsync) retired, so the completion is
+   delayed by the configured profile's fsync latency before the caller —
+   and the observers, which wrap outside this — see it.  One charge per
+   client operation: a batch group-commits through one intention record,
+   which is exactly the amortization the batch path exists for.  Replica
+   fsyncs overlap the network ack path and are not separately charged
+   (documented in DESIGN.md §4i).  [None] schedules nothing — the exact
+   legacy completion path. *)
+let with_sync_cost t callback =
+  match (Runtime.config t.rt).Config.sync_profile with
+  | None -> callback
+  | Some p -> (
+      fun result ->
+        match result with
+        | Ok _ ->
+            ignore
+              (Sim.Engine.schedule (engine t)
+                 ~delay:(Blockdev.Sync_cost.fsync_latency p)
+                 (fun () -> callback result)
+                : Sim.Engine.handle)
+        | Error _ -> callback result)
+
 (* Batch observers report one event per block of the group, so a history
    checker sees the same shape of events whichever path produced them. *)
 let observed_read_blocks t ~site ~blocks callback =
@@ -330,7 +353,10 @@ let read t ?deadline ~site ~block callback =
 
 let write t ?deadline ~site ~block data callback =
   check_block t block;
-  let callback = observed_write t ~site ~block ~data callback in
+  (* [with_sync_cost] outermost: the protocol's completion first pays the
+     journal fsync, then the observers timestamp the (post-fsync) response
+     the client actually experiences. *)
+  let callback = with_sync_cost t (observed_write t ~site ~block ~data callback) in
   enter t ~site ~fail:(fun e -> callback (Error e)) (fun () ->
       match t.protocol with
       | Voting_p v -> Voting.write v ?deadline ~site ~block data callback
@@ -368,7 +394,7 @@ let write_blocks t ?deadline ~site writes callback =
   | [ (block, data) ] ->
       write t ?deadline ~site ~block data (fun r -> callback (Result.map (fun v -> [ v ]) r))
   | _ ->
-      let callback = observed_write_blocks t ~site ~writes callback in
+      let callback = with_sync_cost t (observed_write_blocks t ~site ~writes callback) in
       enter t ~site ~fail:(fun e -> callback (Error e)) (fun () ->
           match t.protocol with
           | Voting_p v -> Voting.write_batch v ?deadline ~site writes callback

@@ -12,11 +12,12 @@ type t = {
   fault_profile : Net.Faults.profile;
   service : Net.Service_model.t option;
   robustness : Robustness.t;
+  sync_profile : Blockdev.Sync_cost.profile option;
 }
 
 let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
     ?(latency = Util.Dist.Constant 0.5) ?op_timeout ?quorum ?(witnesses = []) ?(track_liveness = false)
-    ?(seed = 42) ?(fault_profile = Net.Faults.pristine) ?service ?(robustness = Robustness.off) () =
+    ?(seed = 42) ?(fault_profile = Net.Faults.pristine) ?service ?(robustness = Robustness.off) ?sync_profile () =
   if n_sites < 1 then Error "need at least one site"
   else if n_blocks < 1 then Error "need at least one block"
   else begin
@@ -69,16 +70,17 @@ let make ~scheme ~n_sites ?(n_blocks = 64) ?(net_mode = Net.Network.Multicast)
                             fault_profile;
                             service;
                             robustness;
+                            sync_profile;
                           }))
           end
         end
   end
 
 let make_exn ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
-    ?track_liveness ?seed ?fault_profile ?service ?robustness () =
+    ?track_liveness ?seed ?fault_profile ?service ?robustness ?sync_profile () =
   match
     make ~scheme ~n_sites ?n_blocks ?net_mode ?latency ?op_timeout ?quorum ?witnesses
-      ?track_liveness ?seed ?fault_profile ?service ?robustness ()
+      ?track_liveness ?seed ?fault_profile ?service ?robustness ?sync_profile ()
   with
   | Ok t -> t
   | Error msg -> invalid_arg ("Config.make: " ^ msg)

@@ -37,6 +37,11 @@ type t = private {
   robustness : Robustness.t;
       (** client-side robustness stack (deadlines, hedged reads, circuit
           breakers, admission control); {!Robustness.off} by default *)
+  sync_profile : Blockdev.Sync_cost.profile option;
+      (** stable-storage sync-write cost charged at client-visible journal
+          commit points (see {!Blockdev.Sync_cost}): [None] (the default)
+          charges nothing — the paper's free-disk environment,
+          bit-identical to pre-model behaviour *)
 }
 
 val make :
@@ -53,12 +58,13 @@ val make :
   ?fault_profile:Net.Faults.profile ->
   ?service:Net.Service_model.t ->
   ?robustness:Robustness.t ->
+  ?sync_profile:Blockdev.Sync_cost.profile ->
   unit ->
   (t, string) result
 (** Defaults: 64 blocks, multicast, constant latency 0.5 time units,
     timeout 8 latencies, majority quorum, no witnesses,
     [track_liveness = false], seed 42, pristine fault profile, no service
-    model, robustness off. *)
+    model, robustness off, no sync-write cost. *)
 
 val make_exn :
   scheme:Types.scheme ->
@@ -74,6 +80,7 @@ val make_exn :
   ?fault_profile:Net.Faults.profile ->
   ?service:Net.Service_model.t ->
   ?robustness:Robustness.t ->
+  ?sync_profile:Blockdev.Sync_cost.profile ->
   unit ->
   t
 (** Like {!make}; raises [Invalid_argument] instead. *)

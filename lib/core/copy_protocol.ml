@@ -446,7 +446,16 @@ let handle t (s : Runtime.site) ~from msg =
           if (not (Durable.checksum_ok s.durable b)) && Store.version s.store b > Vv.get versions b
           then needy := b :: !needy
         done;
+        (* The repair rounds park this handler's continuation behind wire
+           round-trips, and the site can fail in the meantime: [fail_site]
+           takes the transport down and then aborts our rounds, so the
+           aborted repair's callback lands here synchronously with the
+           sender already unreachable (and the state flip to Failed still
+           pending).  A dead site heals nothing and answers nothing — the
+           requester's repair_from treats the missing reply as a dead
+           source and probes afresh. *)
         let rec heal = function
+          | _ when not (Runtime.Transport.is_up (Runtime.net t.rt) s.id) -> ()
           | [] -> reply ()
           | b :: rest -> read_repair t ~site:s.id ~block:b (fun _ -> heal rest)
         in

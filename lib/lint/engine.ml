@@ -247,6 +247,22 @@ let is_wire_ctor ctx (cd : Types.constructor_description) =
   | Some name -> name = ctx.cfg.Config.wire_type
   | None -> false
 
+(* The protocol type a constructor dispatches over, if the wire rule
+   watches it: the wire-message type itself or one of the codec tag
+   enums.  [Syms.canonical] only qualifies bare single-segment names
+   with the mentioning unit, so inside wire.ml the tag type prints as
+   "Tag.t" — re-qualify with the unit before matching against the
+   configured canonical spelling. *)
+let dispatch_type ctx (cd : Types.constructor_description) =
+  match head_constr_name ctx cd.cstr_res with
+  | None -> None
+  | Some name ->
+      if name = ctx.cfg.Config.wire_type then Some ctx.cfg.Config.wire_type
+      else
+        List.find_opt
+          (fun entry -> name = entry || ctx.unit_name ^ "." ^ name = entry)
+          ctx.cfg.Config.tag_types
+
 (* ------------------------------------------------------------------ *)
 (* Rules on one expression node                                        *)
 (* ------------------------------------------------------------------ *)
@@ -283,24 +299,43 @@ let check_ident ctx (e : expression) path =
 
 let analyze_dispatch : type k. ctx -> Location.t -> k case list -> unit =
  fun ctx loc cases ->
-  let ctors = Hashtbl.create 8 in
+  let ctors = Hashtbl.create 8 in (* (dispatched type, ctor name) -> () *)
   let catch_all = ref None in
   List.iter
     (fun (c : k case) ->
       iter_pattern_ctors
-        (fun cd -> if is_wire_ctor ctx cd then Hashtbl.replace ctors cd.Types.cstr_name ())
+        (fun cd ->
+          match dispatch_type ctx cd with
+          | Some ty -> Hashtbl.replace ctors (ty, cd.Types.cstr_name) ()
+          | None -> ())
         c.c_lhs;
       if is_catch_all c.c_lhs && Option.is_none !catch_all then catch_all := Some c.c_lhs.pat_loc)
     cases;
   ignore (loc : Location.t);
-  if Hashtbl.length ctors >= ctx.cfg.Config.dispatch_min_ctors then
-    match !catch_all with
-    | Some pat_loc ->
-        emit ctx ~loc:pat_loc Config.rule_wire
-          (Printf.sprintf
-             "catch-all case in a wire-message dispatch (%d %s constructors matched): a new message constructor would be silently swallowed — enumerate the remaining constructors"
-             (Hashtbl.length ctors) ctx.cfg.Config.wire_type)
-    | None -> ()
+  match !catch_all with
+  | None -> ()
+  | Some pat_loc ->
+      let per_type = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun (ty, _) () ->
+          Hashtbl.replace per_type ty
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_type ty)))
+        ctors;
+      (* Sorted so the reported type is deterministic when a dispatch
+         somehow mixes watched types. *)
+      let offending =
+        Hashtbl.fold
+          (fun ty n acc -> if n >= ctx.cfg.Config.dispatch_min_ctors then (ty, n) :: acc else acc)
+          per_type []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      match offending with
+      | [] -> ()
+      | (ty, n) :: _ ->
+          emit ctx ~loc:pat_loc Config.rule_wire
+            (Printf.sprintf
+               "catch-all case in a wire-message dispatch (%d %s constructors matched): a new message constructor would be silently swallowed — enumerate the remaining constructors"
+               n ty)
 
 let check_expr ctx (e : expression) =
   (match e.exp_desc with Texp_ident (p, _, _) -> check_ident ctx e p | _ -> ());

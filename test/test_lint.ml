@@ -23,6 +23,8 @@ let cfg =
     C.charging =
       ("Lint_fixtures.Fx_wire_bad", "bad_category")
       :: ("Lint_fixtures.Fx_wire_good", "good_category")
+      :: ("Lint_fixtures.Fx_codec_bad", "bad_tag_of")
+      :: ("Lint_fixtures.Fx_codec_good", "good_tag_of")
       :: C.default.C.charging;
   }
 
@@ -74,6 +76,10 @@ let test_wire () =
   check_count "Fx_wire_bad" C.rule_wire 2;
   check_silent "Fx_wire_good"
 
+let test_codec () =
+  check_count "Fx_codec_bad" C.rule_wire 2;
+  check_silent "Fx_codec_good"
+
 let test_partiality () =
   check_count "Fx_partiality_bad" C.rule_partiality 5;
   check_silent "Fx_partiality_good"
@@ -97,7 +103,7 @@ let test_allow () =
 
 let test_summary () =
   let s = Lint.Report.summarize (Lazy.force scan) in
-  Alcotest.(check int) "unsuppressed" 21 s.Lint.Report.unsuppressed;
+  Alcotest.(check int) "unsuppressed" 23 s.Lint.Report.unsuppressed;
   Alcotest.(check int) "suppressed" 2 s.Lint.Report.suppressed;
   Alcotest.(check bool) "fixtures are not clean" false (Lint.Report.clean (Lazy.force scan));
   Alcotest.(check int)
@@ -126,6 +132,7 @@ let () =
           Alcotest.test_case "hashtbl order" `Quick test_hashtbl;
           Alcotest.test_case "poly compare" `Quick test_poly_compare;
           Alcotest.test_case "wire exhaustiveness" `Quick test_wire;
+          Alcotest.test_case "codec tag exhaustiveness" `Quick test_codec;
           Alcotest.test_case "partiality" `Quick test_partiality;
         ] );
       ( "suppression",
