@@ -278,6 +278,16 @@ let chaos_cmd =
              episodes, client bursts and queue floods, with deadlines, hedged reads, circuit \
              breakers and admission control enabled client-side.")
   in
+  let wire_arg =
+    Arg.(
+      value & flag
+      & info [ "wire" ]
+          ~doc:
+            "Turn on the hostile-bytes envelope: frames cross the network encoded and the injector \
+             damages their bytes (bit flips, truncation, garbage prefix/suffix, frame splices) at \
+             ambient rates; the hardened ingress must absorb all of it with every injected \
+             corruption accounted for.")
+  in
   let crash_writes_arg =
     Arg.(
       value & flag
@@ -344,7 +354,7 @@ let chaos_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the row as CSV.")
   in
-  let run scheme sites seeds seed0 ops failures partitions total_failures media overload
+  let run scheme sites seeds seed0 ops failures partitions total_failures media overload wire
       crash_writes bitrot disk_replace drop read_threshold write_threshold no_shrink shards
       expect_violations dump_schedule replay csv =
     if shards <= 0 then `Error (false, "--shards must be positive")
@@ -352,6 +362,7 @@ let chaos_cmd =
     let env =
       if overload then Check.Chaos.overload_env ~seed:seed0 scheme
       else if media then Check.Chaos.media_env ~seed:seed0 scheme
+      else if wire then Check.Chaos.wire_env ~seed:seed0 scheme
       else Check.Chaos.default_env ~seed:seed0 scheme
     in
     let env = { env with Check.Chaos.n_sites = sites } in
@@ -387,7 +398,7 @@ let chaos_cmd =
         let seed_list = List.init seeds (fun i -> seed0 + i) in
         let sweep = Check.Chaos.sweep ~shrink_failures:(not no_shrink) ~shards env ~seeds:seed_list in
         let label =
-          Printf.sprintf "%s%s%s%s%s%s%s%s%s%s"
+          Printf.sprintf "%s%s%s%s%s%s%s%s%s%s%s"
             (Blockrep.Types.scheme_to_string scheme)
             (if env.Check.Chaos.failures then "+fail" else "")
             (if env.Check.Chaos.partitions then "+part" else "")
@@ -396,6 +407,7 @@ let chaos_cmd =
             (if env.Check.Chaos.bitrot then "+rot" else "")
             (if env.Check.Chaos.disk_replace then "+swap" else "")
             (if env.Check.Chaos.slow_sites || env.Check.Chaos.queue_floods then "+over" else "")
+            (if env.Check.Chaos.encoded then "+wire" else "")
             (match drop with Some p -> Printf.sprintf "+drop%g" p | None -> "")
             (match (read_threshold, write_threshold) with
             | None, None -> ""
@@ -451,8 +463,8 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ scheme_arg $ sites_arg $ seeds_arg $ seed0_arg $ ops_arg $ failures_arg
-       $ partitions_arg $ total_failures_arg $ media_arg $ overload_arg $ crash_writes_arg
-       $ bitrot_arg
+       $ partitions_arg $ total_failures_arg $ media_arg $ overload_arg $ wire_arg
+       $ crash_writes_arg $ bitrot_arg
        $ disk_replace_arg $ drop_arg $ read_threshold_arg $ write_threshold_arg $ no_shrink_arg
        $ shards_arg $ expect_violations_arg $ dump_schedule_arg $ replay_arg $ csv_arg))
 

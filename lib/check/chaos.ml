@@ -15,6 +15,8 @@ type event =
   | Slow_site of int * float
   | Burst of int
   | Queue_flood of int * int
+  | Wire_corrupt of int * int
+  | Wire_heal of int * int
 
 type schedule = (float * event) list
 
@@ -61,6 +63,10 @@ type env = {
   queue_floods : bool;
   flood_rate : float;
   flood_count : int;
+  encoded : bool;
+  wire_corrupt_links : bool;
+  wire_corrupt_rate : float;
+  wire_corrupt_mean : float;
 }
 
 (* The group-commit fast path under chaos: client writes are absorbed by
@@ -76,6 +82,23 @@ let supported_faults =
   Net.Faults.make_exn ~duplicate:0.05 ~reorder:0.05
     ~jitter:(Util.Dist.Uniform (0.0, 1.0))
     ~extra_delay:0.1 ()
+
+(* Ambient byte damage of the wire envelope.  The hardened ingress
+   redelivers a rejected frame up to [Net.Network.redelivery_budget]
+   times, so at a combined per-frame corruption rate around 6% the
+   residual loss is ~ 0.06^7 — far below anything a 25-seed sweep could
+   surface.  A {e persistent} corruptor link defeats the budget by
+   design, which is why [wire_corrupt_links] stays off here: that event
+   turns corruption into message loss, and drops are outside every
+   scheme's envelope (fire-and-forget updates are lost for good). *)
+let supported_corruption =
+  {
+    Net.Faults.bit_flip = 0.02;
+    truncate = 0.01;
+    garbage_prefix = 0.01;
+    garbage_suffix = 0.01;
+    splice = 0.01;
+  }
 
 let default_env ?(seed = 1) scheme =
   let failures, total_failures =
@@ -134,6 +157,10 @@ let default_env ?(seed = 1) scheme =
     queue_floods = false;
     flood_rate = 0.015;
     flood_count = 48;
+    encoded = false;
+    wire_corrupt_links = false;
+    wire_corrupt_rate = 0.01;
+    wire_corrupt_mean = 10.0;
   }
 
 let media_env ?seed scheme =
@@ -173,6 +200,22 @@ let overload_env ?seed scheme =
     slow_sites = true;
     bursts = true;
     queue_floods = true;
+  }
+
+let wire_env ?seed scheme =
+  (* The hostile-bytes envelope: frames cross the network encoded and the
+     injector damages their bytes at the [supported_corruption] ambient
+     rates on top of the supported delay/duplicate/reorder faults.  The
+     hardened ingress (CRC/shape rejection + bounded link-layer
+     redelivery) must absorb all of it, so byte damage is inside {e
+     every} scheme's correctness envelope — the oracle must stay silent
+     and every injected corruption must be accounted for by the ingress
+     conservation identity (checked as an invariant, not assumed). *)
+  let base = default_env ?seed scheme in
+  {
+    base with
+    encoded = true;
+    faults = { base.faults with Net.Faults.corruption = supported_corruption };
   }
 
 (* --- schedules --- *)
@@ -295,6 +338,22 @@ let queue_flood_events env rng =
   done;
   List.rev !events
 
+let wire_corrupt_events env rng =
+  (* A persistent corruptor episode: one directed link flips every frame
+     it carries until healed.  Paired with its heal at an exponential
+     episode length, like slow-site episodes. *)
+  let events = ref [] in
+  let t = ref (exp_sample rng (1.0 /. env.wire_corrupt_rate)) in
+  while !t <= env.horizon do
+    let from = Prng.int rng env.n_sites in
+    let dst = (from + 1 + Prng.int rng (env.n_sites - 1)) mod env.n_sites in
+    events := (!t, Wire_corrupt (from, dst)) :: !events;
+    let heal_t = !t +. exp_sample rng env.wire_corrupt_mean in
+    if heal_t <= env.horizon then events := (heal_t, Wire_heal (from, dst)) :: !events;
+    t := heal_t +. exp_sample rng (1.0 /. env.wire_corrupt_rate)
+  done;
+  List.rev !events
+
 let generate_schedule env =
   let events = ref [] in
   if env.failures then begin
@@ -318,6 +377,8 @@ let generate_schedule env =
   if env.bursts then events := !events @ burst_events env (Prng.create (env.seed lxor 0x62757273));
   if env.queue_floods then
     events := !events @ queue_flood_events env (Prng.create (env.seed lxor 0x666c6f64));
+  if env.wire_corrupt_links then
+    events := !events @ wire_corrupt_events env (Prng.create (env.seed lxor 0x77697265));
   List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) !events
 
 (* --- serialization --- *)
@@ -337,6 +398,8 @@ let pp_event ppf (time, ev) =
   | Slow_site (s, f) -> Format.fprintf ppf "@%.4f slow-site %d %.4f" time s f
   | Burst n -> Format.fprintf ppf "@%.4f burst %d" time n
   | Queue_flood (s, n) -> Format.fprintf ppf "@%.4f queue-flood %d %d" time s n
+  | Wire_corrupt (s, d) -> Format.fprintf ppf "@%.4f wire-corrupt %d %d" time s d
+  | Wire_heal (s, d) -> Format.fprintf ppf "@%.4f wire-heal %d %d" time s d
 
 let pp_schedule ppf schedule =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf schedule
@@ -382,6 +445,14 @@ let schedule_of_string text =
               | [ "queue-flood"; s; n ] -> (
                   match (int_of_string_opt s, int_of_string_opt n) with
                   | Some s, Some n -> Ok (Some (t, Queue_flood (s, n)))
+                  | _ -> fail ())
+              | [ "wire-corrupt"; s; d ] -> (
+                  match (int_of_string_opt s, int_of_string_opt d) with
+                  | Some s, Some d -> Ok (Some (t, Wire_corrupt (s, d)))
+                  | _ -> fail ())
+              | [ "wire-heal"; s; d ] -> (
+                  match (int_of_string_opt s, int_of_string_opt d) with
+                  | Some s, Some d -> Ok (Some (t, Wire_heal (s, d)))
                   | _ -> fail ())
               | "partition" :: groups -> (
                   let rec split acc cur = function
@@ -444,7 +515,7 @@ let cluster_of_env env =
   Cluster.create
     (Blockrep.Config.make_exn ~scheme:env.scheme ~n_sites:env.n_sites ~n_blocks:env.n_blocks
        ?quorum ~seed:env.seed ~fault_profile:env.faults ?service:env.service
-       ~robustness:env.robustness ())
+       ~robustness:env.robustness ~encoded_delivery:env.encoded ())
 
 (* Maskability guards for media faults.  The paper's disks are fail-stop;
    a latent fault that destroys the {e only} current copy of a block is
@@ -497,6 +568,8 @@ let apply_event cluster = function
       if all_covered 0 then Cluster.replace_disk cluster s
   | Slow_site (s, f) -> Cluster.set_rate_factor cluster s f
   | Queue_flood (s, n) -> Cluster.flood_site cluster s ~count:n
+  | Wire_corrupt (s, d) -> Cluster.corrupt_link cluster ~from:s ~dst:d
+  | Wire_heal (s, d) -> Cluster.heal_link cluster ~from:s ~dst:d
   | Burst _ -> () (* handled by the workload loop, not the cluster *)
 
 let run_against env ~cluster ~schedule =
@@ -558,7 +631,9 @@ let run_against env ~cluster ~schedule =
                     cache, so a flush already in flight is safe). *)
                  (match ev with
                  | Fail _ | Partition _ | Crash_torn _ | Disk_replace _ -> flush_cache ()
-                 | Repair _ | Heal | Bitrot _ | Slow_site _ | Burst _ | Queue_flood _ -> ());
+                 | Repair _ | Heal | Bitrot _ | Slow_site _ | Burst _ | Queue_flood _
+                 | Wire_corrupt _ | Wire_heal _ ->
+                     ());
                  (match ev with Burst n -> burst_credit := !burst_credit + n | _ -> ());
                  apply_event cluster ev)))
       schedule
@@ -615,6 +690,23 @@ let run_against env ~cluster ~schedule =
   flush_cache ();
   Cluster.settle cluster;
   let invariants_final = Invariant.scan cluster in
+  (* The ingress conservation identity is checked, not assumed: every
+     corruption the injector counted must have been classified exactly
+     one way (decoder reject, quarantine discard, or survived decode). *)
+  let invariants_final =
+    if Cluster.corruption_conserved cluster then invariants_final
+    else
+      invariants_final
+      @ [
+          Violation.make ~code:"wire-unconserved" ~time:(Sim.Engine.now engine)
+            (Printf.sprintf
+               "corrupted deliveries %d <> rejected %d + quarantined %d + survived %d"
+               (Cluster.corrupted_deliveries cluster)
+               (Cluster.corrupt_rejected cluster)
+               (Cluster.corrupt_quarantined cluster)
+               (Cluster.corrupt_survived cluster));
+        ]
+  in
   if env.readback then
     for block = 0 to n_blocks - 1 do
       ignore (Blockrep.Reliable_device.read_block device block)

@@ -64,6 +64,17 @@ type event =
       (** (site, count): inject [count] junk jobs into the site's work
           queue ahead of legitimate traffic; no-op without a service
           model *)
+  | Wire_corrupt of int * int
+      (** (from, dst): the directed link becomes a {e persistent}
+          corruptor — every frame it carries is bit-flipped until healed.
+          No-op without a fault injector; has no observable effect unless
+          the cluster runs encoded delivery (there are no wire bytes to
+          damage otherwise).  A persistent corruptor defeats the bounded
+          redelivery budget by design, turning corruption into message
+          loss on that link — outside every scheme's envelope, and the
+          circuit breaker's job to contain. *)
+  | Wire_heal of int * int
+      (** (from, dst): restore the link to the run's ambient profile *)
 
 type schedule = (float * event) list
 (** Timed events, ascending. *)
@@ -130,6 +141,14 @@ type env = {
   queue_floods : bool;  (** seeded {!Queue_flood} process (default off) *)
   flood_rate : float;
   flood_count : int;  (** junk jobs injected per flood *)
+  encoded : bool;
+      (** run the cluster in encoded-frame delivery mode (default off:
+          in-heap delivery, bit-identical to the historical harness) *)
+  wire_corrupt_links : bool;
+      (** seeded {!Wire_corrupt}/{!Wire_heal} episodes (default off; see
+          {!Wire_corrupt} for why these sit outside every envelope) *)
+  wire_corrupt_rate : float;
+  wire_corrupt_mean : float;  (** mean corruptor-episode duration *)
 }
 
 val default_env : ?seed:int -> Blockrep.Types.scheme -> env
@@ -156,9 +175,27 @@ val overload_env : ?seed:int -> Blockrep.Types.scheme -> env
     message, so correctness must hold while tail latency degrades.  Site
     failures and partitions are off. *)
 
+val wire_env : ?seed:int -> Blockrep.Types.scheme -> env
+(** The {e hostile-bytes} envelope, inside which every scheme must stay
+    violation-free: frames cross the network encoded and the injector
+    damages their bytes at the {!supported_corruption} ambient rates on
+    top of {!supported_faults}.  The hardened ingress (CRC/shape
+    rejection, bounded link-layer redelivery, poison-frame quarantine)
+    must absorb all of it; on top of the oracle verdict, the run fails
+    with a [wire-unconserved] violation if any injected corruption went
+    unaccounted for by the ingress conservation identity.  Persistent
+    corruptor links stay off: they turn corruption into message loss,
+    which is outside every envelope (see {!Wire_corrupt}). *)
+
 val supported_faults : Net.Faults.profile
 (** duplicate 0.05, reorder 0.05 with jitter ~ U(0,1), extra delay 0.1 —
     and no drops. *)
+
+val supported_corruption : Net.Faults.corruption
+(** Ambient byte damage of {!wire_env}: bit flip 0.02; truncate, garbage
+    prefix/suffix and splice 0.01 each.  At these rates the bounded
+    redelivery budget makes residual frame loss negligible
+    (~[rate^(budget+1)]). *)
 
 (** {1 Schedules} *)
 

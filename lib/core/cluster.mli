@@ -176,6 +176,41 @@ val install_faults : t -> Net.Faults.t -> unit
 (** Install a fault injector on the running cluster's network (per-link
     overrides included); affects deliveries from now on. *)
 
+val corrupt_link : t -> from:int -> dst:int -> unit
+(** Turn one directed link into a persistent corruptor (every delivery
+    gets a bit flipped): the [wire-corrupt] chaos event.  No-op without
+    an installed injector. *)
+
+val heal_link : t -> from:int -> dst:int -> unit
+(** Restore a corrupted link to the injector's default profile. *)
+
+(** {1 Hardened-ingress counters (encoded delivery)}
+
+    All read zero when the config leaves [encoded_delivery] off. *)
+
+val frames_rejected : t -> int
+(** Frames the ingress decode refused, all reject classes summed. *)
+
+val frames_quarantined : t -> int
+(** Frames discarded undecoded under poison-frame quarantine. *)
+
+val frames_retransmitted : t -> int
+(** Link-layer redeliveries of rejected frames. *)
+
+val quarantine_trips : t -> int
+(** Times some (receiver, sender) link entered quarantine. *)
+
+val corrupted_deliveries : t -> int
+(** Deliveries the injector actually damaged. *)
+
+val corrupt_rejected : t -> int
+val corrupt_quarantined : t -> int
+val corrupt_survived : t -> int
+
+val corruption_conserved : t -> bool
+(** [corrupted_deliveries = corrupt_rejected + corrupt_quarantined +
+    corrupt_survived] — every injected corruption accounted for. *)
+
 (** {1 Storage faults}
 
     Media-level fault injection into a site's {!Blockdev.Durable_store}.

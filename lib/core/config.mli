@@ -42,6 +42,17 @@ type t = private {
           commit points (see {!Blockdev.Sync_cost}): [None] (the default)
           charges nothing — the paper's free-disk environment,
           bit-identical to pre-model behaviour *)
+  encoded_delivery : bool;
+      (** [true] routes every message through its encoded {!Wire} frame and
+          the hardened decode-at-ingress path; [false] (the default) is the
+          legacy in-heap delivery, bit-identical to before the codec became
+          the transport.  Required for byte-level corruption injection:
+          {!make} refuses a profile with non-trivial corruption when this
+          is off, because it would silently inject nothing. *)
+  quarantine : Net.Network.quarantine;
+      (** poison-frame quarantine policy of the hardened ingress (only
+          consulted in encoded mode);
+          {!Net.Network.default_quarantine} by default *)
 }
 
 val make :
@@ -59,12 +70,15 @@ val make :
   ?service:Net.Service_model.t ->
   ?robustness:Robustness.t ->
   ?sync_profile:Blockdev.Sync_cost.profile ->
+  ?encoded_delivery:bool ->
+  ?quarantine:Net.Network.quarantine ->
   unit ->
   (t, string) result
 (** Defaults: 64 blocks, multicast, constant latency 0.5 time units,
     timeout 8 latencies, majority quorum, no witnesses,
     [track_liveness = false], seed 42, pristine fault profile, no service
-    model, robustness off, no sync-write cost. *)
+    model, robustness off, no sync-write cost, in-heap delivery with the
+    default quarantine policy. *)
 
 val make_exn :
   scheme:Types.scheme ->
@@ -81,6 +95,8 @@ val make_exn :
   ?service:Net.Service_model.t ->
   ?robustness:Robustness.t ->
   ?sync_profile:Blockdev.Sync_cost.profile ->
+  ?encoded_delivery:bool ->
+  ?quarantine:Net.Network.quarantine ->
   unit ->
   t
 (** Like {!make}; raises [Invalid_argument] instead. *)

@@ -173,6 +173,14 @@ type degradation = {
   breaker_trips : int;
   messages_shed : int;
   faults_injected : int;
+  frames_rejected : int;
+  frames_quarantined : int;
+  frames_retransmitted : int;
+  quarantine_trips : int;
+  corrupted_deliveries : int;
+  corrupt_rejected : int;
+  corrupt_quarantined : int;
+  corrupt_survived : int;
   last_errors : (float * string) list;
 }
 
@@ -194,18 +202,33 @@ let degradation t =
     breaker_trips = Cluster.breaker_trips t.cluster;
     messages_shed = Cluster.messages_shed t.cluster;
     faults_injected = (match Cluster.faults t.cluster with None -> 0 | Some f -> Net.Faults.total_injected f);
+    frames_rejected = Cluster.frames_rejected t.cluster;
+    frames_quarantined = Cluster.frames_quarantined t.cluster;
+    frames_retransmitted = Cluster.frames_retransmitted t.cluster;
+    quarantine_trips = Cluster.quarantine_trips t.cluster;
+    corrupted_deliveries = Cluster.corrupted_deliveries t.cluster;
+    corrupt_rejected = Cluster.corrupt_rejected t.cluster;
+    corrupt_quarantined = Cluster.corrupt_quarantined t.cluster;
+    corrupt_survived = Cluster.corrupt_survived t.cluster;
     last_errors = Retry.last_errors s;
   }
 
 let degradation_conserved d =
   d.requests = d.succeeded + d.timeouts + d.gave_up + d.rejected + d.shed
 
+let wire_conserved d =
+  d.corrupted_deliveries = d.corrupt_rejected + d.corrupt_quarantined + d.corrupt_survived
+
 let pp_degradation ppf d =
   Format.fprintf ppf
     "@[<v>degradation: %d requests (%d ok), %d site attempts, %d failovers@,\
      %d retries (%d recovered), %d deadline timeouts, %d gave up, %d rejected, %d shed@,\
-     %d hedged (%d wins), %d breaker trips, %d messages shed, %d faults injected"
+     %d hedged (%d wins), %d breaker trips, %d messages shed, %d faults injected@,\
+     wire: %d frames rejected, %d quarantined (%d trips), %d retransmitted; \
+     %d corrupted = %d rejected + %d quarantined + %d survived"
     d.requests d.succeeded d.site_attempts d.failovers d.retries d.recovered d.timeouts d.gave_up
-    d.rejected d.shed d.hedged d.hedge_wins d.breaker_trips d.messages_shed d.faults_injected;
+    d.rejected d.shed d.hedged d.hedge_wins d.breaker_trips d.messages_shed d.faults_injected
+    d.frames_rejected d.frames_quarantined d.quarantine_trips d.frames_retransmitted
+    d.corrupted_deliveries d.corrupt_rejected d.corrupt_quarantined d.corrupt_survived;
   List.iter (fun (at, msg) -> Format.fprintf ppf "@,  t=%-10.3f %s" at msg) (List.rev d.last_errors);
   Format.fprintf ppf "@]"

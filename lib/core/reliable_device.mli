@@ -101,6 +101,14 @@ type degradation = {
   breaker_trips : int;  (** closed-to-open circuit-breaker transitions *)
   messages_shed : int;  (** protocol messages dropped at full site queues *)
   faults_injected : int;  (** total network fault injections, 0 if none *)
+  frames_rejected : int;  (** frames the hardened ingress refused to decode *)
+  frames_quarantined : int;  (** frames discarded undecoded under quarantine *)
+  frames_retransmitted : int;  (** link-layer redeliveries of rejected frames *)
+  quarantine_trips : int;  (** links that entered poison-frame quarantine *)
+  corrupted_deliveries : int;  (** deliveries the injector actually damaged *)
+  corrupt_rejected : int;  (** ... of which the decoder caught *)
+  corrupt_quarantined : int;  (** ... of which quarantine discarded undecoded *)
+  corrupt_survived : int;  (** ... of which still decoded (identity splice) *)
   last_errors : (float * string) list;  (** newest first *)
 }
 
@@ -110,5 +118,12 @@ val degradation_conserved : degradation -> bool
 (** Counter conservation: with no operation in flight every operation
     terminated exactly one way —
     [requests = succeeded + timeouts + gave_up + rejected + shed]. *)
+
+val wire_conserved : degradation -> bool
+(** The ingress conservation identity: every corruption the injector
+    counted was classified exactly one way —
+    [corrupted_deliveries = corrupt_rejected + corrupt_quarantined +
+    corrupt_survived].  (Frame rejects themselves surface to the client
+    as retries/timeouts, already inside {!degradation_conserved}.) *)
 
 val pp_degradation : Format.formatter -> degradation -> unit

@@ -66,6 +66,10 @@ let create (config : Config.t) =
   | None -> ()
   | Some model ->
       Transport.install_service net model ~rng:(Util.Prng.create (config.seed lxor 0x73657276)));
+  if config.encoded_delivery then begin
+    Transport.set_encoded net true;
+    Transport.set_quarantine net config.quarantine
+  end;
   let breakers =
     match config.robustness.Robustness.breaker with
     | None -> None
@@ -74,6 +78,16 @@ let create (config : Config.t) =
           (Array.init config.n_sites (fun _ ->
                Array.init config.n_sites (fun _ -> Breaker.create engine ~threshold ~cooldown)))
   in
+  (* A frame that fails to decode is evidence against the {e claimed}
+     sender's link, so the receiver charges its breaker for that peer:
+     a persistently corrupting link trips open exactly like a dead or
+     slow one.  Successes stay round-based (see [finish_round]) — a
+     clean decode is not yet a served request. *)
+  (match breakers with
+  | Some m when config.encoded_delivery ->
+      Transport.set_reject_hook net (fun ~dst ~from _reject ->
+          if dst <> from then Breaker.record_failure m.(dst).(from))
+  | _ -> ());
   let make_site id =
     let durable = Blockdev.Durable_store.create ~capacity:config.n_blocks in
     let everyone = List.init config.n_sites Fun.id in

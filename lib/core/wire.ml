@@ -541,6 +541,16 @@ let decode buf =
       | exception B.Short -> Error (Malformed "payload truncated")
       | exception B.Bad msg -> Error (Malformed msg))
 
+let reject_of_error = function
+  | Frame_error (Codec.Frame.Truncated _) -> Net.Message.Reject_truncated
+  | Frame_error (Codec.Frame.Bad_magic _) -> Net.Message.Reject_bad_magic
+  | Frame_error (Codec.Frame.Trailing _) -> Net.Message.Reject_trailing
+  | Frame_error (Codec.Frame.Crc_mismatch _) -> Net.Message.Reject_crc
+  | Bad_tag _ -> Net.Message.Reject_bad_tag
+  | Malformed _ -> Net.Message.Reject_malformed
+
+let decode_frame buf = Result.map_error reject_of_error (decode buf)
+
 let rid = function
   | Vote_request { rid; _ }
   | Vote_reply { rid; _ }

@@ -173,6 +173,16 @@ val decode : Bytes.t -> (t, decode_error) result
     to a typed error, which is what lets the durable journal and the
     byte-accurate media chaos rely on decode verdicts. *)
 
+val reject_of_error : decode_error -> Net.Message.reject
+(** Map a decoder error onto the transport's codec-agnostic reject
+    taxonomy (frame envelope errors to their classes, [Bad_tag] and
+    [Malformed] to theirs). *)
+
+val decode_frame : Bytes.t -> (t, Net.Message.reject) result
+(** [decode] with errors mapped through {!reject_of_error} — this is
+    what makes [Wire] satisfy {!Net.Network.PAYLOAD} for encoded
+    delivery. *)
+
 val rid : t -> int option
 (** The correlation id, when the message participates in a round. *)
 

@@ -1,13 +1,38 @@
+type corruption = {
+  bit_flip : float;
+  truncate : float;
+  garbage_prefix : float;
+  garbage_suffix : float;
+  splice : float;
+}
+
+let no_corruption =
+  { bit_flip = 0.0; truncate = 0.0; garbage_prefix = 0.0; garbage_suffix = 0.0; splice = 0.0 }
+
+let corruption_is_trivial c =
+  c.bit_flip = 0.0 && c.truncate = 0.0 && c.garbage_prefix = 0.0 && c.garbage_suffix = 0.0
+  && c.splice = 0.0
+
 type profile = {
   drop : float;
   duplicate : float;
   reorder : float;
   jitter : Util.Dist.t;
   extra_delay : float;
+  corruption : corruption;
 }
 
 let pristine =
-  { drop = 0.0; duplicate = 0.0; reorder = 0.0; jitter = Util.Dist.Constant 0.0; extra_delay = 0.0 }
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    jitter = Util.Dist.Constant 0.0;
+    extra_delay = 0.0;
+    corruption = no_corruption;
+  }
+
+let persistent_corruptor = { pristine with corruption = { no_corruption with bit_flip = 1.0 } }
 
 (* Constant 0.0 is the only jitter distribution that provably never
    perturbs a delivery; anything else makes the profile non-pristine. *)
@@ -15,9 +40,11 @@ let jitter_is_trivial = function Util.Dist.Constant 0.0 -> true | _ -> false
 
 let is_pristine p =
   (* The jitter term was historically omitted, so a jitter-only profile
-     was classified pristine and silently injected nothing. *)
+     was classified pristine and silently injected nothing; every new
+     knob — corruption included — must appear here the day it is born. *)
   p.drop = 0.0 && p.duplicate = 0.0 && p.reorder = 0.0 && p.extra_delay = 0.0
   && jitter_is_trivial p.jitter
+  && corruption_is_trivial p.corruption
 
 let validate_profile p =
   let prob what x =
@@ -30,15 +57,20 @@ let validate_profile p =
   let* () = prob "duplicate" p.duplicate in
   let* () = prob "reorder" p.reorder in
   let* _ = Result.map_error (fun e -> "bad jitter distribution: " ^ e) (Util.Dist.validate p.jitter) in
+  let* () = prob "bit_flip" p.corruption.bit_flip in
+  let* () = prob "truncate" p.corruption.truncate in
+  let* () = prob "garbage_prefix" p.corruption.garbage_prefix in
+  let* () = prob "garbage_suffix" p.corruption.garbage_suffix in
+  let* () = prob "splice" p.corruption.splice in
   if p.extra_delay < 0.0 || Float.is_nan p.extra_delay then Error "extra_delay must be non-negative"
   else Ok p
 
 let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(jitter = Util.Dist.Constant 0.0)
-    ?(extra_delay = 0.0) () =
-  validate_profile { drop; duplicate; reorder; jitter; extra_delay }
+    ?(extra_delay = 0.0) ?(corruption = no_corruption) () =
+  validate_profile { drop; duplicate; reorder; jitter; extra_delay; corruption }
 
-let make_exn ?drop ?duplicate ?reorder ?jitter ?extra_delay () =
-  match make ?drop ?duplicate ?reorder ?jitter ?extra_delay () with
+let make_exn ?drop ?duplicate ?reorder ?jitter ?extra_delay ?corruption () =
+  match make ?drop ?duplicate ?reorder ?jitter ?extra_delay ?corruption () with
   | Ok p -> p
   | Error msg -> invalid_arg ("Faults.make: " ^ msg)
 
@@ -48,6 +80,12 @@ type counters = {
   mutable reorders : int;
   mutable delayed : int;
   mutable jittered : int;
+  mutable bit_flips : int;
+  mutable truncates : int;
+  mutable garbage_prefixed : int;
+  mutable garbage_suffixed : int;
+  mutable splices : int;
+  mutable corrupted : int; (* deliveries with >= 1 byte-level mutation *)
 }
 
 type t = {
@@ -55,6 +93,7 @@ type t = {
   default : profile;
   links : (int * int, profile) Hashtbl.t;
   counters : counters;
+  last_frames : (int * int, Bytes.t) Hashtbl.t; (* splice partners, per link *)
 }
 
 let create ~rng profile =
@@ -65,7 +104,21 @@ let create ~rng profile =
         rng;
         default;
         links = Hashtbl.create 8;
-        counters = { drops = 0; duplicates = 0; reorders = 0; delayed = 0; jittered = 0 };
+        counters =
+          {
+            drops = 0;
+            duplicates = 0;
+            reorders = 0;
+            delayed = 0;
+            jittered = 0;
+            bit_flips = 0;
+            truncates = 0;
+            garbage_prefixed = 0;
+            garbage_suffixed = 0;
+            splices = 0;
+            corrupted = 0;
+          };
+        last_frames = Hashtbl.create 8;
       }
 
 let of_seed ~seed profile = create ~rng:(Util.Prng.create seed) profile
@@ -132,12 +185,95 @@ let plan t ~from ~dst =
     end
   end
 
+(* Byte-level wire damage, applied at ingress to the encoded frame of one
+   delivery.  Applied kinds in a fixed order — splice, truncate, garbage
+   prefix, garbage suffix, bit flip — each guaranteed to actually change
+   the byte string when it fires (a truncate removes >= 1 byte, garbage
+   adds >= 1 byte, a flip toggles one bit), except a splice of two
+   identical frames, which can reproduce the original and then counts as
+   an (attempted) corruption the decoder legitimately survives. *)
+let corrupt t ~from ~dst bytes =
+  let p = link_profile t ~from ~dst in
+  let c = p.corruption in
+  if corruption_is_trivial c then (bytes, false)
+  else begin
+    let k = t.counters in
+    (* Draw the five uniforms unconditionally so the corruption stream of
+       a link does not depend on which knobs are zero — same discipline
+       as [plan]. *)
+    let u_splice = Util.Prng.float t.rng in
+    let u_trunc = Util.Prng.float t.rng in
+    let u_pre = Util.Prng.float t.rng in
+    let u_suf = Util.Prng.float t.rng in
+    let u_flip = Util.Prng.float t.rng in
+    let prev = Hashtbl.find_opt t.last_frames (from, dst) in
+    Hashtbl.replace t.last_frames (from, dst) (Bytes.copy bytes);
+    let buf = ref bytes in
+    let mutated = ref false in
+    (if u_splice < c.splice then
+       match prev with
+       | Some prev when Bytes.length prev > 0 && Bytes.length !buf > 0 ->
+           (* head of the previous frame on this link + tail of this one:
+              two sends run together at an arbitrary cut *)
+           let head = 1 + Util.Prng.int t.rng (Bytes.length prev) in
+           let cut = Util.Prng.int t.rng (Bytes.length !buf + 1) in
+           buf :=
+             Bytes.cat (Bytes.sub prev 0 head) (Bytes.sub !buf cut (Bytes.length !buf - cut));
+           mutated := true;
+           k.splices <- k.splices + 1
+       | _ -> () (* no partner yet: nothing to splice with *));
+    (if u_trunc < c.truncate && Bytes.length !buf >= 2 then begin
+       let keep = 1 + Util.Prng.int t.rng (Bytes.length !buf - 1) in
+       buf := Bytes.sub !buf 0 keep;
+       mutated := true;
+       k.truncates <- k.truncates + 1
+     end);
+    let garbage n =
+      let g = Bytes.create n in
+      for i = 0 to n - 1 do
+        Bytes.set g i (Char.chr (Util.Prng.int t.rng 256))
+      done;
+      g
+    in
+    (if u_pre < c.garbage_prefix then begin
+       buf := Bytes.cat (garbage (1 + Util.Prng.int t.rng 8)) !buf;
+       mutated := true;
+       k.garbage_prefixed <- k.garbage_prefixed + 1
+     end);
+    (if u_suf < c.garbage_suffix then begin
+       buf := Bytes.cat !buf (garbage (1 + Util.Prng.int t.rng 8));
+       mutated := true;
+       k.garbage_suffixed <- k.garbage_suffixed + 1
+     end);
+    (if u_flip < c.bit_flip && Bytes.length !buf > 0 then begin
+       (* the only in-place kind: copy first if [buf] still aliases the
+          caller's pristine frame (duplicates share the encoded buffer) *)
+       if not !mutated then buf := Bytes.copy !buf;
+       let i = Util.Prng.int t.rng (Bytes.length !buf) in
+       let bit = Util.Prng.int t.rng 8 in
+       Bytes.set !buf i (Char.chr (Char.code (Bytes.get !buf i) lxor (1 lsl bit)));
+       mutated := true;
+       k.bit_flips <- k.bit_flips + 1
+     end);
+    if !mutated then k.corrupted <- k.corrupted + 1;
+    (!buf, !mutated)
+  end
+
 let drops t = t.counters.drops
 let duplicates t = t.counters.duplicates
 let reorders t = t.counters.reorders
 let delayed t = t.counters.delayed
 let jittered t = t.counters.jittered
-let total_injected t = drops t + duplicates t + reorders t + delayed t + jittered t
+let bit_flips t = t.counters.bit_flips
+let truncates t = t.counters.truncates
+let garbage_prefixed t = t.counters.garbage_prefixed
+let garbage_suffixed t = t.counters.garbage_suffixed
+let splices t = t.counters.splices
+let corrupted_deliveries t = t.counters.corrupted
+
+let total_injected t =
+  drops t + duplicates t + reorders t + delayed t + jittered t + bit_flips t + truncates t
+  + garbage_prefixed t + garbage_suffixed t + splices t
 
 let reset_counters t =
   let c = t.counters in
@@ -145,13 +281,28 @@ let reset_counters t =
   c.duplicates <- 0;
   c.reorders <- 0;
   c.delayed <- 0;
-  c.jittered <- 0
+  c.jittered <- 0;
+  c.bit_flips <- 0;
+  c.truncates <- 0;
+  c.garbage_prefixed <- 0;
+  c.garbage_suffixed <- 0;
+  c.splices <- 0;
+  c.corrupted <- 0
 
 let pp_profile ppf p =
-  Format.fprintf ppf "faults(drop=%g, dup=%g, reorder=%g, jitter=%a, delay=%g)" p.drop p.duplicate
-    p.reorder Util.Dist.pp p.jitter p.extra_delay
+  Format.fprintf ppf "faults(drop=%g, dup=%g, reorder=%g, jitter=%a, delay=%g" p.drop p.duplicate
+    p.reorder Util.Dist.pp p.jitter p.extra_delay;
+  if not (corruption_is_trivial p.corruption) then
+    Format.fprintf ppf ", corrupt(flip=%g, trunc=%g, pre=%g, suf=%g, splice=%g)"
+      p.corruption.bit_flip p.corruption.truncate p.corruption.garbage_prefix
+      p.corruption.garbage_suffix p.corruption.splice;
+  Format.fprintf ppf ")"
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>%a@,injected: %d drops, %d duplicates, %d reorders, %d delayed, %d jittered@]"
+    "@[<v>%a@,\
+     injected: %d drops, %d duplicates, %d reorders, %d delayed, %d jittered@,\
+     corrupted: %d deliveries (%d flips, %d truncates, %d gar-pre, %d gar-suf, %d splices)@]"
     pp_profile t.default (drops t) (duplicates t) (reorders t) (delayed t) (jittered t)
+    (corrupted_deliveries t) (bit_flips t) (truncates t) (garbage_prefixed t)
+    (garbage_suffixed t) (splices t)

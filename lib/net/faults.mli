@@ -21,16 +21,42 @@
     injector owns a dedicated RNG, so enabling faults never perturbs the
     latency or workload streams of the same seed. *)
 
+(** Byte-level wire damage, applied to the {e encoded frame} of a delivery
+    when the network runs in encoded mode (no-op otherwise — there are no
+    bytes to damage).  Independent per-delivery probabilities; every kind
+    that fires actually changes the byte string (a splice of two identical
+    frames is the one exception, and the ingress accounts it as a
+    corruption the decoder survived). *)
+type corruption = {
+  bit_flip : float;  (** flip one random bit of the frame *)
+  truncate : float;  (** drop at least one byte off the tail *)
+  garbage_prefix : float;  (** prepend 1–8 random bytes *)
+  garbage_suffix : float;  (** append 1–8 random bytes *)
+  splice : float;
+      (** run the head of the link's previous frame into the tail of this
+          one (two sends damaged into one byte string) *)
+}
+
+val no_corruption : corruption
+val corruption_is_trivial : corruption -> bool
+
 type profile = {
   drop : float;  (** probability a delivery is lost, in [0, 1] *)
   duplicate : float;  (** probability a delivery is doubled *)
   reorder : float;  (** probability of an extra deferring jitter draw *)
   jitter : Util.Dist.t;  (** random extra delay, drawn on every delivery *)
   extra_delay : float;  (** deterministic extra latency, every delivery *)
+  corruption : corruption;  (** byte-level damage, encoded mode only *)
 }
 
 val pristine : profile
 (** All-zero knobs: provably no fault is ever injected. *)
+
+val persistent_corruptor : profile
+(** Every delivery on the link gets one bit flipped ([bit_flip = 1.0],
+    everything else pristine): a hostile or broken NIC.  Defeats any
+    bounded retransmission budget, so it belongs on individual links
+    (breaker experiments), not in a sweep's ambient profile. *)
 
 val is_pristine : profile -> bool
 (** Whether every knob — including the jitter distribution, which only
@@ -46,6 +72,7 @@ val make :
   ?reorder:float ->
   ?jitter:Util.Dist.t ->
   ?extra_delay:float ->
+  ?corruption:corruption ->
   unit ->
   (profile, string) result
 (** Build a validated profile; every knob defaults to its pristine value. *)
@@ -56,6 +83,7 @@ val make_exn :
   ?reorder:float ->
   ?jitter:Util.Dist.t ->
   ?extra_delay:float ->
+  ?corruption:corruption ->
   unit ->
   profile
 
@@ -85,6 +113,19 @@ val plan : t -> from:int -> dst:int -> float list
     injection counters.  On a pristine link this returns [[0.0]] without
     drawing from the RNG. *)
 
+val corrupt : t -> from:int -> dst:int -> Bytes.t -> Bytes.t * bool
+(** [corrupt t ~from ~dst frame] decides the byte-level fate of one
+    encoded delivery on a link: the (possibly damaged) frame to hand to
+    the ingress, and whether it differs from the input.  The caller's
+    buffer is never mutated — damage is applied to a fresh copy, so
+    duplicates sharing one encoded buffer are corrupted independently.
+    On a link with trivial corruption this returns the input unchanged
+    without drawing from the RNG; otherwise it draws one uniform per
+    kind unconditionally (stream stability, as in {!plan}) and applies
+    the kinds that fire in a fixed order: splice, truncate, garbage
+    prefix, garbage suffix, bit flip.  Updates the injection counters,
+    including {!corrupted_deliveries} when any kind fired. *)
+
 (** {1 Injection counters} *)
 
 val drops : t -> int
@@ -96,6 +137,18 @@ val delayed : t -> int
 
 val jittered : t -> int
 (** Delivery copies that received a random [jitter] draw. *)
+
+val bit_flips : t -> int
+val truncates : t -> int
+val garbage_prefixed : t -> int
+val garbage_suffixed : t -> int
+val splices : t -> int
+
+val corrupted_deliveries : t -> int
+(** Deliveries whose frame left {!corrupt} different from how it went in
+    (at most one per delivery, however many kinds fired).  The ingress
+    conservation identity accounts each one as rejected, quarantined or
+    survived — see {!Network}. *)
 
 val total_injected : t -> int
 

@@ -36,3 +36,22 @@ type operation = Read | Write | Recovery | Repair
 val operation_to_string : operation -> string
 val all_operations : operation list
 val pp_operation : Format.formatter -> operation -> unit
+
+(** Why the hardened ingress refused an arriving frame.  The taxonomy is
+    codec-agnostic — {!Net} does not depend on [lib/codec] — so a payload
+    module maps its own decoder errors onto these classes (frame-envelope
+    damage: truncation, magic, trailing bytes, CRC; payload damage: an
+    unknown dispatch tag, a structurally malformed body). *)
+type reject =
+  | Reject_truncated
+  | Reject_bad_magic
+  | Reject_trailing
+  | Reject_crc
+  | Reject_bad_tag
+  | Reject_malformed
+
+val all_rejects : reject list
+(** Every reject class, for iteration in reports. *)
+
+val reject_to_string : reject -> string
+val pp_reject : Format.formatter -> reject -> unit

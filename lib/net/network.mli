@@ -26,11 +26,38 @@ module type PAYLOAD = sig
   (** Payload size in bytes, for the byte-level accounting of
       {!Traffic}.  An estimate is fine; only relative magnitudes matter to
       the Section 5 size remark. *)
+
+  val encode : t -> Bytes.t
+  (** The payload's wire frame, for encoded delivery.  Must round-trip:
+      [decode_frame (encode p)] is [Ok p]. *)
+
+  val decode_frame : Bytes.t -> (t, Message.reject) result
+  (** Decode one wire frame, mapping every decoder error onto a
+      {!Message.reject} class.  Must {e never} raise — arbitrary bytes
+      reach it once byte-level fault injection is on. *)
 end
 
 type mode = Multicast | Unicast
 
 val mode_to_string : mode -> string
+
+type quarantine = { threshold : int; cooldown : float }
+(** Poison-frame quarantine policy: after [threshold] consecutive decode
+    failures from one sender, the receiver discards that link's frames
+    {e undecoded} for [cooldown] simulated seconds. *)
+
+val default_quarantine : quarantine
+(** threshold 3, cooldown 20.0. *)
+
+val validate_quarantine : quarantine -> (quarantine, string) result
+
+val redelivery_budget : int
+(** Link-layer redelivery budget of encoded mode: how many times a
+    CRC-rejected frame is re-sent from the sender's pristine copy (fresh
+    latency and corruption draws) before the loss is left to the retry
+    layer's timeouts.  Ambient corruption at per-frame rate [p] thus has
+    residual loss [p^(budget+1)]; a persistent ([p = 1]) corruptor defeats
+    the budget by design and is the circuit breaker's job. *)
 
 module Make (P : PAYLOAD) : sig
   type t
@@ -59,6 +86,56 @@ module Make (P : PAYLOAD) : sig
   (** Install (or replace) the fault injector; affects deliveries scheduled
       from now on.  Transmission accounting is never affected — Section 5
       charges the send, not the arrival. *)
+
+  val set_encoded : t -> bool -> unit
+  (** Toggle encoded delivery.  When on, every payload crosses the wire as
+      its {!PAYLOAD.encode} frame and the receiver re-decodes it through
+      the hardened ingress: injector byte damage, then quarantine, then
+      {!PAYLOAD.decode_frame} — a rejected frame is counted per class in
+      {!Traffic}, reported to the reject hook, redelivered while the
+      {!redelivery_budget} lasts, and otherwise lost (the sender's round
+      recovers by timeout).  Off (the default) is the legacy in-heap path:
+      no encode, no decode, no extra rng draws — bit-identical.  With no
+      corruption configured, encoded mode is also draw-for-draw identical
+      to the legacy path (only CPU cost differs). *)
+
+  val encoded : t -> bool
+
+  val set_quarantine : t -> quarantine -> unit
+  (** Replace the quarantine policy (validated; raises [Invalid_argument]
+      on a bad one).  Affects strikes counted from now on. *)
+
+  val quarantine_policy : t -> quarantine
+
+  val set_reject_hook : t -> (dst:int -> from:int -> Message.reject -> unit) -> unit
+  (** Called on every rejected frame with the receiver and claimed sender —
+      the runtime feeds these into the receiver's per-peer circuit breaker
+      so a persistently corrupting link trips open like a dead peer. *)
+
+  (** {2 Ingress counters (encoded mode)} *)
+
+  val frames_retransmitted : t -> int
+  (** Link-layer redeliveries triggered by rejected frames. *)
+
+  val quarantine_trips : t -> int
+  (** Times some (receiver, sender) link entered quarantine. *)
+
+  val corrupt_rejected : t -> int
+  (** Corrupted deliveries the decoder caught. *)
+
+  val corrupt_quarantined : t -> int
+  (** Corrupted deliveries discarded undecoded by quarantine. *)
+
+  val corrupt_survived : t -> int
+  (** Corrupted deliveries the decoder nevertheless accepted (a splice
+      that reproduced a valid frame); the decoded payload is a valid
+      frame some site really sent, never garbage. *)
+
+  val corruption_conserved : t -> bool
+  (** The ingress conservation identity: every corruption the injector
+      counted is rejected, quarantined or survived — nothing silently
+      uncounted.  Holds at every instant, not only after a drain, because
+      damage and classification happen in one ingress step. *)
 
   val install_service : t -> Service_model.t -> rng:Util.Prng.t -> unit
   (** Put a bounded single-server queue ({!Sim.Server}) in front of every

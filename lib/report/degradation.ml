@@ -29,6 +29,14 @@ type summary = {
   reorders : int;
   delayed : int;
   jittered : int;
+  corrupted : int;
+  frames_rejected : int;
+  rejects : (Net.Message.reject * int) list;
+  frames_quarantined : int;
+  frames_retransmitted : int;
+  quarantine_trips : int;
+  corrupt_survived : int;
+  wire_conserved : bool;
   sites : site_load list;
   last_errors : (float * string) list;
 }
@@ -88,20 +96,36 @@ let collect ?(label = "device") device =
     reorders;
     delayed;
     jittered;
+    corrupted = d.corrupted_deliveries;
+    frames_rejected = d.frames_rejected;
+    rejects =
+      List.map
+        (fun r ->
+          (r, Net.Traffic.rejected_of (Blockrep.Cluster.traffic cluster) r))
+        Net.Message.all_rejects;
+    frames_quarantined = d.frames_quarantined;
+    frames_retransmitted = d.frames_retransmitted;
+    quarantine_trips = d.quarantine_trips;
+    corrupt_survived = d.corrupt_survived;
+    wire_conserved = Blockrep.Reliable_device.wire_conserved d;
     sites = site_loads cluster;
     last_errors = d.last_errors;
   }
 
 let header =
-  Printf.sprintf "%-18s %8s %8s %8s %8s %8s %8s %8s %6s %6s %5s %6s %6s %5s %7s %6s %5s %5s %5s %6s"
+  Printf.sprintf
+    "%-18s %8s %8s %8s %8s %8s %8s %8s %6s %6s %5s %6s %6s %5s %7s %6s %5s %5s %5s %6s %7s %6s %6s %5s"
     "label" "requests" "attempts" "failover" "retries" "ok" "recover" "timeout" "gaveup" "reject"
-    "shed" "hedged" "hwins" "trips" "msgshed" "drops" "dups" "reord" "delay" "jitter"
+    "shed" "hedged" "hwins" "trips" "msgshed" "drops" "dups" "reord" "delay" "jitter" "corrupt"
+    "frej" "fquar" "retx"
 
 let print_row ppf s =
-  Format.fprintf ppf "%-18s %8d %8d %8d %8d %8d %8d %8d %6d %6d %5d %6d %6d %5d %7d %6d %5d %5d %5d %6d"
+  Format.fprintf ppf
+    "%-18s %8d %8d %8d %8d %8d %8d %8d %6d %6d %5d %6d %6d %5d %7d %6d %5d %5d %5d %6d %7d %6d %6d %5d"
     s.label s.requests s.site_attempts s.failovers s.retries s.succeeded s.recovered s.timeouts
     s.gave_up s.rejected s.shed s.hedged s.hedge_wins s.breaker_trips s.messages_shed s.drops
-    s.duplicates s.reorders s.delayed s.jittered
+    s.duplicates s.reorders s.delayed s.jittered s.corrupted s.frames_rejected
+    s.frames_quarantined s.frames_retransmitted
 
 (* nan quantiles/means (no samples yet) print as a dash, not "nan". *)
 let pf v = if Float.is_nan v then "-" else Printf.sprintf "%.3f" v
@@ -131,9 +155,15 @@ let print ppf ?(errors = false) rows =
 
 let csv_rows rows =
   "label,requests,site_attempts,failovers,retries,succeeded,recovered,timeouts,gave_up,rejected,\
-   shed,hedged,hedge_wins,breaker_trips,messages_shed,drops,duplicates,reorders,delayed,jittered"
+   shed,hedged,hedge_wins,breaker_trips,messages_shed,drops,duplicates,reorders,delayed,jittered,\
+   corrupted,frames_rejected,reject_truncated,reject_bad_magic,reject_trailing,reject_crc,\
+   reject_bad_tag,reject_malformed,frames_quarantined,frames_retransmitted,quarantine_trips,\
+   corrupt_survived,wire_conserved"
   :: List.map
        (fun s ->
+         let reject r =
+           string_of_int (try List.assoc r s.rejects with Not_found -> 0)
+         in
          String.concat ","
            [
              s.label;
@@ -156,6 +186,19 @@ let csv_rows rows =
              string_of_int s.reorders;
              string_of_int s.delayed;
              string_of_int s.jittered;
+             string_of_int s.corrupted;
+             string_of_int s.frames_rejected;
+             reject Net.Message.Reject_truncated;
+             reject Net.Message.Reject_bad_magic;
+             reject Net.Message.Reject_trailing;
+             reject Net.Message.Reject_crc;
+             reject Net.Message.Reject_bad_tag;
+             reject Net.Message.Reject_malformed;
+             string_of_int s.frames_quarantined;
+             string_of_int s.frames_retransmitted;
+             string_of_int s.quarantine_trips;
+             string_of_int s.corrupt_survived;
+             (if s.wire_conserved then "1" else "0");
            ])
        rows
 

@@ -42,6 +42,16 @@ type summary = {
   reorders : int;
   delayed : int;
   jittered : int;
+  corrupted : int;  (** deliveries the injector byte-damaged *)
+  frames_rejected : int;  (** ingress decode refusals, all classes *)
+  rejects : (Net.Message.reject * int) list;  (** per-class breakdown *)
+  frames_quarantined : int;  (** discarded undecoded under quarantine *)
+  frames_retransmitted : int;  (** link-layer redeliveries *)
+  quarantine_trips : int;
+  corrupt_survived : int;  (** corrupted frames that still decoded *)
+  wire_conserved : bool;
+      (** the ingress conservation identity held: corrupted =
+          caught + quarantined + survived *)
   sites : site_load list;  (** empty without a service model *)
   last_errors : (float * string) list;
 }

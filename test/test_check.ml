@@ -283,6 +283,54 @@ let test_media_schedule_roundtrip () =
           Alcotest.(check bool) "event" true (e1 = e2))
         schedule parsed
 
+(* Hostile-bytes envelope: encoded frames with ambient byte damage on
+   every link.  The hardened ingress must absorb all of it — zero
+   violations, and the run itself fails with a wire-unconserved violation
+   if any injected corruption went unaccounted for. *)
+let wire_sweep_clean scheme =
+  let env = Chaos.wire_env scheme in
+  let sweep = Chaos.sweep ~shrink_failures:false env ~seeds:(List.init 6 (fun i -> i + 1)) in
+  Alcotest.(check (list int))
+    (Types.scheme_to_string scheme ^ " wire envelope clean")
+    [] sweep.Chaos.failing
+
+let test_wire_sweep_voting () = wire_sweep_clean Types.Voting
+let test_wire_sweep_ac () = wire_sweep_clean Types.Available_copy
+let test_wire_sweep_nac () = wire_sweep_clean Types.Naive_available_copy
+let test_wire_sweep_dynamic () = wire_sweep_clean Types.Dynamic_voting
+
+let test_wire_run_injects_and_conserves () =
+  let env = Chaos.wire_env ~seed:3 Types.Voting in
+  let cluster = Chaos.cluster_of_env env in
+  let outcome = Chaos.run_against env ~cluster ~schedule:(Chaos.generate_schedule env) in
+  Alcotest.(check bool) "clean" true (Chaos.passed outcome);
+  Alcotest.(check bool) "corruption actually injected" true
+    (Blockrep.Cluster.corrupted_deliveries cluster > 0);
+  Alcotest.(check bool) "frames rejected" true (Blockrep.Cluster.frames_rejected cluster > 0);
+  Alcotest.(check bool) "frames retransmitted" true
+    (Blockrep.Cluster.frames_retransmitted cluster > 0);
+  Alcotest.(check bool) "conserved" true (Blockrep.Cluster.corruption_conserved cluster)
+
+let test_wire_corrupt_schedule_roundtrip () =
+  let env =
+    { (Chaos.wire_env Types.Voting) with Chaos.wire_corrupt_links = true; wire_corrupt_rate = 0.05 }
+  in
+  let schedule = Chaos.generate_schedule env in
+  let has p = List.exists (fun (_, e) -> p e) schedule in
+  Alcotest.(check bool) "wire-corrupt events generated" true
+    (has (function Chaos.Wire_corrupt _ -> true | _ -> false));
+  Alcotest.(check bool) "paired heals generated" true
+    (has (function Chaos.Wire_heal _ -> true | _ -> false));
+  match Chaos.schedule_of_string (Chaos.schedule_to_string schedule) with
+  | Error e -> Alcotest.failf "wire roundtrip failed: %s" e
+  | Ok parsed ->
+      Alcotest.(check int) "same length" (List.length schedule) (List.length parsed);
+      List.iter2
+        (fun (t1, e1) (t2, e2) ->
+          Alcotest.(check (float 1e-4)) "time" t1 t2;
+          Alcotest.(check bool) "event" true (e1 = e2))
+        schedule parsed
+
 let test_voting_window_caught () =
   (* Outside the envelope: voting under site failures must be caught by
      the oracle, and shrinking must keep the violation while dropping
@@ -406,6 +454,13 @@ let () =
           Alcotest.test_case "media sweep available-copy" `Slow test_media_sweep_ac;
           Alcotest.test_case "media sweep naive" `Slow test_media_sweep_nac;
           Alcotest.test_case "media sweep dynamic" `Slow test_media_sweep_dynamic;
+          Alcotest.test_case "wire schedule roundtrip" `Quick test_wire_corrupt_schedule_roundtrip;
+          Alcotest.test_case "wire run injects and conserves" `Quick
+            test_wire_run_injects_and_conserves;
+          Alcotest.test_case "wire sweep voting" `Slow test_wire_sweep_voting;
+          Alcotest.test_case "wire sweep available-copy" `Slow test_wire_sweep_ac;
+          Alcotest.test_case "wire sweep naive" `Slow test_wire_sweep_nac;
+          Alcotest.test_case "wire sweep dynamic" `Slow test_wire_sweep_dynamic;
           Alcotest.test_case "voting window caught" `Slow test_voting_window_caught;
           Alcotest.test_case "weakened quorum caught" `Slow test_weakened_quorum_caught;
           Alcotest.test_case "drops break NAC" `Quick test_drops_caught_or_survived;

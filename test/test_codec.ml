@@ -318,6 +318,76 @@ let prop_single_byte_corruption_detected =
       | Ok m' -> QCheck.Test.fail_reportf "corrupt frame decoded as %s" (Wire.describe m')
       | Error _ -> true)
 
+(* The hostile-bytes property behind the hardened ingress: whatever the
+   injector does to a valid frame — single or multi-byte damage, the
+   structural kinds (truncate, garbage prefix/suffix, splice), or any
+   combination — decoding NEVER raises and NEVER returns a payload
+   different from one that was actually encoded.  (A mutation may cancel
+   out or a splice may reassemble a whole sent frame; decoding the
+   original payload back is the benign "survived" case the ingress counts
+   separately.) *)
+
+let never_misdecodes ~originals buf =
+  match Wire.decode_frame buf with
+  | Ok m' ->
+      List.exists (fun m -> wire_equal m m') originals
+      || QCheck.Test.fail_reportf "damaged frame decoded as a different payload: %s"
+           (Wire.describe m')
+  | Error (_ : Net.Message.reject) -> true
+  | exception e -> QCheck.Test.fail_reportf "decode raised %s" (Printexc.to_string e)
+
+let prop_multi_byte_mutation_safe =
+  QCheck.Test.make ~name:"any multi-byte mutation decodes safely" ~count:500
+    QCheck.(
+      pair arb_message (list_of_size (Gen.int_range 1 8) (pair (int_range 0 100_000) (int_range 0 255))))
+    (fun (m, muts) ->
+      let enc = Wire.encode m in
+      List.iter
+        (fun (posk, mask) ->
+          let pos = posk mod Bytes.length enc in
+          Bytes.set enc pos (Char.chr (Char.code (Bytes.get enc pos) lxor mask)))
+        muts;
+      never_misdecodes ~originals:[ m ] enc)
+
+let prop_structural_damage_safe =
+  QCheck.Test.make ~name:"truncation / garbage / splice decode safely" ~count:500
+    QCheck.(
+      pair (pair arb_message arb_message)
+        (pair (pair (int_range 0 100_000) (int_range 0 100_000)) (int_range 0 3)))
+    (fun ((m1, m2), ((cut1k, cut2k), kind)) ->
+      let e1 = Wire.encode m1 and e2 = Wire.encode m2 in
+      let originals = [ m1; m2 ] in
+      let damaged =
+        match kind with
+        | 0 ->
+            (* truncate: keep a strict, nonempty prefix when possible *)
+            Bytes.sub e1 0 (1 + (cut1k mod max 1 (Bytes.length e1 - 1)))
+        | 1 -> Bytes.cat (Bytes.sub e2 0 (cut2k mod (Bytes.length e2 + 1))) e1
+        | 2 -> Bytes.cat e1 (Bytes.sub e2 0 (cut2k mod (Bytes.length e2 + 1)))
+        | _ ->
+            (* splice: head of the previous frame + tail of the current,
+               the injector's frame-splice shape *)
+            Bytes.cat
+              (Bytes.sub e1 0 (1 + (cut1k mod Bytes.length e1)))
+              (let cut = cut2k mod (Bytes.length e2 + 1) in
+               Bytes.sub e2 cut (Bytes.length e2 - cut))
+      in
+      never_misdecodes ~originals damaged)
+
+let prop_decode_sub_mutation_safe =
+  QCheck.Test.make ~name:"decode_sub of a damaged window never raises" ~count:500
+    QCheck.(pair arb_message (pair (int_range 0 100_000) (pair (int_range 0 100_000) (int_range 0 255))))
+    (fun (m, (posk, (lenk, mask))) ->
+      let enc = Wire.encode m in
+      let n = Bytes.length enc in
+      let pos = posk mod n in
+      Bytes.set enc pos (Char.chr (Char.code (Bytes.get enc pos) lxor mask));
+      let sub_pos = posk mod (n + 1) in
+      let sub_len = lenk mod (n - sub_pos + 1) in
+      match Codec.Frame.decode_sub enc ~pos:sub_pos ~len:sub_len with
+      | Ok _ | Error _ -> true
+      | exception e -> QCheck.Test.fail_reportf "decode_sub raised %s" (Printexc.to_string e))
+
 (* --- codec primitives --- *)
 
 let test_varint_roundtrip () =
@@ -356,6 +426,9 @@ let () =
           Alcotest.test_case "bad tag" `Quick test_bad_tag;
           Alcotest.test_case "malformed payload" `Quick test_malformed_payload;
           QCheck_alcotest.to_alcotest prop_single_byte_corruption_detected;
+          QCheck_alcotest.to_alcotest prop_multi_byte_mutation_safe;
+          QCheck_alcotest.to_alcotest prop_structural_damage_safe;
+          QCheck_alcotest.to_alcotest prop_decode_sub_mutation_safe;
         ] );
       ( "primitives",
         [

@@ -445,6 +445,162 @@ let test_degradation_report_renders () =
   Alcotest.(check bool) "csv has a row per device" true
     (List.length (Report.Degradation.csv_rows [ row ]) >= 2)
 
+(* ------------------------------------------------------------------ *)
+(* Byte-level wire corruption                                          *)
+(* ------------------------------------------------------------------ *)
+
+let corruption_only = { Faults.no_corruption with Faults.bit_flip = 0.2 }
+
+let test_corruption_validation () =
+  (* The PR-6 regression class: every new fault knob must be covered by
+     is_pristine, or a profile carrying only that knob silently no-ops
+     pristine fast paths. *)
+  Alcotest.(check bool) "corruption-only profile is NOT pristine" false
+    (Faults.is_pristine (Faults.make_exn ~corruption:corruption_only ()));
+  Alcotest.(check bool) "persistent corruptor is NOT pristine" false
+    (Faults.is_pristine Faults.persistent_corruptor);
+  (match Faults.make ~corruption:{ Faults.no_corruption with Faults.bit_flip = 1.5 } () with
+  | Ok _ -> Alcotest.fail "bit_flip > 1 accepted"
+  | Error _ -> ());
+  match Faults.make ~corruption:{ Faults.no_corruption with Faults.splice = -0.1 } () with
+  | Ok _ -> Alcotest.fail "negative splice accepted"
+  | Error _ -> ()
+
+let test_corrupt_bytes () =
+  let f = Faults.of_seed ~seed:11 Faults.pristine in
+  let frame = Bytes.of_string "pristine frame" in
+  let out, mutated = Faults.corrupt f ~from:0 ~dst:1 frame in
+  Alcotest.(check bool) "trivial corruption returns the input" true (out == frame);
+  Alcotest.(check bool) "not mutated" false mutated;
+  Alcotest.(check int) "nothing counted" 0 (Faults.total_injected f);
+  let g = Faults.of_seed ~seed:11 Faults.persistent_corruptor in
+  let out, mutated = Faults.corrupt g ~from:0 ~dst:1 frame in
+  Alcotest.(check bool) "bit flip mutated the copy" true mutated;
+  Alcotest.(check bool) "input buffer untouched" true (Bytes.to_string frame = "pristine frame");
+  Alcotest.(check int) "same length under a flip" (Bytes.length frame) (Bytes.length out);
+  Alcotest.(check int) "one bit differs" 1
+    (let diff = ref 0 in
+     Bytes.iteri
+       (fun i c ->
+         let x = Char.code c lxor Char.code (Bytes.get out i) in
+         diff := !diff + (let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in pop x))
+       frame;
+     !diff);
+  Alcotest.(check int) "flip counted" 1 (Faults.bit_flips g);
+  Alcotest.(check int) "delivery counted once" 1 (Faults.corrupted_deliveries g)
+
+let test_config_refuses_corruption_without_encoded () =
+  (match
+     Config.make ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:1
+       ~fault_profile:(Faults.make_exn ~corruption:corruption_only ())
+       ()
+   with
+  | Ok _ -> Alcotest.fail "corruption without encoded delivery accepted"
+  | Error _ -> ());
+  match
+    Config.make ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:1 ~encoded_delivery:true
+      ~fault_profile:(Faults.make_exn ~corruption:corruption_only ())
+      ()
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "corruption with encoded delivery rejected: %s" e
+
+let test_encoded_cluster_bit_identical () =
+  (* Encoded delivery with no corruption must be bit-identical to the
+     default in-heap path: same answers, same virtual time, same traffic. *)
+  let run encoded =
+    let d =
+      Device.of_config
+        (Config.make_exn ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:555
+           ~encoded_delivery:encoded ())
+    in
+    let answers = ref [] in
+    for i = 0 to 11 do
+      let tag = Printf.sprintf "tw%02d" i in
+      assert (Device.write_block d (i mod 8) (Block.of_string tag));
+      answers := Option.map Block.to_string (Device.read_block d (i mod 8)) :: !answers
+    done;
+    let c = Device.cluster d in
+    (!answers, Sim.Engine.now (Cluster.engine c), Net.Traffic.total (Cluster.traffic c))
+  in
+  let answers_a, time_a, traffic_a = run false in
+  let answers_b, time_b, traffic_b = run true in
+  Alcotest.(check bool) "same answers" true (answers_a = answers_b);
+  Alcotest.(check (float 0.0)) "same virtual time" time_a time_b;
+  Alcotest.(check int) "same traffic" traffic_a traffic_b
+
+let test_ambient_corruption_device_recovers () =
+  (* Ambient byte damage on every link: the hardened ingress (reject +
+     bounded redelivery) must keep every operation succeeding, and the
+     conservation identities must hold. *)
+  let config =
+    Config.make_exn ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:777 ~encoded_delivery:true
+      ~fault_profile:
+        (Faults.make_exn
+           ~corruption:
+             {
+               Faults.bit_flip = 0.05;
+               truncate = 0.02;
+               garbage_prefix = 0.02;
+               garbage_suffix = 0.02;
+               splice = 0.02;
+             }
+           ())
+      ()
+  in
+  let d = Device.of_config config in
+  for i = 0 to 19 do
+    let tag = Printf.sprintf "wc%02d" i in
+    Alcotest.(check bool) (tag ^ " write survives corruption") true
+      (Device.write_block d (i mod 8) (Block.of_string tag));
+    match Device.read_block d (i mod 8) with
+    | Some b ->
+        Alcotest.(check string) (tag ^ " read survives corruption") tag
+          (String.sub (Block.to_string b) 0 (String.length tag))
+    | None -> Alcotest.failf "%s read failed under ambient corruption" tag
+  done;
+  let deg = Device.degradation d in
+  Alcotest.(check bool) "frames were damaged" true (deg.Device.corrupted_deliveries > 0);
+  Alcotest.(check bool) "ingress rejected them" true (deg.Device.frames_rejected > 0);
+  Alcotest.(check bool) "link layer redelivered" true (deg.Device.frames_retransmitted > 0);
+  Alcotest.(check bool) "wire conservation" true (Device.wire_conserved deg);
+  Alcotest.(check bool) "request conservation" true (Device.degradation_conserved deg)
+
+let test_breaker_trips_on_corruptor () =
+  (* Satellite regression: a persistently corrupting peer link must feed
+     the receiving site's circuit breaker through the reject hook and trip
+     it — frame damage shows up as peer failure, not silent retries. *)
+  let config =
+    Config.make_exn ~scheme:Types.Voting ~n_sites:3 ~n_blocks:8 ~seed:888 ~encoded_delivery:true
+      ~robustness:
+        {
+          Blockrep.Robustness.off with
+          Blockrep.Robustness.breaker = Some { Blockrep.Robustness.threshold = 5; cooldown = 30.0 };
+        }
+      ~fault_profile:Faults.pristine ()
+  in
+  let d = Device.of_config config in
+  let c = Device.cluster d in
+  Cluster.install_faults c (Faults.of_seed ~seed:9 Faults.pristine);
+  (* Site 1's replies to the coordinator at site 0 are all damaged. *)
+  Cluster.corrupt_link c ~from:1 ~dst:0;
+  for i = 0 to 9 do
+    (* Voting quorum 2/3 still forms from sites 0 and 2, so operations
+       succeed while link 1->0 burns strikes. *)
+    Alcotest.(check bool) "write succeeds without site 1's vote" true
+      (Device.write_block d (i mod 8) (Block.of_string "bk"))
+  done;
+  let deg = Device.degradation d in
+  Alcotest.(check bool) "rejects recorded" true (deg.Device.frames_rejected > 0);
+  Alcotest.(check bool) "breaker tripped on the corruptor" true (deg.Device.breaker_trips > 0);
+  Alcotest.(check bool) "quarantine contained the flood" true (deg.Device.quarantine_trips > 0);
+  Alcotest.(check bool) "wire conservation" true (Device.wire_conserved deg);
+  (* Healing the link restores clean delivery. *)
+  Cluster.heal_link c ~from:1 ~dst:0;
+  Cluster.run_until c (Sim.Engine.now (Cluster.engine c) +. 100.0);
+  Alcotest.(check bool) "clean write after heal" true
+    (Device.write_block d 0 (Block.of_string "ok"))
+
 let () =
   Alcotest.run "faults"
     [
@@ -491,5 +647,18 @@ let () =
           Alcotest.test_case "healthy device reports zeros" `Quick
             test_degradation_all_zero_when_healthy;
           Alcotest.test_case "degradation report renders" `Quick test_degradation_report_renders;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "corruption validation / is_pristine" `Quick
+            test_corruption_validation;
+          Alcotest.test_case "corrupt bytes" `Quick test_corrupt_bytes;
+          Alcotest.test_case "config refuses corruption without encoded" `Quick
+            test_config_refuses_corruption_without_encoded;
+          Alcotest.test_case "encoded cluster bit-identical" `Quick
+            test_encoded_cluster_bit_identical;
+          Alcotest.test_case "ambient corruption recovers" `Quick
+            test_ambient_corruption_device_recovers;
+          Alcotest.test_case "breaker trips on corruptor" `Quick test_breaker_trips_on_corruptor;
         ] );
     ]

@@ -8,6 +8,37 @@ module Payload = struct
     | Data _ -> Net.Message.Block_transfer
 
   let size = function Ping _ -> 8 | Data s -> String.length s
+
+  (* A real checksummed frame, so encoded-delivery tests exercise the same
+     rejection machinery the production [Wire] payload does. *)
+  let encode = function
+    | Ping n ->
+        Codec.Frame.encode ~payload:(fun w ->
+            Codec.Buf.u8 w 1;
+            Codec.Buf.varint w n)
+    | Data s ->
+        Codec.Frame.encode ~payload:(fun w ->
+            Codec.Buf.u8 w 2;
+            Codec.Buf.string w s)
+
+  let decode_frame buf =
+    match Codec.Frame.decode buf with
+    | Error (Codec.Frame.Truncated _) -> Error Net.Message.Reject_truncated
+    | Error (Codec.Frame.Bad_magic _) -> Error Net.Message.Reject_bad_magic
+    | Error (Codec.Frame.Trailing _) -> Error Net.Message.Reject_trailing
+    | Error (Codec.Frame.Crc_mismatch _) -> Error Net.Message.Reject_crc
+    | Ok r -> (
+        match
+          match Codec.Buf.r_u8 r with
+          | 1 -> Ok (Ping (Codec.Buf.r_varint r))
+          | 2 -> Ok (Data (Codec.Buf.r_string r))
+          | _ -> Error Net.Message.Reject_bad_tag
+        with
+        | Ok m when Codec.Buf.at_end r -> Ok m
+        | Ok _ -> Error Net.Message.Reject_malformed
+        | (Error _ as e) -> e
+        | exception Codec.Buf.Short -> Error Net.Message.Reject_malformed
+        | exception Codec.Buf.Bad _ -> Error Net.Message.Reject_malformed)
 end
 
 module N = Net.Network.Make (Payload)
@@ -51,6 +82,23 @@ let test_traffic_snapshot () =
   let t = Net.Traffic.create () in
   Net.Traffic.record t Net.Message.Write Net.Message.Block_update 7;
   Alcotest.(check int) "one non-zero cell" 1 (List.length (Net.Traffic.snapshot t))
+
+let test_traffic_rejects () =
+  let t = Net.Traffic.create () in
+  Net.Traffic.record_rejected t Net.Message.Reject_crc;
+  Net.Traffic.record_rejected t Net.Message.Reject_crc;
+  Net.Traffic.record_rejected t Net.Message.Reject_bad_tag;
+  Net.Traffic.record_quarantined t;
+  Alcotest.(check int) "per class" 2 (Net.Traffic.rejected_of t Net.Message.Reject_crc);
+  Alcotest.(check int) "sum over classes" 3 (Net.Traffic.frames_rejected t);
+  (* Quarantined frames were never decoded, so they carry no reject class
+     and stay out of the frames_rejected sum. *)
+  Alcotest.(check int) "quarantined separate" 1 (Net.Traffic.frames_quarantined t);
+  let snap = Net.Traffic.rejected_snapshot t in
+  Alcotest.(check int) "snapshot has the non-zero classes" 2 (List.length snap);
+  Net.Traffic.reset t;
+  Alcotest.(check int) "reset clears rejects" 0 (Net.Traffic.frames_rejected t);
+  Alcotest.(check int) "reset clears quarantined" 0 (Net.Traffic.frames_quarantined t)
 
 (* ------------------------------------------------------------------ *)
 (* Network                                                             *)
@@ -176,6 +224,112 @@ let test_delivered_counter () =
      deliveries do not count. *)
   Alcotest.(check int) "delivered to registered up sites" 1 (N.messages_delivered net)
 
+(* ------------------------------------------------------------------ *)
+(* Encoded delivery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One run of a fixed message program, returning everything observable. *)
+let run_program ~encoded ?faults () =
+  let engine, net = make ~n_sites:3 () in
+  (match faults with
+  | Some profile -> N.install_faults net (Net.Faults.of_seed ~seed:42 profile)
+  | None -> ());
+  if encoded then N.set_encoded net true;
+  let logs = Array.init 3 (fun _ -> ref []) in
+  for i = 0 to 2 do
+    collect_at net i logs.(i)
+  done;
+  N.send net ~op:Net.Message.Read ~from:0 ~dst:1 (Payload.Ping 7);
+  N.send net ~op:Net.Message.Write ~from:1 ~dst:2 (Payload.Data "hello");
+  N.broadcast net ~op:Net.Message.Write ~from:2 (Payload.Data "world");
+  Sim.Engine.run engine;
+  (net, logs, Sim.Engine.now engine)
+
+let test_encoded_default_off () =
+  let _, net = make () in
+  Alcotest.(check bool) "encoded delivery is opt-in" false (N.encoded net)
+
+let test_encoded_twin_run_identical () =
+  (* Encoded delivery with no corruption must be bit-identical to the
+     in-heap path: same deliveries, same virtual time, same traffic. *)
+  let net_a, logs_a, end_a = run_program ~encoded:false () in
+  let net_b, logs_b, end_b = run_program ~encoded:true () in
+  Alcotest.(check (float 0.0)) "same end time" end_a end_b;
+  Alcotest.(check int) "same traffic total" (Net.Traffic.total (N.traffic net_a))
+    (Net.Traffic.total (N.traffic net_b));
+  Alcotest.(check int) "same delivered" (N.messages_delivered net_a) (N.messages_delivered net_b);
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "site %d saw the same messages" i)
+      true
+      (!(logs_a.(i)) = !(logs_b.(i)))
+  done;
+  Alcotest.(check int) "no rejects" 0 (Net.Traffic.frames_rejected (N.traffic net_b));
+  Alcotest.(check int) "no retransmissions" 0 (N.frames_retransmitted net_b)
+
+let test_encoded_ambient_corruption_recovers () =
+  (* Ambient bit flips on every link: the bounded link-layer redelivery
+     must still get every message through, and every corruption draw must
+     be classified (the conservation identity). *)
+  let profile = Net.Faults.make_exn ~corruption:{ Net.Faults.no_corruption with bit_flip = 0.4 } () in
+  let net, logs, _ = run_program ~encoded:true ~faults:profile () in
+  (* Disable quarantine interference for this test by checking it did not
+     trip (threshold 3 consecutive failures at p=0.4 is unlikely but
+     possible; the seed is fixed, so this is deterministic either way). *)
+  let delivered = List.length !(logs.(1)) + List.length !(logs.(2)) + List.length !(logs.(0)) in
+  Alcotest.(check int) "all four deliveries landed" 4 delivered;
+  Alcotest.(check bool) "some frames were damaged" true
+    (match N.faults net with Some f -> Net.Faults.corrupted_deliveries f > 0 | None -> false);
+  Alcotest.(check bool) "rejected frames were retransmitted" true
+    (N.frames_retransmitted net >= Net.Traffic.frames_rejected (N.traffic net));
+  Alcotest.(check bool) "conservation" true (N.corruption_conserved net)
+
+let test_persistent_corruptor_quarantined () =
+  (* A persistent corruptor (every frame damaged) must burn through the
+     strike threshold and land in quarantine: 3 rejects (each
+     retransmitted), then the 4th attempt is discarded undecoded and the
+     redelivery chain stops. *)
+  let engine, net = make ~n_sites:2 () in
+  let f = Net.Faults.of_seed ~seed:7 Net.Faults.pristine in
+  Net.Faults.set_link f ~from:0 ~dst:1 Net.Faults.persistent_corruptor;
+  N.install_faults net f;
+  N.set_encoded net true;
+  let log = ref [] in
+  collect_at net 1 log;
+  N.send net ~op:Net.Message.Read ~from:0 ~dst:1 (Payload.Ping 1);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !log);
+  Alcotest.(check int) "threshold rejects" 3 (Net.Traffic.frames_rejected (N.traffic net));
+  Alcotest.(check int) "then quarantined" 1 (Net.Traffic.frames_quarantined (N.traffic net));
+  Alcotest.(check int) "one quarantine trip" 1 (N.quarantine_trips net);
+  Alcotest.(check int) "retransmissions stopped at the trip" 3 (N.frames_retransmitted net);
+  Alcotest.(check int) "every attempt was damaged" 4 (Net.Faults.corrupted_deliveries f);
+  Alcotest.(check bool) "conservation" true (N.corruption_conserved net);
+  (* After the cooldown the link is usable again. *)
+  Net.Faults.set_link f ~from:0 ~dst:1 Net.Faults.pristine;
+  Sim.Engine.run_until engine 30.0;
+  N.send net ~op:Net.Message.Read ~from:0 ~dst:1 (Payload.Ping 2);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "clean frame flows after cooldown" 1 (List.length !log)
+
+let test_reject_hook_sees_failures () =
+  let engine, net = make ~n_sites:2 () in
+  let f = Net.Faults.of_seed ~seed:7 Net.Faults.pristine in
+  Net.Faults.set_link f ~from:0 ~dst:1 Net.Faults.persistent_corruptor;
+  N.install_faults net f;
+  N.set_encoded net true;
+  N.register net ~id:1 (fun ~from:_ _ -> ());
+  let hook_calls = ref [] in
+  N.set_reject_hook net (fun ~dst ~from reject -> hook_calls := (dst, from, reject) :: !hook_calls);
+  N.send net ~op:Net.Message.Read ~from:0 ~dst:1 (Payload.Ping 1);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "hook fired per reject" 3 (List.length !hook_calls);
+  List.iter
+    (fun (dst, from, _) ->
+      Alcotest.(check int) "receiver" 1 dst;
+      Alcotest.(check int) "sender" 0 from)
+    !hook_calls
+
 let () =
   Alcotest.run "net"
     [
@@ -186,6 +340,7 @@ let () =
           Alcotest.test_case "reset" `Quick test_traffic_reset;
           Alcotest.test_case "negative rejected" `Quick test_traffic_rejects_negative;
           Alcotest.test_case "snapshot" `Quick test_traffic_snapshot;
+          Alcotest.test_case "reject classes" `Quick test_traffic_rejects;
         ] );
       ( "network",
         [
@@ -202,5 +357,15 @@ let () =
           Alcotest.test_case "up_sites" `Quick test_up_sites;
           Alcotest.test_case "latency applied" `Quick test_latency_distribution_applied;
           Alcotest.test_case "delivered counter" `Quick test_delivered_counter;
+        ] );
+      ( "encoded",
+        [
+          Alcotest.test_case "off by default" `Quick test_encoded_default_off;
+          Alcotest.test_case "twin run identical" `Quick test_encoded_twin_run_identical;
+          Alcotest.test_case "ambient corruption recovers" `Quick
+            test_encoded_ambient_corruption_recovers;
+          Alcotest.test_case "persistent corruptor quarantined" `Quick
+            test_persistent_corruptor_quarantined;
+          Alcotest.test_case "reject hook" `Quick test_reject_hook_sees_failures;
         ] );
     ]
