@@ -8,7 +8,7 @@
    internal errors.  See DESIGN.md section 4f for the rules. *)
 
 let usage =
-  "blockrep_lint [--root DIR] [--json FILE] [--list-rules] [DIR ...]\n\n\
+  "blockrep_lint [--root DIR] [--json FILE] [--sarif FILE] [--list-rules] [DIR ...]\n\n\
    Scans .cmt files under the given directories (default: lib bin),\n\
    resolved relative to --root (default: _build/default when it\n\
    exists, else the current directory)."
@@ -16,12 +16,16 @@ let usage =
 let () =
   let root = ref None in
   let json = ref None in
+  let sarif = ref None in
   let list_rules = ref false in
   let dirs = ref [] in
   let spec =
     [
       ("--root", Arg.String (fun s -> root := Some s), "DIR scan root (default: _build/default)");
       ("--json", Arg.String (fun s -> json := Some s), "FILE also write a JSON report to FILE");
+      ( "--sarif",
+        Arg.String (fun s -> sarif := Some s),
+        "FILE also write a SARIF 2.1.0 report to FILE (GitHub code scanning)" );
       ("--list-rules", Arg.Set list_rules, " print the rule identifiers and exit");
     ]
   in
@@ -56,4 +60,16 @@ let () =
       output_string oc (Lint.Report.to_json findings);
       close_out oc;
       Printf.printf "JSON report written to %s\n" path);
-  if Lint.Report.clean findings then exit 0 else exit 1
+  (match !sarif with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Lint.Report.to_sarif findings);
+      close_out oc;
+      Printf.printf "SARIF report written to %s\n" path);
+  (* 2: the linter could not analyse the tree (unreadable .cmt et al.);
+     1: real unsuppressed findings; 0: clean.  CI treats 2 as an
+     infrastructure failure, not a dirty tree. *)
+  if Lint.Report.internal_error findings then exit 2
+  else if Lint.Report.clean findings then exit 0
+  else exit 1

@@ -4,9 +4,12 @@
    code: a *counting* pass that only advances the length (no buffer, no
    allocation) and a *writing* pass that blits into a caller-sized
    buffer.  Encoders are written once against [w] and used for both
-   [size] (measured, allocation-free) and [encode]; because the counter
-   holds no shared scratch state, sizing is safe to call concurrently
-   from sharded bench lanes.
+   [size] (measured, allocation-free) and [encode]; every counter is
+   allocated fresh by its caller and this module holds no top-level
+   state, so sizing is safe to call concurrently from sharded bench
+   lanes.  That claim is no longer a comment: blockrep-lint's
+   domain-safety passes (shared-global, domain-capture) run over the
+   whole codec library and test_lint asserts they stay silent here.
 
    The reader raises the local exceptions [Short]/[Bad] on malformed
    input; [Frame]/callers catch them at the decode boundary and return

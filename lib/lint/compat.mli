@@ -20,3 +20,10 @@ val pat_bound_name : Typedtree.pattern -> string option
 
 val pat_alias_inner : 'k Typedtree.general_pattern -> 'k Typedtree.general_pattern option
 (** [Some inner] when the pattern is [inner as x]; [None] otherwise. *)
+
+val pat_binding_idents : 'k Typedtree.general_pattern -> Ident.t list
+(** The idents this pattern node itself binds ([Tpat_var] / the alias
+    ident of [Tpat_alias]) — non-recursive; sub-patterns are reached by
+    the caller's own traversal.  Used by the domain-capture pass, which
+    needs ident stamps (not just names) to tell captured variables from
+    lane-local rebindings. *)

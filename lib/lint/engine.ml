@@ -19,6 +19,12 @@ type ctx = {
   library : string;
   mutable allows : allow list;
   mutable sorted : int;
+  mutable expr_depth : int; (* 0 = structural position (module-level binding) *)
+  bindings : (string, Typedtree.expression) Hashtbl.t;
+      (* Ident.unique_name -> defining expression, for every let binding
+         seen so far in this unit.  The domain-capture pass resolves
+         captured local functions through this to analyse *their*
+         captures instead of rejecting every closure outright. *)
   mutable out : Finding.t list;
 }
 
@@ -337,8 +343,271 @@ let analyze_dispatch : type k. ctx -> Location.t -> k case list -> unit =
                "catch-all case in a wire-message dispatch (%d %s constructors matched): a new message constructor would be silently swallowed — enumerate the remaining constructors"
                n ty)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-safety: capture/escape analysis at spawn points              *)
+(* ------------------------------------------------------------------ *)
+
+(* How a captured variable is touched inside a lane thunk.  The
+   distinction drives which rule fires: direct access to shared mutable
+   state is [domain-capture]; access routed exclusively through
+   function calls may be [merge-only-sharing] (an unblessed merge
+   point) or exempt (a blessed one). *)
+type use_kind = Use_direct | Use_call_head | Use_call_arg of string
+
+type use_record = { u_kind : use_kind; u_ty : Types.type_expr; u_loc : Location.t }
+
+let is_arrow_type ty =
+  let rec go depth ty =
+    if depth > 16 then false
+    else
+      match Types.get_desc ty with
+      | Types.Tarrow _ -> true
+      | Types.Tpoly (t', _) -> go (depth + 1) t'
+      | _ -> false
+  in
+  go 0 ty
+
+(* Stdlib entry points that read or write their mutable argument in
+   place: a captured Hashtbl fed to [Hashtbl.replace] is direct shared
+   mutation, not a candidate merge point. *)
+let direct_access_callees = [ "!"; ":="; "incr"; "decr" ]
+
+let direct_access_prefixes =
+  [ "Hashtbl."; "Buffer."; "Queue."; "Stack."; "Bytes."; "Array."; "Weak."; "Atomic."; "Ref." ]
+
+let forces_direct name =
+  List.mem name direct_access_callees
+  || List.exists (fun prefix -> Syms.has_prefix ~prefix name) direct_access_prefixes
+
+(* One traversal of [root] collecting (a) every ident the expression
+   binds (patterns carry unique stamps, so an inner rebinding never
+   masks a capture) and (b) every use of a [Pident] with its context.
+   Free variables of [root] are exactly the uses minus the bound set. *)
+let collect_fv ctx (root : expression) =
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let uses : (string, Ident.t * use_record list ref) Hashtbl.t = Hashtbl.create 32 in
+  let add_use id kind (e : expression) =
+    let key = Ident.unique_name id in
+    let occ = { u_kind = kind; u_ty = e.exp_type; u_loc = e.exp_loc } in
+    match Hashtbl.find_opt uses key with
+    | Some (_, l) -> l := occ :: !l
+    | None -> Hashtbl.add uses key (id, ref [ occ ])
+  in
+  let default = Tast_iterator.default_iterator in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun it p ->
+    List.iter
+      (fun id -> Hashtbl.replace bound (Ident.unique_name id) ())
+      (Compat.pat_binding_idents p);
+    default.Tast_iterator.pat it p
+  in
+  let expr it (e : expression) =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> add_use id Use_direct e
+    | Texp_apply (f, args) ->
+        let callee = canonical_head ctx f in
+        (match f.exp_desc with
+        | Texp_ident (Path.Pident id, _, _) -> add_use id Use_call_head f
+        | _ -> it.Tast_iterator.expr it f);
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some ({ exp_desc = Texp_ident (Path.Pident id, _, _); _ } as ae) ->
+                add_use id
+                  (match callee with Some n -> Use_call_arg n | None -> Use_direct)
+                  ae
+            | Some a -> it.Tast_iterator.expr it a
+            | None -> ())
+          args
+    | _ -> default.Tast_iterator.expr it e
+  in
+  let it = { default with Tast_iterator.expr; pat } in
+  it.Tast_iterator.expr it root;
+  (bound, uses)
+
+(* Analyse one lane body.  Captured local functions are resolved
+   through [ctx.bindings] and their own free variables folded into the
+   same capture set (a closure shares whatever it closed over);
+   unresolvable function captures are findings, because the analyzer
+   cannot see what they share.  Soundness limits (aliasing, functions
+   from other units, eta-expanded spawn wrappers) are documented in
+   DESIGN.md section 4k. *)
+let analyze_thunk ctx ~spawn_name (thunk : expression) =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Queue.add (None, thunk) queue;
+  while not (Queue.is_empty queue) do
+    let via, root = Queue.take queue in
+    let bound, uses = collect_fv ctx root in
+    let free =
+      Hashtbl.fold
+        (fun key (id, occs) acc ->
+          if Hashtbl.mem bound key then acc else (key, id, List.rev !occs) :: acc)
+        uses []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+    in
+    List.iter
+      (fun (key, id, occs) ->
+        if not (Hashtbl.mem seen key) then begin
+          let name = Ident.name id in
+          let chain =
+            match via with
+            | None -> ""
+            | Some f -> Printf.sprintf " (captured via local function %s)" f
+          in
+          match occs with
+          | [] -> ()
+          | first :: _ -> (
+              match Tables.mutability ctx.tables ~unit_name:ctx.unit_name first.u_ty with
+              | Tables.Imm | Tables.Atomic_ok -> Hashtbl.add seen key ()
+              | Tables.Mut reason ->
+                  if is_arrow_type first.u_ty then begin
+                    match Hashtbl.find_opt ctx.bindings key with
+                    | Some bexpr ->
+                        Hashtbl.add seen key ();
+                        Queue.add (Some name, bexpr) queue
+                    | None ->
+                        Hashtbl.add seen key ();
+                        emit ctx ~loc:first.u_loc Config.rule_capture
+                          (Printf.sprintf
+                             "lane thunk passed to %s captures the function %s%s, whose own \
+                              captures the analyzer cannot see — pass a literal fun or a \
+                              function defined in this unit, or justify with [@lint.allow]"
+                             spawn_name name chain)
+                  end
+                  else begin
+                    Hashtbl.add seen key ();
+                    let blessed o =
+                      match o.u_kind with
+                      | Use_call_arg n -> List.mem n ctx.cfg.Config.merge_points
+                      | _ -> false
+                    in
+                    if not (List.for_all blessed occs) then begin
+                      let direct o =
+                        match o.u_kind with
+                        | Use_direct | Use_call_head -> true
+                        | Use_call_arg n -> forces_direct n
+                      in
+                      if List.exists direct occs then
+                        emit ctx ~loc:first.u_loc Config.rule_capture
+                          (Printf.sprintf
+                             "lane thunk passed to %s captures %s%s: %s — lanes must not \
+                              share mutable state; allocate it inside the thunk \
+                              (lane-fresh), use Atomic.t over immutable contents, or share \
+                              only through the blessed merge points"
+                             spawn_name name chain reason)
+                      else begin
+                        let callees =
+                          List.filter_map
+                            (fun o ->
+                              match o.u_kind with
+                              | Use_call_arg n when not (List.mem n ctx.cfg.Config.merge_points)
+                                ->
+                                  Some n
+                              | _ -> None)
+                            occs
+                          |> List.sort_uniq String.compare
+                        in
+                        emit ctx ~loc:first.u_loc Config.rule_merge_only
+                          (Printf.sprintf
+                             "lane thunk passed to %s shares %s%s (%s) through %s, not a \
+                              blessed merge point — bless it in Config.merge_points (see \
+                              DESIGN.md section 4k) or make the state lane-local"
+                             spawn_name name chain reason
+                             (String.concat ", " callees))
+                      end
+                    end
+                  end)
+        end)
+      free
+  done
+
+let check_spawn ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (f, args) -> (
+      match canonical_head ctx f with
+      | Some spawn_name when List.mem spawn_name ctx.cfg.Config.spawn_points ->
+          List.iter
+            (fun (_, arg) ->
+              match arg with
+              | Some a when is_arrow_type a.exp_type -> (
+                  match a.exp_desc with
+                  | Texp_ident (Path.Pident id, _, _) -> (
+                      match Hashtbl.find_opt ctx.bindings (Ident.unique_name id) with
+                      | Some bexpr -> analyze_thunk ctx ~spawn_name bexpr
+                      | None ->
+                          emit ctx ~loc:a.exp_loc Config.rule_capture
+                            (Printf.sprintf
+                               "opaque lane body passed to %s: the analyzer cannot see \
+                                inside %s — pass a literal fun or a function defined in \
+                                this unit, or justify with [@lint.allow]"
+                               spawn_name (Ident.name id)))
+                  | Texp_ident _ ->
+                      (* A function from another unit can only close over
+                         that unit's top-level state, which the
+                         shared-global rule covers where it is declared. *)
+                      ()
+                  | _ -> analyze_thunk ctx ~spawn_name a)
+              | _ -> ())
+            args
+      | _ -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safety: top-level mutable state                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_shared_global ctx (vb : value_binding) =
+  if Config.in_scope ctx.cfg.Config.shared_global_libs ctx.library then begin
+    let name = match Compat.pat_bound_name vb.vb_pat with Some n -> n | None -> "_" in
+    let ty = vb.vb_pat.pat_type in
+    if is_arrow_type ty then begin
+      (* A top-level function is code, not state — unless its right-hand
+         side allocates a mutable cell the closure then hides. *)
+      let rec hidden (e : expression) =
+        match e.exp_desc with
+        | Texp_let (_, vbs, body) ->
+            List.iter
+              (fun (vb' : value_binding) ->
+                let ty' = vb'.vb_pat.pat_type in
+                if not (is_arrow_type ty') then
+                  match Tables.mutability ctx.tables ~unit_name:ctx.unit_name ty' with
+                  | Tables.Imm -> ()
+                  | Tables.Atomic_ok | Tables.Mut _ ->
+                      emit ctx ~loc:vb'.vb_loc Config.rule_shared_global
+                        (Printf.sprintf
+                           "top-level function %s closes over hidden mutable state: every \
+                            caller in every lane shares the same cell — thread the state \
+                            explicitly or justify with [@lint.allow]"
+                           name))
+              vbs;
+            hidden body
+        | _ -> ()
+      in
+      hidden vb.vb_expr
+    end
+    else
+      match Tables.mutability ctx.tables ~unit_name:ctx.unit_name ty with
+      | Tables.Imm -> ()
+      | Tables.Atomic_ok ->
+          emit ctx ~loc:vb.vb_loc Config.rule_shared_global
+            (Printf.sprintf
+               "top-level atomic %s is still cross-lane shared state: updates interleave \
+                nondeterministically across lanes — make it lane-local and merge, or \
+                justify with [@lint.allow]"
+               name)
+      | Tables.Mut reason ->
+          emit ctx ~loc:vb.vb_loc Config.rule_shared_global
+            (Printf.sprintf
+               "top-level mutable state %s (%s) in a sim-critical library: a single value \
+                shared by every lane breaks determinism and domain-safety — make it \
+                lane-local (plus a blessed merge) or justify with [@lint.allow]"
+               name reason)
+  end
+
 let check_expr ctx (e : expression) =
   (match e.exp_desc with Texp_ident (p, _, _) -> check_ident ctx e p | _ -> ());
+  check_spawn ctx e;
   if Config.in_scope ctx.cfg.Config.partiality_libs ctx.library && Compat.is_assert_false e then
     emit ctx ~loc:e.exp_loc Config.rule_partiality
       "assert false in a protocol hot path: make the case unrepresentable or justify with [@lint.allow]";
@@ -416,6 +685,8 @@ let binding_name (vb : value_binding) = Compat.pat_bound_name vb.vb_pat
 let make_iterator ctx =
   let default = Tast_iterator.default_iterator in
   let expr it (e : expression) =
+    ctx.expr_depth <- ctx.expr_depth + 1;
+    Fun.protect ~finally:(fun () -> ctx.expr_depth <- ctx.expr_depth - 1) @@ fun () ->
     let allows = parse_allows ctx e.exp_attributes in
     with_allows ctx allows (fun () ->
         check_expr ctx e;
@@ -442,12 +713,18 @@ let make_iterator ctx =
         | _ -> default.Tast_iterator.expr it e)
   in
   let value_binding it (vb : value_binding) =
+    (* Remember what every local name is bound to, so the capture pass
+       can look through locally-defined functions a spawn site uses. *)
+    (match Compat.pat_binding_idents vb.vb_pat with
+    | [ id ] -> Hashtbl.replace ctx.bindings (Ident.unique_name id) vb.vb_expr
+    | _ -> ());
     let allows = parse_allows ctx vb.vb_attributes in
     with_allows ctx allows (fun () ->
         (match binding_name vb with
         | Some name when List.mem (ctx.unit_name, name) ctx.cfg.Config.charging ->
             check_charging ctx vb name
         | _ -> ());
+        if ctx.expr_depth = 0 then check_shared_global ctx vb;
         default.Tast_iterator.value_binding it vb)
   in
   { default with Tast_iterator.expr; value_binding }
@@ -460,7 +737,19 @@ let module_allows ctx (str : structure) =
     str.str_items
 
 let scan_structure ~cfg ~tables ~unit_name ~library (str : structure) =
-  let ctx = { cfg; tables; unit_name; library; allows = []; sorted = 0; out = [] } in
+  let ctx =
+    {
+      cfg;
+      tables;
+      unit_name;
+      library;
+      allows = [];
+      sorted = 0;
+      expr_depth = 0;
+      bindings = Hashtbl.create 64;
+      out = [];
+    }
+  in
   ctx.allows <- module_allows ctx str;
   let it = make_iterator ctx in
   it.Tast_iterator.structure it str;

@@ -27,6 +27,14 @@ let summarize findings =
 
 let clean findings = (summarize findings).unsuppressed = 0
 
+(* An unreadable .cmt is an analysis failure, not a code finding: CI
+   must be able to tell "the tree is dirty" (exit 1) from "the linter
+   could not do its job" (exit 2). *)
+let internal_error findings =
+  List.exists
+    (fun (f : Finding.t) -> f.Finding.rule = Config.rule_internal && not (Finding.suppressed f))
+    findings
+
 let pp_human ppf findings =
   let s = summarize findings in
   let active = List.filter (fun f -> not (Finding.suppressed f)) findings in
@@ -68,4 +76,62 @@ let to_json findings =
       Buffer.add_string b (Finding.to_json f))
     findings;
   Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* SARIF 2.1.0, the exchange format GitHub code scanning ingests: each
+   finding becomes a [result] with a physical location, suppressed
+   findings carry a [suppressions] entry (code scanning then shows them
+   as reviewed rather than open), and the rule metadata comes from
+   [Config.rule_descriptions].  Hand-rendered like [to_json]: the
+   subset we emit is small and a JSON library is not worth a
+   dependency. *)
+let to_sarif findings =
+  let e = Finding.json_escape in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    "{\n\
+    \  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"blockrep-lint\",\n\
+    \          \"informationUri\": \"https://example.invalid/blockrep\",\n\
+    \          \"rules\": [\n";
+  List.iteri
+    (fun i rule ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let desc =
+        match List.assoc_opt rule Config.rule_descriptions with
+        | Some d -> d
+        | None -> rule
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "            {\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}" (e rule)
+           (e desc)))
+    Config.rule_ids;
+  Buffer.add_string b "\n          ]\n        }\n      },\n      \"results\": [\n";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let suppressions =
+        match f.Finding.justification with
+        | None -> "\"suppressions\": []"
+        | Some j ->
+            Printf.sprintf
+              "\"suppressions\": [{\"kind\": \"inSource\", \"justification\": \"%s\"}]" (e j)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \"%s\"}, \
+            \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, \
+            \"region\": {\"startLine\": %d, \"startColumn\": %d}}}], %s}"
+           (e f.Finding.rule) (e f.Finding.message) (e f.Finding.pos.Finding.file)
+           (max 1 f.Finding.pos.Finding.line)
+           (f.Finding.pos.Finding.col + 1)
+           suppressions))
+    findings;
+  Buffer.add_string b "\n      ]\n    }\n  ]\n}\n";
   Buffer.contents b

@@ -7,14 +7,35 @@
    comparison on it total and deterministic.  Keys are canonical type
    names ("Blockrep.Types.site_state"). *)
 
+(* Structural summary of a type declaration, kept so the mutability
+   classification below can look through nominal types declared in
+   other units.  Component [Types.type_expr]s were elaborated in the
+   declaring unit, so each shape remembers that unit for canonical
+   name resolution. *)
+type shape =
+  | Shape_variant of Types.type_expr list (* every constructor argument type *)
+  | Shape_record of (string * bool * Types.type_expr) list (* field, mutable?, type *)
+  | Shape_alias of Types.type_expr
+  | Shape_opaque
+
 type t = {
   pure_enums : (string, unit) Hashtbl.t;
   closure_carriers : (string, string) Hashtbl.t; (* type -> offending field/ctor *)
   variants : (string, string list) Hashtbl.t; (* type -> constructor names *)
+  shapes : (string, string * shape) Hashtbl.t; (* type -> (declaring unit, shape) *)
+  functor_sets : (string, unit) Hashtbl.t; (* "U.M.t" for M = Set.Make/Map.Make (...) *)
+  mut_memo : (string, string option) Hashtbl.t; (* decl-level verdict cache *)
 }
 
 let create () =
-  { pure_enums = Hashtbl.create 64; closure_carriers = Hashtbl.create 16; variants = Hashtbl.create 64 }
+  {
+    pure_enums = Hashtbl.create 64;
+    closure_carriers = Hashtbl.create 16;
+    variants = Hashtbl.create 64;
+    shapes = Hashtbl.create 128;
+    functor_sets = Hashtbl.create 8;
+    mut_memo = Hashtbl.create 128;
+  }
 
 let is_pure_enum t name = Hashtbl.mem t.pure_enums name
 let closure_carrier t name = Hashtbl.find_opt t.closure_carriers name
@@ -43,7 +64,32 @@ let mentions_arrow ty =
   in
   go 0 ty
 
-let add_declaration t ~type_name (decl : Typedtree.type_declaration) =
+let add_declaration t ~unit_name ~type_name (decl : Typedtree.type_declaration) =
+  (match decl.typ_kind with
+  | Ttype_variant ctors ->
+      let args =
+        List.concat_map
+          (fun (c : Typedtree.constructor_declaration) ->
+            match c.cd_args with
+            | Cstr_tuple args -> List.map (fun (ct : Typedtree.core_type) -> ct.ctyp_type) args
+            | Cstr_record lds ->
+                List.map (fun (ld : Typedtree.label_declaration) -> ld.ld_type.ctyp_type) lds)
+          ctors
+      in
+      Hashtbl.replace t.shapes type_name (unit_name, Shape_variant args)
+  | Ttype_record lds ->
+      let fields =
+        List.map
+          (fun (ld : Typedtree.label_declaration) ->
+            (ld.ld_name.txt, ld.ld_mutable = Asttypes.Mutable, ld.ld_type.ctyp_type))
+          lds
+      in
+      Hashtbl.replace t.shapes type_name (unit_name, Shape_record fields)
+  | Ttype_abstract -> (
+      match decl.typ_manifest with
+      | Some ct -> Hashtbl.replace t.shapes type_name (unit_name, Shape_alias ct.ctyp_type)
+      | None -> Hashtbl.replace t.shapes type_name (unit_name, Shape_opaque))
+  | Ttype_open -> Hashtbl.replace t.shapes type_name (unit_name, Shape_opaque));
   match decl.typ_kind with
   | Ttype_variant ctors ->
       let names = List.map (fun (c : Typedtree.constructor_declaration) -> c.cd_name.txt) ctors in
@@ -73,6 +119,28 @@ let add_declaration t ~type_name (decl : Typedtree.type_declaration) =
    into plain nested modules (functor bodies are keyed without their
    argument, an acceptable approximation). *)
 let collect t ~unit_name (str : Typedtree.structure) =
+  (* [Set.Make]/[Map.Make] applications produce balanced persistent
+     trees: remember the resulting module so "<prefix>.<M>.t" can be
+     classified immutable even though the functor body is opaque. *)
+  let rec functor_head (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_ident (p, _) -> Some (Path.name p)
+    | Tmod_constraint (me', _, _, _) -> functor_head me'
+    | _ -> None
+  in
+  let rec persistent_functor (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_apply (f, _, _) -> (
+        (* The compiler wraps the applied functor in the signature
+           constraint of its result, so look through constraints before
+           expecting the ident. *)
+        match functor_head f with
+        | Some name ->
+            Syms.has_suffix ~suffix:"Set.Make" name || Syms.has_suffix ~suffix:"Map.Make" name
+        | None -> persistent_functor f)
+    | Tmod_constraint (me', _, _, _) -> persistent_functor me'
+    | _ -> false
+  in
   let rec module_expr prefix (me : Typedtree.module_expr) =
     match me.mod_desc with
     | Tmod_structure s -> List.iter (item prefix) s.str_items
@@ -84,11 +152,14 @@ let collect t ~unit_name (str : Typedtree.structure) =
     | Tstr_type (_, decls) ->
         List.iter
           (fun (d : Typedtree.type_declaration) ->
-            add_declaration t ~type_name:(prefix ^ "." ^ d.typ_name.txt) d)
+            add_declaration t ~unit_name ~type_name:(prefix ^ "." ^ d.typ_name.txt) d)
           decls
     | Tstr_module mb -> (
         match mb.mb_name.txt with
-        | Some name -> module_expr (prefix ^ "." ^ name) mb.mb_expr
+        | Some name ->
+            if persistent_functor mb.mb_expr then
+              Hashtbl.replace t.functor_sets (prefix ^ "." ^ name ^ ".t") ();
+            module_expr (prefix ^ "." ^ name) mb.mb_expr
         | None -> ())
     | Tstr_recmodule mbs ->
         List.iter
@@ -100,3 +171,191 @@ let collect t ~unit_name (str : Typedtree.structure) =
     | _ -> ()
   in
   List.iter (item unit_name) str.str_items
+
+(* ------------------------------------------------------------------ *)
+(* Mutability classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Three-way verdict on a type: deeply immutable (safe to share across
+   lanes), an atomic cell over immutable contents (safe to share, races
+   resolved by the hardware, determinism still the caller's problem),
+   or transitively mutable with a human-readable reason.  Arrows are
+   mutable: a closure's captures cannot be verified from its type, and
+   a closure over a Hashtbl is exactly as racy as the Hashtbl. *)
+type mutability = Imm | Atomic_ok | Mut of string
+
+let worst a b =
+  match (a, b) with
+  | (Mut _ as m), _ | _, (Mut _ as m) -> m
+  | Atomic_ok, _ | _, Atomic_ok -> Atomic_ok
+  | Imm, Imm -> Imm
+
+(* Stdlib types with mutable innards.  Both the bare spelling and the
+   [Stdlib.]-qualified one canonicalise to these. *)
+let builtin_mutable =
+  [
+    ("ref", "a ref cell");
+    ("array", "an array");
+    ("bytes", "a mutable byte buffer");
+    ("Bytes.t", "a mutable byte buffer");
+    ("Hashtbl.t", "a hash table");
+    ("Buffer.t", "a Buffer.t");
+    ("Queue.t", "a Queue.t");
+    ("Stack.t", "a Stack.t");
+    ("Weak.t", "a weak array");
+    ("Random.State.t", "a mutable PRNG state");
+    ("Lazy.t", "a lazy cell (forcing races and memoises)");
+    ("lazy_t", "a lazy cell (forcing races and memoises)");
+    ("Seq.t", "a Seq.t (suspended closures)");
+    ("Format.formatter", "a formatter (buffered output state)");
+    ("in_channel", "an I/O channel");
+    ("out_channel", "an I/O channel");
+    ("Mutex.t", "a mutex (locked sharing is still nondeterministic interleaving)");
+    ("Condition.t", "a condition variable");
+  ]
+
+let builtin_immutable =
+  [ "int"; "char"; "bool"; "unit"; "float"; "string"; "int32"; "int64"; "nativeint"; "exn";
+    "Int.t"; "Char.t"; "Bool.t"; "Float.t"; "String.t"; "Int32.t"; "Int64.t"; "Nativeint.t" ]
+
+(* Type constructors that are immutable iff their arguments are: the
+   classification recurses into the arguments anyway, so these need no
+   verdict of their own. *)
+let builtin_transparent = [ "option"; "list"; "result"; "Either.t"; "either" ]
+
+let is_persistent_tree t name =
+  Hashtbl.mem t.functor_sets name
+  || Syms.has_suffix ~suffix:".Set.t" name
+  || Syms.has_suffix ~suffix:".Map.t" name
+  (* Inside the declaring unit the path keeps its short spelling
+     ([Int_set.t]) while the functor table records the fully qualified
+     one — accept a suffix match, same as the shapes fallback. *)
+  || (let suffix = "." ^ name in
+      Hashtbl.fold (fun k () acc -> acc || Syms.has_suffix ~suffix k) t.functor_sets false)
+
+(* Decl-level verdict for a canonical type name, ignoring parameters
+   (the caller folds the actual arguments in separately; formal
+   parameters classify as Imm, so a ['a t = 'a ref] still comes out
+   mutable through the [ref], and a phantom parameter costs nothing).
+   [None] = not mutable by itself.  Cycles assume Imm, the standard
+   coinductive reading: a recursive type with no mutable node anywhere
+   on the cycle is immutable. *)
+let rec decl_mutability t name ~in_progress =
+  match Hashtbl.find_opt t.mut_memo name with
+  | Some v -> v
+  | None ->
+      if List.mem name in_progress then None
+      else begin
+        let v = compute_decl_mutability t name ~in_progress:(name :: in_progress) in
+        (* Only cache cycle-free computations at the root of a cycle;
+           caching mid-cycle could freeze the Imm assumption. *)
+        if in_progress = [] then Hashtbl.replace t.mut_memo name v;
+        v
+      end
+
+and compute_decl_mutability t name ~in_progress =
+  match List.assoc_opt name builtin_mutable with
+  | Some reason -> Some reason
+  | None ->
+      if List.mem name builtin_immutable || List.mem name builtin_transparent then None
+      else if name = "Atomic.t" then None (* the caller special-cases Atomic *)
+      else if is_persistent_tree t name then None
+      else begin
+        (* A use site may reach a type through a local module alias
+           ([module Types = Blockrep.Types]); the recorded path then
+           keeps the alias spelling.  When the direct lookup misses,
+           accept a UNIQUE suffix match against the declared shapes —
+           ambiguity stays conservative (opaque). *)
+        let lookup () =
+          match Hashtbl.find_opt t.shapes name with
+          | Some _ as hit -> hit
+          | None -> (
+              let suffix = "." ^ name in
+              match
+                Hashtbl.fold
+                  (fun k v acc -> if Syms.has_suffix ~suffix k then (k, v) :: acc else acc)
+                  t.shapes []
+              with
+              | [ (_, v) ] -> Some v
+              | _ -> None)
+        in
+        match lookup () with
+        | None -> Some "an abstract type the mutability table cannot prove immutable"
+        | Some (decl_unit, shape) -> (
+            let sub ty =
+              match type_mutability t ~unit_name:decl_unit ty ~in_progress with
+              | Imm | Atomic_ok -> None
+              | Mut reason -> Some reason
+            in
+            match shape with
+            | Shape_opaque -> Some "an abstract type the mutability table cannot prove immutable"
+            | Shape_alias ty -> sub ty
+            | Shape_variant args -> List.find_map sub args
+            | Shape_record fields ->
+                List.find_map
+                  (fun (fname, is_mut, ty) ->
+                    if is_mut then Some (Printf.sprintf "record with mutable field %s" fname)
+                    else
+                      Option.map
+                        (fun r -> Printf.sprintf "field %s is %s" fname r)
+                        (sub ty))
+                  fields)
+      end
+
+(* Verdict for a type expression as seen at a use site in [unit_name]. *)
+and type_mutability t ~unit_name ty ~in_progress =
+  let visited = Hashtbl.create 16 in
+  let rec go depth ty =
+    if depth > 64 then Imm
+    else
+      let id = Types.get_id ty in
+      if Hashtbl.mem visited id then Imm
+      else begin
+        Hashtbl.add visited id ();
+        match Types.get_desc ty with
+        | Types.Tarrow _ -> Mut "a function — what its closure captures cannot be verified"
+        | Types.Ttuple l -> List.fold_left (fun acc ty' -> worst acc (go (depth + 1) ty')) Imm l
+        | Types.Tpoly (t', _) -> go (depth + 1) t'
+        | Types.Tvar _ | Types.Tunivar _ -> Imm
+        | Types.Tconstr (p, args, _) -> (
+            let raw = Path.name p in
+            (* Predefined types ([int], [array], [ref], ...) reach us as
+               bare idents with no declaring unit; qualifying them with
+               the mentioning unit would hide them from the builtin
+               tables.  A unit-local type shadowing a predef name would
+               be misread — none exists in this tree, and the misreading
+               is at worst conservative for the mutable spellings. *)
+            let name =
+              if
+                (not (String.contains raw '.'))
+                && (List.mem_assoc raw builtin_mutable
+                   || List.mem raw builtin_immutable
+                   || List.mem raw builtin_transparent)
+              then raw
+              else Syms.canonical ~unit_name raw
+            in
+            let args_verdict () =
+              List.fold_left (fun acc ty' -> worst acc (go (depth + 1) ty')) Imm args
+            in
+            if name = "Atomic.t" then
+              match args_verdict () with
+              | Imm | Atomic_ok -> Atomic_ok
+              | Mut reason -> Mut (Printf.sprintf "an Atomic.t over mutable contents (%s)" reason)
+            else begin
+              match decl_mutability t name ~in_progress with
+              | Some reason -> Mut (Printf.sprintf "%s (%s)" name reason)
+              | None -> args_verdict ()
+            end)
+        | Types.Tobject _ -> Mut "an object (mutable instance state)"
+        | Types.Tpackage _ -> Mut "a first-class module (contents unverifiable)"
+        | Types.Tvariant _ ->
+            (* Polymorphic variants do not occur in the protocol tree;
+               classifying their rows needs version-drifting row API, so
+               stay conservative. *)
+            Mut "a polymorphic variant (row not analysed)"
+        | _ -> Imm
+      end
+  in
+  go 0 ty
+
+let mutability t ~unit_name ty = type_mutability t ~unit_name ty ~in_progress:[]

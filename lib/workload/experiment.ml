@@ -287,11 +287,15 @@ let measure_campaign ~scheme ~n_sites ~n_blocks ~shards ?(groups = 16) ?(ops_per
     let g = Sim.Shard_engine.shard_of_block ~shards:groups b in
     sizes.(g) <- sizes.(g) + 1
   done;
+  (* Seal the histogram before it crosses the domain boundary: lanes
+     capture an immutable list, never the mutable array. *)
+  let group_sizes = Array.to_list sizes in
   let plan = Sim.Shard_engine.plan_lanes ~shards ~tasks:groups in
   let t0 = Util.Clock.now () in
   let per_group =
     Sim.Shard_engine.map_tasks ~shards ~tasks:groups (fun g ->
-        campaign_group ~scheme ~n_sites ~reads_per_write ~seed ~ops:ops_per_group g sizes.(g))
+        campaign_group ~scheme ~n_sites ~reads_per_write ~seed ~ops:ops_per_group g
+          (List.nth group_sizes g))
   in
   let wall_clock = Util.Clock.elapsed_s t0 in
   (* Deterministic merge, in group-id order (map_tasks already returns

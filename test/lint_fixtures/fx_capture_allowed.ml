@@ -1,0 +1,17 @@
+(* The suppression path for the domain-safety rules: both findings
+   below are real, both are hidden by a justified [@lint.allow], and
+   both must surface in the report as suppressed-with-justification. *)
+
+let audit_log : int Queue.t = Queue.create ()
+[@@lint.allow "shared-global"
+  "fixture: exercises the justified-suppression path for the shared-global rule"]
+
+let suppressed_capture () =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  ignore
+    ((Sim.Shard_engine.map_tasks ~shards:2 ~tasks:2 (fun i ->
+          Hashtbl.replace tbl i i;
+          i))
+    [@lint.allow "domain-capture"
+      "fixture: exercises the justified-suppression path for the domain-capture rule"]);
+  Hashtbl.length tbl

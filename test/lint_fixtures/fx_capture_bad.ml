@@ -1,0 +1,37 @@
+(* Deliberately race-y lane bodies: every thunk here captures mutable
+   state it must not, one way per function.  Counts are asserted
+   exactly in test_lint.ml. *)
+
+(* Direct mutation of a captured Hashtbl: domain-capture. *)
+let leak_hashtbl () =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  ignore
+    (Sim.Shard_engine.map_tasks ~shards:2 ~tasks:4 (fun i ->
+         Hashtbl.replace tbl i i;
+         i));
+  Hashtbl.length tbl
+
+(* Reading a captured array is still sharing it: domain-capture. *)
+let leak_array (arr : int array) =
+  Sim.Shard_engine.map_tasks ~shards:2 ~tasks:(Array.length arr) (fun i -> arr.(i))
+
+(* A captured ref cell mutated from every lane: domain-capture. *)
+let leak_ref () =
+  let total = ref 0 in
+  ignore
+    (Sim.Shard_engine.map_tasks ~shards:2 ~tasks:4 (fun i ->
+         total := !total + i;
+         i));
+  !total
+
+(* The captured table flows only into a function call — but not one of
+   the blessed merge points: merge-only-sharing, not domain-capture. *)
+let merge_into (dst : (int, int) Hashtbl.t) (src : int) = Hashtbl.replace dst src src
+
+let unblessed_merge () =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  ignore
+    (Sim.Shard_engine.map_tasks ~shards:2 ~tasks:4 (fun i ->
+         merge_into tbl i;
+         i));
+  Hashtbl.length tbl

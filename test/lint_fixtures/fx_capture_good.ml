@@ -1,0 +1,41 @@
+(* Lane bodies the capture analysis must stay silent on: immutable
+   captures, lane-fresh allocation, Atomic state, a blessed merge
+   point, and a locally-defined helper function the analyzer resolves
+   and looks through. *)
+
+(* Captured ints are deeply immutable: sharing them is fine. *)
+let sum_with_offset ~n (offset : int) =
+  Sim.Shard_engine.map_tasks ~shards:2 ~tasks:n (fun i -> i + offset)
+
+(* Mutable state allocated inside the thunk is lane-fresh: no lane can
+   see another lane's table. *)
+let lane_fresh ~n =
+  Sim.Shard_engine.map_tasks ~shards:2 ~tasks:n (fun i ->
+      let tbl : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.replace tbl i i;
+      Hashtbl.length tbl)
+
+(* An Atomic.t over immutable contents is the sanctioned cross-lane
+   cell. *)
+let atomic_progress ~n (progress : int Atomic.t) =
+  Sim.Shard_engine.map_tasks ~shards:2 ~tasks:n (fun i ->
+      Atomic.incr progress;
+      i)
+
+(* Captured mutable traffic flows ONLY into Traffic.accumulate, a
+   blessed merge point; the per-lane counter is lane-fresh. *)
+let blessed_merge ~n =
+  let traffic = Net.Traffic.create () in
+  ignore
+    (Sim.Shard_engine.map_tasks ~shards:2 ~tasks:n (fun i ->
+         let lane = Net.Traffic.create () in
+         Net.Traffic.accumulate ~into:traffic lane;
+         i));
+  traffic
+
+(* A locally-defined function captured by the thunk: the analyzer
+   resolves it through the unit's bindings and analyses ITS captures
+   (none that matter) instead of rejecting the closure outright. *)
+let double (x : int) = x * 2
+
+let via_helper ~n = Sim.Shard_engine.map_tasks ~shards:2 ~tasks:n (fun i -> double i)

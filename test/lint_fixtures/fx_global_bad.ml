@@ -1,0 +1,28 @@
+(* Six flavours of top-level shared state the shared-global rule must
+   flag in a sim-critical library: plain ref, Hashtbl, Bytes, a record
+   with a mutable field, mutable state hidden inside a top-level
+   closure, and an Atomic global (serialised but still shared). *)
+
+let total = ref 0
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let scratch = Bytes.create 64
+
+type counters = { mutable hits : int }
+
+let counters = { hits = 0 }
+
+(* The binding is a function, but it closes over a memo table every
+   caller in every lane shares. *)
+let memo =
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  fun x ->
+    match Hashtbl.find_opt seen x with
+    | Some y -> y
+    | None ->
+        let y = x * x in
+        Hashtbl.add seen x y;
+        y
+
+let progress = Atomic.make 0

@@ -1,0 +1,21 @@
+(* Top-level state the shared-global rule must accept: immutable
+   scalars, strings, lists, constant constructors, persistent
+   functor-built sets, and plain functions. *)
+
+let block_size = 4096
+
+let name = "fixture"
+
+let defaults = [ 1; 2; 3 ]
+
+type mode = Fast | Safe
+
+let default_mode = Fast
+
+module Int_set = Set.Make (Int)
+
+let empty_ids = Int_set.empty
+
+let preset_ids = Int_set.add 3 (Int_set.add 1 Int_set.empty)
+
+let scale (x : int) = x * block_size

@@ -20,6 +20,7 @@ let cfg =
     C.hashtbl_libs = [ "lint_fixtures" ];
     C.partiality_libs = [ "lint_fixtures" ];
     C.suspicious_prefixes = "Lint_fixtures." :: C.default.C.suspicious_prefixes;
+    C.shared_global_libs = [ "lint_fixtures" ];
     C.charging =
       ("Lint_fixtures.Fx_wire_bad", "bad_category")
       :: ("Lint_fixtures.Fx_wire_good", "good_category")
@@ -45,7 +46,10 @@ let check_count ?suppressed fx rule expected =
     expected
     (count ?suppressed fx rule)
 
-let check_silent fx = Alcotest.(check int) (fx ^ " is clean") 0 (List.length (in_unit fx))
+let check_silent fx =
+  let fs = in_unit fx in
+  List.iter (fun f -> Printf.printf "unexpected: %s\n" (F.to_string f)) fs;
+  Alcotest.(check int) (fx ^ " is clean") 0 (List.length fs)
 
 (* ------------------------------------------------------------------ *)
 
@@ -84,6 +88,31 @@ let test_partiality () =
   check_count "Fx_partiality_bad" C.rule_partiality 5;
   check_silent "Fx_partiality_good"
 
+let test_capture () =
+  (* Hashtbl mutation, array read, ref mutation: one domain-capture
+     each; the unblessed merge helper is the distinct merge-only case. *)
+  check_count "Fx_capture_bad" C.rule_capture 3;
+  check_count "Fx_capture_bad" C.rule_merge_only 1;
+  check_count "Fx_capture_bad" C.rule_shared_global 0;
+  (* Immutable capture, lane-fresh Hashtbl, Atomic.t, the blessed
+     Traffic.accumulate merge, and a resolved local helper: silent. *)
+  check_silent "Fx_capture_good"
+
+let test_shared_global () =
+  (* ref, Hashtbl, Bytes, mutable record field, closure-hidden memo
+     table, Atomic global. *)
+  check_count "Fx_global_bad" C.rule_shared_global 6;
+  check_count "Fx_global_bad" C.rule_capture 0;
+  (* Scalars, strings, lists, constant constructors, Set.Make sets and
+     plain functions are not shared state. *)
+  check_silent "Fx_global_good"
+
+let test_capture_allowed () =
+  check_count ~suppressed:true "Fx_capture_allowed" C.rule_capture 1;
+  check_count ~suppressed:true "Fx_capture_allowed" C.rule_shared_global 1;
+  check_count "Fx_capture_allowed" C.rule_capture 0;
+  check_count "Fx_capture_allowed" C.rule_shared_global 0
+
 let test_allow () =
   (* A well-formed allow suppresses; the finding stays in the report
      with its justification attached. *)
@@ -103,8 +132,8 @@ let test_allow () =
 
 let test_summary () =
   let s = Lint.Report.summarize (Lazy.force scan) in
-  Alcotest.(check int) "unsuppressed" 23 s.Lint.Report.unsuppressed;
-  Alcotest.(check int) "suppressed" 2 s.Lint.Report.suppressed;
+  Alcotest.(check int) "unsuppressed" 33 s.Lint.Report.unsuppressed;
+  Alcotest.(check int) "suppressed" 4 s.Lint.Report.suppressed;
   Alcotest.(check bool) "fixtures are not clean" false (Lint.Report.clean (Lazy.force scan));
   Alcotest.(check int)
     "internal errors" 0
@@ -123,6 +152,28 @@ let test_real_tree_clean () =
     Alcotest.(check int) "lib/ lints clean" 0 (List.length bad)
   end
 
+(* PR 8 claimed Codec.Buf's counting mode is domain-safe in a comment;
+   the analyzer now proves it.  The codec library is inside
+   shared_global_libs, so any hidden global or leaked capture would
+   surface here — and Codec.Buf itself must produce nothing at all,
+   not even a suppressed finding. *)
+let test_codec_domain_safe () =
+  if not (Sys.file_exists "../lib") then ()
+  else begin
+    let findings = Lint.Driver.run_dirs ~cfg:C.default ~root:".." ~dirs:[ "lib/codec" ] in
+    let in_buf = List.filter (fun (f : F.t) -> f.F.unit_name = "Codec.Buf") findings in
+    List.iter (fun f -> Printf.printf "unexpected: %s\n" (F.to_string f)) in_buf;
+    Alcotest.(check int) "Codec.Buf is finding-free (suppressed included)" 0 (List.length in_buf);
+    let domain_rules = [ C.rule_capture; C.rule_shared_global; C.rule_merge_only ] in
+    let bad =
+      List.filter
+        (fun (f : F.t) -> List.mem f.F.rule domain_rules && not (F.suppressed f))
+        findings
+    in
+    List.iter (fun f -> Printf.printf "unexpected: %s\n" (F.to_string f)) bad;
+    Alcotest.(check int) "codec library is domain-safe" 0 (List.length bad)
+  end
+
 let () =
   Alcotest.run "lint"
     [
@@ -134,11 +185,18 @@ let () =
           Alcotest.test_case "wire exhaustiveness" `Quick test_wire;
           Alcotest.test_case "codec tag exhaustiveness" `Quick test_codec;
           Alcotest.test_case "partiality" `Quick test_partiality;
+          Alcotest.test_case "domain capture" `Quick test_capture;
+          Alcotest.test_case "shared globals" `Quick test_shared_global;
         ] );
       ( "suppression",
         [
           Alcotest.test_case "lint.allow machinery" `Quick test_allow;
+          Alcotest.test_case "domain-safety suppressions" `Quick test_capture_allowed;
           Alcotest.test_case "summary totals" `Quick test_summary;
         ] );
-      ("policy", [ Alcotest.test_case "real tree lints clean" `Quick test_real_tree_clean ]);
+      ( "policy",
+        [
+          Alcotest.test_case "real tree lints clean" `Quick test_real_tree_clean;
+          Alcotest.test_case "codec domain-safe" `Quick test_codec_domain_safe;
+        ] );
     ]
